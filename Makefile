@@ -1,0 +1,39 @@
+# Convenience targets; everything is plain `go` underneath.
+
+GO ?= go
+
+.PHONY: all build test vet bench cover examples experiments clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full benchmark pass (the per-table/figure harness of EXPERIMENTS.md).
+bench:
+	$(GO) test -bench=. -benchmem .
+
+cover:
+	$(GO) test -coverprofile=cover.out ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+# Run every example end to end.
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/sample
+	$(GO) run ./examples/kernel6
+	$(GO) run ./examples/jacobi
+	$(GO) run ./examples/openmp
+
+# Regenerate the experiment report of EXPERIMENTS.md.
+experiments:
+	$(GO) run ./cmd/experiments
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

@@ -1,0 +1,301 @@
+// Command experiments re-runs every quantitative experiment of
+// EXPERIMENTS.md and prints a fresh markdown report: kernel-6 calibration
+// and prediction accuracy (EXTRA-PRED), the Jacobi strong-scaling sweep,
+// the OpenMP critical-section sweep, the sensitivity analysis, and the
+// structural reproduction checklist of the paper's figures.
+//
+//	go run ./cmd/experiments > EXPERIMENTS.fresh.md
+package main
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"prophet/internal/builder"
+	"prophet/internal/core"
+	"prophet/internal/cppgen"
+	"prophet/internal/estimator"
+	"prophet/internal/lfk"
+	"prophet/internal/machine"
+	"prophet/internal/samples"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fmt.Println("# Experiment report (regenerated)")
+	fmt.Println()
+	if err := figureChecklist(); err != nil {
+		return err
+	}
+	if err := kernel6Prediction(); err != nil {
+		return err
+	}
+	if err := jacobiScaling(); err != nil {
+		return err
+	}
+	if err := openmpSweep(); err != nil {
+		return err
+	}
+	if err := sensitivity(); err != nil {
+		return err
+	}
+	if err := interconnectSweep(); err != nil {
+		return err
+	}
+	if err := monteCarlo(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// monteCarlo reruns the stochastic query-mix study of examples/stochastic
+// in summary form.
+func monteCarlo() error {
+	fmt.Println("## Monte Carlo: 1000 queries, 85% cache hit rate")
+	fmt.Println()
+	mb := builder.New("query-mix")
+	mb.Global("hitCost", "double").Global("missCost", "double")
+	d := mb.Diagram("main")
+	d.Initial()
+	d.Loop("Queries", "1000", "one").Var("q")
+	d.Final()
+	d.Chain("initial", "Queries", "final")
+	one := mb.Diagram("one")
+	one.Initial()
+	one.Decision("cache")
+	one.Action("Hit").Cost("hitCost")
+	one.Action("Miss").Cost("missCost")
+	one.Merge("done")
+	one.Final()
+	one.Flow("initial", "cache")
+	one.FlowWeighted("cache", "Hit", 0.85)
+	one.FlowWeighted("cache", "Miss", 0.15)
+	one.Flow("Hit", "done")
+	one.Flow("Miss", "done")
+	one.Flow("done", "final")
+	m, err := mb.Build()
+	if err != nil {
+		return err
+	}
+	res, err := estimator.New().MonteCarlo(estimator.Request{
+		Model:   m,
+		Globals: map[string]float64{"hitCost": 100e-6, "missCost": 10e-3},
+	}, 200)
+	if err != nil {
+		return err
+	}
+	analytic := 1000 * (0.85*100e-6 + 0.15*10e-3)
+	fmt.Printf("analytic expectation %.4f s; %d-seed Monte Carlo: mean %.4f s, std %.4f s, range [%.4f, %.4f] s\n\n",
+		analytic, res.Runs, res.Mean, res.Std, res.Min, res.Max)
+	return nil
+}
+
+// interconnectSweep varies the inter-node bandwidth for the Jacobi model
+// at 32 processes: a what-if study over hardware the modeler does not
+// own — the core use case of model-based performance analysis.
+func interconnectSweep() error {
+	fmt.Println("## Interconnect what-if: Jacobi at 32 processes vs inter-node bandwidth")
+	fmt.Println()
+	model := samples.Jacobi()
+	est := estimator.New()
+	pr, err := est.Compile(model)
+	if err != nil {
+		return err
+	}
+	fmt.Println("| inter-node bandwidth | makespan (s) |")
+	fmt.Println("|---:|---:|")
+	for _, bw := range []float64{100e6, 1e9, 10e9, 100e9} {
+		net := machine.DefaultNet()
+		net.BandwidthInter = bw
+		e, err := est.EstimateCompiled(pr, estimator.Request{
+			Params:  machine.SystemParams{Nodes: 4, ProcessorsPerNode: 8, Processes: 32, Threads: 1},
+			Net:     &net,
+			Globals: map[string]float64{"n": 4096, "iters": 50, "flop": 2e-9},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("| %.0e B/s | %.4g |\n", bw, e.Makespan)
+	}
+	fmt.Println()
+	return nil
+}
+
+// figureChecklist re-verifies the structural reproduction of the paper's
+// figures outside the test suite.
+func figureChecklist() error {
+	fmt.Println("## Figure reproduction checklist")
+	fmt.Println()
+	p := core.New()
+
+	check := func(name string, ok bool, detail string) {
+		mark := "ok"
+		if !ok {
+			mark = "FAILED"
+		}
+		fmt.Printf("* %-45s %-6s %s\n", name, mark, detail)
+	}
+
+	sample := samples.Sample()
+	rep := p.Check(sample)
+	check("FIG7 sample model checks clean", !rep.HasErrors(),
+		fmt.Sprintf("%d diagnostics", len(rep.Diagnostics)))
+
+	cpp, err := p.TransformCpp(sample)
+	if err != nil {
+		return err
+	}
+	wantFragments := []string{
+		"double GV;", "double P;",
+		"a1.execute(uid, pid, tid, FA1());",
+		"if (GV > 0) {", "} else {",
+		`ActionPlus sA1("SA1", 5);`,
+	}
+	allIn := true
+	for _, w := range wantFragments {
+		if !strings.Contains(cpp, w) {
+			allIn = false
+		}
+	}
+	check("FIG8 generated C++ structure", allIn,
+		fmt.Sprintf("%d bytes generated", len(cpp)))
+	check("FIG8 C++ structural validity", cppgen.ValidateStructure(cpp) == nil, "")
+
+	k6cpp, err := p.TransformCpp(samples.Kernel6())
+	if err != nil {
+		return err
+	}
+	check("FIG4 kernel6 transition", strings.Contains(k6cpp, `ActionPlus kernel6("Kernel6", 1);`) &&
+		strings.Contains(k6cpp, "kernel6.execute(uid, pid, tid, FK6());"), "")
+
+	// FIG3 equivalence: collapsed vs detailed kernel 6 predictions.
+	globals := map[string]float64{"N": 50, "M": 2, "c": 0.5}
+	estC, err := p.Estimate(core.Request{Model: samples.Kernel6(), Globals: globals})
+	if err != nil {
+		return err
+	}
+	estD, err := p.Estimate(core.Request{Model: samples.Kernel6Detailed(), Globals: globals})
+	if err != nil {
+		return err
+	}
+	check("FIG3 collapsed == detailed model", abs(estC.Makespan-estD.Makespan) < 1e-9,
+		fmt.Sprintf("both predict %.6g", estC.Makespan))
+	fmt.Println()
+	return nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func kernel6Prediction() error {
+	fmt.Println("## EXTRA-PRED: kernel 6 predicted vs measured")
+	fmt.Println()
+	k6, _ := lfk.ByID(6)
+	c, _, err := lfk.Calibrate(k6, []lfk.Size{{N: 400, M: 8}, {N: 600, M: 6}, {N: 800, M: 4}})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("calibrated c = %.3e s/iteration\n\n", c)
+	fmt.Println("| N | M | measured (s) | predicted (s) | error |")
+	fmt.Println("|---:|---:|---:|---:|---:|")
+	p := core.New()
+	model := samples.Kernel6()
+	for _, sz := range []lfk.Size{{N: 300, M: 8}, {N: 500, M: 8}, {N: 700, M: 6}, {N: 1000, M: 3}} {
+		meas := lfk.TimeBest(k6, sz.N, sz.M, 3)
+		est, err := p.Estimate(core.Request{
+			Model:   model,
+			Globals: map[string]float64{"N": float64(sz.N), "M": float64(sz.M), "c": c},
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("| %d | %d | %.4e | %.4e | %+.1f%% |\n",
+			sz.N, sz.M, meas.Seconds, est.Makespan,
+			100*(est.Makespan-meas.Seconds)/meas.Seconds)
+	}
+	fmt.Println()
+	return nil
+}
+
+func jacobiScaling() error {
+	fmt.Println("## EXTRA-SIM: Jacobi strong scaling (n=4096, 50 iterations)")
+	fmt.Println()
+	model := samples.Jacobi()
+	est := estimator.New()
+	pts, err := est.SweepProcesses(estimator.Request{
+		Model:   model,
+		Params:  machine.SystemParams{ProcessorsPerNode: 8, Threads: 1},
+		Globals: map[string]float64{"n": 4096, "iters": 50, "flop": 2e-9},
+	}, []int{1, 2, 4, 8, 16, 32, 64})
+	if err != nil {
+		return err
+	}
+	fmt.Println("| processes | nodes | makespan (s) | speedup | efficiency |")
+	fmt.Println("|---:|---:|---:|---:|---:|")
+	for _, pt := range pts {
+		fmt.Printf("| %d | %d | %.4g | %.2f | %.2f |\n",
+			pt.Processes, pt.Nodes, pt.Makespan, pt.Speedup, pt.Efficiency)
+	}
+	fmt.Println()
+	return nil
+}
+
+func openmpSweep() error {
+	fmt.Println("## EXTRA-OMP: parallel region with critical section (8-processor node)")
+	fmt.Println()
+	model := samples.OmpRegion()
+	p := core.New()
+	fmt.Println("| threads | makespan (s) | speedup | efficiency |")
+	fmt.Println("|---:|---:|---:|---:|")
+	var base float64
+	for _, threads := range []int{1, 2, 4, 8, 16, 32} {
+		est, err := p.Estimate(core.Request{
+			Model: model,
+			Params: machine.SystemParams{
+				Nodes: 1, ProcessorsPerNode: 8, Processes: 1, Threads: threads,
+			},
+			Globals: map[string]float64{"work": 8, "critical": 0.05},
+		})
+		if err != nil {
+			return err
+		}
+		if base == 0 {
+			base = est.Makespan
+		}
+		sp := base / est.Makespan
+		fmt.Printf("| %d | %.4g | %.2f | %.2f |\n", threads, est.Makespan, sp, sp/float64(threads))
+	}
+	fmt.Println()
+	return nil
+}
+
+func sensitivity() error {
+	fmt.Println("## Sensitivity (kernel 6, N=1000 M=10 c=1e-9, ±5%)")
+	fmt.Println()
+	est := estimator.New()
+	pts, err := est.Sensitivity(estimator.Request{
+		Model:   samples.Kernel6(),
+		Globals: map[string]float64{"N": 1000, "M": 10, "c": 1e-9},
+	}, []string{"N", "M", "c"}, 0.05)
+	if err != nil {
+		return err
+	}
+	fmt.Println("| variable | base | elasticity |")
+	fmt.Println("|---|---:|---:|")
+	for _, pt := range pts {
+		fmt.Printf("| %s | %.4g | %.3f |\n", pt.Variable, pt.Base, pt.Elasticity)
+	}
+	fmt.Println()
+	return nil
+}

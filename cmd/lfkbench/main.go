@@ -1,0 +1,108 @@
+// Command lfkbench times the Livermore kernels on this machine, calibrates
+// the per-operation cost of each kernel's analytic model, and compares the
+// model prediction against fresh measurements — the measurement-based
+// cost-function workflow of the paper's Sections 2.1 and 3 (tag `time`,
+// "the estimated or the measured execution time").
+//
+// Usage:
+//
+//	lfkbench                 # calibrate + validate every kernel
+//	lfkbench -kernel 6       # just kernel 6 (the paper's example)
+//	lfkbench -n 400 -m 10    # validation problem size
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prophet/internal/fit"
+	"prophet/internal/lfk"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "lfkbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fs := flag.NewFlagSet("lfkbench", flag.ExitOnError)
+	kernelID := fs.Int("kernel", 0, "kernel number (0 = all)")
+	n := fs.Int("n", 400, "validation problem size N")
+	m := fs.Int("m", 10, "validation repetition count M")
+	fitModel := fs.Bool("fit", false, "fit a multi-term cost model and print it as a cost-function expression")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return err
+	}
+
+	if *fitModel {
+		return runFit(*kernelID, *n, *m)
+	}
+
+	ks := lfk.Kernels()
+	if *kernelID != 0 {
+		k, ok := lfk.ByID(*kernelID)
+		if !ok {
+			return fmt.Errorf("unknown kernel %d", *kernelID)
+		}
+		ks = []lfk.Kernel{k}
+	}
+
+	calSizes := []lfk.Size{{N: *n / 4, M: *m}, {N: *n / 2, M: *m}, {N: *n, M: *m / 2}}
+	fmt.Printf("%-4s %-12s %14s %14s %14s %8s\n",
+		"k", "name", "cost/op (s)", "measured (s)", "predicted (s)", "pred/meas")
+	for _, k := range ks {
+		c, _, err := lfk.Calibrate(k, calSizes)
+		if err != nil {
+			return fmt.Errorf("kernel %d: %v", k.ID, err)
+		}
+		meas := lfk.Time(k, *n, *m)
+		pred := lfk.Predict(k, c, *n, *m)
+		ratio := 0.0
+		if meas.Seconds > 0 {
+			ratio = pred / meas.Seconds
+		}
+		fmt.Printf("%-4d %-12s %14.3e %14.3e %14.3e %8.2f\n",
+			k.ID, k.Name, c, meas.Seconds, pred, ratio)
+	}
+	return nil
+}
+
+// runFit measures a kernel across sizes and fits a multi-term cost model,
+// printing the fitted expression ready to paste into a model's cost
+// function (the internal/fit workflow).
+func runFit(kernelID, n, m int) error {
+	if kernelID == 0 {
+		kernelID = 6
+	}
+	k, ok := lfk.ByID(kernelID)
+	if !ok {
+		return fmt.Errorf("unknown kernel %d", kernelID)
+	}
+	var samples []fit.Sample
+	for _, f := range []float64{0.25, 0.5, 0.75, 1.0} {
+		sz := int(float64(n) * f)
+		if sz < 8 {
+			sz = 8
+		}
+		meas := lfk.TimeBest(k, sz, m, 3)
+		samples = append(samples, fit.Sample{
+			Params: map[string]float64{"n": float64(sz), "m": float64(m)},
+			Value:  meas.Seconds,
+		})
+	}
+	model, err := fit.Fit(fit.MustTerms("m*n*n", "m*n", "1"), samples)
+	if err != nil {
+		return err
+	}
+	r2, err := model.R2(samples)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("kernel %d (%s), %d samples\n", k.ID, k.Name, len(samples))
+	fmt.Printf("fitted cost function: %s\n", model.CostFunction())
+	fmt.Printf("R^2 over calibration samples: %.4f\n", r2)
+	return nil
+}

@@ -1,0 +1,120 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestSetFlags(t *testing.T) {
+	s := setFlags{}
+	if err := s.Set("N=1000"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Set(" c = 1e-9"); err == nil {
+		// "1e-9" with surrounding space parses after trim of key only;
+		// value " 1e-9" fails ParseFloat? ParseFloat trims nothing.
+		t.Log("leading space in value accepted")
+	}
+	if err := s.Set("M=10"); err != nil {
+		t.Fatal(err)
+	}
+	if s["N"] != 1000 || s["M"] != 10 {
+		t.Errorf("flags = %v", s)
+	}
+	if err := s.Set("no-equals"); err == nil {
+		t.Error("missing '=' should fail")
+	}
+	if err := s.Set("x=notanumber"); err == nil {
+		t.Error("non-numeric value should fail")
+	}
+	if s.String() == "" {
+		t.Error("String should render something")
+	}
+}
+
+func TestParseCounts(t *testing.T) {
+	got, err := parseCounts("1, 2,4,8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 4, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("counts = %v", got)
+		}
+	}
+	for _, bad := range []string{"", "a", "1,0", "1,-2"} {
+		if _, err := parseCounts(bad); err == nil {
+			t.Errorf("parseCounts(%q) should fail", bad)
+		}
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	cases := [][]string{
+		{"-sample", "sample", "-gantt", "-width", "30"},
+		{"-sample", "kernel6", "-set", "N=100", "-set", "M=2", "-set", "c=1e-6"},
+		{"-sample", "kernel6", "-set", "N=100", "-set", "M=2", "-set", "c=1e-6", "-sweep", "1,2,4"},
+		{"-sample", "kernel6", "-set", "N=100", "-set", "M=2", "-set", "c=1e-6", "-sensitivity", "N,M,c"},
+		{"-sample", "sample", "-policy", "ps"},
+		{"-sample", "pipeline", "-processes", "4", "-ppn", "4", "-set", "work=0.01"},
+	}
+	for _, args := range cases {
+		if err := run(args); err != nil {
+			t.Errorf("run(%v): %v", args, err)
+		}
+	}
+}
+
+func TestRunWritesTraceFiles(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := dir + "/run.trace"
+	chromePath := dir + "/run.json"
+	err := run([]string{"-sample", "sample", "-trace", tracePath, "-chrome", chromePath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{tracePath, chromePath} {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("expected output file %s: %v", p, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                     // no model
+		{"-sample", "martian"},                 // unknown sample
+		{"-sample", "sample", "-policy", "x"},  // bad policy
+		{"-sample", "sample", "-sweep", "a,b"}, // bad sweep
+		{"-model", "/missing.xml"},             // missing file
+		{"-model", "x.xml", "-sample", "sample"},
+		{"-sample", "sample", "-set", "bad"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestResolveModel(t *testing.T) {
+	if _, err := resolveModel("", ""); err == nil {
+		t.Error("neither source should fail")
+	}
+	if _, err := resolveModel("a.xml", "sample"); err == nil {
+		t.Error("both sources should fail")
+	}
+	if _, err := resolveModel("", "martian"); err == nil {
+		t.Error("unknown sample should fail")
+	}
+	for _, name := range []string{"sample", "kernel6", "kernel6-detailed", "pipeline"} {
+		m, err := resolveModel("", name)
+		if err != nil || m == nil {
+			t.Errorf("sample %q: %v", name, err)
+		}
+	}
+	if _, err := resolveModel("/definitely/missing.xml", ""); err == nil {
+		t.Error("missing file should fail")
+	}
+}

@@ -1,0 +1,226 @@
+// Command teuta is the model-processing front end, named after the paper's
+// modeling tool: it checks performance models and generates their various
+// representations (C++, Go, DOT, XML).
+//
+// Usage:
+//
+//	teuta check  [-mcf file] [-constructs file] <model.xml>  check the model
+//	teuta cpp    <model.xml>                 emit the C++ representation
+//	teuta standalone <model.xml>             C++ with a main(); compiles against pmp_runtime.h
+//	teuta runtime                            emit pmp_runtime.h
+//	teuta mcf                                emit a default Model Checking File
+//	teuta go     <model.xml>                 emit generated Go program code
+//	teuta dot    <model.xml>                 emit Graphviz DOT
+//	teuta doc    <model.xml>                 emit markdown documentation
+//	teuta xml    <model.xml>                 parse and re-emit the XML
+//	teuta describe <model.xml>               print model statistics
+//	teuta sample <sample|kernel6|kernel6-detailed|pipeline> emit a built-in model as XML
+//	teuta rules                              list model-checking rules
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"prophet/internal/checker"
+	"prophet/internal/core"
+	"prophet/internal/cppgen"
+	"prophet/internal/diff"
+	"prophet/internal/profile"
+	"prophet/internal/samples"
+	"prophet/internal/uml"
+	"prophet/internal/xmi"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "teuta:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) < 1 {
+		return usageError()
+	}
+	cmd, rest := args[0], args[1:]
+	p := core.New()
+	switch cmd {
+	case "check":
+		return runCheck(rest)
+	case "cpp":
+		return transform(rest, p.TransformCpp)
+	case "go":
+		return transform(rest, p.TransformGo)
+	case "dot":
+		return transform(rest, p.TransformDot)
+	case "doc":
+		return transform(rest, p.TransformMarkdown)
+	case "xml":
+		return transform(rest, p.ModelToXML)
+	case "runtime":
+		fmt.Print(cppgen.RuntimeHeader())
+		return nil
+	case "standalone":
+		return transform(rest, func(m *uml.Model) (string, error) {
+			cpp, err := p.TransformCpp(m)
+			if err != nil {
+				return "", err
+			}
+			return cppgen.StandaloneProgram(cpp, "model_program"), nil
+		})
+	case "describe":
+		return describe(rest)
+	case "sample":
+		return emitSample(rest)
+	case "rules":
+		for _, name := range checker.Rules() {
+			doc, _ := checker.RuleDoc(name)
+			fmt.Printf("%-22s %s\n", name, doc)
+		}
+		return nil
+	case "mcf":
+		return checker.WriteMCF(os.Stdout, checker.Config{})
+	case "constructs":
+		// Emit a template Constructs file (the profile-extension
+		// configuration of the paper's Figure 2).
+		return profile.WriteConstructs(os.Stdout, []*profile.Stereotype{
+			{
+				Name: "gpu_kernel",
+				Base: uml.KindAction,
+				Doc:  "example user-defined stereotype; edit to taste",
+				Tags: []profile.TagDef{
+					{Name: "blocks", Type: profile.TagExpr, Required: true},
+					{Name: "time", Type: profile.TagExpr},
+				},
+			},
+		})
+	case "diff":
+		if len(rest) != 2 {
+			return fmt.Errorf("usage: teuta diff <old.xml> <new.xml>")
+		}
+		oldM, err := xmi.Load(rest[0])
+		if err != nil {
+			return err
+		}
+		newM, err := xmi.Load(rest[1])
+		if err != nil {
+			return err
+		}
+		changes := diff.Models(oldM, newM)
+		fmt.Print(diff.Format(changes))
+		if len(changes) > 0 {
+			os.Exit(2) // diff-style exit status
+		}
+		return nil
+	case "help", "-h", "--help":
+		return usageError()
+	}
+	return fmt.Errorf("unknown command %q (try: teuta help)", cmd)
+}
+
+func usageError() error {
+	return fmt.Errorf("usage: teuta <check|cpp|standalone|runtime|go|dot|xml|mcf|constructs|diff|describe|sample|rules> [args]")
+}
+
+func loadArg(args []string) (*uml.Model, error) {
+	if len(args) != 1 {
+		return nil, fmt.Errorf("expected exactly one model file argument")
+	}
+	return xmi.Load(args[0])
+}
+
+func runCheck(args []string) error {
+	cfg := checker.Config{}
+	reg := profile.NewRegistry()
+	for len(args) >= 2 {
+		switch args[0] {
+		case "-mcf":
+			var err error
+			cfg, err = checker.LoadMCF(args[1])
+			if err != nil {
+				return err
+			}
+			args = args[2:]
+		case "-constructs":
+			if err := reg.LoadConstructs(args[1]); err != nil {
+				return err
+			}
+			args = args[2:]
+		default:
+			goto parsed
+		}
+	}
+parsed:
+	m, err := loadArg(args)
+	if err != nil {
+		return err
+	}
+	rep := checker.NewWith(reg, cfg).Check(m)
+	for _, d := range rep.Diagnostics {
+		fmt.Println(d)
+	}
+	fmt.Printf("%d error(s), %d warning(s), %d info\n",
+		rep.Count(checker.Error), rep.Count(checker.Warning), rep.Count(checker.Info))
+	if rep.HasErrors() {
+		return fmt.Errorf("model %q does not conform", m.Name())
+	}
+	return nil
+}
+
+func transform(args []string, f func(*uml.Model) (string, error)) error {
+	m, err := loadArg(args)
+	if err != nil {
+		return err
+	}
+	out, err := f(m)
+	if err != nil {
+		return err
+	}
+	fmt.Print(out)
+	return nil
+}
+
+func describe(args []string) error {
+	m, err := loadArg(args)
+	if err != nil {
+		return err
+	}
+	s := m.Stats()
+	fmt.Printf("model:     %s\n", m.Name())
+	fmt.Printf("main:      %s\n", m.MainName())
+	fmt.Printf("diagrams:  %d\n", s.Diagrams)
+	fmt.Printf("nodes:     %d (%d actions)\n", s.Nodes, s.Actions)
+	fmt.Printf("edges:     %d\n", s.Edges)
+	fmt.Printf("variables: %d\n", s.Variables)
+	fmt.Printf("functions: %d\n", s.Functions)
+	for _, d := range m.Diagrams() {
+		fmt.Printf("  diagram %-16s %d nodes, %d edges\n", d.Name(), len(d.Nodes()), len(d.Edges()))
+	}
+	return nil
+}
+
+func emitSample(args []string) error {
+	if len(args) != 1 {
+		return fmt.Errorf("usage: teuta sample <sample|kernel6|kernel6-detailed|pipeline>")
+	}
+	var m *uml.Model
+	switch args[0] {
+	case "sample":
+		m = samples.Sample()
+	case "kernel6":
+		m = samples.Kernel6()
+	case "kernel6-detailed":
+		m = samples.Kernel6Detailed()
+	case "pipeline":
+		m = samples.Pipeline(4)
+	default:
+		return fmt.Errorf("unknown sample %q", args[0])
+	}
+	s, err := xmi.EncodeString(m)
+	if err != nil {
+		return err
+	}
+	fmt.Print(s)
+	return nil
+}

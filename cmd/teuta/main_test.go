@@ -1,0 +1,142 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"prophet/internal/samples"
+	"prophet/internal/xmi"
+)
+
+func writeSample(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "sample.xml")
+	if err := xmi.Save(path, samples.Sample()); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := [][]string{
+		nil,                       // no command
+		{"martian"},               // unknown command
+		{"cpp"},                   // missing file
+		{"cpp", "a.xml", "b.xml"}, // too many files
+		{"cpp", "/missing.xml"},   // unreadable file
+		{"sample"},                // missing sample name
+		{"sample", "martian"},     // unknown sample
+		{"diff", "only-one.xml"},  // diff arity
+		{"check", "/missing.xml"}, // unreadable model
+		{"check", "-mcf", "/missing-mcf.xml", "x.xml"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) should fail", args)
+		}
+	}
+}
+
+func TestRunTransforms(t *testing.T) {
+	path := writeSample(t)
+	// These write to stdout; success is the absence of an error (output
+	// content is covered by the package tests of each generator).
+	for _, cmd := range []string{"cpp", "go", "dot", "doc", "xml", "standalone", "describe"} {
+		if err := run([]string{cmd, path}); err != nil {
+			t.Errorf("run(%s): %v", cmd, err)
+		}
+	}
+	if err := run([]string{"check", path}); err != nil {
+		t.Errorf("check: %v", err)
+	}
+	if err := run([]string{"rules"}); err != nil {
+		t.Errorf("rules: %v", err)
+	}
+	if err := run([]string{"runtime"}); err != nil {
+		t.Errorf("runtime: %v", err)
+	}
+	if err := run([]string{"mcf"}); err != nil {
+		t.Errorf("mcf: %v", err)
+	}
+	if err := run([]string{"constructs"}); err != nil {
+		t.Errorf("constructs: %v", err)
+	}
+	for _, s := range []string{"sample", "kernel6", "kernel6-detailed", "pipeline"} {
+		if err := run([]string{"sample", s}); err != nil {
+			t.Errorf("sample %s: %v", s, err)
+		}
+	}
+}
+
+func TestRunCheckFailsOnBrokenModel(t *testing.T) {
+	// Craft a model missing initial/final nodes.
+	dir := t.TempDir()
+	path := filepath.Join(dir, "broken.xml")
+	src := `<model name="broken"><diagram id="d1" name="main">
+	  <node id="n1" kind="Action" name="A" stereotype="action+"/>
+	</diagram></model>`
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run([]string{"check", path})
+	if err == nil || !strings.Contains(err.Error(), "does not conform") {
+		t.Errorf("broken model should fail checking: %v", err)
+	}
+}
+
+func TestRunCheckWithMCF(t *testing.T) {
+	dir := t.TempDir()
+	mcf := filepath.Join(dir, "mcf.xml")
+	if err := os.WriteFile(mcf, []byte(
+		`<modelchecking><rule name="unannotated-actions" enabled="false"/></modelchecking>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	path := writeSample(t)
+	if err := run([]string{"check", "-mcf", mcf, path}); err != nil {
+		t.Errorf("check with MCF: %v", err)
+	}
+}
+
+func TestRunCheckWithConstructs(t *testing.T) {
+	dir := t.TempDir()
+	constructs := filepath.Join(dir, "constructs.xml")
+	if err := os.WriteFile(constructs, []byte(
+		`<constructs><stereotype name="gpu_kernel" base="Action">
+		   <tag name="blocks" type="Expression" required="true"/>
+		 </stereotype></constructs>`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A model using the custom stereotype: unknown without -constructs,
+	// clean with it.
+	model := filepath.Join(dir, "model.xml")
+	src := `<model name="gpu" main="main"><diagram id="d1" name="main">
+	  <node id="n0" kind="InitialNode"/>
+	  <node id="n1" kind="Action" name="K" stereotype="gpu_kernel">
+	    <tag name="blocks" value="128"/>
+	  </node>
+	  <node id="n2" kind="FinalNode"/>
+	  <edge from="n0" to="n1"/><edge from="n1" to="n2"/>
+	</diagram></model>`
+	if err := os.WriteFile(model, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"check", model}); err == nil {
+		t.Error("unknown stereotype without -constructs should fail")
+	}
+	if err := run([]string{"check", "-constructs", constructs, model}); err != nil {
+		t.Errorf("check with constructs: %v", err)
+	}
+	if err := run([]string{"check", "-constructs", "/missing.xml", model}); err == nil {
+		t.Error("missing constructs file should fail")
+	}
+}
+
+func TestRunDiffIdentical(t *testing.T) {
+	path := writeSample(t)
+	// Identical files: exit 0 path (no os.Exit call).
+	if err := run([]string{"diff", path, path}); err != nil {
+		t.Errorf("diff same file: %v", err)
+	}
+}

@@ -1,0 +1,78 @@
+// Command traceview summarizes and visualizes trace files (TF), standing
+// in for Teuta's performance visualization components (Animator / Charts
+// in the paper's Figure 2).
+//
+// Usage:
+//
+//	traceview [-gantt] [-width N] <run.trace>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"prophet/internal/trace"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "traceview:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	fs := flag.NewFlagSet("traceview", flag.ExitOnError)
+	gantt := fs.Bool("gantt", true, "render the ASCII Gantt chart")
+	width := fs.Int("width", 72, "gantt width in buckets")
+	chromePath := fs.String("chrome", "", "also write Chrome trace-event JSON here")
+	csvOut := fs.Bool("csv", false, "print the per-element summary as CSV instead of the table")
+	comparePath := fs.String("compare", "", "second trace file: print a before/after comparison")
+	if err := fs.Parse(os.Args[1:]); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: traceview [-gantt] [-width N] <run.trace>")
+	}
+	tr, err := trace.Load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if *comparePath != "" {
+		other, err := trace.Load(*comparePath)
+		if err != nil {
+			return err
+		}
+		rows, dm, err := trace.Compare(tr, other)
+		if err != nil {
+			return err
+		}
+		fmt.Print(trace.FormatComparison(rows, dm))
+		return nil
+	}
+	if *csvOut {
+		return trace.WriteCSV(os.Stdout, tr)
+	}
+	fmt.Printf("model: %s\n", tr.Model)
+	for _, m := range tr.Meta {
+		fmt.Printf("%s: %s\n", m.Key, m.Value)
+	}
+	fmt.Printf("events: %d\n\n", len(tr.Events))
+	sum, err := trace.Summarize(tr)
+	if err != nil {
+		return err
+	}
+	fmt.Print(sum.Report())
+	if *gantt {
+		fmt.Println()
+		fmt.Print(trace.Gantt(tr, *width))
+	}
+	if *chromePath != "" {
+		if err := trace.SaveChrome(*chromePath, tr); err != nil {
+			return err
+		}
+		fmt.Printf("chrome trace written to %s\n", *chromePath)
+	}
+	return nil
+}

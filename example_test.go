@@ -1,0 +1,81 @@
+package prophet_test
+
+import (
+	"fmt"
+	"strings"
+
+	"prophet"
+)
+
+// Example walks the full pipeline of the paper's Figure 2: specify a
+// model, check it, transform it to C++, and evaluate it by simulation.
+func Example() {
+	p := prophet.New()
+
+	mb := prophet.NewModel("app")
+	mb.Global("P", "double").Function("F", nil, "2*P")
+	d := mb.Diagram("main")
+	d.Initial()
+	d.Action("Work").Cost("F()").Tag("id", "1")
+	d.Final()
+	d.Chain("initial", "Work", "final")
+	model, err := mb.Build()
+	if err != nil {
+		panic(err)
+	}
+
+	if rep := p.Check(model); rep.HasErrors() {
+		panic("model does not conform")
+	}
+
+	cpp, err := p.TransformCpp(model)
+	if err != nil {
+		panic(err)
+	}
+	for _, line := range strings.Split(cpp, "\n") {
+		if strings.Contains(line, "execute") {
+			fmt.Println(strings.TrimSpace(line))
+		}
+	}
+
+	est, err := p.Estimate(prophet.Request{
+		Model:   model,
+		Globals: map[string]float64{"P": 4},
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("predicted:", est.Makespan)
+	// Output:
+	// work.execute(uid, pid, tid, F());
+	// predicted: 8
+}
+
+// Example_scalability predicts strong scaling before any code exists.
+func Example_scalability() {
+	p := prophet.New()
+	mb := prophet.NewModel("scale")
+	mb.Global("W", "double").Function("F", nil, "W / processes")
+	d := mb.Diagram("main")
+	d.Initial()
+	d.Action("Par").Cost("F()")
+	d.Final()
+	d.Chain("initial", "Par", "final")
+	model, _ := mb.Build()
+
+	pts, err := p.SweepProcesses(prophet.Request{
+		Model:   model,
+		Params:  prophet.SystemParams{ProcessorsPerNode: 8, Threads: 1},
+		Globals: map[string]float64{"W": 64},
+	}, []int{1, 2, 4})
+	if err != nil {
+		panic(err)
+	}
+	for _, pt := range pts {
+		fmt.Printf("P=%d makespan=%g speedup=%.0f\n", pt.Processes, pt.Makespan, pt.Speedup)
+	}
+	// Output:
+	// P=1 makespan=64 speedup=1
+	// P=2 makespan=32 speedup=2
+	// P=4 makespan=16 speedup=4
+}

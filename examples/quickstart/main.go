@@ -1,0 +1,77 @@
+// Quickstart: build a small performance model through the public API,
+// check it, transform it to C++ (the paper's Figure 5 algorithm), and
+// evaluate it by simulation.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prophet"
+)
+
+func main() {
+	p := prophet.New()
+
+	// 1. Specify the performance model: a program that initializes, then
+	//    either takes a fast path or a slow path depending on the problem
+	//    size, and finally writes results. Each code block becomes an
+	//    <<action+>> with a cost function (paper, Figures 1 and 7).
+	mb := prophet.NewModel("quickstart")
+	mb.Global("size", "double").
+		Function("FInit", nil, "0.001 * size").
+		Function("FFast", nil, "0.002 * size").
+		Function("FSlow", nil, "0.0001 * size * size").
+		Function("FWrite", nil, "0.05")
+
+	d := mb.Diagram("main")
+	d.Initial()
+	d.Action("Init").Cost("FInit()").Tag("id", "1")
+	d.Decision("path")
+	d.Action("Fast").Cost("FFast()").Tag("id", "2")
+	d.Action("Slow").Cost("FSlow()").Tag("id", "3")
+	d.Merge("merge")
+	d.Action("Write").Cost("FWrite()").Tag("id", "4")
+	d.Final()
+	d.Flow("initial", "Init").
+		Flow("Init", "path").
+		FlowIf("path", "Slow", "size > 100").
+		FlowIf("path", "Fast", "else").
+		Flow("Slow", "merge").
+		Flow("Fast", "merge").
+		Flow("merge", "Write").
+		Flow("Write", "final")
+
+	model, err := mb.Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Model checking (Teuta's Model Checker).
+	if rep := p.Check(model); rep.HasErrors() {
+		log.Fatalf("model does not conform:\n%v", rep.Diagnostics)
+	}
+
+	// 3. Automatic transformation to the C++ representation.
+	cpp, err := p.TransformCpp(model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("=== generated C++ representation (PMP) ===")
+	fmt.Println(cpp)
+
+	// 4. Evaluate by simulation for two problem sizes: the branch flips
+	//    between the fast and slow path.
+	for _, size := range []float64{50, 400} {
+		est, err := p.Estimate(prophet.Request{
+			Model:   model,
+			Globals: map[string]float64{"size": size},
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("size=%4.0f  predicted execution time: %.4f\n", size, est.Makespan)
+	}
+}

@@ -1,0 +1,109 @@
+// Stochastic models a program whose dominant branch is data dependent: a
+// query loop where each lookup hits a fast in-memory cache 85% of the
+// time and falls through to slow storage otherwise. Instead of modeling
+// the (unknowable) branch condition, the decision carries branch
+// *weights* — the probabilistic extension of the guard mechanism — and
+// the estimator samples the makespan distribution across seeds.
+//
+//	go run ./examples/stochastic
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"prophet"
+)
+
+func buildQueryModel(queries int) (*prophet.Model, error) {
+	mb := prophet.NewModel("query-mix")
+	mb.Global("hitCost", "double").
+		Global("missCost", "double")
+
+	d := mb.Diagram("main")
+	d.Initial()
+	d.Loop("Queries", fmt.Sprint(queries), "one").Var("q").Tag("id", "1")
+	d.Final()
+	d.Chain("initial", "Queries", "final")
+
+	one := mb.Diagram("one")
+	one.Initial()
+	one.Decision("cache")
+	one.Action("Hit").Cost("hitCost").Tag("id", "2")
+	one.Action("Miss").Cost("missCost").Tag("id", "3")
+	one.Merge("done")
+	one.Final()
+	one.Flow("initial", "cache")
+	one.FlowWeighted("cache", "Hit", 0.85)
+	one.FlowWeighted("cache", "Miss", 0.15)
+	one.Flow("Hit", "done")
+	one.Flow("Miss", "done")
+	one.Flow("done", "final")
+
+	return mb.Build()
+}
+
+func main() {
+	p := prophet.New()
+	const queries = 1000
+	model, err := buildQueryModel(queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if rep := p.Check(model); rep.HasErrors() {
+		log.Fatalf("model does not conform:\n%v", rep.Diagnostics)
+	}
+
+	globals := map[string]float64{"hitCost": 100e-6, "missCost": 10e-3}
+	req := prophet.Request{Model: model, Globals: globals}
+
+	// Analytic expectation: queries * (0.85*hit + 0.15*miss).
+	expected := queries * (0.85*100e-6 + 0.15*10e-3)
+	fmt.Printf("analytic expectation: %.4f s\n\n", expected)
+
+	res, err := p.MonteCarlo(req, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("monte carlo over %d seeds (%d queries, 85%% hit rate):\n", res.Runs, queries)
+	fmt.Printf("  mean makespan: %.4f s\n", res.Mean)
+	fmt.Printf("  std deviation: %.4f s\n", res.Std)
+	fmt.Printf("  min / max:     %.4f / %.4f s\n\n", res.Min, res.Max)
+
+	// What-if: how does the mean move with the hit rate? Rebuild the
+	// model across hit rates (weights are structure, not globals).
+	fmt.Printf("%10s %14s\n", "hit rate", "mean makespan")
+	for _, hit := range []float64{0.5, 0.7, 0.85, 0.95, 0.99} {
+		mb := prophet.NewModel("sweep")
+		mb.Global("hitCost", "double").Global("missCost", "double")
+		d := mb.Diagram("main")
+		d.Initial()
+		d.Loop("Queries", fmt.Sprint(queries), "one").Var("q")
+		d.Final()
+		d.Chain("initial", "Queries", "final")
+		one := mb.Diagram("one")
+		one.Initial()
+		one.Decision("cache")
+		one.Action("Hit").Cost("hitCost")
+		one.Action("Miss").Cost("missCost")
+		one.Merge("done")
+		one.Final()
+		one.Flow("initial", "cache")
+		one.FlowWeighted("cache", "Hit", hit)
+		one.FlowWeighted("cache", "Miss", 1-hit)
+		one.Flow("Hit", "done")
+		one.Flow("Miss", "done")
+		one.Flow("done", "final")
+		m, err := mb.Build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		r, err := p.MonteCarlo(prophet.Request{Model: m, Globals: globals}, 50)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%9.0f%% %14.4f\n", hit*100, r.Mean)
+	}
+	fmt.Println("\nThe cache hit rate dominates: a 99% hit rate is ~5x faster than 85%,")
+	fmt.Println("quantified before a single line of cache code exists.")
+}

@@ -1,0 +1,217 @@
+// Package checker implements Teuta's Model Checker: it verifies that a
+// performance model conforms to the UML activity-diagram well-formedness
+// rules and to the performance profile before the model is transformed
+// (paper, Section 2.2: "The Model Checker is used to verify whether the
+// model conforms to the UML specification").
+//
+// Which rules run, and with what severity, is configured by a Model
+// Checking File (MCF) — an XML document, matching the MCF element of the
+// paper's Figure 2 architecture. Without an MCF every rule runs at its
+// default severity.
+package checker
+
+import (
+	"fmt"
+	"sort"
+
+	"prophet/internal/profile"
+	"prophet/internal/uml"
+)
+
+// Severity grades a diagnostic.
+type Severity int
+
+const (
+	// Info diagnostics are advisory.
+	Info Severity = iota
+	// Warning diagnostics indicate likely mistakes that do not block
+	// transformation.
+	Warning
+	// Error diagnostics block transformation.
+	Error
+)
+
+// String returns "info", "warning" or "error".
+func (s Severity) String() string {
+	switch s {
+	case Error:
+		return "error"
+	case Warning:
+		return "warning"
+	default:
+		return "info"
+	}
+}
+
+// severityFromString parses a severity name; it reports false for unknown
+// names.
+func severityFromString(s string) (Severity, bool) {
+	switch s {
+	case "info":
+		return Info, true
+	case "warning":
+		return Warning, true
+	case "error":
+		return Error, true
+	}
+	return Info, false
+}
+
+// Diagnostic is one finding of the checker.
+type Diagnostic struct {
+	Rule     string
+	Severity Severity
+	// ElementID locates the offending element; empty for model-level
+	// findings.
+	ElementID string
+	Message   string
+}
+
+// String renders the diagnostic in compiler style:
+// "error [rule-name] element e3: message".
+func (d Diagnostic) String() string {
+	loc := ""
+	if d.ElementID != "" {
+		loc = " element " + d.ElementID + ":"
+	}
+	return fmt.Sprintf("%s [%s]%s %s", d.Severity, d.Rule, loc, d.Message)
+}
+
+// Report is the outcome of checking one model.
+type Report struct {
+	Diagnostics []Diagnostic
+}
+
+// HasErrors reports whether any diagnostic is an Error.
+func (r *Report) HasErrors() bool {
+	for _, d := range r.Diagnostics {
+		if d.Severity == Error {
+			return true
+		}
+	}
+	return false
+}
+
+// Count returns the number of diagnostics at the given severity.
+func (r *Report) Count(s Severity) int {
+	n := 0
+	for _, d := range r.Diagnostics {
+		if d.Severity == s {
+			n++
+		}
+	}
+	return n
+}
+
+// ByRule returns the diagnostics produced by one rule.
+func (r *Report) ByRule(rule string) []Diagnostic {
+	var out []Diagnostic
+	for _, d := range r.Diagnostics {
+		if d.Rule == rule {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Checker runs a configured set of rules over models.
+type Checker struct {
+	registry *profile.Registry
+	config   Config
+}
+
+// Config selects and grades rules. The zero value means "all rules at
+// default severity".
+type Config struct {
+	// Disabled lists rule names to skip.
+	Disabled map[string]bool
+	// Severities overrides the default severity per rule name.
+	Severities map[string]Severity
+}
+
+// New returns a checker using the standard profile registry and default
+// configuration.
+func New() *Checker {
+	return NewWith(profile.NewRegistry(), Config{})
+}
+
+// NewWith returns a checker with an explicit profile registry and
+// configuration.
+func NewWith(reg *profile.Registry, cfg Config) *Checker {
+	return &Checker{registry: reg, config: cfg}
+}
+
+// Rules returns the names of all known rules, sorted.
+func Rules() []string {
+	out := make([]string, 0, len(allRules))
+	for _, r := range allRules {
+		out = append(out, r.name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// RuleDoc returns the one-line documentation of a rule.
+func RuleDoc(name string) (string, bool) {
+	for _, r := range allRules {
+		if r.name == name {
+			return r.doc, true
+		}
+	}
+	return "", false
+}
+
+// Check runs every enabled rule over the model and returns the combined
+// report. Diagnostics appear grouped by rule, in rule registration order.
+func (c *Checker) Check(m *uml.Model) *Report {
+	rep := &Report{}
+	for _, r := range allRules {
+		if c.config.Disabled[r.name] {
+			continue
+		}
+		sev := r.defaultSeverity
+		if s, ok := c.config.Severities[r.name]; ok {
+			sev = s
+		}
+		ctx := &ruleContext{
+			model:    m,
+			registry: c.registry,
+			rule:     r.name,
+			severity: sev,
+			report:   rep,
+		}
+		r.check(ctx)
+	}
+	return rep
+}
+
+// ruleContext is handed to each rule implementation.
+type ruleContext struct {
+	model    *uml.Model
+	registry *profile.Registry
+	rule     string
+	severity Severity
+	report   *Report
+}
+
+// add records a diagnostic against an element (which may be nil).
+func (ctx *ruleContext) add(e uml.Element, format string, args ...interface{}) {
+	id := ""
+	if e != nil {
+		id = e.ID()
+	}
+	ctx.report.Diagnostics = append(ctx.report.Diagnostics, Diagnostic{
+		Rule:      ctx.rule,
+		Severity:  ctx.severity,
+		ElementID: id,
+		Message:   fmt.Sprintf(format, args...),
+	})
+}
+
+// rule couples a name with its implementation and default severity.
+type rule struct {
+	name            string
+	doc             string
+	defaultSeverity Severity
+	check           func(*ruleContext)
+}

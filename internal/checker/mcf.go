@@ -1,0 +1,108 @@
+package checker
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// The Model Checking File (MCF) is the XML document that configures the
+// Model Checker (paper, Figure 2: "Element MCF indicates the XML file,
+// which is used for the model checking"). Example:
+//
+//	<modelchecking>
+//	  <rule name="reachable" severity="error"/>
+//	  <rule name="unannotated-actions" enabled="false"/>
+//	</modelchecking>
+//
+// Unlisted rules run at their default severity.
+
+type mcfDoc struct {
+	XMLName xml.Name  `xml:"modelchecking"`
+	Rules   []mcfRule `xml:"rule"`
+}
+
+type mcfRule struct {
+	Name     string `xml:"name,attr"`
+	Severity string `xml:"severity,attr,omitempty"`
+	Enabled  string `xml:"enabled,attr,omitempty"`
+}
+
+// ParseMCF reads a Model Checking File from r into a Config.
+func ParseMCF(r io.Reader) (Config, error) {
+	var doc mcfDoc
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return Config{}, fmt.Errorf("checker: parse MCF: %w", err)
+	}
+	cfg := Config{Disabled: map[string]bool{}, Severities: map[string]Severity{}}
+	known := map[string]bool{}
+	for _, r := range allRules {
+		known[r.name] = true
+	}
+	for _, xr := range doc.Rules {
+		if !known[xr.Name] {
+			return Config{}, fmt.Errorf("checker: MCF references unknown rule %q (known: %s)",
+				xr.Name, strings.Join(Rules(), ", "))
+		}
+		switch xr.Enabled {
+		case "", "true":
+		case "false":
+			cfg.Disabled[xr.Name] = true
+		default:
+			return Config{}, fmt.Errorf("checker: MCF rule %q: enabled must be true or false, got %q",
+				xr.Name, xr.Enabled)
+		}
+		if xr.Severity != "" {
+			sev, ok := severityFromString(xr.Severity)
+			if !ok {
+				return Config{}, fmt.Errorf("checker: MCF rule %q: unknown severity %q", xr.Name, xr.Severity)
+			}
+			cfg.Severities[xr.Name] = sev
+		}
+	}
+	return cfg, nil
+}
+
+// LoadMCF reads a Model Checking File from disk.
+func LoadMCF(path string) (Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Config{}, fmt.Errorf("checker: %w", err)
+	}
+	defer f.Close()
+	cfg, err := ParseMCF(f)
+	if err != nil {
+		return Config{}, fmt.Errorf("checker: %s: %w", path, err)
+	}
+	return cfg, nil
+}
+
+// WriteMCF renders a Config back to MCF XML, covering every known rule
+// explicitly. Useful for bootstrapping a project's checking file.
+func WriteMCF(w io.Writer, cfg Config) error {
+	doc := mcfDoc{}
+	for _, r := range allRules {
+		xr := mcfRule{Name: r.name}
+		sev := r.defaultSeverity
+		if s, ok := cfg.Severities[r.name]; ok {
+			sev = s
+		}
+		xr.Severity = sev.String()
+		if cfg.Disabled[r.name] {
+			xr.Enabled = "false"
+		}
+		doc.Rules = append(doc.Rules, xr)
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("checker: write MCF: %w", err)
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}

@@ -1,0 +1,84 @@
+package checker
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseMCF(t *testing.T) {
+	src := `<?xml version="1.0"?>
+<modelchecking>
+  <rule name="reachable" severity="error"/>
+  <rule name="unannotated-actions" enabled="false"/>
+  <rule name="single-initial"/>
+</modelchecking>`
+	cfg, err := ParseMCF(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Severities["reachable"] != Error {
+		t.Errorf("severity override not parsed")
+	}
+	if !cfg.Disabled["unannotated-actions"] {
+		t.Errorf("enabled=false not parsed")
+	}
+	if cfg.Disabled["single-initial"] {
+		t.Errorf("default-enabled rule marked disabled")
+	}
+}
+
+func TestParseMCFErrors(t *testing.T) {
+	cases := map[string]string{
+		"not xml":      "nope",
+		"unknown rule": `<modelchecking><rule name="martian"/></modelchecking>`,
+		"bad severity": `<modelchecking><rule name="reachable" severity="fatal"/></modelchecking>`,
+		"bad enabled":  `<modelchecking><rule name="reachable" enabled="maybe"/></modelchecking>`,
+	}
+	for name, src := range cases {
+		if _, err := ParseMCF(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: should fail", name)
+		}
+	}
+}
+
+func TestMCFRoundTripThroughFile(t *testing.T) {
+	cfg := Config{
+		Disabled:   map[string]bool{"unannotated-actions": true},
+		Severities: map[string]Severity{"reachable": Error},
+	}
+	path := filepath.Join(t.TempDir(), "mcf.xml")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMCF(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	got, err := LoadMCF(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Disabled["unannotated-actions"] {
+		t.Errorf("disabled flag lost in round trip")
+	}
+	if got.Severities["reachable"] != Error {
+		t.Errorf("severity lost in round trip")
+	}
+	// WriteMCF covers every rule explicitly.
+	data, _ := os.ReadFile(path)
+	for _, rule := range Rules() {
+		if !strings.Contains(string(data), `name="`+rule+`"`) {
+			t.Errorf("WriteMCF should list rule %q", rule)
+		}
+	}
+}
+
+func TestLoadMCFMissing(t *testing.T) {
+	if _, err := LoadMCF(filepath.Join(t.TempDir(), "nope.xml")); err == nil {
+		t.Error("missing MCF should fail")
+	}
+}

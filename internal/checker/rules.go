@@ -1,0 +1,485 @@
+package checker
+
+import (
+	"prophet/internal/expr"
+	"prophet/internal/uml"
+)
+
+// wellKnownVars are the names that are always bound during model
+// evaluation, even though they are not declared as model variables: the
+// execute() context parameters (paper, Figure 8b: uid, pid, tid) and the
+// system parameters of the Performance Estimator (paper, Section 2.2: the
+// number of computational nodes, processors per node, processes, threads).
+var wellKnownVars = map[string]bool{
+	"uid": true, "pid": true, "tid": true,
+	"nodes": true, "processors": true, "processes": true, "threads": true,
+}
+
+// allRules is the rule registry, in execution order.
+var allRules = []rule{
+	{
+		name:            "single-initial",
+		doc:             "every diagram has exactly one initial node",
+		defaultSeverity: Error,
+		check: func(ctx *ruleContext) {
+			for _, d := range ctx.model.Diagrams() {
+				n := 0
+				for _, node := range d.Nodes() {
+					if node.Kind() == uml.KindInitial {
+						n++
+					}
+				}
+				switch {
+				case n == 0 && len(d.Nodes()) > 0:
+					ctx.add(d, "diagram %q has no initial node", d.Name())
+				case n > 1:
+					ctx.add(d, "diagram %q has %d initial nodes", d.Name(), n)
+				}
+			}
+		},
+	},
+	{
+		name:            "has-final",
+		doc:             "every non-empty diagram has at least one final node",
+		defaultSeverity: Error,
+		check: func(ctx *ruleContext) {
+			for _, d := range ctx.model.Diagrams() {
+				if len(d.Nodes()) > 0 && len(d.Finals()) == 0 {
+					ctx.add(d, "diagram %q has no final node", d.Name())
+				}
+			}
+		},
+	},
+	{
+		name:            "initial-edges",
+		doc:             "initial nodes have no incoming and exactly one outgoing edge",
+		defaultSeverity: Error,
+		check: func(ctx *ruleContext) {
+			for _, d := range ctx.model.Diagrams() {
+				for _, n := range d.Nodes() {
+					if n.Kind() != uml.KindInitial {
+						continue
+					}
+					if in := len(d.Incoming(n.ID())); in > 0 {
+						ctx.add(n, "initial node has %d incoming edge(s)", in)
+					}
+					if out := len(d.Outgoing(n.ID())); out != 1 {
+						ctx.add(n, "initial node has %d outgoing edge(s), want 1", out)
+					}
+				}
+			}
+		},
+	},
+	{
+		name:            "final-edges",
+		doc:             "final nodes have no outgoing edges",
+		defaultSeverity: Error,
+		check: func(ctx *ruleContext) {
+			for _, d := range ctx.model.Diagrams() {
+				for _, n := range d.Nodes() {
+					if n.Kind() != uml.KindFinal {
+						continue
+					}
+					if out := len(d.Outgoing(n.ID())); out > 0 {
+						ctx.add(n, "final node has %d outgoing edge(s)", out)
+					}
+				}
+			}
+		},
+	},
+	{
+		name:            "decision-guards",
+		doc:             "decision branches are either all guarded (<=1 'else') or all weighted (probabilistic)",
+		defaultSeverity: Error,
+		check: func(ctx *ruleContext) {
+			for _, d := range ctx.model.Diagrams() {
+				for _, n := range d.Nodes() {
+					if n.Kind() != uml.KindDecision {
+						continue
+					}
+					out := d.Outgoing(n.ID())
+					if len(out) < 2 {
+						ctx.add(n, "decision node has %d outgoing edge(s), want >=2", len(out))
+					}
+					guarded, weighted := 0, 0
+					elses := 0
+					for _, e := range out {
+						switch {
+						case e.Guard != "":
+							guarded++
+							if e.IsElse() {
+								elses++
+							}
+						case e.Weight > 0:
+							weighted++
+						default:
+							ctx.add(e, "edge out of decision node has neither guard nor positive weight")
+						}
+					}
+					if guarded > 0 && weighted > 0 {
+						ctx.add(n, "decision node mixes guarded and weighted branches")
+					}
+					if elses > 1 {
+						ctx.add(n, "decision node has %d 'else' branches, want at most 1", elses)
+					}
+				}
+			}
+		},
+	},
+	{
+		name:            "weights-sum",
+		doc:             "branch weights of a probabilistic decision should sum to 1 (they are normalized, but a different sum usually signals a typo)",
+		defaultSeverity: Info,
+		check: func(ctx *ruleContext) {
+			for _, d := range ctx.model.Diagrams() {
+				for _, n := range d.Nodes() {
+					if n.Kind() != uml.KindDecision {
+						continue
+					}
+					out := d.Outgoing(n.ID())
+					if len(out) == 0 || out[0].Guard != "" || out[0].Weight <= 0 {
+						continue // guarded decision; decision-guards covers it
+					}
+					sum := 0.0
+					allWeighted := true
+					for _, e := range out {
+						if e.Weight <= 0 || e.Guard != "" {
+							allWeighted = false
+							break
+						}
+						sum += e.Weight
+					}
+					if allWeighted && (sum < 0.999 || sum > 1.001) {
+						ctx.add(n, "branch weights sum to %g, not 1 (they will be normalized)", sum)
+					}
+				}
+			}
+		},
+	},
+	{
+		name:            "single-successor",
+		doc:             "non-branching nodes have at most one outgoing edge",
+		defaultSeverity: Error,
+		check: func(ctx *ruleContext) {
+			for _, d := range ctx.model.Diagrams() {
+				for _, n := range d.Nodes() {
+					switch n.Kind() {
+					case uml.KindDecision, uml.KindFork, uml.KindFinal:
+						continue
+					}
+					if out := len(d.Outgoing(n.ID())); out > 1 {
+						ctx.add(n, "%s %q has %d outgoing edges; only decision and fork nodes may branch",
+							n.Kind(), n.Name(), out)
+					}
+				}
+			}
+		},
+	},
+	{
+		name:            "fork-join-arity",
+		doc:             "fork nodes have >=2 outgoing edges and join nodes >=2 incoming",
+		defaultSeverity: Error,
+		check: func(ctx *ruleContext) {
+			for _, d := range ctx.model.Diagrams() {
+				for _, n := range d.Nodes() {
+					switch n.Kind() {
+					case uml.KindFork:
+						if out := len(d.Outgoing(n.ID())); out < 2 {
+							ctx.add(n, "fork node has %d outgoing edge(s), want >=2", out)
+						}
+					case uml.KindJoin:
+						if in := len(d.Incoming(n.ID())); in < 2 {
+							ctx.add(n, "join node has %d incoming edge(s), want >=2", in)
+						}
+					}
+				}
+			}
+		},
+	},
+	{
+		name:            "reachable",
+		doc:             "every node is reachable from its diagram's initial node",
+		defaultSeverity: Warning,
+		check: func(ctx *ruleContext) {
+			for _, d := range ctx.model.Diagrams() {
+				ini := d.Initial()
+				if ini == nil {
+					continue // single-initial already reports this
+				}
+				seen := map[string]bool{}
+				stack := []string{ini.ID()}
+				for len(stack) > 0 {
+					id := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					if seen[id] {
+						continue
+					}
+					seen[id] = true
+					for _, e := range d.Outgoing(id) {
+						stack = append(stack, e.To())
+					}
+				}
+				for _, n := range d.Nodes() {
+					if !seen[n.ID()] {
+						ctx.add(n, "node %q is unreachable from the initial node", n.Name())
+					}
+				}
+			}
+		},
+	},
+	{
+		name:            "body-exists",
+		doc:             "activity and loop bodies reference existing diagrams",
+		defaultSeverity: Error,
+		check: func(ctx *ruleContext) {
+			for _, d := range ctx.model.Diagrams() {
+				for _, n := range d.Nodes() {
+					switch x := n.(type) {
+					case *uml.ActivityNode:
+						if x.Body == "" {
+							ctx.add(n, "activity %q has no body diagram", x.Name())
+						} else if ctx.model.DiagramByName(x.Body) == nil {
+							ctx.add(n, "activity %q references unknown diagram %q", x.Name(), x.Body)
+						}
+					case *uml.LoopNode:
+						if x.Body == "" {
+							ctx.add(n, "loop %q has no body diagram", x.Name())
+						} else if ctx.model.DiagramByName(x.Body) == nil {
+							ctx.add(n, "loop %q references unknown diagram %q", x.Name(), x.Body)
+						}
+					}
+				}
+			}
+		},
+	},
+	{
+		name:            "no-activity-cycles",
+		doc:             "activity/loop nesting is acyclic (an activity may not, transitively, contain itself)",
+		defaultSeverity: Error,
+		check: func(ctx *ruleContext) {
+			// Build diagram -> referenced-diagram edges.
+			refs := map[string][]string{}
+			for _, d := range ctx.model.Diagrams() {
+				for _, n := range d.Nodes() {
+					switch x := n.(type) {
+					case *uml.ActivityNode:
+						if x.Body != "" {
+							refs[d.Name()] = append(refs[d.Name()], x.Body)
+						}
+					case *uml.LoopNode:
+						if x.Body != "" {
+							refs[d.Name()] = append(refs[d.Name()], x.Body)
+						}
+					}
+				}
+			}
+			const (
+				white = 0
+				gray  = 1
+				black = 2
+			)
+			color := map[string]int{}
+			var visit func(name string) bool // returns true when a cycle is found
+			visit = func(name string) bool {
+				switch color[name] {
+				case gray:
+					return true
+				case black:
+					return false
+				}
+				color[name] = gray
+				for _, next := range refs[name] {
+					if visit(next) {
+						color[name] = black
+						return true
+					}
+				}
+				color[name] = black
+				return false
+			}
+			for _, d := range ctx.model.Diagrams() {
+				color = map[string]int{}
+				if visit(d.Name()) {
+					ctx.add(d, "diagram %q participates in a cyclic activity nesting", d.Name())
+				}
+			}
+		},
+	},
+	{
+		name:            "guards-parse",
+		doc:             "edge guards are valid expressions over declared names",
+		defaultSeverity: Error,
+		check: func(ctx *ruleContext) {
+			known := knownVars(ctx.model)
+			for _, d := range ctx.model.Diagrams() {
+				for _, e := range d.Edges() {
+					if e.Guard == "" || e.IsElse() {
+						continue
+					}
+					n, err := expr.Parse(e.Guard)
+					if err != nil {
+						ctx.add(e, "guard %q does not parse: %v", e.Guard, err)
+						continue
+					}
+					for _, v := range expr.Vars(n) {
+						if !known[v] {
+							ctx.add(e, "guard %q references undeclared variable %q", e.Guard, v)
+						}
+					}
+				}
+			}
+		},
+	},
+	{
+		name:            "cost-functions",
+		doc:             "cost-function expressions parse and reference defined functions",
+		defaultSeverity: Error,
+		check: func(ctx *ruleContext) {
+			known := knownVars(ctx.model)
+			checkExpr := func(e uml.Element, what, src string, extraVars map[string]bool) {
+				if src == "" {
+					return
+				}
+				n, err := expr.Parse(src)
+				if err != nil {
+					ctx.add(e, "%s %q does not parse: %v", what, src, err)
+					return
+				}
+				for _, name := range expr.Calls(n) {
+					if expr.IsBuiltin(name) {
+						continue
+					}
+					if _, ok := ctx.model.Function(name); !ok {
+						ctx.add(e, "%s %q calls undefined function %q", what, src, name)
+					}
+				}
+				for _, v := range expr.Vars(n) {
+					if !known[v] && !extraVars[v] {
+						ctx.add(e, "%s %q references undeclared variable %q", what, src, v)
+					}
+				}
+			}
+			for _, d := range ctx.model.Diagrams() {
+				for _, node := range d.Nodes() {
+					switch x := node.(type) {
+					case *uml.ActionNode:
+						checkExpr(node, "cost function", x.CostFunc, nil)
+					case *uml.ActivityNode:
+						checkExpr(node, "cost function", x.CostFunc, nil)
+					case *uml.LoopNode:
+						checkExpr(node, "loop count", x.Count, nil)
+					}
+				}
+			}
+			for _, f := range ctx.model.Functions() {
+				params := map[string]bool{}
+				for _, p := range f.Params {
+					params[p.Name] = true
+				}
+				// Attribute function-body findings to the model root: the
+				// function is a model property, not a diagram element.
+				checkExpr(ctx.model, "body of function "+f.Name, f.Body, params)
+			}
+		},
+	},
+	{
+		name:            "profile-conformance",
+		doc:             "stereotype applications conform to the profile (base class, tag types, constraints)",
+		defaultSeverity: Error,
+		check: func(ctx *ruleContext) {
+			_ = uml.Walk(ctx.model, func(e uml.Element) error {
+				for _, err := range ctx.registry.Validate(e) {
+					ctx.add(e, "%v", err)
+				}
+				return nil
+			})
+		},
+	},
+	{
+		name:            "perf-element-names",
+		doc:             "performance modeling elements have unique non-empty names (they become C++ identifiers)",
+		defaultSeverity: Error,
+		check: func(ctx *ruleContext) {
+			seen := map[string]uml.Element{}
+			for _, d := range ctx.model.Diagrams() {
+				for _, n := range d.Nodes() {
+					if !ctx.registry.IsPerformanceElement(n) {
+						continue
+					}
+					if n.Name() == "" {
+						ctx.add(n, "performance modeling element has no name")
+						continue
+					}
+					if prev, dup := seen[n.Name()]; dup {
+						ctx.add(n, "performance element name %q already used by element %s",
+							n.Name(), prev.ID())
+						continue
+					}
+					seen[n.Name()] = n
+				}
+			}
+		},
+	},
+	{
+		name:            "mpi-pairing",
+		doc:             "models with receives should have sends (and vice versa), or every receive will deadlock",
+		defaultSeverity: Warning,
+		check: func(ctx *ruleContext) {
+			var sends, recvs []uml.Element
+			for _, d := range ctx.model.Diagrams() {
+				for _, n := range d.Nodes() {
+					switch n.Stereotype() {
+					case "mpi_send":
+						sends = append(sends, n)
+					case "mpi_recv":
+						recvs = append(recvs, n)
+					case "mpi_sendrecv": // balanced by construction
+						sends = append(sends, n)
+						recvs = append(recvs, n)
+					}
+				}
+			}
+			if len(recvs) > 0 && len(sends) == 0 {
+				ctx.add(recvs[0], "model contains %d mpi_recv element(s) but no mpi_send: receives can never complete", len(recvs))
+			}
+			if len(sends) > 0 && len(recvs) == 0 {
+				ctx.add(sends[0], "model contains %d mpi_send element(s) but no mpi_recv: messages are never consumed", len(sends))
+			}
+		},
+	},
+	{
+		name:            "unannotated-actions",
+		doc:             "actions without a stereotype do not contribute to the performance model",
+		defaultSeverity: Info,
+		check: func(ctx *ruleContext) {
+			for _, d := range ctx.model.Diagrams() {
+				for _, n := range d.Nodes() {
+					if n.Kind() == uml.KindAction && n.Stereotype() == "" {
+						ctx.add(n, "action %q carries no stereotype and will be ignored by the transformation", n.Name())
+					}
+				}
+			}
+		},
+	},
+}
+
+// knownVars collects every variable name that may legally appear in model
+// expressions: declared variables, loop variables, and the well-known
+// execute()/system-parameter names.
+func knownVars(m *uml.Model) map[string]bool {
+	known := make(map[string]bool, len(wellKnownVars))
+	for v := range wellKnownVars {
+		known[v] = true
+	}
+	for _, v := range m.Variables() {
+		known[v.Name] = true
+	}
+	for _, d := range m.Diagrams() {
+		for _, n := range d.Nodes() {
+			if lp, ok := n.(*uml.LoopNode); ok && lp.Var != "" {
+				known[lp.Var] = true
+			}
+		}
+	}
+	return known
+}

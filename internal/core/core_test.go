@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"prophet/internal/builder"
+	"prophet/internal/machine"
+	"prophet/internal/samples"
+	"prophet/internal/trace"
+)
+
+func TestEndToEndPipeline(t *testing.T) {
+	p := New()
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "sample.xml")
+	tracePath := filepath.Join(dir, "sample.trace")
+
+	// Teuta side: build the Figure 7 model and persist it as XML.
+	if err := p.SaveModel(modelPath, samples.Sample()); err != nil {
+		t.Fatal(err)
+	}
+
+	res, err := p.RunPipeline(modelPath, tracePath,
+		machine.SystemParams{Nodes: 1, ProcessorsPerNode: 1, Processes: 1, Threads: 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.HasErrors() {
+		t.Fatalf("sample model should check clean: %v", res.Report.Diagnostics)
+	}
+	// The C++ representation carries the Figure 8 structure.
+	for _, want := range []string{"double GV;", "a1.execute(uid, pid, tid, FA1());", "if (GV > 0) {"} {
+		if !strings.Contains(res.Cpp, want) {
+			t.Errorf("C++ missing %q", want)
+		}
+	}
+	// The prediction matches the hand computation.
+	want := 8.5 + 5 + 0.1 + 5
+	if math.Abs(res.Estimate.Makespan-want) > 1e-12 {
+		t.Errorf("makespan = %v, want %v", res.Estimate.Makespan, want)
+	}
+	// The trace file landed on disk.
+	tr, err := trace.Load(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Events) == 0 {
+		t.Error("trace file empty")
+	}
+	// Visualization renders.
+	if g := p.Gantt(tr, 40); !strings.Contains(g, "pid   0") {
+		t.Errorf("gantt broken:\n%s", g)
+	}
+}
+
+func TestPipelineRejectsBrokenModel(t *testing.T) {
+	p := New()
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "broken.xml")
+	b := builder.New("broken")
+	d := b.Diagram("main")
+	d.Action("A").Cost("Missing()")
+	m, _ := b.Build()
+	if err := p.SaveModel(modelPath, m); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.RunPipeline(modelPath, "", machine.SystemParams{}, nil)
+	if err == nil {
+		t.Fatal("broken model should fail the pipeline")
+	}
+	if res == nil || res.Report == nil || !res.Report.HasErrors() {
+		t.Error("pipeline should return the checker report on failure")
+	}
+}
+
+func TestPipelineMissingFile(t *testing.T) {
+	p := New()
+	if _, err := p.RunPipeline(filepath.Join(t.TempDir(), "nope.xml"), "", machine.SystemParams{}, nil); err == nil {
+		t.Error("missing model file should fail")
+	}
+}
+
+func TestTransformCppChecksFirst(t *testing.T) {
+	p := New()
+	b := builder.New("broken")
+	d := b.Diagram("main")
+	d.Action("A").Cost("Missing()")
+	m, _ := b.Build()
+	if _, err := p.TransformCpp(m); err == nil {
+		t.Error("TransformCpp should run the checker")
+	}
+	if _, err := p.TransformGo(m); err == nil {
+		t.Error("TransformGo should run the checker")
+	}
+}
+
+func TestTransformDotSkipsCheck(t *testing.T) {
+	p := New()
+	b := builder.New("broken")
+	d := b.Diagram("main")
+	d.Action("A").Cost("Missing()")
+	m, _ := b.Build()
+	out, err := p.TransformDot(m)
+	if err != nil || !strings.Contains(out, "digraph") {
+		t.Errorf("DOT of a broken model should still render: %v", err)
+	}
+}
+
+func TestModelToXMLRoundTrip(t *testing.T) {
+	p := New()
+	s, err := p.ModelToXML(samples.Kernel6())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s, `name="kernel6"`) {
+		t.Errorf("XML missing model name:\n%s", s)
+	}
+}
+
+func TestSweepsThroughFacade(t *testing.T) {
+	p := New()
+	req := Request{
+		Model:   samples.Kernel6(),
+		Globals: map[string]float64{"N": 10, "M": 1, "c": 0.1},
+	}
+	pts, err := p.SweepProcesses(req, []int{1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Errorf("points = %d", len(pts))
+	}
+	gpts, err := p.SweepGlobal(req, "N", []float64{10, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(gpts) != 2 || gpts[1].Makespan <= gpts[0].Makespan {
+		t.Errorf("global sweep wrong: %+v", gpts)
+	}
+}
+
+func TestRegistryExposed(t *testing.T) {
+	p := New()
+	if _, ok := p.Registry().Lookup("action+"); !ok {
+		t.Error("registry should carry the standard profile")
+	}
+}

@@ -1,0 +1,201 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"prophet/internal/builder"
+	"prophet/internal/cppgen"
+	"prophet/internal/estimator"
+	"prophet/internal/gogen"
+	"prophet/internal/uml"
+
+	goparser "go/parser"
+	gotoken "go/token"
+)
+
+// modelGen builds random, structurally valid performance models: properly
+// nested sequences, decisions (guarded + else, joined at a merge), loops
+// and activities with their own body diagrams. Every backend must accept
+// every generated model — the cross-backend consistency property.
+type modelGen struct {
+	r    *rand.Rand
+	b    *builder.ModelBuilder
+	seq  int
+	subs int
+}
+
+func (g *modelGen) name(prefix string) string {
+	g.seq++
+	return fmt.Sprintf("%s%d", prefix, g.seq)
+}
+
+// chain emits a random block sequence into diagram d between two fresh
+// node names and returns (first, last).
+func (g *modelGen) chain(d *builder.DiagramBuilder, depth int) (string, string) {
+	blocks := 1 + g.r.Intn(3)
+	var first, prev string
+	for i := 0; i < blocks; i++ {
+		entry, exit := g.block(d, depth)
+		if first == "" {
+			first = entry
+		} else {
+			d.Flow(prev, entry)
+		}
+		prev = exit
+	}
+	return first, prev
+}
+
+// block emits one block and returns its entry and exit node names.
+func (g *modelGen) block(d *builder.DiagramBuilder, depth int) (string, string) {
+	kind := g.r.Intn(4)
+	if depth <= 0 {
+		kind = 0
+	}
+	switch kind {
+	case 1: // decision
+		dec := g.name("dec")
+		mrg := g.name("mrg")
+		d.Decision(dec)
+		d.Merge(mrg)
+		branches := 2 + g.r.Intn(2)
+		for bi := 0; bi < branches; bi++ {
+			guard := fmt.Sprintf("GV > %d", bi)
+			if bi == branches-1 {
+				guard = "else"
+			}
+			entry, exit := g.chain(d, depth-1)
+			d.FlowIf(dec, entry, guard)
+			d.Flow(exit, mrg)
+		}
+		return dec, mrg
+	case 2: // loop with body diagram
+		g.subs++
+		body := fmt.Sprintf("body%d", g.subs)
+		lp := g.name("loop")
+		d.Loop(lp, fmt.Sprintf("%d", 1+g.r.Intn(3)), body).Var(g.name("i"))
+		g.diagram(body, depth-1)
+		return lp, lp
+	case 3: // activity with body diagram
+		g.subs++
+		body := fmt.Sprintf("sub%d", g.subs)
+		act := g.name("act")
+		d.Activity(act, body)
+		g.diagram(body, depth-1)
+		return act, act
+	default: // action
+		a := g.name("a")
+		d.Action(a).Cost(fmt.Sprintf("%d", 1+g.r.Intn(5))).Tag("id", fmt.Sprint(g.seq))
+		return a, a
+	}
+}
+
+func (g *modelGen) diagram(name string, depth int) {
+	d := g.b.Diagram(name)
+	d.Initial()
+	d.Final()
+	first, last := g.chain(d, depth)
+	d.Flow("initial", first)
+	d.Flow(last, "final")
+}
+
+func randomStructuredModel(seed int64) (*uml.Model, error) {
+	g := &modelGen{r: rand.New(rand.NewSource(seed)), b: builder.New(fmt.Sprintf("fuzz%d", seed))}
+	g.b.Global("GV", "double")
+	g.diagram("main", 3)
+	return g.b.Build()
+}
+
+// TestQuickAllBackendsAcceptStructuredModels: for arbitrary structured
+// models, the checker passes, the C++ generator emits structurally valid
+// output, the Go generator emits parsable Go, and the simulator runs to a
+// finite non-negative makespan.
+func TestQuickAllBackendsAcceptStructuredModels(t *testing.T) {
+	p := New()
+	goGen := gogen.New()
+	f := func(seed int64) bool {
+		m, err := randomStructuredModel(seed)
+		if err != nil {
+			t.Logf("seed %d: generator: %v", seed, err)
+			return false
+		}
+		if rep := p.Check(m); rep.HasErrors() {
+			t.Logf("seed %d: checker: %v", seed, rep.Diagnostics)
+			return false
+		}
+		cpp, err := p.TransformCpp(m)
+		if err != nil {
+			t.Logf("seed %d: cppgen: %v", seed, err)
+			return false
+		}
+		if err := cppgen.ValidateStructure(cpp); err != nil {
+			t.Logf("seed %d: cpp structure: %v", seed, err)
+			return false
+		}
+		src, err := goGen.Generate(m)
+		if err != nil {
+			t.Logf("seed %d: gogen: %v", seed, err)
+			return false
+		}
+		if _, err := goparser.ParseFile(gotoken.NewFileSet(), "f.go", src, 0); err != nil {
+			t.Logf("seed %d: generated Go unparsable: %v", seed, err)
+			return false
+		}
+		est, err := p.Estimate(Request{
+			Model:     m,
+			Globals:   map[string]float64{"GV": float64(seed % 5)},
+			SkipCheck: true,
+		})
+		if err != nil {
+			t.Logf("seed %d: estimate: %v", seed, err)
+			return false
+		}
+		if est.Makespan < 0 || est.Makespan != est.Makespan {
+			t.Logf("seed %d: bad makespan %v", seed, est.Makespan)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCppEstimatorAgreement: for single-process structured models
+// with constant costs, the sum of executed element costs in the trace
+// equals the makespan (there is exactly one processor and no blocking, so
+// no idle time exists).
+func TestQuickCppEstimatorAgreement(t *testing.T) {
+	est := estimator.New()
+	f := func(seed int64) bool {
+		m, err := randomStructuredModel(seed)
+		if err != nil {
+			return false
+		}
+		e, err := est.Estimate(estimator.Request{
+			Model:   m,
+			Globals: map[string]float64{"GV": float64(seed % 4)},
+		})
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		// Sum of per-element times at action level equals the makespan.
+		bd := estimator.BreakdownOf(m, e.Summary)
+		diff := e.Makespan - bd.Compute
+		if diff < 0 {
+			diff = -diff
+		}
+		if diff > 1e-9 {
+			t.Logf("seed %d: makespan %v vs action total %v", seed, e.Makespan, bd.Compute)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

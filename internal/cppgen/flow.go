@@ -1,0 +1,492 @@
+package cppgen
+
+import (
+	"fmt"
+
+	"prophet/internal/profile"
+	"prophet/internal/uml"
+)
+
+// emitFlow is phase 6 of the Figure 5 algorithm (lines 29-35): it walks
+// the main diagram's control flow and emits, for each performance modeling
+// element, the C++ code that invokes its execute() method, in the order
+// specified by the UML model. Branch control flow maps to if/else-if
+// statements (paper, Figure 8b) and the content of activities and loops is
+// nested in place.
+func (g *Generator) emitFlow(w *writer, m *uml.Model, names map[string]string) error {
+	main := m.Main()
+	if main == nil {
+		w.line("// -- Execution flow --")
+		return nil
+	}
+	f := &flowEmitter{gen: g, model: m, names: names, w: w}
+	w.line("// -- Execution flow --")
+	return f.emitDiagram(main)
+}
+
+// flowEmitter carries the state of one flow walk.
+type flowEmitter struct {
+	gen   *Generator
+	model *uml.Model
+	names map[string]string
+	w     *writer
+	// loopSeq numbers synthetic loop variables.
+	loopSeq int
+	// active guards against cyclic diagram nesting at emission time (the
+	// checker also rejects it, but the generator must not recurse forever
+	// on unchecked input).
+	active []string
+}
+
+// emitDiagram emits the statements of a whole diagram, from its initial
+// node to its final node(s).
+func (f *flowEmitter) emitDiagram(d *uml.Diagram) error {
+	for _, name := range f.active {
+		if name == d.Name() {
+			return fmt.Errorf("cppgen: cyclic activity nesting through diagram %q", d.Name())
+		}
+	}
+	f.active = append(f.active, d.Name())
+	defer func() { f.active = f.active[:len(f.active)-1] }()
+
+	ini := d.Initial()
+	if ini == nil {
+		if len(d.Nodes()) == 0 {
+			return nil
+		}
+		return fmt.Errorf("cppgen: diagram %q has no initial node", d.Name())
+	}
+	start, err := f.successor(d, ini)
+	if err != nil {
+		return err
+	}
+	return f.emitSeq(d, start, nil, map[string]bool{})
+}
+
+// emitSeq emits the statement sequence starting at cur and ending when the
+// walk reaches stop (exclusive) or a final node. onPath detects
+// unstructured cycles.
+func (f *flowEmitter) emitSeq(d *uml.Diagram, cur uml.Node, stop uml.Node, onPath map[string]bool) error {
+	for cur != nil {
+		if stop != nil && cur.ID() == stop.ID() {
+			return nil
+		}
+		if onPath[cur.ID()] {
+			return fmt.Errorf("cppgen: diagram %q: unstructured cycle through node %q; model loops with <<loop+>> elements",
+				d.Name(), cur.Name())
+		}
+		onPath[cur.ID()] = true
+
+		var err error
+		switch n := cur.(type) {
+		case *uml.ControlNode:
+			switch n.Kind() {
+			case uml.KindFinal:
+				return nil
+			case uml.KindMerge:
+				cur, err = f.successor(d, n)
+			case uml.KindDecision:
+				cur, err = f.emitDecision(d, n, onPath)
+			case uml.KindFork:
+				cur, err = f.emitFork(d, n, onPath)
+			case uml.KindJoin:
+				cur, err = f.successor(d, n)
+			default:
+				return fmt.Errorf("cppgen: diagram %q: unexpected %v mid-flow", d.Name(), n.Kind())
+			}
+		case *uml.ActionNode:
+			if err := f.emitAction(n); err != nil {
+				return err
+			}
+			cur, err = f.successor(d, n)
+		case *uml.ActivityNode:
+			if err := f.emitActivity(n); err != nil {
+				return err
+			}
+			cur, err = f.successor(d, n)
+		case *uml.LoopNode:
+			if err := f.emitLoop(n); err != nil {
+				return err
+			}
+			cur, err = f.successor(d, n)
+		default:
+			return fmt.Errorf("cppgen: unknown node type %T", cur)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// successor returns the unique next node, or nil at the end of the flow.
+func (f *flowEmitter) successor(d *uml.Diagram, n uml.Node) (uml.Node, error) {
+	out := d.Outgoing(n.ID())
+	switch len(out) {
+	case 0:
+		return nil, nil
+	case 1:
+		next := d.Node(out[0].To())
+		if next == nil {
+			return nil, fmt.Errorf("cppgen: diagram %q: dangling edge from %q", d.Name(), n.Name())
+		}
+		return next, nil
+	}
+	return nil, fmt.Errorf("cppgen: diagram %q: %v %q has %d successors",
+		d.Name(), n.Kind(), n.Name(), len(out))
+}
+
+// emitAction emits one element execution: the associated code fragment
+// (paper, Figure 7b) followed by the execute() invocation with the
+// element's cost function as argument (paper, Figure 8b line 76).
+func (f *flowEmitter) emitAction(n *uml.ActionNode) error {
+	if n.Stereotype() == "" {
+		// Unstereotyped actions carry no performance semantics; the
+		// checker reports them at Info severity and the generator skips
+		// them (Figure 5 only includes selected perf_elements).
+		return nil
+	}
+	if n.Code != "" {
+		f.w.line("// code associated with %s", n.Name())
+		f.w.lines(n.Code)
+	}
+	ident, ok := f.names[n.ID()]
+	if !ok {
+		return fmt.Errorf("cppgen: element %q was not declared", n.Name())
+	}
+	args, err := f.executeArgs(n)
+	if err != nil {
+		return err
+	}
+	f.w.line("%s.execute(%s);", ident, args)
+	return nil
+}
+
+// executeArgs builds the execute() argument list for an action-like
+// element. All variants start with the context triple (uid, pid, tid); the
+// remaining arguments depend on the stereotype.
+func (f *flowEmitter) executeArgs(n *uml.ActionNode) (string, error) {
+	renderTag := func(tag string) (string, error) {
+		raw, ok := n.Tag(tag)
+		if !ok {
+			return "", fmt.Errorf("cppgen: element %q: required tag %q unset", n.Name(), tag)
+		}
+		cpp, err := RenderExpr(raw)
+		if err != nil {
+			return "", fmt.Errorf("cppgen: element %q tag %q: %w", n.Name(), tag, err)
+		}
+		return cpp, nil
+	}
+	switch n.Stereotype() {
+	case profile.ActionPlus, profile.OMPCritical:
+		// The cost function wins; the `time` tagged value is the
+		// fallback (Figure 1b's measured execution time).
+		src := n.CostFunc
+		if src == "" {
+			if raw, ok := n.Tag(profile.TagTime); ok {
+				src = raw
+			}
+		}
+		cost := "0"
+		if src != "" {
+			c, err := RenderExpr(src)
+			if err != nil {
+				return "", fmt.Errorf("cppgen: element %q cost function: %w", n.Name(), err)
+			}
+			cost = c
+		}
+		return "uid, pid, tid, " + cost, nil
+	case profile.MPISend:
+		dest, err := renderTag(profile.TagDest)
+		if err != nil {
+			return "", err
+		}
+		size, err := renderTag(profile.TagSize)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("uid, pid, tid, /*dest*/ %s, /*size*/ %s", dest, size), nil
+	case profile.MPIRecv:
+		src, err := renderTag(profile.TagSrc)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("uid, pid, tid, /*src*/ %s", src), nil
+	case profile.MPISendrecv:
+		dest, err := renderTag(profile.TagDest)
+		if err != nil {
+			return "", err
+		}
+		src, err := renderTag(profile.TagSrc)
+		if err != nil {
+			return "", err
+		}
+		size, err := renderTag(profile.TagSize)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("uid, pid, tid, /*dest*/ %s, /*src*/ %s, /*size*/ %s", dest, src, size), nil
+	case profile.MPIBarrier:
+		return "uid, pid, tid", nil
+	case profile.MPIBroadcast, profile.MPIReduce:
+		root, err := renderTag(profile.TagRoot)
+		if err != nil {
+			return "", err
+		}
+		size, err := renderTag(profile.TagSize)
+		if err != nil {
+			return "", err
+		}
+		return fmt.Sprintf("uid, pid, tid, /*root*/ %s, /*size*/ %s", root, size), nil
+	}
+	return "", fmt.Errorf("cppgen: element %q: unsupported stereotype <<%s>>", n.Name(), n.Stereotype())
+}
+
+// emitActivity nests the activity's content in place (paper: "the C++ code
+// that represents activity SA is nested within the C++ code of the main
+// activity"). If the activity carries its own cost function, an execute()
+// call models that aggregate cost before the content.
+func (f *flowEmitter) emitActivity(n *uml.ActivityNode) error {
+	f.w.line("// activity %s", n.Name())
+	if n.Code != "" {
+		f.w.line("// code associated with %s", n.Name())
+		f.w.lines(n.Code)
+	}
+	if n.CostFunc != "" {
+		ident, ok := f.names[n.ID()]
+		if !ok {
+			return fmt.Errorf("cppgen: activity %q was not declared", n.Name())
+		}
+		cost, err := RenderExpr(n.CostFunc)
+		if err != nil {
+			return fmt.Errorf("cppgen: activity %q cost function: %w", n.Name(), err)
+		}
+		f.w.line("%s.execute(uid, pid, tid, %s);", ident, cost)
+	}
+	if n.Stereotype() == profile.OMPParallel {
+		return f.emitParallelRegion(n)
+	}
+	body := f.model.DiagramByName(n.Body)
+	if body == nil {
+		return fmt.Errorf("cppgen: activity %q references unknown diagram %q", n.Name(), n.Body)
+	}
+	return f.emitDiagram(body)
+}
+
+// emitParallelRegion emits an OpenMP-style fork/join region: the body runs
+// once per team thread, with the thread id rebound.
+func (f *flowEmitter) emitParallelRegion(n *uml.ActivityNode) error {
+	count := "threads"
+	if raw, ok := n.Tag(profile.TagCount); ok {
+		c, err := RenderExpr(raw)
+		if err != nil {
+			return fmt.Errorf("cppgen: parallel region %q count: %w", n.Name(), err)
+		}
+		count = c
+	}
+	body := f.model.DiagramByName(n.Body)
+	if body == nil {
+		return fmt.Errorf("cppgen: parallel region %q references unknown diagram %q", n.Name(), n.Body)
+	}
+	f.w.line("PARALLEL_FOR_THREADS(tid, (int)(%s)) {", count)
+	f.w.in()
+	if err := f.emitDiagram(body); err != nil {
+		return err
+	}
+	f.w.out()
+	f.w.line("} // join %s", n.Name())
+	return nil
+}
+
+// emitLoop emits a counted for statement around the loop body diagram.
+func (f *flowEmitter) emitLoop(n *uml.LoopNode) error {
+	count, err := RenderExpr(n.Count)
+	if err != nil {
+		return fmt.Errorf("cppgen: loop %q count: %w", n.Name(), err)
+	}
+	v := n.Var
+	if v == "" {
+		f.loopSeq++
+		v = fmt.Sprintf("it%d", f.loopSeq)
+	}
+	body := f.model.DiagramByName(n.Body)
+	if body == nil {
+		return fmt.Errorf("cppgen: loop %q references unknown diagram %q", n.Name(), n.Body)
+	}
+	f.w.line("for (int %s = 0; %s < (int)(%s); ++%s) { // loop %s", v, v, count, v, n.Name())
+	f.w.in()
+	if err := f.emitDiagram(body); err != nil {
+		return err
+	}
+	f.w.out()
+	f.w.line("}")
+	return nil
+}
+
+// emitDecision maps a decision node's branches onto an if/else-if chain
+// (paper, Figure 8b lines 77-87) and returns the node where the branches
+// converge, from which the sequence continues. Probabilistic decisions
+// (weighted, unguarded branches) draw from the runtime's pmp_rand().
+func (f *flowEmitter) emitDecision(d *uml.Diagram, n *uml.ControlNode, onPath map[string]bool) (uml.Node, error) {
+	out := d.Outgoing(n.ID())
+	if len(out) < 2 {
+		return nil, fmt.Errorf("cppgen: diagram %q: decision %q has %d branch(es)", d.Name(), n.Name(), len(out))
+	}
+	if out[0].Guard == "" && out[0].Weight > 0 {
+		return f.emitWeightedDecision(d, n, out, onPath)
+	}
+	// Guarded branches in model order; the else branch last.
+	var guarded []*uml.Edge
+	var elseEdge *uml.Edge
+	for _, e := range out {
+		if e.IsElse() {
+			if elseEdge != nil {
+				return nil, fmt.Errorf("cppgen: diagram %q: decision %q has two else branches", d.Name(), n.Name())
+			}
+			elseEdge = e
+			continue
+		}
+		if e.Guard == "" {
+			return nil, fmt.Errorf("cppgen: diagram %q: unguarded branch out of decision %q", d.Name(), n.Name())
+		}
+		guarded = append(guarded, e)
+	}
+	if len(guarded) == 0 {
+		return nil, fmt.Errorf("cppgen: diagram %q: decision %q has only an else branch", d.Name(), n.Name())
+	}
+
+	conv := convergenceOf(d, out)
+	emitBranch := func(head string) error {
+		node := d.Node(head)
+		if node == nil {
+			return fmt.Errorf("cppgen: diagram %q: dangling branch edge", d.Name())
+		}
+		f.w.in()
+		// Branch-local path set: the same node may legally appear on
+		// several alternative branches.
+		branchPath := make(map[string]bool, len(onPath))
+		for id := range onPath {
+			branchPath[id] = true
+		}
+		err := f.emitSeq(d, node, conv, branchPath)
+		f.w.out()
+		return err
+	}
+
+	for i, e := range guarded {
+		guard, err := RenderExpr(e.Guard)
+		if err != nil {
+			return nil, fmt.Errorf("cppgen: diagram %q: guard %q: %w", d.Name(), e.Guard, err)
+		}
+		if i == 0 {
+			f.w.line("if (%s) {", guard)
+		} else {
+			f.w.line("} else if (%s) {", guard)
+		}
+		if err := emitBranch(e.To()); err != nil {
+			return nil, err
+		}
+	}
+	if elseEdge != nil {
+		f.w.line("} else {")
+		if err := emitBranch(elseEdge.To()); err != nil {
+			return nil, err
+		}
+	}
+	f.w.line("}")
+	return conv, nil
+}
+
+// emitWeightedDecision renders a probabilistic branch: one draw from
+// pmp_rand(), compared against the cumulative branch probabilities.
+func (f *flowEmitter) emitWeightedDecision(d *uml.Diagram, n *uml.ControlNode, out []*uml.Edge, onPath map[string]bool) (uml.Node, error) {
+	var total float64
+	for _, e := range out {
+		if e.Guard != "" || e.Weight <= 0 {
+			return nil, fmt.Errorf("cppgen: diagram %q: decision %q mixes weighted and guarded branches",
+				d.Name(), n.Name())
+		}
+		total += e.Weight
+	}
+	conv := convergenceOf(d, out)
+	emitBranch := func(head string) error {
+		node := d.Node(head)
+		if node == nil {
+			return fmt.Errorf("cppgen: diagram %q: dangling branch edge", d.Name())
+		}
+		f.w.in()
+		branchPath := make(map[string]bool, len(onPath))
+		for id := range onPath {
+			branchPath[id] = true
+		}
+		err := f.emitSeq(d, node, conv, branchPath)
+		f.w.out()
+		return err
+	}
+	f.w.line("{")
+	f.w.in()
+	f.w.line("double pmp_r = pmp_rand() * %g; // weighted branch", total)
+	acc := 0.0
+	for i, e := range out {
+		acc += e.Weight
+		switch {
+		case i == 0:
+			f.w.line("if (pmp_r < %g) {", acc)
+		case i == len(out)-1:
+			f.w.line("} else {")
+		default:
+			f.w.line("} else if (pmp_r < %g) {", acc)
+		}
+		if err := emitBranch(e.To()); err != nil {
+			return nil, err
+		}
+	}
+	f.w.line("}")
+	f.w.out()
+	f.w.line("}")
+	return conv, nil
+}
+
+// emitFork emits a fork/join parallel section; each outgoing branch is a
+// parallel activity that runs until the common join node.
+func (f *flowEmitter) emitFork(d *uml.Diagram, n *uml.ControlNode, onPath map[string]bool) (uml.Node, error) {
+	out := d.Outgoing(n.ID())
+	if len(out) < 2 {
+		return nil, fmt.Errorf("cppgen: diagram %q: fork %q has %d branch(es)", d.Name(), n.Name(), len(out))
+	}
+	conv := convergenceOf(d, out)
+	f.w.line("PAR_BEGIN // fork")
+	for _, e := range out {
+		node := d.Node(e.To())
+		if node == nil {
+			return nil, fmt.Errorf("cppgen: diagram %q: dangling fork edge", d.Name())
+		}
+		f.w.line("PAR_BRANCH {")
+		f.w.in()
+		branchPath := make(map[string]bool, len(onPath))
+		for id := range onPath {
+			branchPath[id] = true
+		}
+		if err := f.emitSeq(d, node, conv, branchPath); err != nil {
+			return nil, err
+		}
+		f.w.out()
+		f.w.line("}")
+	}
+	f.w.line("PAR_END // join")
+	// Skip past the join node itself.
+	if conv != nil && conv.Kind() == uml.KindJoin {
+		return f.successor(d, conv)
+	}
+	return conv, nil
+}
+
+// convergenceOf finds where the branches out of a decision or fork meet
+// again (nil when they all run to final nodes without converging).
+func convergenceOf(d *uml.Diagram, branches []*uml.Edge) uml.Node {
+	heads := make([]string, len(branches))
+	for i, e := range branches {
+		heads[i] = e.To()
+	}
+	return uml.Convergence(d, heads)
+}

@@ -1,0 +1,60 @@
+package cppgen
+
+import (
+	"fmt"
+
+	"prophet/internal/traverse"
+	"prophet/internal/uml"
+)
+
+// Handler adapts the generator to the ContentHandler interface of the
+// Figure 6 traversal machinery, so C++ generation plugs into the same
+// Traverser/Navigator pipeline as every other model representation
+// ("the extension of Performance Prophet for the generation of a specific
+// model representation involves only a specific implementation of the
+// ContentHandler interface", paper Section 3).
+//
+// The handler captures the model at EnterModel and produces the C++ text
+// at LeaveModel; retrieve it with Output.
+type Handler struct {
+	gen    *Generator
+	model  *uml.Model
+	output string
+	done   bool
+}
+
+// NewHandler returns a ContentHandler that generates C++ with gen (nil
+// means a default generator).
+func NewHandler(gen *Generator) *Handler {
+	if gen == nil {
+		gen = New()
+	}
+	return &Handler{gen: gen}
+}
+
+// Visit implements traverse.ContentHandler.
+func (h *Handler) Visit(ev traverse.Event) error {
+	switch ev.Phase {
+	case traverse.EnterModel:
+		m, ok := ev.Element.(*uml.Model)
+		if !ok {
+			return fmt.Errorf("cppgen: EnterModel with %T element", ev.Element)
+		}
+		h.model = m
+		h.done = false
+	case traverse.LeaveModel:
+		if h.model == nil {
+			return fmt.Errorf("cppgen: LeaveModel before EnterModel")
+		}
+		out, err := h.gen.Generate(h.model)
+		if err != nil {
+			return err
+		}
+		h.output = out
+		h.done = true
+	}
+	return nil
+}
+
+// Output returns the generated C++ and whether generation has completed.
+func (h *Handler) Output() (string, bool) { return h.output, h.done }

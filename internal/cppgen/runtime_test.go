@@ -1,0 +1,139 @@
+package cppgen
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"prophet/internal/samples"
+	"prophet/internal/uml"
+)
+
+func TestRuntimeHeaderShape(t *testing.T) {
+	h := RuntimeHeader()
+	for _, want := range []string{
+		"#ifndef PMP_RUNTIME_H",
+		"class ActionPlus",
+		"class ActivityPlus",
+		"class MpiSend",
+		"class MpiRecv",
+		"class MpiBarrier",
+		"class MpiBcast",
+		"class MpiReduce",
+		"class OmpCritical",
+		"#define PAR_BEGIN",
+		"#define PARALLEL_FOR_THREADS",
+		"#endif",
+	} {
+		if !strings.Contains(h, want) {
+			t.Errorf("runtime header missing %q", want)
+		}
+	}
+	if err := ValidateStructure(h); err != nil {
+		t.Errorf("runtime header fails structural validation: %v", err)
+	}
+}
+
+func TestGeneratedOutputsStructurallyValid(t *testing.T) {
+	models := map[string]*uml.Model{
+		"sample":           samples.Sample(),
+		"kernel6":          samples.Kernel6(),
+		"kernel6-detailed": samples.Kernel6Detailed(),
+		"pipeline":         samples.Pipeline(4),
+		"synthetic":        samples.Synthetic(3, 40),
+	}
+	g := New()
+	for name, m := range models {
+		out, err := g.Generate(m)
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if err := ValidateStructure(out); err != nil {
+			t.Errorf("%s: %v\n%s", name, err, out)
+		}
+	}
+}
+
+func TestValidateStructureCatchesErrors(t *testing.T) {
+	cases := map[string]string{
+		"unclosed brace":  "int f() {",
+		"extra brace":     "int f() {}}",
+		"unclosed paren":  "f(1, 2;",
+		"extra paren":     "f(1))",
+		"string newline":  "char* s = \"abc\n\";",
+		"unclosed string": `char* s = "abc`,
+	}
+	for name, src := range cases {
+		if err := ValidateStructure(src); err == nil {
+			t.Errorf("%s: should fail", name)
+		}
+	}
+	// Comments and escapes must not confuse the scanner.
+	fine := `
+// a comment with } and ) and "quote
+char* s = "brace { and paren ( inside string";
+char c = '{';
+char q = '\'';
+int f() { return (1 + 2); }
+`
+	if err := ValidateStructure(fine); err != nil {
+		t.Errorf("valid snippet rejected: %v", err)
+	}
+}
+
+func TestStandaloneProgram(t *testing.T) {
+	out, err := New().Generate(samples.Sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := StandaloneProgram(out, "model_program")
+	if !strings.Contains(prog, "int main() {") ||
+		!strings.Contains(prog, "model_program(0, 0, 0);") {
+		t.Errorf("standalone wrapper wrong:\n%s", prog)
+	}
+	if err := ValidateStructure(prog); err != nil {
+		t.Errorf("standalone program invalid: %v", err)
+	}
+}
+
+// TestGeneratedCppCompiles is the end-to-end proof that the generated
+// Performance Model of Program is real C++: it compiles the sample
+// model against pmp_runtime.h and runs it. Skipped when no C++ compiler
+// is installed.
+func TestGeneratedCppCompiles(t *testing.T) {
+	cxx, err := exec.LookPath("g++")
+	if err != nil {
+		if cxx, err = exec.LookPath("clang++"); err != nil {
+			t.Skip("no C++ compiler on PATH")
+		}
+	}
+	dir := t.TempDir()
+	model, err := New().Generate(samples.Sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := StandaloneProgram(model, "model_program")
+	if err := os.WriteFile(filepath.Join(dir, "pmp_runtime.h"), []byte(RuntimeHeader()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "model.cpp"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(dir, "pmp")
+	cmd := exec.Command(cxx, "-std=c++11", "-I", dir, "-o", bin, filepath.Join(dir, "model.cpp"))
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("compile failed: %v\n%s\n--- source ---\n%s", err, out, src)
+	}
+	out, err := exec.Command(bin).CombinedOutput()
+	if err != nil {
+		t.Fatalf("run failed: %v\n%s", err, out)
+	}
+	// The sequential C++ runtime predicts the same 18.6 units the Go
+	// estimator computes for the single-process sample model.
+	if !strings.Contains(string(out), "predicted execution time: 18.6") {
+		t.Errorf("C++ runtime prediction differs from estimator:\n%s", out)
+	}
+}

@@ -1,0 +1,88 @@
+package cppgen
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ValidateStructure performs a lightweight structural check of generated
+// C++ text: braces, parentheses and string literals must balance, and no
+// statement line may end inside an unterminated string. It is not a C++
+// parser — the compile test against pmp_runtime.h is the real check — but
+// it catches generator regressions cheaply and without a toolchain.
+func ValidateStructure(src string) error {
+	var braces, parens int
+	line := 1
+	inString := false
+	inChar := false
+	inLineComment := false
+	prev := byte(0)
+	for i := 0; i < len(src); i++ {
+		c := src[i]
+		switch {
+		case c == '\n':
+			if inString {
+				return fmt.Errorf("cppgen: line %d: newline inside string literal", line)
+			}
+			inLineComment = false
+			line++
+		case inLineComment:
+		case inString:
+			if c == '"' && prev != '\\' {
+				inString = false
+			}
+		case inChar:
+			if c == '\'' && prev != '\\' {
+				inChar = false
+			}
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			inLineComment = true
+		case c == '"':
+			inString = true
+		case c == '\'':
+			inChar = true
+		case c == '{':
+			braces++
+		case c == '}':
+			braces--
+			if braces < 0 {
+				return fmt.Errorf("cppgen: line %d: unbalanced '}'", line)
+			}
+		case c == '(':
+			parens++
+		case c == ')':
+			parens--
+			if parens < 0 {
+				return fmt.Errorf("cppgen: line %d: unbalanced ')'", line)
+			}
+		}
+		prev = c
+	}
+	if braces != 0 {
+		return fmt.Errorf("cppgen: %d unclosed brace(s)", braces)
+	}
+	if parens != 0 {
+		return fmt.Errorf("cppgen: %d unclosed parenthesis(es)", parens)
+	}
+	if inString {
+		return fmt.Errorf("cppgen: unterminated string literal")
+	}
+	return nil
+}
+
+// StandaloneProgram wraps generated model code with a main() that invokes
+// the model program once and prints the predicted time, producing a
+// self-contained translation unit that compiles against pmp_runtime.h:
+//
+//	g++ -DPMP_TRACE -o pmp model.cpp && ./pmp
+func StandaloneProgram(modelCpp, functionName string) string {
+	var sb strings.Builder
+	sb.WriteString(modelCpp)
+	sb.WriteString("\n")
+	sb.WriteString("int main() {\n")
+	sb.WriteString("    " + functionName + "(0, 0, 0);\n")
+	sb.WriteString("    std::printf(\"predicted execution time: %.9f\\n\", pmp::now());\n")
+	sb.WriteString("    return 0;\n")
+	sb.WriteString("}\n")
+	return sb.String()
+}

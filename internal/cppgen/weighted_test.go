@@ -1,0 +1,132 @@
+package cppgen
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"prophet/internal/builder"
+	"prophet/internal/uml"
+)
+
+func weightedModel(t *testing.T) *uml.Model {
+	t.Helper()
+	b := builder.New("weighted")
+	b.Function("FFast", nil, "1").Function("FSlow", nil, "10")
+	d := b.Diagram("main")
+	d.Initial()
+	d.Decision("dec")
+	d.Action("Fast").Cost("FFast()")
+	d.Action("Slow").Cost("FSlow()")
+	d.Merge("mrg")
+	d.Action("After").Cost("2")
+	d.Final()
+	d.Flow("initial", "dec")
+	d.FlowWeighted("dec", "Fast", 0.7)
+	d.FlowWeighted("dec", "Slow", 0.3)
+	d.Flow("Fast", "mrg")
+	d.Flow("Slow", "mrg")
+	d.Chain("mrg", "After", "final")
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestWeightedDecisionCpp(t *testing.T) {
+	out, err := New().Generate(weightedModel(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"double pmp_r = pmp_rand() * 1; // weighted branch",
+		"if (pmp_r < 0.7) {",
+		"} else {",
+		"fast.execute(uid, pid, tid, FFast());",
+		"slow.execute(uid, pid, tid, FSlow());",
+		"after.execute(uid, pid, tid, 2);",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	if err := ValidateStructure(out); err != nil {
+		t.Errorf("structure: %v", err)
+	}
+	// Continuation after the merge appears after the branch.
+	if strings.Index(out, "after.execute") < strings.Index(out, "pmp_rand") {
+		t.Errorf("continuation emitted before branch")
+	}
+}
+
+func TestWeightedDecisionThreeWayCpp(t *testing.T) {
+	b := builder.New("w3")
+	b.Function("F", nil, "1")
+	d := b.Diagram("main")
+	d.Initial()
+	d.Decision("dec")
+	d.Action("A").Cost("F()")
+	d.Action("B").Cost("F()")
+	d.Action("C").Cost("F()")
+	d.Merge("mrg")
+	d.Final()
+	d.Flow("initial", "dec")
+	d.FlowWeighted("dec", "A", 1)
+	d.FlowWeighted("dec", "B", 1)
+	d.FlowWeighted("dec", "C", 2)
+	d.Chain("A", "mrg")
+	d.Chain("B", "mrg")
+	d.Chain("C", "mrg", "final")
+	m, _ := b.Build()
+	out, err := New().Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"pmp_rand() * 4",
+		"if (pmp_r < 1) {",
+		"} else if (pmp_r < 2) {",
+		"} else {",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWeightedDecisionCppCompiles(t *testing.T) {
+	cxx, err := exec.LookPath("g++")
+	if err != nil {
+		t.Skip("no C++ compiler on PATH")
+	}
+	dir := t.TempDir()
+	model, err := New().Generate(weightedModel(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := StandaloneProgram(model, "model_program")
+	if err := os.WriteFile(filepath.Join(dir, "pmp_runtime.h"), []byte(RuntimeHeader()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "model.cpp"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bin := filepath.Join(dir, "pmp")
+	cmd := exec.Command(cxx, "-std=c++11", "-I", dir, "-o", bin, filepath.Join(dir, "model.cpp"))
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("compile failed: %v\n%s\n%s", err, out, src)
+	}
+	out, err := exec.Command(bin).CombinedOutput()
+	if err != nil {
+		t.Fatalf("run failed: %v\n%s", err, out)
+	}
+	// Either path yields 3 (fast) or 12 (slow) total.
+	s := string(out)
+	if !strings.Contains(s, "predicted execution time: 3") &&
+		!strings.Contains(s, "predicted execution time: 12") {
+		t.Errorf("unexpected runtime output: %s", s)
+	}
+}

@@ -1,0 +1,106 @@
+package dot
+
+import (
+	"strings"
+	"testing"
+
+	"prophet/internal/samples"
+	"prophet/internal/traverse"
+)
+
+func TestRenderSample(t *testing.T) {
+	out, err := Render(samples.Sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`digraph "sample" {`,
+		`label="main"`,
+		`label="SA"`,
+		"«action+»",
+		"«activity+»",
+		"shape=diamond",
+		`[label="[GV > 0]"]`,
+		`[label="[else]"]`,
+		"T = FA1()",
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.HasSuffix(strings.TrimSpace(out), "}") {
+		t.Errorf("DOT not closed")
+	}
+}
+
+func TestRenderKernel6Detailed(t *testing.T) {
+	out, err := Render(samples.Kernel6Detailed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "shape=box3d") {
+		t.Errorf("loop nodes should use box3d:\n%s", out)
+	}
+	if strings.Count(out, "subgraph") != 4 {
+		t.Errorf("want 4 diagram clusters, got %d", strings.Count(out, "subgraph"))
+	}
+}
+
+func TestHandlerWithBothNavigators(t *testing.T) {
+	m := samples.Sample()
+	outs := make([]string, 0, 2)
+	for _, nav := range []traverse.Navigator{
+		traverse.NewRecursiveNavigator(), traverse.NewStackNavigator(),
+	} {
+		h := NewHandler()
+		if err := traverse.NewTraverser().Traverse(m, nav, h); err != nil {
+			t.Fatal(err)
+		}
+		out, done := h.Output()
+		if !done {
+			t.Fatal("handler incomplete")
+		}
+		outs = append(outs, out)
+	}
+	if outs[0] != outs[1] {
+		t.Error("DOT output should not depend on the navigator implementation")
+	}
+}
+
+func TestHandlerReusable(t *testing.T) {
+	h := NewHandler()
+	if err := traverse.Run(samples.Kernel6(), h); err != nil {
+		t.Fatal(err)
+	}
+	first, _ := h.Output()
+	if err := traverse.Run(samples.Kernel6(), h); err != nil {
+		t.Fatal(err)
+	}
+	second, _ := h.Output()
+	if first != second {
+		t.Error("handler should reset between traversals")
+	}
+}
+
+func TestOutputBeforeRun(t *testing.T) {
+	h := NewHandler()
+	if out, done := h.Output(); done || out != "" {
+		t.Error("fresh handler should be empty and not done")
+	}
+}
+
+func TestGuardEscaping(t *testing.T) {
+	m := samples.Sample()
+	out, err := Render(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// DOT requires quotes around labels with spaces; %q escaping handles
+	// embedded quotes. Sanity: no raw unescaped newline inside a label.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Count(line, `"`)%2 != 0 {
+			t.Errorf("unbalanced quotes in line: %s", line)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+package estimator
+
+import (
+	"sort"
+	"strings"
+
+	"prophet/internal/trace"
+	"prophet/internal/uml"
+)
+
+// Breakdown splits the simulated time by element class, answering the
+// first question a modeler asks of a run: how much of the predicted time
+// is computation and how much is communication/synchronization.
+//
+// Only action-level elements are counted (activities include their
+// children's time and would double-count).
+type Breakdown struct {
+	// Compute is the total time in action+/omp elements.
+	Compute float64
+	// Communication is the total time in mpi_* elements (including time
+	// blocked in receives and barriers).
+	Communication float64
+	// ByStereotype is the total time per stereotype.
+	ByStereotype map[string]float64
+	// ByElement is the total time per action-level element name.
+	ByElement map[string]float64
+}
+
+// CommunicationFraction returns communication / (compute+communication),
+// or 0 for an empty run.
+func (b Breakdown) CommunicationFraction() float64 {
+	total := b.Compute + b.Communication
+	if total == 0 {
+		return 0
+	}
+	return b.Communication / total
+}
+
+// BreakdownOf classifies a run's summary using the model that produced
+// it.
+func BreakdownOf(m *uml.Model, sum *trace.Summary) Breakdown {
+	b := Breakdown{
+		ByStereotype: map[string]float64{},
+		ByElement:    map[string]float64{},
+	}
+	stereotypes := map[string]string{}
+	for _, d := range m.Diagrams() {
+		for _, n := range d.Nodes() {
+			if n.Kind() == uml.KindAction && n.Stereotype() != "" {
+				stereotypes[n.Name()] = n.Stereotype()
+			}
+		}
+	}
+	for name, st := range sum.Elements {
+		stereo, ok := stereotypes[name]
+		if !ok {
+			continue // activity or loop: inclusive time, skip
+		}
+		b.ByStereotype[stereo] += st.Total
+		b.ByElement[name] += st.Total
+		if strings.HasPrefix(stereo, "mpi_") {
+			b.Communication += st.Total
+		} else {
+			b.Compute += st.Total
+		}
+	}
+	return b
+}
+
+// TopElements returns the n most expensive action-level elements, by
+// total time, ties broken by name.
+func (b Breakdown) TopElements(n int) []string {
+	names := make([]string, 0, len(b.ByElement))
+	for name := range b.ByElement {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		ti, tj := b.ByElement[names[i]], b.ByElement[names[j]]
+		if ti != tj {
+			return ti > tj
+		}
+		return names[i] < names[j]
+	})
+	if n < len(names) {
+		names = names[:n]
+	}
+	return names
+}

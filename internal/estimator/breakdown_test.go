@@ -1,0 +1,116 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+
+	"prophet/internal/builder"
+	"prophet/internal/machine"
+	"prophet/internal/profile"
+	"prophet/internal/samples"
+)
+
+func TestBreakdownSampleIsAllCompute(t *testing.T) {
+	m := samples.Sample()
+	est, err := New().Estimate(Request{Model: m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := BreakdownOf(m, est.Summary)
+	if b.Communication != 0 {
+		t.Errorf("sample model has no communication, got %v", b.Communication)
+	}
+	// Actions only: A1 + SA1 + SA2 + A4 = 8.5 + 5 + 0.1 + 5 (SA excluded,
+	// it is an activity whose time is inclusive).
+	want := 8.5 + 5 + 0.1 + 5
+	if math.Abs(b.Compute-want) > 1e-12 {
+		t.Errorf("compute = %v, want %v", b.Compute, want)
+	}
+	if b.CommunicationFraction() != 0 {
+		t.Errorf("fraction = %v", b.CommunicationFraction())
+	}
+	if b.ByStereotype[profile.ActionPlus] != b.Compute {
+		t.Errorf("stereotype split wrong: %v", b.ByStereotype)
+	}
+}
+
+func TestBreakdownSeparatesCommunication(t *testing.T) {
+	b := builder.New("m")
+	b.Function("F", nil, "6")
+	d := b.Diagram("main")
+	d.Initial()
+	d.Action("Work").Cost("F()")
+	d.MPI("Bar", profile.MPIBarrier)
+	d.Final()
+	d.Chain("initial", "Work", "Bar", "final")
+	m, _ := b.Build()
+
+	// Two processes: rank 1 idles 0, rank 0 works 6; both sync. Barrier
+	// wait time counts as communication.
+	est, err := New().Estimate(Request{
+		Model:  m,
+		Params: machine.SystemParams{Nodes: 1, ProcessorsPerNode: 4, Processes: 2, Threads: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := BreakdownOf(m, est.Summary)
+	if bd.Compute != 12 { // both ranks compute 6
+		t.Errorf("compute = %v, want 12", bd.Compute)
+	}
+	if bd.Communication != 0 {
+		// Both ranks reach the barrier at the same time, so blocked time
+		// is zero — but the element still appears with zero total.
+		t.Errorf("synchronized barrier should cost ~0, got %v", bd.Communication)
+	}
+	if _, ok := bd.ByStereotype[profile.MPIBarrier]; !ok {
+		t.Errorf("barrier missing from stereotype split: %v", bd.ByStereotype)
+	}
+}
+
+func TestBreakdownBlockedRecvCounts(t *testing.T) {
+	b := builder.New("m")
+	b.Function("F", nil, "pid * 10")
+	d := b.Diagram("main")
+	d.Initial()
+	d.Action("Work").Cost("F()")
+	d.Decision("who")
+	d.MPI("Send", profile.MPISend).Tag("dest", "0").Tag("size", "8")
+	d.MPI("Recv", profile.MPIRecv).Tag("src", "1")
+	d.Merge("done")
+	d.Final()
+	d.Flow("initial", "Work")
+	d.Flow("Work", "who")
+	d.FlowIf("who", "Recv", "pid == 0")
+	d.FlowIf("who", "Send", "else")
+	d.Flow("Recv", "done")
+	d.Flow("Send", "done")
+	d.Flow("done", "final")
+	m, _ := b.Build()
+
+	est, err := New().Estimate(Request{
+		Model:  m,
+		Params: machine.SystemParams{Nodes: 1, ProcessorsPerNode: 4, Processes: 2, Threads: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bd := BreakdownOf(m, est.Summary)
+	// Rank 0 computes 0 then blocks ~10 units waiting for rank 1's send.
+	if bd.Communication < 9 {
+		t.Errorf("blocked receive should count as communication: %v", bd.Communication)
+	}
+	if f := bd.CommunicationFraction(); f <= 0 || f >= 1 {
+		t.Errorf("fraction = %v, want in (0,1)", f)
+	}
+	top := bd.TopElements(1)
+	if len(top) != 1 {
+		t.Fatalf("top = %v", top)
+	}
+	if top[0] != "Recv" && top[0] != "Work" {
+		t.Errorf("unexpected top element %q", top[0])
+	}
+	if got := bd.TopElements(100); len(got) != len(bd.ByElement) {
+		t.Errorf("TopElements should clamp to available elements")
+	}
+}

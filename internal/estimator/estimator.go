@@ -1,0 +1,266 @@
+// Package estimator implements the Performance Estimator of the paper's
+// Figure 2: the component that "estimates the performance of a parallel
+// and distributed program on a target computer architecture".
+//
+// Its Simulation Manager accepts the program's performance model (PMP) and
+// the system parameters (SP), generates the machine model, integrates the
+// two into the model of the whole computing system, evaluates it on the
+// simulation engine, and emits the trace file (TF) together with summary
+// statistics. Sweep helpers rerun the evaluation across parameter ranges,
+// which is how the scalability experiments of EXPERIMENTS.md are produced.
+package estimator
+
+import (
+	"fmt"
+
+	"prophet/internal/checker"
+	"prophet/internal/interp"
+	"prophet/internal/machine"
+	"prophet/internal/profile"
+	"prophet/internal/trace"
+	"prophet/internal/uml"
+)
+
+// Request describes one evaluation.
+type Request struct {
+	// Model is the program's performance model.
+	Model *uml.Model
+	// Params are the system parameters (SP). The zero value means one
+	// process on one single-processor node.
+	Params machine.SystemParams
+	// Net overrides the interconnect parameters (nil = defaults).
+	Net *machine.NetParams
+	// Globals provides values for global model variables.
+	Globals map[string]float64
+	// TracePath, when non-empty, writes the trace file there.
+	TracePath string
+	// Policy selects the processor-contention discipline (FCFS default,
+	// or processor sharing).
+	Policy machine.Policy
+	// Seed drives probabilistic branch selection (0 = default seed).
+	Seed int64
+	// SkipCheck bypasses the model checker (for models already checked).
+	SkipCheck bool
+	// MaxSteps bounds element executions per process (0 = default).
+	MaxSteps int
+}
+
+// Estimate is the outcome of one evaluation.
+type Estimate struct {
+	// Makespan is the predicted program execution time.
+	Makespan float64
+	// Trace is the full trace (TF).
+	Trace *trace.Trace
+	// Summary aggregates the trace per element and per process.
+	Summary *trace.Summary
+	// CPUUtilization per node.
+	CPUUtilization []float64
+	// Globals holds final global-variable values.
+	Globals map[string]float64
+}
+
+// Estimator evaluates performance models.
+type Estimator struct {
+	registry *profile.Registry
+	checker  *checker.Checker
+}
+
+// New returns an estimator using the standard profile and default checker
+// configuration.
+func New() *Estimator {
+	reg := profile.NewRegistry()
+	return &Estimator{registry: reg, checker: checker.NewWith(reg, checker.Config{})}
+}
+
+// NewWith returns an estimator with explicit profile registry and checker
+// configuration.
+func NewWith(reg *profile.Registry, cfg checker.Config) *Estimator {
+	return &Estimator{registry: reg, checker: checker.NewWith(reg, cfg)}
+}
+
+// Estimate runs one evaluation: check, compile, simulate, summarize.
+func (e *Estimator) Estimate(req Request) (*Estimate, error) {
+	if req.Model == nil {
+		return nil, fmt.Errorf("estimator: nil model")
+	}
+	if !req.SkipCheck {
+		rep := e.checker.Check(req.Model)
+		if rep.HasErrors() {
+			return nil, &CheckError{Model: req.Model.Name(), Report: rep}
+		}
+	}
+	pr, err := interp.Compile(req.Model, e.registry)
+	if err != nil {
+		return nil, fmt.Errorf("estimator: %w", err)
+	}
+	return e.run(pr, req)
+}
+
+// Compile prepares a model once for repeated evaluation (parameter
+// sweeps).
+func (e *Estimator) Compile(m *uml.Model) (*interp.Program, error) {
+	rep := e.checker.Check(m)
+	if rep.HasErrors() {
+		return nil, &CheckError{Model: m.Name(), Report: rep}
+	}
+	pr, err := interp.Compile(m, e.registry)
+	if err != nil {
+		return nil, fmt.Errorf("estimator: %w", err)
+	}
+	return pr, nil
+}
+
+// EstimateCompiled evaluates a pre-compiled program.
+func (e *Estimator) EstimateCompiled(pr *interp.Program, req Request) (*Estimate, error) {
+	return e.run(pr, req)
+}
+
+func (e *Estimator) run(pr *interp.Program, req Request) (*Estimate, error) {
+	return e.runMode(pr, req, false)
+}
+
+// runMode evaluates the program; fast mode skips trace collection and
+// summarization (Estimate.Trace/Summary are nil), which is what the
+// sweep and Monte Carlo loops want.
+func (e *Estimator) runMode(pr *interp.Program, req Request, fast bool) (*Estimate, error) {
+	res, err := pr.Run(interp.Config{
+		Params:   req.Params,
+		Net:      req.Net,
+		Globals:  req.Globals,
+		Policy:   req.Policy,
+		Seed:     req.Seed,
+		MaxSteps: req.MaxSteps,
+		NoTrace:  fast,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("estimator: %w", err)
+	}
+	est := &Estimate{
+		Makespan:       res.Makespan,
+		CPUUtilization: res.CPUUtilization,
+		Globals:        res.Globals,
+	}
+	if fast {
+		return est, nil
+	}
+	sum, err := trace.Summarize(res.Trace)
+	if err != nil {
+		return nil, fmt.Errorf("estimator: summarize: %w", err)
+	}
+	if req.TracePath != "" {
+		if err := trace.Save(req.TracePath, res.Trace); err != nil {
+			return nil, fmt.Errorf("estimator: %w", err)
+		}
+	}
+	est.Trace = res.Trace
+	est.Summary = sum
+	return est, nil
+}
+
+// CheckError reports a model that failed the Model Checker.
+type CheckError struct {
+	Model  string
+	Report *checker.Report
+}
+
+func (c *CheckError) Error() string {
+	return fmt.Sprintf("estimator: model %q failed checking with %d error(s); first: %s",
+		c.Model, c.Report.Count(checker.Error), firstError(c.Report))
+}
+
+func firstError(rep *checker.Report) string {
+	for _, d := range rep.Diagnostics {
+		if d.Severity == checker.Error {
+			return d.String()
+		}
+	}
+	return "(none)"
+}
+
+// SweepPoint is one sample of a scalability sweep.
+type SweepPoint struct {
+	// Processes used for this point.
+	Processes int
+	// Nodes used for this point.
+	Nodes int
+	// Makespan predicted.
+	Makespan float64
+	// Speedup relative to the first point of the sweep.
+	Speedup float64
+	// Efficiency = Speedup / (Processes/Processes0).
+	Efficiency float64
+}
+
+// SweepProcesses evaluates the model across process counts, keeping the
+// other parameters of req fixed, and derives speedup/efficiency relative
+// to the first count. When req.Params.Nodes is 0 the node count scales
+// with the processes (one node per ProcessorsPerNode processes).
+func (e *Estimator) SweepProcesses(req Request, counts []int) ([]SweepPoint, error) {
+	pr, err := e.Compile(req.Model)
+	if err != nil {
+		return nil, err
+	}
+	var out []SweepPoint
+	var base float64
+	var baseProcs int
+	for i, procs := range counts {
+		p := req.Params
+		if p.ProcessorsPerNode == 0 {
+			p.ProcessorsPerNode = 1
+		}
+		if p.Threads == 0 {
+			p.Threads = 1
+		}
+		p.Processes = procs
+		if req.Params.Nodes == 0 {
+			p.Nodes = (procs + p.ProcessorsPerNode - 1) / p.ProcessorsPerNode
+		}
+		r := req
+		r.Params = p
+		est, err := e.runMode(pr, r, true)
+		if err != nil {
+			return nil, fmt.Errorf("estimator: sweep at %d processes: %w", procs, err)
+		}
+		pt := SweepPoint{Processes: procs, Nodes: p.Nodes, Makespan: est.Makespan}
+		if i == 0 {
+			base = est.Makespan
+			baseProcs = procs
+			pt.Speedup = 1
+			pt.Efficiency = 1
+		} else if est.Makespan > 0 {
+			pt.Speedup = base / est.Makespan
+			pt.Efficiency = pt.Speedup / (float64(procs) / float64(baseProcs))
+		}
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// GlobalPoint is one sample of a global-variable sweep.
+type GlobalPoint struct {
+	Value    float64
+	Makespan float64
+}
+
+// SweepGlobal evaluates the model across values of one global variable.
+func (e *Estimator) SweepGlobal(req Request, name string, values []float64) ([]GlobalPoint, error) {
+	pr, err := e.Compile(req.Model)
+	if err != nil {
+		return nil, err
+	}
+	var out []GlobalPoint
+	for _, v := range values {
+		r := req
+		r.Globals = make(map[string]float64, len(req.Globals)+1)
+		for k, gv := range req.Globals {
+			r.Globals[k] = gv
+		}
+		r.Globals[name] = v
+		est, err := e.runMode(pr, r, true)
+		if err != nil {
+			return nil, fmt.Errorf("estimator: sweep %s=%g: %w", name, v, err)
+		}
+		out = append(out, GlobalPoint{Value: v, Makespan: est.Makespan})
+	}
+	return out, nil
+}

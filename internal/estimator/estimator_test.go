@@ -1,0 +1,195 @@
+package estimator
+
+import (
+	"errors"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"prophet/internal/builder"
+	"prophet/internal/machine"
+	"prophet/internal/samples"
+	"prophet/internal/trace"
+)
+
+func TestEstimateSample(t *testing.T) {
+	est, err := New().Estimate(Request{Model: samples.Sample()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 8.5 + 5 + 0.1 + 5
+	if math.Abs(est.Makespan-want) > 1e-12 {
+		t.Errorf("makespan = %v, want %v", est.Makespan, want)
+	}
+	if est.Summary == nil || est.Summary.Elements["A1"].Count != 1 {
+		t.Errorf("summary missing")
+	}
+	if len(est.CPUUtilization) != 1 {
+		t.Errorf("cpu utilization = %v", est.CPUUtilization)
+	}
+}
+
+func TestEstimateWritesTraceFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.trace")
+	_, err := New().Estimate(Request{Model: samples.Sample(), TracePath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := trace.Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Model != "sample" || len(tr.Events) == 0 {
+		t.Errorf("trace file wrong: %q, %d events", tr.Model, len(tr.Events))
+	}
+}
+
+func TestEstimateRejectsBrokenModel(t *testing.T) {
+	b := builder.New("broken")
+	d := b.Diagram("main")
+	d.Action("A").Cost("Missing()")
+	m, _ := b.Build()
+	_, err := New().Estimate(Request{Model: m})
+	var ce *CheckError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want CheckError, got %v", err)
+	}
+	if !strings.Contains(ce.Error(), "broken") {
+		t.Errorf("error should name the model: %v", ce)
+	}
+	// SkipCheck pushes the failure to compile/run instead.
+	if _, err := New().Estimate(Request{Model: m, SkipCheck: true}); err == nil {
+		t.Error("skip-check run should still fail somewhere")
+	}
+}
+
+func TestEstimateNilModel(t *testing.T) {
+	if _, err := New().Estimate(Request{}); err == nil {
+		t.Error("nil model should fail")
+	}
+}
+
+func TestSweepProcessesSpeedup(t *testing.T) {
+	// Kernel6 is a serial model; replicated across processes with enough
+	// processors it stays flat, so speedup ~1. Use an embarrassingly
+	// parallel variant instead: work divided by processes.
+	b := builder.New("par")
+	b.Global("W", "double")
+	b.Function("F", nil, "W / processes")
+	d := b.Diagram("main")
+	d.Initial()
+	d.Action("Work").Cost("F()")
+	d.Final()
+	d.Chain("initial", "Work", "final")
+	m, _ := b.Build()
+
+	req := Request{
+		Model:   m,
+		Params:  machine.SystemParams{ProcessorsPerNode: 4, Threads: 1},
+		Globals: map[string]float64{"W": 100},
+	}
+	pts, err := New().SweepProcesses(req, []int{1, 2, 4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("points = %d", len(pts))
+	}
+	if pts[0].Speedup != 1 || pts[0].Efficiency != 1 {
+		t.Errorf("base point = %+v", pts[0])
+	}
+	// Perfect scaling: speedup equals process count.
+	for i, want := range []float64{1, 2, 4, 8} {
+		if math.Abs(pts[i].Speedup-want) > 1e-9 {
+			t.Errorf("speedup[%d] = %v, want %v", i, pts[i].Speedup, want)
+		}
+		if math.Abs(pts[i].Efficiency-1) > 1e-9 {
+			t.Errorf("efficiency[%d] = %v, want 1", i, pts[i].Efficiency)
+		}
+	}
+	// Node counts auto-scale: 8 processes / 4 per node = 2 nodes.
+	if pts[3].Nodes != 2 {
+		t.Errorf("nodes at 8 procs = %d, want 2", pts[3].Nodes)
+	}
+}
+
+func TestSweepProcessesFixedNodes(t *testing.T) {
+	req := Request{
+		Model:   samples.Kernel6(),
+		Params:  machine.SystemParams{Nodes: 1, ProcessorsPerNode: 1, Threads: 1},
+		Globals: map[string]float64{"N": 10, "M": 1, "c": 0.1},
+	}
+	pts, err := New().SweepProcesses(req, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Serial kernel replicated on one processor: makespan scales with P,
+	// speedup collapses.
+	if !(pts[2].Makespan > pts[1].Makespan && pts[1].Makespan > pts[0].Makespan) {
+		t.Errorf("contention not visible: %+v", pts)
+	}
+	if pts[2].Nodes != 1 {
+		t.Errorf("fixed node count not honored: %+v", pts[2])
+	}
+	if pts[2].Efficiency >= 0.5 {
+		t.Errorf("efficiency should collapse: %+v", pts[2])
+	}
+}
+
+func TestSweepGlobal(t *testing.T) {
+	req := Request{
+		Model:   samples.Kernel6(),
+		Globals: map[string]float64{"M": 1, "c": 1},
+	}
+	pts, err := New().SweepGlobal(req, "N", []float64{10, 20, 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// FK6 = M*(N-1)*N/2*c grows quadratically.
+	for i, n := range []float64{10, 20, 40} {
+		want := (n - 1) * n / 2
+		if math.Abs(pts[i].Makespan-want) > 1e-9 {
+			t.Errorf("N=%g: makespan = %v, want %v", n, pts[i].Makespan, want)
+		}
+		if pts[i].Value != n {
+			t.Errorf("point value = %v", pts[i].Value)
+		}
+	}
+	// The sweep must not leak values between points or clobber req.
+	if req.Globals["N"] != 0 && req.Globals["N"] != 10 {
+		// N was never in req.Globals; it must still be absent.
+		t.Errorf("request globals mutated: %v", req.Globals)
+	}
+	if _, ok := req.Globals["N"]; ok {
+		t.Errorf("request globals mutated: %v", req.Globals)
+	}
+}
+
+func TestEstimateCompiledReuse(t *testing.T) {
+	e := New()
+	pr, err := e.Compile(samples.Kernel6())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range []float64{1, 2} {
+		est, err := e.EstimateCompiled(pr, Request{Globals: map[string]float64{"N": 10, "M": 1, "c": c}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 45 * c
+		if math.Abs(est.Makespan-want) > 1e-9 {
+			t.Errorf("c=%v: makespan = %v, want %v", c, est.Makespan, want)
+		}
+	}
+}
+
+func TestCompileRejectsBroken(t *testing.T) {
+	b := builder.New("broken")
+	d := b.Diagram("main")
+	d.Action("A").Cost("Missing()")
+	m, _ := b.Build()
+	if _, err := New().Compile(m); err == nil {
+		t.Error("Compile should run the checker")
+	}
+}

@@ -1,0 +1,152 @@
+package estimator
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MonteCarloResult summarizes repeated stochastic evaluations.
+type MonteCarloResult struct {
+	Runs int
+	Mean float64
+	// Std is the sample standard deviation.
+	Std float64
+	Min float64
+	Max float64
+}
+
+// MonteCarlo evaluates a model with probabilistic (weighted) branches
+// across `runs` seeds and summarizes the makespan distribution. For
+// deterministic models every run is identical and Std is 0.
+func (e *Estimator) MonteCarlo(req Request, runs int) (*MonteCarloResult, error) {
+	if runs < 1 {
+		return nil, fmt.Errorf("estimator: monte carlo needs runs >= 1, got %d", runs)
+	}
+	pr, err := e.Compile(req.Model)
+	if err != nil {
+		return nil, err
+	}
+	res := &MonteCarloResult{Runs: runs}
+	var sum, sumSq float64
+	for i := 0; i < runs; i++ {
+		r := req
+		r.Seed = int64(i + 1)
+		est, err := e.runMode(pr, r, true)
+		if err != nil {
+			return nil, fmt.Errorf("estimator: monte carlo run %d: %w", i, err)
+		}
+		m := est.Makespan
+		sum += m
+		sumSq += m * m
+		if i == 0 || m < res.Min {
+			res.Min = m
+		}
+		if i == 0 || m > res.Max {
+			res.Max = m
+		}
+	}
+	res.Mean = sum / float64(runs)
+	if runs > 1 {
+		variance := (sumSq - sum*sum/float64(runs)) / float64(runs-1)
+		if variance > 0 {
+			res.Std = math.Sqrt(variance)
+		}
+	}
+	return res, nil
+}
+
+// SensitivityPoint reports how strongly the predicted makespan reacts to
+// one global model variable.
+type SensitivityPoint struct {
+	// Variable is the global's name.
+	Variable string
+	// Base is the variable's baseline value.
+	Base float64
+	// BaseMakespan is the prediction at the baseline.
+	BaseMakespan float64
+	// UpMakespan / DownMakespan are the predictions at Base*(1±Delta).
+	UpMakespan   float64
+	DownMakespan float64
+	// Elasticity is the central-difference estimate of
+	// d(log makespan) / d(log variable): 1.0 means linear influence,
+	// 2.0 quadratic, ~0 means the variable does not matter.
+	Elasticity float64
+}
+
+// Sensitivity perturbs each named global by ±delta (relative) around the
+// values in req.Globals and reports the makespan elasticity of each — the
+// model-based "which parameter should I tune" analysis that motivates
+// performance modeling in the first place. Variables with a zero baseline
+// are skipped (relative perturbation is undefined there).
+func (e *Estimator) Sensitivity(req Request, names []string, delta float64) ([]SensitivityPoint, error) {
+	if delta <= 0 || delta >= 1 {
+		return nil, fmt.Errorf("estimator: sensitivity delta must be in (0,1), got %g", delta)
+	}
+	pr, err := e.Compile(req.Model)
+	if err != nil {
+		return nil, err
+	}
+	runWith := func(name string, value float64) (float64, error) {
+		r := req
+		r.Globals = make(map[string]float64, len(req.Globals)+1)
+		for k, v := range req.Globals {
+			r.Globals[k] = v
+		}
+		if name != "" {
+			r.Globals[name] = value
+		}
+		est, err := e.runMode(pr, r, true)
+		if err != nil {
+			return 0, err
+		}
+		return est.Makespan, nil
+	}
+
+	base, err := runWith("", 0)
+	if err != nil {
+		return nil, fmt.Errorf("estimator: sensitivity baseline: %w", err)
+	}
+
+	var out []SensitivityPoint
+	for _, name := range names {
+		bv, ok := req.Globals[name]
+		if !ok || bv == 0 {
+			continue
+		}
+		up, err := runWith(name, bv*(1+delta))
+		if err != nil {
+			return nil, fmt.Errorf("estimator: sensitivity %s up: %w", name, err)
+		}
+		down, err := runWith(name, bv*(1-delta))
+		if err != nil {
+			return nil, fmt.Errorf("estimator: sensitivity %s down: %w", name, err)
+		}
+		pt := SensitivityPoint{
+			Variable:     name,
+			Base:         bv,
+			BaseMakespan: base,
+			UpMakespan:   up,
+			DownMakespan: down,
+		}
+		if base > 0 {
+			// Central difference of log(makespan) wrt log(variable).
+			pt.Elasticity = (up - down) / (2 * delta * base)
+		}
+		out = append(out, pt)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		ai, aj := out[i].Elasticity, out[j].Elasticity
+		if ai < 0 {
+			ai = -ai
+		}
+		if aj < 0 {
+			aj = -aj
+		}
+		if ai != aj {
+			return ai > aj
+		}
+		return out[i].Variable < out[j].Variable
+	})
+	return out, nil
+}

@@ -1,0 +1,151 @@
+package estimator
+
+import (
+	"math"
+	"testing"
+
+	"prophet/internal/builder"
+	"prophet/internal/samples"
+)
+
+func TestSensitivityKernel6(t *testing.T) {
+	// FK6 = M * (N-1)*N/2 * c: elasticity wrt c is exactly 1, wrt M is 1,
+	// wrt N is ~2 for large N.
+	req := Request{
+		Model:   samples.Kernel6(),
+		Globals: map[string]float64{"N": 1000, "M": 10, "c": 1e-9},
+	}
+	pts, err := New().Sensitivity(req, []string{"N", "M", "c"}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("points = %d, want 3", len(pts))
+	}
+	byName := map[string]SensitivityPoint{}
+	for _, pt := range pts {
+		byName[pt.Variable] = pt
+	}
+	if e := byName["c"].Elasticity; math.Abs(e-1) > 1e-6 {
+		t.Errorf("elasticity(c) = %v, want 1", e)
+	}
+	if e := byName["M"].Elasticity; math.Abs(e-1) > 1e-6 {
+		t.Errorf("elasticity(M) = %v, want 1", e)
+	}
+	if e := byName["N"].Elasticity; math.Abs(e-2) > 0.01 {
+		t.Errorf("elasticity(N) = %v, want ~2", e)
+	}
+	// Sorted by |elasticity| descending: N first.
+	if pts[0].Variable != "N" {
+		t.Errorf("order wrong: %v first", pts[0].Variable)
+	}
+	// Baselines recorded.
+	if byName["N"].Base != 1000 || byName["N"].BaseMakespan <= 0 {
+		t.Errorf("baseline fields wrong: %+v", byName["N"])
+	}
+	if byName["N"].UpMakespan <= byName["N"].BaseMakespan {
+		t.Errorf("up perturbation should increase quadratic makespan")
+	}
+}
+
+func TestMonteCarloStochasticModel(t *testing.T) {
+	// 70% path of cost 1, 30% path of cost 10: E[T] = 3.7.
+	b := newWeightedBuilder(t)
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New().MonteCarlo(Request{Model: m}, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Runs != 400 {
+		t.Errorf("runs = %d", res.Runs)
+	}
+	if math.Abs(res.Mean-3.7) > 0.6 {
+		t.Errorf("mean = %v, want ~3.7", res.Mean)
+	}
+	if res.Min != 1 || res.Max != 10 {
+		t.Errorf("min/max = %v/%v, want 1/10", res.Min, res.Max)
+	}
+	if res.Std <= 0 {
+		t.Errorf("stochastic model should have positive std: %v", res.Std)
+	}
+}
+
+func TestMonteCarloDeterministicModel(t *testing.T) {
+	res, err := New().MonteCarlo(Request{
+		Model:   samples.Kernel6(),
+		Globals: map[string]float64{"N": 10, "M": 1, "c": 1},
+	}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Std != 0 || res.Min != res.Max {
+		t.Errorf("deterministic model should have zero spread: %+v", res)
+	}
+	if math.Abs(res.Mean-45) > 1e-9 {
+		t.Errorf("mean = %v, want 45", res.Mean)
+	}
+}
+
+func TestMonteCarloValidation(t *testing.T) {
+	if _, err := New().MonteCarlo(Request{Model: samples.Kernel6()}, 0); err == nil {
+		t.Error("runs < 1 should fail")
+	}
+}
+
+// newWeightedBuilder assembles the 70/30 branch model used by the Monte
+// Carlo tests.
+func newWeightedBuilder(t *testing.T) *builder.ModelBuilder {
+	t.Helper()
+	b := builder.New("mc")
+	d := b.Diagram("main")
+	d.Initial()
+	d.Decision("dec")
+	d.Action("Fast").Cost("1")
+	d.Action("Slow").Cost("10")
+	d.Merge("mrg")
+	d.Final()
+	d.Flow("initial", "dec")
+	d.FlowWeighted("dec", "Fast", 0.7)
+	d.FlowWeighted("dec", "Slow", 0.3)
+	d.Flow("Fast", "mrg")
+	d.Flow("Slow", "mrg")
+	d.Flow("mrg", "final")
+	return b
+}
+
+func TestSensitivitySkipsUnsetAndZero(t *testing.T) {
+	req := Request{
+		Model:   samples.Kernel6(),
+		Globals: map[string]float64{"N": 10, "M": 1, "c": 0},
+	}
+	pts, err := New().Sensitivity(req, []string{"c", "ghost"}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 0 {
+		t.Errorf("zero-baseline and unset variables should be skipped: %v", pts)
+	}
+}
+
+func TestSensitivityValidatesDelta(t *testing.T) {
+	req := Request{Model: samples.Kernel6(), Globals: map[string]float64{"N": 10, "M": 1, "c": 1}}
+	for _, d := range []float64{0, -0.1, 1, 2} {
+		if _, err := New().Sensitivity(req, []string{"c"}, d); err == nil {
+			t.Errorf("delta %v should be rejected", d)
+		}
+	}
+}
+
+func TestSensitivityDoesNotMutateRequest(t *testing.T) {
+	globals := map[string]float64{"N": 10, "M": 1, "c": 1}
+	req := Request{Model: samples.Kernel6(), Globals: globals}
+	if _, err := New().Sensitivity(req, []string{"N"}, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if globals["N"] != 10 {
+		t.Errorf("request globals mutated: %v", globals)
+	}
+}

@@ -1,0 +1,92 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+)
+
+// Builtins is the environment of builtin math functions available to every
+// cost function. It binds no variables.
+//
+// The set mirrors what the paper's generated C++ would have available from
+// <cmath>, plus min/max which cost models use for piecewise behavior.
+var Builtins Env = builtinEnv{}
+
+type builtinEnv struct{}
+
+func (builtinEnv) Var(string) (float64, bool) { return 0, false }
+
+func (builtinEnv) Func(name string) (Func, bool) {
+	f, ok := builtinFuncs[name]
+	return f, ok
+}
+
+// fixedArity wraps a fixed-arity function with an argument-count check.
+func fixedArity(name string, n int, f func([]float64) float64) Func {
+	return func(args []float64) (float64, error) {
+		if len(args) != n {
+			return 0, fmt.Errorf("expr: %s expects %d argument(s), got %d", name, n, len(args))
+		}
+		return f(args), nil
+	}
+}
+
+func unary1(name string, f func(float64) float64) Func {
+	return fixedArity(name, 1, func(a []float64) float64 { return f(a[0]) })
+}
+
+func binary2(name string, f func(a, b float64) float64) Func {
+	return fixedArity(name, 2, func(a []float64) float64 { return f(a[0], a[1]) })
+}
+
+var builtinFuncs = map[string]Func{
+	"abs":   unary1("abs", math.Abs),
+	"sqrt":  unary1("sqrt", math.Sqrt),
+	"cbrt":  unary1("cbrt", math.Cbrt),
+	"exp":   unary1("exp", math.Exp),
+	"log":   unary1("log", math.Log),
+	"log2":  unary1("log2", math.Log2),
+	"log10": unary1("log10", math.Log10),
+	"sin":   unary1("sin", math.Sin),
+	"cos":   unary1("cos", math.Cos),
+	"tan":   unary1("tan", math.Tan),
+	"floor": unary1("floor", math.Floor),
+	"ceil":  unary1("ceil", math.Ceil),
+	"round": unary1("round", math.Round),
+	"pow":   binary2("pow", math.Pow),
+	"min": func(args []float64) (float64, error) {
+		if len(args) == 0 {
+			return 0, fmt.Errorf("expr: min expects at least 1 argument")
+		}
+		m := args[0]
+		for _, v := range args[1:] {
+			m = math.Min(m, v)
+		}
+		return m, nil
+	},
+	"max": func(args []float64) (float64, error) {
+		if len(args) == 0 {
+			return 0, fmt.Errorf("expr: max expects at least 1 argument")
+		}
+		m := args[0]
+		for _, v := range args[1:] {
+			m = math.Max(m, v)
+		}
+		return m, nil
+	},
+}
+
+// BuiltinNames returns the names of all builtin functions (unordered).
+func BuiltinNames() []string {
+	out := make([]string, 0, len(builtinFuncs))
+	for name := range builtinFuncs {
+		out = append(out, name)
+	}
+	return out
+}
+
+// IsBuiltin reports whether name is a builtin function.
+func IsBuiltin(name string) bool {
+	_, ok := builtinFuncs[name]
+	return ok
+}

@@ -1,0 +1,96 @@
+package expr
+
+import "fmt"
+
+// Func is a callable cost function: builtin math functions and user-defined
+// model functions share this shape.
+type Func func(args []float64) (float64, error)
+
+// Env resolves variable and function names during evaluation.
+type Env interface {
+	// Var returns the value bound to a variable name.
+	Var(name string) (float64, bool)
+	// Func returns the function bound to a name.
+	Func(name string) (Func, bool)
+}
+
+// UndefinedError reports a reference to a name the environment does not
+// bind.
+type UndefinedError struct {
+	Kind string // "variable" or "function"
+	Name string
+}
+
+func (e *UndefinedError) Error() string {
+	return fmt.Sprintf("expr: undefined %s %q", e.Kind, e.Name)
+}
+
+// MapEnv is a simple mutable Env backed by maps. The zero value is usable.
+type MapEnv struct {
+	Vars  map[string]float64
+	Funcs map[string]Func
+}
+
+// NewMapEnv returns an empty MapEnv.
+func NewMapEnv() *MapEnv {
+	return &MapEnv{Vars: make(map[string]float64), Funcs: make(map[string]Func)}
+}
+
+// Var implements Env.
+func (m *MapEnv) Var(name string) (float64, bool) {
+	v, ok := m.Vars[name]
+	return v, ok
+}
+
+// Func implements Env.
+func (m *MapEnv) Func(name string) (Func, bool) {
+	f, ok := m.Funcs[name]
+	return f, ok
+}
+
+// Set binds a variable, allocating the map if needed.
+func (m *MapEnv) Set(name string, v float64) {
+	if m.Vars == nil {
+		m.Vars = make(map[string]float64)
+	}
+	m.Vars[name] = v
+}
+
+// SetFunc binds a function, allocating the map if needed.
+func (m *MapEnv) SetFunc(name string, f Func) {
+	if m.Funcs == nil {
+		m.Funcs = make(map[string]Func)
+	}
+	m.Funcs[name] = f
+}
+
+// Chain is an Env that consults a sequence of environments in order,
+// returning the first binding found. It implements lexical layering:
+// loop variables over locals over globals over builtins.
+type Chain []Env
+
+// Var implements Env.
+func (c Chain) Var(name string) (float64, bool) {
+	for _, e := range c {
+		if e == nil {
+			continue
+		}
+		if v, ok := e.Var(name); ok {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// Func implements Env.
+func (c Chain) Func(name string) (Func, bool) {
+	for _, e := range c {
+		if e == nil {
+			continue
+		}
+		if f, ok := e.Func(name); ok {
+			return f, true
+		}
+	}
+	return nil, false
+}

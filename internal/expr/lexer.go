@@ -1,0 +1,157 @@
+package expr
+
+import (
+	"strconv"
+	"unicode"
+	"unicode/utf8"
+)
+
+// lexer turns an expression string into tokens.
+type lexer struct {
+	src string
+	pos int
+}
+
+func (l *lexer) errf(pos int, msg string) error {
+	return &SyntaxError{Expr: l.src, Pos: pos, Msg: msg}
+}
+
+// next returns the next token, skipping whitespace.
+func (l *lexer) next() (token, error) {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' {
+			l.pos++
+			continue
+		}
+		break
+	}
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	c := l.src[l.pos]
+	switch {
+	case c >= '0' && c <= '9' || c == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1]):
+		return l.lexNumber()
+	case isIdentStart(rune(c)) || c >= utf8.RuneSelf:
+		return l.lexIdent()
+	}
+	l.pos++
+	two := func(k tokenKind) (token, error) {
+		l.pos++
+		return token{kind: k, text: l.src[start:l.pos], pos: start}, nil
+	}
+	one := func(k tokenKind) (token, error) {
+		return token{kind: k, text: l.src[start:l.pos], pos: start}, nil
+	}
+	peek := byte(0)
+	if l.pos < len(l.src) {
+		peek = l.src[l.pos]
+	}
+	switch c {
+	case '(':
+		return one(tokLParen)
+	case ')':
+		return one(tokRParen)
+	case ',':
+		return one(tokComma)
+	case '+':
+		return one(tokPlus)
+	case '-':
+		return one(tokMinus)
+	case '*':
+		return one(tokStar)
+	case '/':
+		return one(tokSlash)
+	case '%':
+		return one(tokPercent)
+	case '?':
+		return one(tokQuestion)
+	case ':':
+		return one(tokColon)
+	case '<':
+		if peek == '=' {
+			return two(tokLE)
+		}
+		return one(tokLT)
+	case '>':
+		if peek == '=' {
+			return two(tokGE)
+		}
+		return one(tokGT)
+	case '=':
+		if peek == '=' {
+			return two(tokEQ)
+		}
+		return token{}, l.errf(start, "'=' is not an operator (use '==')")
+	case '!':
+		if peek == '=' {
+			return two(tokNE)
+		}
+		return one(tokNot)
+	case '&':
+		if peek == '&' {
+			return two(tokAnd)
+		}
+		return token{}, l.errf(start, "'&' is not an operator (use '&&')")
+	case '|':
+		if peek == '|' {
+			return two(tokOr)
+		}
+		return token{}, l.errf(start, "'|' is not an operator (use '||')")
+	}
+	return token{}, l.errf(start, "unexpected character "+strconv.QuoteRune(rune(c)))
+}
+
+func (l *lexer) lexNumber() (token, error) {
+	start := l.pos
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case isDigit(c):
+			l.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !seenExp && l.pos > start:
+			seenExp = true
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+		default:
+			goto done
+		}
+	}
+done:
+	text := l.src[start:l.pos]
+	f, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return token{}, l.errf(start, "malformed number "+strconv.Quote(text))
+	}
+	return token{kind: tokNumber, text: text, num: f, pos: start}, nil
+}
+
+func (l *lexer) lexIdent() (token, error) {
+	start := l.pos
+	for l.pos < len(l.src) {
+		r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+		if !isIdentPart(r) {
+			break
+		}
+		l.pos += size
+	}
+	return token{kind: tokIdent, text: l.src[start:l.pos], pos: start}, nil
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

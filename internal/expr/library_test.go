@@ -1,0 +1,160 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLibraryBasics(t *testing.T) {
+	lib, err := NewLibrary([]Def{
+		{Name: "FA1", Body: "2*P"},
+		{Name: "FSA2", Params: []string{"pid"}, Body: "pid + 1"},
+		{Name: "FK6", Params: []string{"n", "m"}, Body: "m * n * (n-1) / 2 * c"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	outer := NewMapEnv()
+	outer.Set("P", 8)
+	outer.Set("c", 1e-9)
+	env := lib.Bind(outer)
+
+	if v := evalOK(t, "FA1()", env); v != 16 {
+		t.Errorf("FA1() = %v, want 16", v)
+	}
+	if v := evalOK(t, "FSA2(3)", env); v != 4 {
+		t.Errorf("FSA2(3) = %v, want 4", v)
+	}
+	// n=1000, m=10: 10 * 1000*999/2 * 1e-9
+	want := 10 * 1000.0 * 999.0 / 2 * 1e-9
+	if v := evalOK(t, "FK6(1000, 10)", env); v != want {
+		t.Errorf("FK6 = %v, want %v", v, want)
+	}
+}
+
+func TestLibraryComposition(t *testing.T) {
+	// "A cost function may be composed using other functions that are
+	// defined in the performance model" (paper, Section 4).
+	lib, err := NewLibrary([]Def{
+		{Name: "base", Params: []string{"x"}, Body: "x * 2"},
+		{Name: "comp", Params: []string{"x"}, Body: "base(x) + base(x+1) + sqrt(x)"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := lib.Bind(nil)
+	if v := evalOK(t, "comp(4)", env); v != 8+10+2 {
+		t.Errorf("comp(4) = %v, want 20", v)
+	}
+}
+
+func TestLibraryParamShadowsOuter(t *testing.T) {
+	lib, err := NewLibrary([]Def{{Name: "f", Params: []string{"P"}, Body: "P * 10"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer := NewMapEnv()
+	outer.Set("P", 999)
+	env := lib.Bind(outer)
+	if v := evalOK(t, "f(2)", env); v != 20 {
+		t.Errorf("parameter should shadow outer variable: f(2) = %v", v)
+	}
+	// Outside a call, P still resolves to the outer binding.
+	if v := evalOK(t, "P", env); v != 999 {
+		t.Errorf("outer variable lost: P = %v", v)
+	}
+}
+
+func TestLibraryErrors(t *testing.T) {
+	if _, err := NewLibrary([]Def{{Name: "", Body: "1"}}); err == nil {
+		t.Error("empty name should be rejected")
+	}
+	if _, err := NewLibrary([]Def{{Name: "f", Body: "1"}, {Name: "f", Body: "2"}}); err == nil {
+		t.Error("duplicate name should be rejected")
+	}
+	if _, err := NewLibrary([]Def{{Name: "sqrt", Body: "1"}}); err == nil {
+		t.Error("shadowing a builtin should be rejected")
+	}
+	if _, err := NewLibrary([]Def{{Name: "f", Body: "1 +"}}); err == nil {
+		t.Error("malformed body should be rejected at load time")
+	}
+}
+
+func TestLibraryArity(t *testing.T) {
+	lib, _ := NewLibrary([]Def{{Name: "f", Params: []string{"a", "b"}, Body: "a+b"}})
+	env := lib.Bind(nil)
+	if _, err := Eval("f(1)", env); err == nil || !strings.Contains(err.Error(), "2 argument") {
+		t.Errorf("arity mismatch should error, got %v", err)
+	}
+}
+
+func TestLibraryRecursionGuard(t *testing.T) {
+	lib, err := NewLibrary([]Def{
+		{Name: "inf", Params: []string{"x"}, Body: "inf(x)"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := lib.Bind(nil)
+	_, err = Eval("inf(1)", env)
+	if err == nil || !strings.Contains(err.Error(), "call depth") {
+		t.Errorf("recursive cost function should hit depth guard, got %v", err)
+	}
+}
+
+func TestLibraryMutualRecursionGuard(t *testing.T) {
+	lib, err := NewLibrary([]Def{
+		{Name: "a", Body: "b()"},
+		{Name: "b", Body: "a()"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Eval("a()", lib.Bind(nil)); err == nil {
+		t.Error("mutual recursion should hit depth guard")
+	}
+}
+
+func TestLibraryNamesAndDef(t *testing.T) {
+	lib, _ := NewLibrary([]Def{
+		{Name: "f1", Body: "1"},
+		{Name: "f2", Body: "2"},
+	})
+	names := lib.Names()
+	if len(names) != 2 || names[0] != "f1" || names[1] != "f2" {
+		t.Errorf("Names = %v", names)
+	}
+	d, ok := lib.Def("f2")
+	if !ok || d.Body != "2" {
+		t.Errorf("Def(f2) = %+v, %v", d, ok)
+	}
+	if _, ok := lib.Def("nope"); ok {
+		t.Errorf("Def of unknown name should report false")
+	}
+}
+
+func TestLibraryDeepCompositionWithinLimit(t *testing.T) {
+	// A non-recursive chain of depth 10 must evaluate fine.
+	defs := []Def{{Name: "g0", Body: "1"}}
+	for i := 1; i <= 10; i++ {
+		defs = append(defs, Def{
+			Name: "g" + string(rune('0'+i/10)) + string(rune('0'+i%10)),
+		})
+	}
+	// Build the chain explicitly: g01 calls g0, g02 calls g01, ...
+	defs = []Def{{Name: "g0", Body: "1"}}
+	prev := "g0"
+	for i := 1; i <= 10; i++ {
+		name := prev + "x"
+		defs = append(defs, Def{Name: name, Body: prev + "() + 1"})
+		prev = name
+	}
+	lib, err := NewLibrary(defs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := evalOK(t, prev+"()", lib.Bind(nil)); v != 11 {
+		t.Errorf("chain eval = %v, want 11", v)
+	}
+}

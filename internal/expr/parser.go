@@ -1,0 +1,212 @@
+package expr
+
+import "fmt"
+
+// Parse parses an expression string into an AST. The grammar, lowest to
+// highest precedence:
+//
+//	cond   = or [ '?' cond ':' cond ]
+//	or     = and   { '||' and }
+//	and    = cmp   { '&&' cmp }
+//	cmp    = add   { ('=='|'!='|'<'|'<='|'>'|'>=') add }
+//	add    = mul   { ('+'|'-') mul }
+//	mul    = unary { ('*'|'/'|'%') unary }
+//	unary  = ('-'|'!') unary | primary
+//	primary= number | ident | ident '(' [cond {',' cond}] ')' | '(' cond ')'
+func Parse(src string) (Node, error) {
+	p := &parser{lex: lexer{src: src}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	n, err := p.parseCond()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokEOF {
+		return nil, p.errf("unexpected %s", p.tok.kind)
+	}
+	return n, nil
+}
+
+// MustParse is Parse for expressions known to be valid at compile time;
+// it panics on error. Intended for tests and package-internal constants.
+func MustParse(src string) Node {
+	n, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type parser struct {
+	lex lexer
+	tok token
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) errf(format string, args ...interface{}) error {
+	return &SyntaxError{Expr: p.lex.src, Pos: p.tok.pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k tokenKind) error {
+	if p.tok.kind != k {
+		return p.errf("expected %s, found %s", k, p.tok.kind)
+	}
+	return p.advance()
+}
+
+func (p *parser) parseCond() (Node, error) {
+	c, err := p.parseOr()
+	if err != nil {
+		return nil, err
+	}
+	if p.tok.kind != tokQuestion {
+		return c, nil
+	}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	a, err := p.parseCond()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expect(tokColon); err != nil {
+		return nil, err
+	}
+	b, err := p.parseCond()
+	if err != nil {
+		return nil, err
+	}
+	return &Cond{C: c, A: a, B: b}, nil
+}
+
+func (p *parser) parseOr() (Node, error) {
+	return p.parseBinary(p.parseAnd, map[tokenKind]string{tokOr: "||"}, p.parseAnd)
+}
+
+func (p *parser) parseAnd() (Node, error) {
+	return p.parseBinary(p.parseCmp, map[tokenKind]string{tokAnd: "&&"}, p.parseCmp)
+}
+
+func (p *parser) parseCmp() (Node, error) {
+	ops := map[tokenKind]string{
+		tokEQ: "==", tokNE: "!=", tokLT: "<", tokLE: "<=", tokGT: ">", tokGE: ">=",
+	}
+	return p.parseBinary(p.parseAdd, ops, p.parseAdd)
+}
+
+func (p *parser) parseAdd() (Node, error) {
+	return p.parseBinary(p.parseMul, map[tokenKind]string{tokPlus: "+", tokMinus: "-"}, p.parseMul)
+}
+
+func (p *parser) parseMul() (Node, error) {
+	ops := map[tokenKind]string{tokStar: "*", tokSlash: "/", tokPercent: "%"}
+	return p.parseBinary(p.parseUnary, ops, p.parseUnary)
+}
+
+// parseBinary parses a left-associative binary level with the given
+// operand parsers and operator set.
+func (p *parser) parseBinary(first func() (Node, error), ops map[tokenKind]string, rest func() (Node, error)) (Node, error) {
+	l, err := first()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		op, ok := ops[p.tok.kind]
+		if !ok {
+			return l, nil
+		}
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		r, err := rest()
+		if err != nil {
+			return nil, err
+		}
+		l = &Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) parseUnary() (Node, error) {
+	switch p.tok.kind {
+	case tokMinus:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "-", X: x}, nil
+	case tokNot:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &Unary{Op: "!", X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Node, error) {
+	switch p.tok.kind {
+	case tokNumber:
+		n := &Num{Value: p.tok.num}
+		return n, p.advance()
+	case tokIdent:
+		name := p.tok.text
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		if p.tok.kind != tokLParen {
+			return &Var{Name: name}, nil
+		}
+		if err := p.advance(); err != nil { // consume '('
+			return nil, err
+		}
+		var args []Node
+		if p.tok.kind != tokRParen {
+			for {
+				a, err := p.parseCond()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+				if p.tok.kind != tokComma {
+					break
+				}
+				if err := p.advance(); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return &Call{Name: name, Args: args}, nil
+	case tokLParen:
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		n, err := p.parseCond()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return n, nil
+	}
+	return nil, p.errf("expected operand, found %s", p.tok.kind)
+}

@@ -1,0 +1,144 @@
+package expr
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestParseValid(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string // normalized String() form
+	}{
+		{"1", "1"},
+		{"1.5", "1.5"},
+		{"1e3", "1000"},
+		{"2.5e-2", "0.025"},
+		{"x", "x"},
+		{"_under", "_under"},
+		{"x1y2", "x1y2"},
+		{"1+2", "1 + 2"},
+		{"1+2*3", "1 + (2 * 3)"},
+		{"(1+2)*3", "(1 + 2) * 3"},
+		{"-x", "-x"},
+		{"--x", "-(-x)"},
+		{"!x", "!x"},
+		{"a-b-c", "(a - b) - c"}, // left associative
+		{"a/b/c", "(a / b) / c"},
+		{"a%b", "a % b"},
+		{"f()", "f()"},
+		{"f(1)", "f(1)"},
+		{"f(1, 2, 3)", "f(1, 2, 3)"},
+		{"FA1(P)", "FA1(P)"},
+		{"FSA2(pid)", "FSA2(pid)"},
+		{"f(g(x), h(y)+1)", "f(g(x), h(y) + 1)"},
+		{"a < b", "a < b"},
+		{"a <= b", "a <= b"},
+		{"a == b", "a == b"},
+		{"a != b", "a != b"},
+		{"a >= b", "a >= b"},
+		{"GV > 0", "GV > 0"},
+		{"a && b || c", "(a && b) || c"},
+		{"!a && b", "(!a) && b"},
+		{"a<b && c>d", "(a < b) && (c > d)"},
+		{"a ? b : c", "a ? b : c"},
+		{"a ? b : c ? d : e", "a ? b : (c ? d : e)"}, // right associative
+		{"a+b ? c*d : e-f", "(a + b) ? (c * d) : (e - f)"},
+		{"  1 +\t2 \n", "1 + 2"},
+	}
+	for _, c := range cases {
+		n, err := Parse(c.src)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.src, err)
+			continue
+		}
+		if got := n.String(); got != c.want {
+			t.Errorf("Parse(%q).String() = %q, want %q", c.src, got, c.want)
+		}
+	}
+}
+
+func TestParseNormalizedFormReparses(t *testing.T) {
+	// Property: rendering and re-parsing is a fixed point.
+	sources := []string{
+		"1+2*3", "(1+2)*3", "a && b || !c", "f(g(x), 1/2)",
+		"a ? b+1 : c*2", "-x % 3", "GV > 0 && P <= 16",
+	}
+	for _, src := range sources {
+		n1 := MustParse(src)
+		n2, err := Parse(n1.String())
+		if err != nil {
+			t.Fatalf("re-parse of %q (%q): %v", src, n1.String(), err)
+		}
+		if n1.String() != n2.String() {
+			t.Errorf("not a fixed point: %q -> %q -> %q", src, n1.String(), n2.String())
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"", "1 +", "(1", "1)", "f(", "f(1,", "f(1 2)", "* 3", "1 ? 2",
+		"1 ? 2 : ", "a = b", "a & b", "a | b", "@", "1..2", "a +* b",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestSyntaxErrorDetails(t *testing.T) {
+	_, err := Parse("1 + @")
+	var se *SyntaxError
+	if !errors.As(err, &se) {
+		t.Fatalf("want *SyntaxError, got %T: %v", err, err)
+	}
+	if se.Pos != 4 {
+		t.Errorf("error Pos = %d, want 4", se.Pos)
+	}
+	if !strings.Contains(se.Error(), "offset 4") {
+		t.Errorf("error message should include offset: %q", se.Error())
+	}
+}
+
+func TestMustParsePanicsOnError(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on invalid input")
+		}
+	}()
+	MustParse("1 +")
+}
+
+func TestVars(t *testing.T) {
+	n := MustParse("a + f(b, a) * c ? d : a")
+	got := Vars(n)
+	want := []string{"a", "b", "c", "d"}
+	if len(got) != len(want) {
+		t.Fatalf("Vars = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Vars = %v, want %v", got, want)
+		}
+	}
+	if vs := Vars(MustParse("1 + 2")); len(vs) != 0 {
+		t.Errorf("constant expression should have no vars, got %v", vs)
+	}
+}
+
+func TestCalls(t *testing.T) {
+	n := MustParse("f(g(x)) + h(1) + f(2)")
+	got := Calls(n)
+	want := []string{"f", "g", "h"}
+	if len(got) != len(want) {
+		t.Fatalf("Calls = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Calls = %v, want %v", got, want)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package expr
+
+import "fmt"
+
+// tokenKind enumerates lexical token categories.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokNumber
+	tokIdent
+	tokLParen
+	tokRParen
+	tokComma
+	tokPlus
+	tokMinus
+	tokStar
+	tokSlash
+	tokPercent
+	tokLT
+	tokLE
+	tokGT
+	tokGE
+	tokEQ
+	tokNE
+	tokAnd
+	tokOr
+	tokNot
+	tokQuestion
+	tokColon
+)
+
+var tokenNames = map[tokenKind]string{
+	tokEOF:      "end of expression",
+	tokNumber:   "number",
+	tokIdent:    "identifier",
+	tokLParen:   "'('",
+	tokRParen:   "')'",
+	tokComma:    "','",
+	tokPlus:     "'+'",
+	tokMinus:    "'-'",
+	tokStar:     "'*'",
+	tokSlash:    "'/'",
+	tokPercent:  "'%'",
+	tokLT:       "'<'",
+	tokLE:       "'<='",
+	tokGT:       "'>'",
+	tokGE:       "'>='",
+	tokEQ:       "'=='",
+	tokNE:       "'!='",
+	tokAnd:      "'&&'",
+	tokOr:       "'||'",
+	tokNot:      "'!'",
+	tokQuestion: "'?'",
+	tokColon:    "':'",
+}
+
+func (k tokenKind) String() string {
+	if s, ok := tokenNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// token is a lexical token with its source position (byte offset).
+type token struct {
+	kind tokenKind
+	text string
+	num  float64
+	pos  int
+}
+
+// SyntaxError describes a lexical or syntactic error with its position in
+// the expression source.
+type SyntaxError struct {
+	Expr string
+	Pos  int
+	Msg  string
+}
+
+func (e *SyntaxError) Error() string {
+	return fmt.Sprintf("expr: %s at offset %d in %q", e.Msg, e.Pos, e.Expr)
+}

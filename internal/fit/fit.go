@@ -1,0 +1,232 @@
+// Package fit estimates cost-function coefficients from measurements:
+// general linear least squares over arbitrary feature terms. Where
+// lfk.Calibrate fits the single constant of a one-term model, this package
+// fits models like
+//
+//	time = c0 + c1*n + c2*n*n
+//
+// from (parameters, measured time) samples — the step that turns profiled
+// timings into the parameterized cost functions the paper's models carry
+// ("the estimated or the measured execution time", Section 2.1). Terms
+// can be given directly as expression-language sources, so the fitted
+// model pastes straight into a model's cost function.
+package fit
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"prophet/internal/expr"
+)
+
+// Term is one feature of a linear model.
+type Term struct {
+	// Name labels the term (e.g. "n*n").
+	Name string
+	// Eval computes the feature value at a parameter point.
+	Eval func(params map[string]float64) (float64, error)
+}
+
+// TermExpr builds a term from a cost-expression source; the expression's
+// variables resolve against the sample's parameters.
+func TermExpr(src string) (Term, error) {
+	c, err := expr.CompileStringFolded(src)
+	if err != nil {
+		return Term{}, fmt.Errorf("fit: term %q: %w", src, err)
+	}
+	return Term{
+		Name: src,
+		Eval: func(params map[string]float64) (float64, error) {
+			env := expr.Chain{&mapEnv{params}, expr.Builtins}
+			return c.Eval(env)
+		},
+	}, nil
+}
+
+// MustTerms builds terms from expression sources, panicking on malformed
+// input (intended for literal term lists).
+func MustTerms(srcs ...string) []Term {
+	out := make([]Term, len(srcs))
+	for i, s := range srcs {
+		t, err := TermExpr(s)
+		if err != nil {
+			panic(err)
+		}
+		out[i] = t
+	}
+	return out
+}
+
+type mapEnv struct{ m map[string]float64 }
+
+func (e *mapEnv) Var(name string) (float64, bool) {
+	v, ok := e.m[name]
+	return v, ok
+}
+func (e *mapEnv) Func(string) (expr.Func, bool) { return nil, false }
+
+// Sample is one measurement.
+type Sample struct {
+	// Params are the independent variables (problem size, process count…).
+	Params map[string]float64
+	// Value is the measured quantity (seconds).
+	Value float64
+}
+
+// Model is a fitted linear model.
+type Model struct {
+	Terms []Term
+	Coef  []float64
+}
+
+// Fit solves the least-squares problem min ||A c - b||² where A's columns
+// are the terms evaluated at each sample. It requires at least as many
+// samples as terms and a full-rank design matrix.
+func Fit(terms []Term, samples []Sample) (*Model, error) {
+	n, k := len(samples), len(terms)
+	if k == 0 {
+		return nil, fmt.Errorf("fit: no terms")
+	}
+	if n < k {
+		return nil, fmt.Errorf("fit: %d sample(s) for %d term(s); need at least as many samples as terms", n, k)
+	}
+	// Build the design matrix and response vector.
+	a := make([][]float64, n)
+	b := make([]float64, n)
+	for i, s := range samples {
+		a[i] = make([]float64, k)
+		for j, t := range terms {
+			v, err := t.Eval(s.Params)
+			if err != nil {
+				return nil, fmt.Errorf("fit: term %q at sample %d: %w", t.Name, i, err)
+			}
+			a[i][j] = v
+		}
+		b[i] = s.Value
+	}
+	// Normal equations: (AᵀA) c = Aᵀb.
+	ata := make([][]float64, k)
+	atb := make([]float64, k)
+	for i := 0; i < k; i++ {
+		ata[i] = make([]float64, k)
+		for j := 0; j < k; j++ {
+			var s float64
+			for r := 0; r < n; r++ {
+				s += a[r][i] * a[r][j]
+			}
+			ata[i][j] = s
+		}
+		var s float64
+		for r := 0; r < n; r++ {
+			s += a[r][i] * b[r]
+		}
+		atb[i] = s
+	}
+	coef, err := solve(ata, atb)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{Terms: terms, Coef: coef}, nil
+}
+
+// solve performs Gaussian elimination with partial pivoting on a copy of
+// the inputs.
+func solve(m [][]float64, v []float64) ([]float64, error) {
+	k := len(v)
+	a := make([][]float64, k)
+	for i := range a {
+		a[i] = append([]float64(nil), m[i]...)
+		a[i] = append(a[i], v[i])
+	}
+	for col := 0; col < k; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < k; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return nil, fmt.Errorf("fit: design matrix is rank deficient (collinear terms?)")
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		// Eliminate below.
+		for r := col + 1; r < k; r++ {
+			f := a[r][col] / a[col][col]
+			for c := col; c <= k; c++ {
+				a[r][c] -= f * a[col][c]
+			}
+		}
+	}
+	// Back substitution.
+	out := make([]float64, k)
+	for i := k - 1; i >= 0; i-- {
+		s := a[i][k]
+		for j := i + 1; j < k; j++ {
+			s -= a[i][j] * out[j]
+		}
+		out[i] = s / a[i][i]
+	}
+	return out, nil
+}
+
+// Predict evaluates the fitted model at a parameter point.
+func (m *Model) Predict(params map[string]float64) (float64, error) {
+	var s float64
+	for i, t := range m.Terms {
+		v, err := t.Eval(params)
+		if err != nil {
+			return 0, err
+		}
+		s += m.Coef[i] * v
+	}
+	return s, nil
+}
+
+// R2 returns the coefficient of determination over the samples (1 = the
+// model explains all variance).
+func (m *Model) R2(samples []Sample) (float64, error) {
+	var mean float64
+	for _, s := range samples {
+		mean += s.Value
+	}
+	mean /= float64(len(samples))
+	var ssRes, ssTot float64
+	for _, s := range samples {
+		p, err := m.Predict(s.Params)
+		if err != nil {
+			return 0, err
+		}
+		ssRes += (s.Value - p) * (s.Value - p)
+		ssTot += (s.Value - mean) * (s.Value - mean)
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1, nil
+		}
+		return 0, nil
+	}
+	return 1 - ssRes/ssTot, nil
+}
+
+// CostFunction renders the fitted model as a cost-expression source,
+// ready to paste into a model's function body:
+// "1.2e-09*(n*n) + 3.4e-06*(n)".
+func (m *Model) CostFunction() string {
+	parts := make([]string, 0, len(m.Terms))
+	for i, t := range m.Terms {
+		if m.Coef[i] == 0 {
+			continue
+		}
+		if t.Name == "1" {
+			parts = append(parts, fmt.Sprintf("%g", m.Coef[i]))
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%g*(%s)", m.Coef[i], t.Name))
+	}
+	if len(parts) == 0 {
+		return "0"
+	}
+	return strings.Join(parts, " + ")
+}

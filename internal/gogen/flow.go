@@ -1,0 +1,397 @@
+package gogen
+
+import (
+	"fmt"
+	"strings"
+
+	"prophet/internal/profile"
+	"prophet/internal/uml"
+)
+
+// goFlow walks a diagram and emits Go control flow, mirroring the C++
+// generator's structured walk.
+type goFlow struct {
+	gen     *Generator
+	model   *uml.Model
+	w       *goWriter
+	indent  int
+	loopSeq int
+	wgSeq   int
+	active  []string
+}
+
+func (f *goFlow) line(format string, args ...interface{}) {
+	f.w.line(strings.Repeat("\t", f.indent)+format, args...)
+}
+
+func (f *goFlow) emitDiagram(d *uml.Diagram) error {
+	for _, name := range f.active {
+		if name == d.Name() {
+			return fmt.Errorf("gogen: cyclic activity nesting through diagram %q", d.Name())
+		}
+	}
+	f.active = append(f.active, d.Name())
+	defer func() { f.active = f.active[:len(f.active)-1] }()
+
+	ini := d.Initial()
+	if ini == nil {
+		if len(d.Nodes()) == 0 {
+			return nil
+		}
+		return fmt.Errorf("gogen: diagram %q has no initial node", d.Name())
+	}
+	start, err := f.successor(d, ini)
+	if err != nil {
+		return err
+	}
+	return f.emitSeq(d, start, nil, map[string]bool{})
+}
+
+func (f *goFlow) emitSeq(d *uml.Diagram, cur uml.Node, stop uml.Node, onPath map[string]bool) error {
+	for cur != nil {
+		if stop != nil && cur.ID() == stop.ID() {
+			return nil
+		}
+		if onPath[cur.ID()] {
+			return fmt.Errorf("gogen: diagram %q: unstructured cycle through node %q", d.Name(), cur.Name())
+		}
+		onPath[cur.ID()] = true
+
+		var err error
+		switch n := cur.(type) {
+		case *uml.ControlNode:
+			switch n.Kind() {
+			case uml.KindFinal:
+				return nil
+			case uml.KindMerge, uml.KindJoin:
+				cur, err = f.successor(d, n)
+			case uml.KindDecision:
+				cur, err = f.emitDecision(d, n, onPath)
+			case uml.KindFork:
+				cur, err = f.emitFork(d, n, onPath)
+			default:
+				return fmt.Errorf("gogen: diagram %q: unexpected %v mid-flow", d.Name(), n.Kind())
+			}
+		case *uml.ActionNode:
+			if err := f.emitAction(n); err != nil {
+				return err
+			}
+			cur, err = f.successor(d, n)
+		case *uml.ActivityNode:
+			if err := f.emitActivity(n); err != nil {
+				return err
+			}
+			cur, err = f.successor(d, n)
+		case *uml.LoopNode:
+			if err := f.emitLoop(n); err != nil {
+				return err
+			}
+			cur, err = f.successor(d, n)
+		default:
+			return fmt.Errorf("gogen: unknown node type %T", cur)
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (f *goFlow) successor(d *uml.Diagram, n uml.Node) (uml.Node, error) {
+	out := d.Outgoing(n.ID())
+	switch len(out) {
+	case 0:
+		return nil, nil
+	case 1:
+		next := d.Node(out[0].To())
+		if next == nil {
+			return nil, fmt.Errorf("gogen: diagram %q: dangling edge from %q", d.Name(), n.Name())
+		}
+		return next, nil
+	}
+	return nil, fmt.Errorf("gogen: diagram %q: %v %q has %d successors", d.Name(), n.Kind(), n.Name(), len(out))
+}
+
+func (f *goFlow) emitAction(n *uml.ActionNode) error {
+	renderTag := func(tag string) (string, error) {
+		raw, ok := n.Tag(tag)
+		if !ok {
+			return "0", nil
+		}
+		return renderGo(raw)
+	}
+	switch n.Stereotype() {
+	case "":
+		return nil
+	case profile.ActionPlus, profile.OMPCritical:
+		f.line("%s()", funcName(n.Name()))
+	case profile.MPISend:
+		dest, err := renderTag(profile.TagDest)
+		if err != nil {
+			return fmt.Errorf("gogen: %q dest: %w", n.Name(), err)
+		}
+		size, err := renderTag(profile.TagSize)
+		if err != nil {
+			return fmt.Errorf("gogen: %q size: %w", n.Name(), err)
+		}
+		f.line("mpiSend(%s, %s)", dest, size)
+	case profile.MPIRecv:
+		src, err := renderTag(profile.TagSrc)
+		if err != nil {
+			return fmt.Errorf("gogen: %q src: %w", n.Name(), err)
+		}
+		f.line("mpiRecv(%s)", src)
+	case profile.MPISendrecv:
+		dest, err := renderTag(profile.TagDest)
+		if err != nil {
+			return fmt.Errorf("gogen: %q dest: %w", n.Name(), err)
+		}
+		src, err := renderTag(profile.TagSrc)
+		if err != nil {
+			return fmt.Errorf("gogen: %q src: %w", n.Name(), err)
+		}
+		size, err := renderTag(profile.TagSize)
+		if err != nil {
+			return fmt.Errorf("gogen: %q size: %w", n.Name(), err)
+		}
+		f.line("mpiSendrecv(%s, %s, %s)", dest, src, size)
+	case profile.MPIBarrier:
+		f.line("mpiBarrier()")
+	case profile.MPIBroadcast:
+		root, err := renderTag(profile.TagRoot)
+		if err != nil {
+			return err
+		}
+		size, err := renderTag(profile.TagSize)
+		if err != nil {
+			return err
+		}
+		f.line("mpiBcast(%s, %s)", root, size)
+	case profile.MPIReduce:
+		root, err := renderTag(profile.TagRoot)
+		if err != nil {
+			return err
+		}
+		size, err := renderTag(profile.TagSize)
+		if err != nil {
+			return err
+		}
+		f.line("mpiReduce(%s, %s)", root, size)
+	default:
+		return fmt.Errorf("gogen: element %q: unsupported stereotype <<%s>>", n.Name(), n.Stereotype())
+	}
+	return nil
+}
+
+func (f *goFlow) emitActivity(n *uml.ActivityNode) error {
+	f.line("// activity %s", n.Name())
+	body := f.model.DiagramByName(n.Body)
+	if body == nil {
+		return fmt.Errorf("gogen: activity %q references unknown diagram %q", n.Name(), n.Body)
+	}
+	if n.Stereotype() == profile.OMPParallel {
+		count := "int(1)"
+		if raw, ok := n.Tag(profile.TagCount); ok {
+			c, err := renderGo(raw)
+			if err != nil {
+				return fmt.Errorf("gogen: parallel region %q count: %w", n.Name(), err)
+			}
+			count = "int(" + c + ")"
+		}
+		f.wgSeq++
+		wg := fmt.Sprintf("wg%d", f.wgSeq)
+		f.line("var %s sync.WaitGroup", wg)
+		f.line("for t := 0; t < %s; t++ {", count)
+		f.indent++
+		f.line("%s.Add(1)", wg)
+		f.line("go func(tid int) {")
+		f.indent++
+		f.line("defer %s.Done()", wg)
+		f.line("_ = tid")
+		if err := f.emitDiagram(body); err != nil {
+			return err
+		}
+		f.indent--
+		f.line("}(t)")
+		f.indent--
+		f.line("}")
+		f.line("%s.Wait()", wg)
+		return nil
+	}
+	return f.emitDiagram(body)
+}
+
+func (f *goFlow) emitLoop(n *uml.LoopNode) error {
+	count, err := renderGo(n.Count)
+	if err != nil {
+		return fmt.Errorf("gogen: loop %q count: %w", n.Name(), err)
+	}
+	v := n.Var
+	if v == "" {
+		f.loopSeq++
+		v = fmt.Sprintf("it%d", f.loopSeq)
+	}
+	body := f.model.DiagramByName(n.Body)
+	if body == nil {
+		return fmt.Errorf("gogen: loop %q references unknown diagram %q", n.Name(), n.Body)
+	}
+	f.line("for %s := 0; %s < int(%s); %s++ { // loop %s", v, v, count, v, n.Name())
+	f.indent++
+	f.line("_ = %s", v)
+	if err := f.emitDiagram(body); err != nil {
+		return err
+	}
+	f.indent--
+	f.line("}")
+	return nil
+}
+
+func (f *goFlow) emitDecision(d *uml.Diagram, n *uml.ControlNode, onPath map[string]bool) (uml.Node, error) {
+	out := d.Outgoing(n.ID())
+	if len(out) > 0 && out[0].Guard == "" && out[0].Weight > 0 {
+		return f.emitWeightedDecision(d, n, out, onPath)
+	}
+	var guarded []*uml.Edge
+	var elseEdge *uml.Edge
+	for _, e := range out {
+		if e.IsElse() {
+			elseEdge = e
+			continue
+		}
+		if e.Guard == "" {
+			return nil, fmt.Errorf("gogen: diagram %q: unguarded branch out of decision", d.Name())
+		}
+		guarded = append(guarded, e)
+	}
+	if len(guarded) == 0 {
+		return nil, fmt.Errorf("gogen: diagram %q: decision %q needs at least one guarded branch", d.Name(), n.Name())
+	}
+	heads := make([]string, len(out))
+	for i, e := range out {
+		heads[i] = e.To()
+	}
+	conv := uml.Convergence(d, heads)
+
+	emitBranch := func(head string) error {
+		node := d.Node(head)
+		if node == nil {
+			return fmt.Errorf("gogen: diagram %q: dangling branch edge", d.Name())
+		}
+		f.indent++
+		branchPath := make(map[string]bool, len(onPath))
+		for id := range onPath {
+			branchPath[id] = true
+		}
+		err := f.emitSeq(d, node, conv, branchPath)
+		f.indent--
+		return err
+	}
+
+	for i, e := range guarded {
+		guard, err := renderGo(e.Guard)
+		if err != nil {
+			return nil, fmt.Errorf("gogen: guard %q: %w", e.Guard, err)
+		}
+		if i == 0 {
+			f.line("if %s {", guard)
+		} else {
+			f.line("} else if %s {", guard)
+		}
+		if err := emitBranch(e.To()); err != nil {
+			return nil, err
+		}
+	}
+	if elseEdge != nil {
+		f.line("} else {")
+		if err := emitBranch(elseEdge.To()); err != nil {
+			return nil, err
+		}
+	}
+	f.line("}")
+	return conv, nil
+}
+
+// emitWeightedDecision renders a probabilistic branch over prophetRand().
+func (f *goFlow) emitWeightedDecision(d *uml.Diagram, n *uml.ControlNode, out []*uml.Edge, onPath map[string]bool) (uml.Node, error) {
+	var total float64
+	for _, e := range out {
+		if e.Guard != "" || e.Weight <= 0 {
+			return nil, fmt.Errorf("gogen: diagram %q: decision %q mixes weighted and guarded branches",
+				d.Name(), n.Name())
+		}
+		total += e.Weight
+	}
+	heads := make([]string, len(out))
+	for i, e := range out {
+		heads[i] = e.To()
+	}
+	conv := uml.Convergence(d, heads)
+	emitBranch := func(head string) error {
+		node := d.Node(head)
+		if node == nil {
+			return fmt.Errorf("gogen: diagram %q: dangling branch edge", d.Name())
+		}
+		f.indent++
+		branchPath := make(map[string]bool, len(onPath))
+		for id := range onPath {
+			branchPath[id] = true
+		}
+		err := f.emitSeq(d, node, conv, branchPath)
+		f.indent--
+		return err
+	}
+	f.line("switch pmpR := prophetRand() * %g; { // weighted branch", total)
+	acc := 0.0
+	for i, e := range out {
+		acc += e.Weight
+		if i == len(out)-1 {
+			f.line("default:")
+		} else {
+			f.line("case pmpR < %g:", acc)
+		}
+		if err := emitBranch(e.To()); err != nil {
+			return nil, err
+		}
+	}
+	f.line("}")
+	return conv, nil
+}
+
+func (f *goFlow) emitFork(d *uml.Diagram, n *uml.ControlNode, onPath map[string]bool) (uml.Node, error) {
+	out := d.Outgoing(n.ID())
+	if len(out) < 2 {
+		return nil, fmt.Errorf("gogen: diagram %q: fork %q has %d branch(es)", d.Name(), n.Name(), len(out))
+	}
+	heads := make([]string, len(out))
+	for i, e := range out {
+		heads[i] = e.To()
+	}
+	conv := uml.Convergence(d, heads)
+	f.wgSeq++
+	wg := fmt.Sprintf("wg%d", f.wgSeq)
+	f.line("var %s sync.WaitGroup // fork", wg)
+	for _, e := range out {
+		node := d.Node(e.To())
+		if node == nil {
+			return nil, fmt.Errorf("gogen: diagram %q: dangling fork edge", d.Name())
+		}
+		f.line("%s.Add(1)", wg)
+		f.line("go func() {")
+		f.indent++
+		f.line("defer %s.Done()", wg)
+		branchPath := make(map[string]bool, len(onPath))
+		for id := range onPath {
+			branchPath[id] = true
+		}
+		if err := f.emitSeq(d, node, conv, branchPath); err != nil {
+			return nil, err
+		}
+		f.indent--
+		f.line("}()")
+	}
+	f.line("%s.Wait() // join", wg)
+	if conv != nil && conv.Kind() == uml.KindJoin {
+		return f.successor(d, conv)
+	}
+	return conv, nil
+}

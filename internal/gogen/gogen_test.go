@@ -1,0 +1,241 @@
+package gogen
+
+import (
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"prophet/internal/builder"
+	"prophet/internal/profile"
+	"prophet/internal/samples"
+	"prophet/internal/uml"
+)
+
+// mustParseGo asserts the generated source is syntactically valid Go.
+func mustParseGo(t *testing.T, src string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "generated.go", src, 0); err != nil {
+		t.Fatalf("generated Go does not parse: %v\n%s", err, src)
+	}
+}
+
+func TestGenerateSampleIsValidGo(t *testing.T) {
+	out, err := New().Generate(samples.Sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustParseGo(t, out)
+	for _, want := range []string{
+		"package main",
+		"GV float64",
+		"func FA1() float64",
+		"func FSA2(pid float64) float64",
+		"func BlockA1() {",
+		"if GV > 0 {",
+		"} else {",
+		"BlockA2()",
+		"BlockSA1()",
+		"BlockA4()",
+		"func main() {",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+	// Code fragment carried as comment into the block body.
+	if !strings.Contains(out, "// GV = 10;") {
+		t.Errorf("code fragment comment missing:\n%s", out)
+	}
+}
+
+func TestGenerateKernel6Loops(t *testing.T) {
+	out, err := New().Generate(samples.Kernel6Detailed())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustParseGo(t, out)
+	for _, want := range []string{
+		"for L := 0; L < int(M); L++ {",
+		"for iIdx := 0; iIdx < int(N - 1); iIdx++ {",
+		"for k := 0; k < int(iIdx + 1); k++ {",
+		"BlockW()",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGenerateForkUsesGoroutines(t *testing.T) {
+	b := builder.New("m")
+	b.Function("F", nil, "1")
+	d := b.Diagram("main")
+	d.Initial()
+	d.Fork("fork")
+	d.Action("A").Cost("F()")
+	d.Action("B").Cost("F()")
+	d.Join("join")
+	d.Final()
+	d.Flow("initial", "fork")
+	d.Flow("fork", "A")
+	d.Flow("fork", "B")
+	d.Flow("A", "join")
+	d.Flow("B", "join")
+	d.Flow("join", "final")
+	m, _ := b.Build()
+	out, err := New().Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustParseGo(t, out)
+	for _, want := range []string{"var wg1 sync.WaitGroup", "go func() {", "wg1.Wait()"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGenerateParallelRegion(t *testing.T) {
+	b := builder.New("m")
+	b.Function("F", nil, "1")
+	d := b.Diagram("main")
+	d.Initial()
+	par := d.Activity("Par", "body")
+	par.Node().SetStereotype(profile.OMPParallel)
+	par.Tag("count", "threads")
+	d.Final()
+	d.Chain("initial", "Par", "final")
+	body := b.Diagram("body")
+	body.Initial()
+	body.Action("W").Cost("F()")
+	body.Final()
+	body.Chain("initial", "W", "final")
+	m, _ := b.Build()
+	// `threads` is a free identifier in generated Go; declare it as a
+	// model global so the output compiles.
+	m.AddVariable(uml.Variable{Name: "threads", Type: "double", Scope: uml.ScopeGlobal, Init: "4"})
+	out, err := New().Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustParseGo(t, out)
+	for _, want := range []string{"go func(tid int) {", "}(t)", "for t := 0; t < int(threads); t++ {"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGenerateMPIShims(t *testing.T) {
+	out, err := New().Generate(samples.Pipeline(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustParseGo(t, out)
+	if !strings.Contains(out, "mpiSend(math.Mod(pid + 1, processes), 1024)") {
+		t.Errorf("send call missing:\n%s", out)
+	}
+	if !strings.Contains(out, "func mpiSend(dest, size float64)") {
+		t.Errorf("shim missing:\n%s", out)
+	}
+}
+
+func TestWeightedDecisionGo(t *testing.T) {
+	b := builder.New("w")
+	b.Function("F", nil, "1")
+	d := b.Diagram("main")
+	d.Initial()
+	d.Decision("dec")
+	d.Action("A").Cost("F()")
+	d.Action("B").Cost("F()")
+	d.Merge("mrg")
+	d.Final()
+	d.Flow("initial", "dec")
+	d.FlowWeighted("dec", "A", 0.7)
+	d.FlowWeighted("dec", "B", 0.3)
+	d.Chain("A", "mrg")
+	d.Chain("B", "mrg", "final")
+	m, _ := b.Build()
+	out, err := New().Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustParseGo(t, out)
+	for _, want := range []string{
+		"switch pmpR := prophetRand() * 1; { // weighted branch",
+		"case pmpR < 0.7:",
+		"default:",
+		"func prophetRand() float64 {",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderGo(t *testing.T) {
+	cases := map[string]string{
+		"a % b":      "math.Mod(a, b)",
+		"pow(2, 10)": "math.Pow(2, 10)",
+		"sqrt(x)+1":  "math.Sqrt(x) + 1",
+		"-x * 2":     "(-x) * 2",
+		"!ok":        "!ok",
+		"min(a, b)":  "math.Min(a, b)",
+	}
+	for in, want := range cases {
+		got, err := renderGo(in)
+		if err != nil {
+			t.Errorf("renderGo(%q): %v", in, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("renderGo(%q) = %q, want %q", in, got, want)
+		}
+	}
+	if _, err := renderGo("a ? b : c"); err == nil {
+		t.Error("ternary should be rejected for Go output")
+	}
+	if _, err := renderGo("1 +"); err == nil {
+		t.Error("malformed expression should fail")
+	}
+}
+
+func TestFuncName(t *testing.T) {
+	cases := map[string]string{
+		"A1":      "BlockA1",
+		"kernel6": "BlockKernel6",
+		"x-y":     "BlockX_y",
+		"":        "Block",
+	}
+	for in, want := range cases {
+		if got := funcName(in); got != want {
+			t.Errorf("funcName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestOptionsPackageAndNoMain(t *testing.T) {
+	g := NewWith(profile.NewRegistry(), Options{Package: "kernels", EmitMain: false})
+	out, err := g.Generate(samples.Kernel6())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustParseGo(t, out)
+	if !strings.Contains(out, "package kernels") {
+		t.Errorf("package option ignored")
+	}
+	if strings.Contains(out, "func main(") {
+		t.Errorf("EmitMain=false ignored")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	g := New()
+	a, _ := g.Generate(samples.Sample())
+	b, _ := g.Generate(samples.Sample())
+	if a != b {
+		t.Error("generation not deterministic")
+	}
+}

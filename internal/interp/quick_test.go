@@ -1,0 +1,169 @@
+package interp
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"prophet/internal/builder"
+	"prophet/internal/machine"
+)
+
+// TestQuickChainMakespan: for an arbitrary chain of constant-cost actions
+// on one processor, the predicted makespan equals the sum of the costs —
+// simulation conserves modeled work.
+func TestQuickChainMakespan(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) == 0 || len(raw) > 24 {
+			return true
+		}
+		b := builder.New("chain")
+		d := b.Diagram("main")
+		d.Initial()
+		prev := "initial"
+		var want float64
+		for i, c := range raw {
+			cost := float64(c%50) / 4
+			want += cost
+			name := fmt.Sprintf("A%d", i)
+			d.Action(name).Cost(fmt.Sprintf("%g", cost))
+			d.Flow(prev, name)
+			prev = name
+		}
+		d.Final()
+		d.Flow(prev, "final")
+		m, err := b.Build()
+		if err != nil {
+			return false
+		}
+		pr, err := Compile(m, nil)
+		if err != nil {
+			return false
+		}
+		res, err := pr.Run(Config{})
+		if err != nil {
+			return false
+		}
+		return math.Abs(res.Makespan-want) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickLoopMultiplication: for arbitrary loop counts and body costs,
+// the makespan equals count * cost.
+func TestQuickLoopMultiplication(t *testing.T) {
+	f := func(countRaw, costRaw uint8) bool {
+		count := int(countRaw % 40)
+		cost := float64(costRaw%20) + 1
+		b := builder.New("loop")
+		d := b.Diagram("main")
+		d.Initial()
+		d.Loop("L", fmt.Sprintf("%d", count), "body")
+		d.Final()
+		d.Chain("initial", "L", "final")
+		body := b.Diagram("body")
+		body.Initial()
+		body.Action("W").Cost(fmt.Sprintf("%g", cost))
+		body.Final()
+		body.Chain("initial", "W", "final")
+		m, err := b.Build()
+		if err != nil {
+			return false
+		}
+		pr, err := Compile(m, nil)
+		if err != nil {
+			return false
+		}
+		res, err := pr.Run(Config{})
+		if err != nil {
+			return false
+		}
+		return math.Abs(res.Makespan-float64(count)*cost) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickWorkConservation: replicating a serial model across P
+// processes on a single processor multiplies the makespan by exactly P,
+// for arbitrary P and work, under both contention policies.
+func TestQuickWorkConservation(t *testing.T) {
+	f := func(procsRaw, workRaw uint8) bool {
+		procs := 1 + int(procsRaw%6)
+		work := float64(workRaw%30) + 1
+		b := builder.New("wc")
+		d := b.Diagram("main")
+		d.Initial()
+		d.Action("W").Cost(fmt.Sprintf("%g", work))
+		d.Final()
+		d.Chain("initial", "W", "final")
+		m, err := b.Build()
+		if err != nil {
+			return false
+		}
+		pr, err := Compile(m, nil)
+		if err != nil {
+			return false
+		}
+		for _, pol := range []machine.Policy{machine.PolicyFCFS, machine.PolicyPS} {
+			res, err := pr.Run(Config{
+				Params: machine.SystemParams{Nodes: 1, ProcessorsPerNode: 1, Processes: procs, Threads: 1},
+				Policy: pol,
+			})
+			if err != nil {
+				return false
+			}
+			if math.Abs(res.Makespan-float64(procs)*work) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickBranchExclusivity: exactly one branch of a decision executes,
+// whatever the guard outcome.
+func TestQuickBranchExclusivity(t *testing.T) {
+	f := func(gv int8) bool {
+		b := builder.New("br")
+		b.Global("GV", "double")
+		d := b.Diagram("main")
+		d.Initial()
+		d.Decision("dec")
+		d.Action("Yes").Cost("3")
+		d.Action("No").Cost("7")
+		d.Merge("mrg")
+		d.Final()
+		d.Flow("initial", "dec")
+		d.FlowIf("dec", "Yes", "GV > 0")
+		d.FlowIf("dec", "No", "else")
+		d.Chain("Yes", "mrg")
+		d.Chain("No", "mrg", "final")
+		m, err := b.Build()
+		if err != nil {
+			return false
+		}
+		pr, err := Compile(m, nil)
+		if err != nil {
+			return false
+		}
+		res, err := pr.Run(Config{Globals: map[string]float64{"GV": float64(gv)}})
+		if err != nil {
+			return false
+		}
+		if gv > 0 {
+			return res.Makespan == 3
+		}
+		return res.Makespan == 7
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

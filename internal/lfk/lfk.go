@@ -1,0 +1,411 @@
+// Package lfk ports a representative subset of the Livermore Fortran
+// Kernels (McMahon, UCRL-53745) to Go. Kernel 6 is the workload of the
+// paper's Figure 3 ("This code block is known as kernel 6 of the Livermore
+// Fortran kernels"); the others give the examples and benchmarks a variety
+// of loop structures to model.
+//
+// Each kernel reports both a checksum (so the compiler cannot eliminate
+// the work) and an analytic operation count; Time measures the real
+// execution and Calibrate fits the per-operation cost c that the models'
+// cost functions (e.g. FK6 = M * (N-1)*N/2 * c) need — the "measured
+// execution time" annotation workflow of the paper's Section 2.1.
+package lfk
+
+import (
+	"fmt"
+	"time"
+)
+
+// Kernel is one Livermore kernel: a runnable workload plus its analytic
+// cost model.
+type Kernel struct {
+	// ID is the Livermore kernel number.
+	ID int
+	// Name is a short label.
+	Name string
+	// Description summarizes the computation.
+	Description string
+	// Run executes the kernel with problem size n, repeated m times, and
+	// returns a checksum.
+	Run func(n, m int) float64
+	// Ops returns the modeled number of innermost-statement executions.
+	Ops func(n, m int) float64
+}
+
+// vector allocates a deterministic pseudo-random vector (no math/rand so
+// results are stable across Go versions).
+func vector(n int, seed float64) []float64 {
+	v := make([]float64, n)
+	x := seed
+	for i := range v {
+		// A small LCG in floating point keeps values in (0, 1).
+		x = x*997.0 + 0.123456789
+		x -= float64(int64(x))
+		v[i] = 0.5 + 0.25*x
+	}
+	return v
+}
+
+func matrix(rows, cols int, seed float64) [][]float64 {
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i] = vector(cols, seed+float64(i))
+	}
+	return m
+}
+
+func checksum(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// kernel1 — hydro fragment: x[k] = q + y[k]*(r*z[k+10] + t*z[k+11]).
+func kernel1(n, m int) float64 {
+	x := make([]float64, n)
+	y := vector(n, 1)
+	z := vector(n+11, 2)
+	q, r, t := 0.05, 0.02, 0.01
+	for l := 0; l < m; l++ {
+		for k := 0; k < n; k++ {
+			x[k] = q + y[k]*(r*z[k+10]+t*z[k+11])
+		}
+	}
+	return checksum(x)
+}
+
+// kernel3 — inner product.
+func kernel3(n, m int) float64 {
+	x := vector(n, 3)
+	z := vector(n, 4)
+	var q float64
+	for l := 0; l < m; l++ {
+		q = 0
+		for k := 0; k < n; k++ {
+			q += z[k] * x[k]
+		}
+	}
+	return q
+}
+
+// kernel5 — tri-diagonal elimination, below diagonal:
+// x[i] = z[i]*(y[i] - x[i-1]).
+func kernel5(n, m int) float64 {
+	x := vector(n, 5)
+	y := vector(n, 6)
+	z := vector(n, 7)
+	for l := 0; l < m; l++ {
+		for i := 1; i < n; i++ {
+			x[i] = z[i] * (y[i] - x[i-1])
+		}
+	}
+	return checksum(x)
+}
+
+// kernel6 — general linear recurrence equations, the paper's Figure 3(a):
+//
+//	DO  L = 1, M
+//	 DO  i = 2, N
+//	  DO  k = 1, i-1
+//	   W(i) = W(i) + B(i,k) * W(i-k)
+//
+// Indices follow the Fortran original (1-based); W and B use index 0 as
+// padding. The values are rescaled every outer iteration to keep the
+// recurrence from overflowing at large M.
+func kernel6(n, m int) float64 {
+	w := vector(n+1, 8)
+	b := matrix(n+1, n+1, 9)
+	for l := 1; l <= m; l++ {
+		for i := 2; i <= n; i++ {
+			for k := 1; k <= i-1; k++ {
+				w[i] += 1e-6 * b[i][k] * w[i-k]
+			}
+		}
+	}
+	return checksum(w)
+}
+
+// kernel7 — equation of state fragment.
+func kernel7(n, m int) float64 {
+	x := make([]float64, n)
+	y := vector(n+6, 10)
+	z := vector(n+6, 11)
+	u := vector(n+6, 12)
+	q, r, t := 0.5, 0.2, 0.1
+	for l := 0; l < m; l++ {
+		for k := 0; k < n; k++ {
+			x[k] = u[k] + r*(z[k]+r*y[k]) +
+				t*(u[k+3]+r*(u[k+2]+r*u[k+1])+
+					t*(u[k+6]+q*(u[k+5]+q*u[k+4])))
+		}
+	}
+	return checksum(x)
+}
+
+// kernel11 — first sum (sequential prefix sum).
+func kernel11(n, m int) float64 {
+	x := make([]float64, n)
+	y := vector(n, 13)
+	for l := 0; l < m; l++ {
+		x[0] = y[0]
+		for k := 1; k < n; k++ {
+			x[k] = x[k-1] + y[k]
+		}
+	}
+	return checksum(x)
+}
+
+// kernel12 — first difference.
+func kernel12(n, m int) float64 {
+	x := make([]float64, n)
+	y := vector(n+1, 14)
+	for l := 0; l < m; l++ {
+		for k := 0; k < n; k++ {
+			x[k] = y[k+1] - y[k]
+		}
+	}
+	return checksum(x)
+}
+
+// kernel9 — integrate predictors: a 13-term linear combination per row.
+func kernel9(n, m int) float64 {
+	px := matrix(n, 13, 18)
+	const (
+		dm22, dm23, dm24 = 0.2, 0.3, 0.4
+		dm25, dm26, dm27 = 0.5, 0.6, 0.7
+		dm28, c0         = 0.8, 1.1
+	)
+	for l := 0; l < m; l++ {
+		for i := 0; i < n; i++ {
+			px[i][0] = dm28*px[i][12] + dm27*px[i][11] + dm26*px[i][10] +
+				dm25*px[i][9] + dm24*px[i][8] + dm23*px[i][7] +
+				dm22*px[i][6] + c0*(px[i][4]+px[i][5]) + px[i][2]
+		}
+	}
+	var s float64
+	for i := 0; i < n; i++ {
+		s += px[i][0]
+	}
+	return s
+}
+
+// kernel10 — difference predictors: a 9-deep difference chain per column.
+func kernel10(n, m int) float64 {
+	px := matrix(n, 13, 19)
+	cx := matrix(n, 5, 20)
+	for l := 0; l < m; l++ {
+		for k := 0; k < n; k++ {
+			ar := cx[k][4]
+			br := ar - px[k][4]
+			px[k][4] = ar
+			cr := br - px[k][5]
+			px[k][5] = br
+			ar = cr - px[k][6]
+			px[k][6] = cr
+			br = ar - px[k][7]
+			px[k][7] = ar
+			cr = br - px[k][8]
+			px[k][8] = br
+			ar = cr - px[k][9]
+			px[k][9] = cr
+			br = ar - px[k][10]
+			px[k][10] = ar
+			cr = br - px[k][11]
+			px[k][11] = br
+			px[k][12] = cr
+		}
+	}
+	var s float64
+	for k := 0; k < n; k++ {
+		s += px[k][12]
+	}
+	return s
+}
+
+// kernel22 — Planckian distribution.
+func kernel22(n, m int) float64 {
+	u := vector(n, 21)
+	v := vector(n, 22)
+	x := vector(n, 23)
+	y := make([]float64, n)
+	w := make([]float64, n)
+	for i := range v {
+		v[i] += 0.5 // keep y in a numerically pleasant range
+	}
+	for l := 0; l < m; l++ {
+		for k := 0; k < n; k++ {
+			y[k] = u[k] / v[k]
+			w[k] = x[k] / (expApprox(y[k]) - 1)
+		}
+	}
+	return checksum(w)
+}
+
+// expApprox matches math.Exp closely enough for a benchmark kernel while
+// keeping the arithmetic profile fixed across Go versions.
+func expApprox(x float64) float64 {
+	// 8th-order Taylor around 0 is fine for x in (0, ~2).
+	sum, term := 1.0, 1.0
+	for i := 1; i <= 8; i++ {
+		term *= x / float64(i)
+		sum += term
+	}
+	return sum
+}
+
+// kernel24 — location of the first minimum of a vector.
+func kernel24(n, m int) float64 {
+	x := vector(n, 24)
+	x[n*2/3] = -1 // plant the minimum
+	loc := 0
+	for l := 0; l < m; l++ {
+		loc = 0
+		for k := 1; k < n; k++ {
+			if x[k] < x[loc] {
+				loc = k
+			}
+		}
+	}
+	return float64(loc)
+}
+
+// kernel21 — matrix * matrix product (n/4 x n/4 blocks to keep the cubic
+// cost in the same ballpark as the other kernels at equal n).
+func kernel21(n, m int) float64 {
+	d := n/4 + 1
+	px := matrix(d, d, 15)
+	vy := matrix(d, d, 16)
+	cx := matrix(d, d, 17)
+	for l := 0; l < m; l++ {
+		for k := 0; k < d; k++ {
+			for i := 0; i < d; i++ {
+				for j := 0; j < d; j++ {
+					px[j][i] += vy[k][i] * cx[j][k]
+				}
+			}
+		}
+	}
+	var s float64
+	for _, row := range px {
+		s += checksum(row)
+	}
+	return s
+}
+
+// kernels is the registry, ordered by kernel number.
+var kernels = []Kernel{
+	{ID: 1, Name: "hydro", Description: "hydrodynamics fragment",
+		Run: kernel1, Ops: func(n, m int) float64 { return float64(n) * float64(m) }},
+	{ID: 3, Name: "inner", Description: "inner product",
+		Run: kernel3, Ops: func(n, m int) float64 { return float64(n) * float64(m) }},
+	{ID: 5, Name: "tridiag", Description: "tri-diagonal elimination",
+		Run: kernel5, Ops: func(n, m int) float64 { return float64(n-1) * float64(m) }},
+	{ID: 6, Name: "recurrence", Description: "general linear recurrence (paper, Figure 3)",
+		Run: kernel6, Ops: func(n, m int) float64 { return float64(m) * float64(n-1) * float64(n) / 2 }},
+	{ID: 7, Name: "state", Description: "equation of state fragment",
+		Run: kernel7, Ops: func(n, m int) float64 { return float64(n) * float64(m) }},
+	{ID: 9, Name: "intpredict", Description: "integrate predictors",
+		Run: kernel9, Ops: func(n, m int) float64 { return float64(n) * float64(m) }},
+	{ID: 10, Name: "diffpredict", Description: "difference predictors",
+		Run: kernel10, Ops: func(n, m int) float64 { return float64(n) * float64(m) }},
+	{ID: 11, Name: "firstsum", Description: "first sum (prefix sum)",
+		Run: kernel11, Ops: func(n, m int) float64 { return float64(n-1) * float64(m) }},
+	{ID: 12, Name: "firstdiff", Description: "first difference",
+		Run: kernel12, Ops: func(n, m int) float64 { return float64(n) * float64(m) }},
+	{ID: 21, Name: "matmul", Description: "matrix product (n/4 blocks)",
+		Run: kernel21, Ops: func(n, m int) float64 { d := float64(n/4 + 1); return d * d * d * float64(m) }},
+	{ID: 22, Name: "planckian", Description: "Planckian distribution",
+		Run: kernel22, Ops: func(n, m int) float64 { return float64(n) * float64(m) }},
+	{ID: 24, Name: "minloc", Description: "location of first minimum",
+		Run: kernel24, Ops: func(n, m int) float64 { return float64(n-1) * float64(m) }},
+}
+
+// Kernels returns the registry, ordered by kernel number.
+func Kernels() []Kernel {
+	out := make([]Kernel, len(kernels))
+	copy(out, kernels)
+	return out
+}
+
+// ByID returns the kernel with the given Livermore number.
+func ByID(id int) (Kernel, bool) {
+	for _, k := range kernels {
+		if k.ID == id {
+			return k, true
+		}
+	}
+	return Kernel{}, false
+}
+
+// Measurement is one timed kernel execution.
+type Measurement struct {
+	Kernel   int
+	N, M     int
+	Seconds  float64
+	Ops      float64
+	Checksum float64
+}
+
+// CostPerOp returns the measured cost of one modeled operation.
+func (m Measurement) CostPerOp() float64 {
+	if m.Ops == 0 {
+		return 0
+	}
+	return m.Seconds / m.Ops
+}
+
+// Time measures one execution of the kernel.
+func Time(k Kernel, n, m int) Measurement {
+	start := time.Now()
+	sum := k.Run(n, m)
+	elapsed := time.Since(start).Seconds()
+	return Measurement{Kernel: k.ID, N: n, M: m, Seconds: elapsed, Ops: k.Ops(n, m), Checksum: sum}
+}
+
+// TimeBest runs the kernel reps times and keeps the fastest run — the
+// standard way to suppress scheduler and clock noise when calibrating on
+// a shared machine.
+func TimeBest(k Kernel, n, m, reps int) Measurement {
+	if reps < 1 {
+		reps = 1
+	}
+	best := Time(k, n, m)
+	for i := 1; i < reps; i++ {
+		if meas := Time(k, n, m); meas.Seconds < best.Seconds {
+			best = meas
+		}
+	}
+	return best
+}
+
+// Size is one (N, M) problem size.
+type Size struct{ N, M int }
+
+// Calibrate fits the per-operation cost c that minimizes the squared error
+// of seconds ~= c * ops across the sample sizes (least squares through the
+// origin: c = sum(t*ops) / sum(ops^2)). This is how the `c` global of the
+// kernel-6 models is obtained from measurements.
+func Calibrate(k Kernel, sizes []Size) (float64, []Measurement, error) {
+	if len(sizes) == 0 {
+		return 0, nil, fmt.Errorf("lfk: no calibration sizes")
+	}
+	var num, den float64
+	var ms []Measurement
+	for _, s := range sizes {
+		meas := TimeBest(k, s.N, s.M, 3)
+		ms = append(ms, meas)
+		num += meas.Seconds * meas.Ops
+		den += meas.Ops * meas.Ops
+	}
+	if den == 0 {
+		return 0, ms, fmt.Errorf("lfk: zero operation count across samples")
+	}
+	return num / den, ms, nil
+}
+
+// Predict applies a calibrated cost to a problem size.
+func Predict(k Kernel, c float64, n, m int) float64 {
+	return c * k.Ops(n, m)
+}

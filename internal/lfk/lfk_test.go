@@ -1,0 +1,157 @@
+package lfk
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRegistry(t *testing.T) {
+	ks := Kernels()
+	if len(ks) != 12 {
+		t.Fatalf("kernels = %d, want 12", len(ks))
+	}
+	for i := 1; i < len(ks); i++ {
+		if ks[i].ID <= ks[i-1].ID {
+			t.Errorf("registry not sorted by kernel number at %d", i)
+		}
+	}
+	for _, k := range ks {
+		if k.Run == nil || k.Ops == nil || k.Name == "" {
+			t.Errorf("kernel %d incomplete", k.ID)
+		}
+	}
+	k6, ok := ByID(6)
+	if !ok || k6.Name != "recurrence" {
+		t.Errorf("ByID(6) = %+v, %v", k6, ok)
+	}
+	if _, ok := ByID(99); ok {
+		t.Error("unknown kernel should report false")
+	}
+}
+
+func TestKernelsDeterministic(t *testing.T) {
+	for _, k := range Kernels() {
+		a := k.Run(64, 2)
+		b := k.Run(64, 2)
+		if a != b {
+			t.Errorf("kernel %d not deterministic: %v vs %v", k.ID, a, b)
+		}
+		if math.IsNaN(a) || math.IsInf(a, 0) || a == 0 {
+			t.Errorf("kernel %d checksum degenerate: %v", k.ID, a)
+		}
+	}
+}
+
+func TestKernelsSensitiveToSize(t *testing.T) {
+	for _, k := range Kernels() {
+		small := k.Run(32, 1)
+		large := k.Run(64, 1)
+		if small == large {
+			t.Errorf("kernel %d checksum identical across sizes", k.ID)
+		}
+	}
+}
+
+// TestKernel6OpsFormula verifies the trip count that the paper's cost
+// function FK6 models: M * (N-1)*N/2 innermost executions.
+func TestKernel6OpsFormula(t *testing.T) {
+	k6, _ := ByID(6)
+	cases := []struct {
+		n, m int
+		want float64
+	}{
+		{10, 1, 45},
+		{10, 3, 135},
+		{100, 2, 9900},
+		{2, 5, 5},
+	}
+	for _, c := range cases {
+		if got := k6.Ops(c.n, c.m); got != c.want {
+			t.Errorf("Ops(%d, %d) = %v, want %v", c.n, c.m, got, c.want)
+		}
+	}
+}
+
+// TestKernel6TripCount cross-checks the analytic formula against an
+// instrumented replica of the loop nest.
+func TestKernel6TripCount(t *testing.T) {
+	for _, c := range []struct{ n, m int }{{5, 1}, {10, 2}, {17, 3}} {
+		trips := 0
+		for l := 1; l <= c.m; l++ {
+			for i := 2; i <= c.n; i++ {
+				for k := 1; k <= i-1; k++ {
+					trips++
+				}
+			}
+		}
+		k6, _ := ByID(6)
+		if got := k6.Ops(c.n, c.m); got != float64(trips) {
+			t.Errorf("Ops(%d, %d) = %v, counted %d", c.n, c.m, got, trips)
+		}
+	}
+}
+
+func TestOpsPositiveAndMonotonic(t *testing.T) {
+	for _, k := range Kernels() {
+		o1 := k.Ops(64, 1)
+		o2 := k.Ops(64, 2)
+		o3 := k.Ops(128, 2)
+		if o1 <= 0 {
+			t.Errorf("kernel %d: ops not positive", k.ID)
+		}
+		if o2 <= o1 || o3 <= o2 {
+			t.Errorf("kernel %d: ops not monotonic (%v, %v, %v)", k.ID, o1, o2, o3)
+		}
+	}
+}
+
+func TestTimeMeasurement(t *testing.T) {
+	k6, _ := ByID(6)
+	m := Time(k6, 100, 2)
+	if m.Seconds < 0 || m.Ops != 9900 || m.Kernel != 6 {
+		t.Errorf("measurement = %+v", m)
+	}
+	if m.CostPerOp() < 0 {
+		t.Errorf("cost per op negative")
+	}
+	if (Measurement{}).CostPerOp() != 0 {
+		t.Errorf("zero-ops measurement should report 0 cost")
+	}
+}
+
+func TestCalibrateAndPredict(t *testing.T) {
+	k6, _ := ByID(6)
+	c, ms, err := Calibrate(k6, []Size{{100, 2}, {150, 2}, {200, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c <= 0 {
+		t.Fatalf("calibrated cost = %v, want > 0", c)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("measurements = %d", len(ms))
+	}
+	// Prediction at a calibration point should be within 20x of the
+	// measurement (loose: CI machines have noisy clocks at microsecond
+	// scales; the model-shape tests below are the strict ones).
+	pred := Predict(k6, c, 200, 2)
+	if pred <= 0 {
+		t.Errorf("prediction = %v", pred)
+	}
+	ratio := pred / ms[2].Seconds
+	if ratio < 0.05 || ratio > 20 {
+		t.Errorf("prediction %v wildly off measurement %v", pred, ms[2].Seconds)
+	}
+	// The prediction scales exactly with the op count.
+	if got := Predict(k6, c, 400, 2) / Predict(k6, c, 200, 2); math.Abs(got-4.015) > 0.05 {
+		// (399*400)/(199*200) = 4.015...
+		t.Errorf("prediction scaling = %v, want ~4.015", got)
+	}
+}
+
+func TestCalibrateErrors(t *testing.T) {
+	k6, _ := ByID(6)
+	if _, _, err := Calibrate(k6, nil); err == nil {
+		t.Error("empty sizes should fail")
+	}
+}

@@ -1,0 +1,365 @@
+package machine
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"prophet/internal/sim"
+)
+
+func newMachine(t *testing.T, e *sim.Engine, sp SystemParams, net NetParams) *Machine {
+	t.Helper()
+	m, err := New(e, sp, net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestValidate(t *testing.T) {
+	ok := SystemParams{Nodes: 2, ProcessorsPerNode: 4, Processes: 8, Threads: 2}
+	if err := ok.Validate(); err != nil {
+		t.Errorf("valid params rejected: %v", err)
+	}
+	bad := []SystemParams{
+		{Nodes: 0, ProcessorsPerNode: 1, Processes: 1, Threads: 1},
+		{Nodes: 1, ProcessorsPerNode: 0, Processes: 1, Threads: 1},
+		{Nodes: 1, ProcessorsPerNode: 1, Processes: 0, Threads: 1},
+		{Nodes: 1, ProcessorsPerNode: 1, Processes: 1, Threads: 0},
+	}
+	for i, sp := range bad {
+		if err := sp.Validate(); err == nil {
+			t.Errorf("case %d should fail: %+v", i, sp)
+		}
+	}
+	if _, err := New(sim.New(), bad[0], DefaultNet()); err == nil {
+		t.Error("New should propagate validation errors")
+	}
+}
+
+func TestEnvBindings(t *testing.T) {
+	sp := SystemParams{Nodes: 2, ProcessorsPerNode: 4, Processes: 8, Threads: 3}
+	env := sp.Env()
+	if env["nodes"] != 2 || env["processors"] != 4 || env["processes"] != 8 || env["threads"] != 3 {
+		t.Errorf("env = %v", env)
+	}
+}
+
+func TestNodePlacement(t *testing.T) {
+	e := sim.New()
+	m := newMachine(t, e, SystemParams{Nodes: 3, ProcessorsPerNode: 1, Processes: 7, Threads: 1}, DefaultNet())
+	want := []int{0, 1, 2, 0, 1, 2, 0}
+	for pid, node := range want {
+		if m.NodeOf(pid) != node {
+			t.Errorf("NodeOf(%d) = %d, want %d", pid, m.NodeOf(pid), node)
+		}
+	}
+}
+
+func TestComputeContention(t *testing.T) {
+	// 4 processes of 10s work on 1 node with 2 processors: 20s wall clock.
+	e := sim.New()
+	m := newMachine(t, e, SystemParams{Nodes: 1, ProcessorsPerNode: 2, Processes: 4, Threads: 1}, DefaultNet())
+	for pid := 0; pid < 4; pid++ {
+		pid := pid
+		e.Spawn(fmt.Sprint(pid), func(p *sim.Process) {
+			m.Compute(p, pid, 10)
+		})
+	}
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 20 {
+		t.Errorf("wall clock = %v, want 20 (2x oversubscription)", end)
+	}
+}
+
+func TestComputeNoContentionAcrossNodes(t *testing.T) {
+	// Same load spread over 2 nodes x 2 processors: 10s.
+	e := sim.New()
+	m := newMachine(t, e, SystemParams{Nodes: 2, ProcessorsPerNode: 2, Processes: 4, Threads: 1}, DefaultNet())
+	for pid := 0; pid < 4; pid++ {
+		pid := pid
+		e.Spawn(fmt.Sprint(pid), func(p *sim.Process) {
+			m.Compute(p, pid, 10)
+		})
+	}
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 10 {
+		t.Errorf("wall clock = %v, want 10", end)
+	}
+}
+
+func TestComputeZeroOrNegative(t *testing.T) {
+	e := sim.New()
+	m := newMachine(t, e, DefaultParams(), DefaultNet())
+	e.Spawn("p", func(p *sim.Process) {
+		m.Compute(p, 0, 0)
+		m.Compute(p, 0, -5)
+	})
+	end, err := e.Run()
+	if err != nil || end != 0 {
+		t.Errorf("zero compute should be free: %v, %v", end, err)
+	}
+}
+
+func TestSendRecvTiming(t *testing.T) {
+	// Inter-node message: latency 50us + 1MB / 1GB/s = 50e-6 + 1e-3.
+	e := sim.New()
+	net := DefaultNet()
+	m := newMachine(t, e, SystemParams{Nodes: 2, ProcessorsPerNode: 1, Processes: 2, Threads: 1}, net)
+	var recvAt float64
+	var msg Message
+	e.Spawn("sender", func(p *sim.Process) {
+		if err := m.Send(p, 0, 1, 1e6); err != nil {
+			t.Error(err)
+		}
+	})
+	e.Spawn("receiver", func(p *sim.Process) {
+		var err error
+		msg, err = m.Recv(p, 1, 0)
+		if err != nil {
+			t.Error(err)
+		}
+		recvAt = p.Now()
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := net.LatencyInter + 1e6/net.BandwidthInter
+	if math.Abs(recvAt-want) > 1e-12 {
+		t.Errorf("message delivered at %v, want %v", recvAt, want)
+	}
+	if msg.From != 0 || msg.To != 1 || msg.Size != 1e6 {
+		t.Errorf("message = %+v", msg)
+	}
+}
+
+func TestIntraNodeFasterThanInter(t *testing.T) {
+	run := func(nodes int) float64 {
+		e := sim.New()
+		m := newMachine(t, e, SystemParams{Nodes: nodes, ProcessorsPerNode: 2, Processes: 2, Threads: 1}, DefaultNet())
+		e.Spawn("s", func(p *sim.Process) { m.Send(p, 0, 1, 1e6) })
+		e.Spawn("r", func(p *sim.Process) { m.Recv(p, 1, 0) })
+		end, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+	intra, inter := run(1), run(2)
+	if intra >= inter {
+		t.Errorf("intra-node (%v) should beat inter-node (%v)", intra, inter)
+	}
+}
+
+func TestNICSerializesSends(t *testing.T) {
+	// Two sends back-to-back from the same node serialize on the NIC.
+	e := sim.New()
+	net := NetParams{LatencyInter: 0, BandwidthInter: 1, LatencyIntra: 0, BandwidthIntra: 1}
+	m := newMachine(t, e, SystemParams{Nodes: 2, ProcessorsPerNode: 2, Processes: 3, Threads: 1}, net)
+	// pids 0 and 2 are on node 0; pid 1 on node 1. Both senders push 10
+	// bytes (10s serialization at bw=1).
+	e.Spawn("s0", func(p *sim.Process) { m.Send(p, 0, 1, 10) })
+	e.Spawn("s2", func(p *sim.Process) { m.Send(p, 2, 1, 10) })
+	var last float64
+	e.Spawn("r", func(p *sim.Process) {
+		m.Recv(p, 1, -1)
+		m.Recv(p, 1, -1)
+		last = p.Now()
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if last != 20 {
+		t.Errorf("second delivery at %v, want 20 (NIC serialized)", last)
+	}
+}
+
+func TestSelectiveReceive(t *testing.T) {
+	e := sim.New()
+	net := NetParams{} // zero latency/infinite-free bandwidth? bw=0 means ser=0
+	m := newMachine(t, e, SystemParams{Nodes: 1, ProcessorsPerNode: 4, Processes: 3, Threads: 1}, net)
+	var order []int
+	e.Spawn("s1", func(p *sim.Process) { m.Send(p, 1, 0, 1) })
+	e.Spawn("s2", func(p *sim.Process) { p.Hold(1); m.Send(p, 2, 0, 1) })
+	e.Spawn("r", func(p *sim.Process) {
+		// Wait specifically for rank 2 first, then rank 1 (stashed).
+		msg, err := m.Recv(p, 0, 2)
+		if err != nil {
+			t.Error(err)
+		}
+		order = append(order, msg.From)
+		msg, err = m.Recv(p, 0, 1)
+		if err != nil {
+			t.Error(err)
+		}
+		order = append(order, msg.From)
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 2 || order[0] != 2 || order[1] != 1 {
+		t.Errorf("selective receive order = %v, want [2 1]", order)
+	}
+}
+
+func TestSendRecvValidation(t *testing.T) {
+	e := sim.New()
+	m := newMachine(t, e, DefaultParams(), DefaultNet())
+	e.Spawn("p", func(p *sim.Process) {
+		if err := m.Send(p, 0, 5, 1); err == nil {
+			t.Error("send to out-of-range rank should fail")
+		}
+		if _, err := m.Recv(p, 9, -1); err == nil {
+			t.Error("recv on out-of-range rank should fail")
+		}
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	e := sim.New()
+	m := newMachine(t, e, SystemParams{Nodes: 1, ProcessorsPerNode: 4, Processes: 3, Threads: 1}, DefaultNet())
+	var after []float64
+	for pid := 0; pid < 3; pid++ {
+		pid := pid
+		e.Spawn(fmt.Sprint(pid), func(p *sim.Process) {
+			p.Hold(float64(pid * 5))
+			m.Barrier(p)
+			after = append(after, p.Now())
+		})
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range after {
+		if a != 10 {
+			t.Errorf("barrier exit times = %v, want all 10", after)
+		}
+	}
+}
+
+func TestBarrierSingleProcessNoop(t *testing.T) {
+	e := sim.New()
+	m := newMachine(t, e, DefaultParams(), DefaultNet())
+	e.Spawn("p", func(p *sim.Process) { m.Barrier(p) })
+	if _, err := e.Run(); err != nil {
+		t.Fatalf("single-process barrier must not deadlock: %v", err)
+	}
+}
+
+func TestCollectiveTimeShape(t *testing.T) {
+	e := sim.New()
+	net := DefaultNet()
+	mk := func(procs, nodes int) *Machine {
+		return newMachine(t, sim.New(), SystemParams{Nodes: nodes, ProcessorsPerNode: 8, Processes: procs, Threads: 1}, net)
+	}
+	_ = e
+	if mk(1, 1).CollectiveTime(1e6) != 0 {
+		t.Error("single process collective should be free")
+	}
+	// log2 scaling: 8 procs needs 3 rounds, 4 procs needs 2.
+	t8 := mk(8, 2).CollectiveTime(1e6)
+	t4 := mk(4, 2).CollectiveTime(1e6)
+	if math.Abs(t8/t4-1.5) > 1e-9 {
+		t.Errorf("tree rounds wrong: t8/t4 = %v, want 1.5", t8/t4)
+	}
+	// Multi-node collectives use the slower interconnect.
+	if mk(4, 2).CollectiveTime(1e6) <= mk(4, 1).CollectiveTime(1e6) {
+		t.Error("inter-node collective should cost more")
+	}
+}
+
+func TestBroadcastAndReduce(t *testing.T) {
+	e := sim.New()
+	m := newMachine(t, e, SystemParams{Nodes: 2, ProcessorsPerNode: 2, Processes: 4, Threads: 1}, DefaultNet())
+	var done []float64
+	for pid := 0; pid < 4; pid++ {
+		e.Spawn(fmt.Sprint(pid), func(p *sim.Process) {
+			m.Broadcast(p, 1e6)
+			m.Reduce(p, 8)
+			done = append(done, p.Now())
+		})
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := m.CollectiveTime(1e6) + m.CollectiveTime(8)
+	for _, d := range done {
+		if math.Abs(d-want) > 1e-12 {
+			t.Errorf("collective completion = %v, want %v", d, want)
+		}
+	}
+}
+
+func TestPolicyPS(t *testing.T) {
+	// 4 processes of 10s on 1 node x 2 processors under PS: all share
+	// fairly and finish together at 20s (FCFS finishes pairs at 10 and 20).
+	e := sim.New()
+	m, err := NewWithPolicy(e,
+		SystemParams{Nodes: 1, ProcessorsPerNode: 2, Processes: 4, Threads: 1},
+		DefaultNet(), PolicyPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var finish []float64
+	for pid := 0; pid < 4; pid++ {
+		pid := pid
+		e.Spawn(fmt.Sprint(pid), func(p *sim.Process) {
+			m.Compute(p, pid, 10)
+			finish = append(finish, p.Now())
+		})
+	}
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(end-20) > 1e-9 {
+		t.Errorf("end = %v, want 20", end)
+	}
+	for _, ft := range finish {
+		if math.Abs(ft-20) > 1e-9 {
+			t.Errorf("PS finishes should be simultaneous: %v", finish)
+		}
+	}
+	if m.Policy() != PolicyPS {
+		t.Errorf("policy = %v", m.Policy())
+	}
+	if m.CPU(0) != nil {
+		t.Errorf("FCFS facility accessor should be nil under PS")
+	}
+	if u := m.CPUUtilization(0); math.Abs(u-1) > 1e-9 {
+		t.Errorf("PS utilization = %v, want 1", u)
+	}
+}
+
+func TestPolicyStrings(t *testing.T) {
+	if PolicyFCFS.String() != "fcfs" || PolicyPS.String() != "processor-sharing" {
+		t.Error("policy names wrong")
+	}
+}
+
+func TestCPUUtilizationReporting(t *testing.T) {
+	e := sim.New()
+	m := newMachine(t, e, SystemParams{Nodes: 1, ProcessorsPerNode: 2, Processes: 2, Threads: 1}, DefaultNet())
+	for pid := 0; pid < 2; pid++ {
+		pid := pid
+		e.Spawn(fmt.Sprint(pid), func(p *sim.Process) {
+			m.Compute(p, pid, 10)
+		})
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if u := m.CPU(0).Utilization(); math.Abs(u-1.0) > 1e-9 {
+		t.Errorf("cpu utilization = %v, want 1.0", u)
+	}
+}

@@ -1,0 +1,127 @@
+package mdgen
+
+import (
+	"strings"
+	"testing"
+
+	"prophet/internal/builder"
+	"prophet/internal/samples"
+	"prophet/internal/traverse"
+)
+
+func TestRenderSample(t *testing.T) {
+	out, err := Render(samples.Sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"# Performance model: sample",
+		"Main diagram: **main**",
+		"## Variables",
+		"| GV | double | global |",
+		"## Cost functions",
+		"| FSA2 | double pid | `0.1*(pid+1)` |",
+		"## Diagram main",
+		"| A1 | Action | «action+» |",
+		"T = `FA1()`",
+		"has code fragment",
+		"content: SA",
+		"A1 → decision",
+		"[GV > 0]",
+		"[else]",
+		"## Diagram SA",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderLoopsAndWeights(t *testing.T) {
+	b := builder.New("m")
+	d := b.Diagram("main")
+	d.Initial()
+	d.Loop("L", "N", "body").Var("i")
+	d.Decision("dec")
+	d.Action("A").Cost("1")
+	d.Action("B").Cost("2")
+	d.Merge("mrg")
+	d.Final()
+	d.Flow("initial", "L")
+	d.Flow("L", "dec")
+	d.FlowWeighted("dec", "A", 0.25)
+	d.FlowWeighted("dec", "B", 0.75)
+	d.Flow("A", "mrg")
+	d.Flow("B", "mrg")
+	d.Flow("mrg", "final")
+	body := b.Diagram("body")
+	body.Initial()
+	body.Final()
+	body.Chain("initial", "final")
+	b.Global("N", "double")
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Render(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"repeats body × `N`",
+		"variable `i`",
+		"(p=0.25)",
+		"(p=0.75)",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHandlerNavigatorAgnostic(t *testing.T) {
+	m := samples.Kernel6Detailed()
+	outs := make([]string, 0, 2)
+	for _, nav := range []traverse.Navigator{
+		traverse.NewRecursiveNavigator(), traverse.NewStackNavigator(),
+	} {
+		h := NewHandler()
+		if err := traverse.NewTraverser().Traverse(m, nav, h); err != nil {
+			t.Fatal(err)
+		}
+		out, done := h.Output()
+		if !done {
+			t.Fatal("handler incomplete")
+		}
+		outs = append(outs, out)
+	}
+	if outs[0] != outs[1] {
+		t.Error("markdown should not depend on the navigator")
+	}
+}
+
+func TestHandlerReusable(t *testing.T) {
+	h := NewHandler()
+	traverse.Run(samples.Kernel6(), h)
+	first, _ := h.Output()
+	traverse.Run(samples.Kernel6(), h)
+	second, _ := h.Output()
+	if first != second {
+		t.Error("handler should reset between runs")
+	}
+}
+
+func TestEmptyModel(t *testing.T) {
+	b := builder.New("empty")
+	m, _ := b.Build()
+	out, err := Render(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "# Performance model: empty") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	if strings.Contains(out, "## Variables") {
+		t.Errorf("empty sections should be omitted:\n%s", out)
+	}
+}

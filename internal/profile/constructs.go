@@ -1,0 +1,136 @@
+package profile
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"os"
+
+	"prophet/internal/uml"
+)
+
+// The Constructs file is the XML document that extends the profile with
+// user-defined stereotypes — the "Constructs (XML)" configuration element
+// of the paper's Figure 2 architecture. Example:
+//
+//	<constructs>
+//	  <stereotype name="gpu_kernel" base="Action" doc="CUDA kernel launch">
+//	    <tag name="blocks" type="Expression" required="true"/>
+//	    <tag name="time" type="Expression"/>
+//	    <constraint>blocks &gt; 0</constraint>
+//	  </stereotype>
+//	</constructs>
+//
+// Loaded stereotypes participate in checking and validation like the
+// built-ins; mapping them onto C++ classes or simulation behavior is the
+// ContentHandler-extension step the paper describes.
+
+type constructsDoc struct {
+	XMLName     xml.Name         `xml:"constructs"`
+	Stereotypes []constructEntry `xml:"stereotype"`
+}
+
+type constructEntry struct {
+	Name        string         `xml:"name,attr"`
+	Base        string         `xml:"base,attr"`
+	Doc         string         `xml:"doc,attr,omitempty"`
+	Tags        []constructTag `xml:"tag"`
+	Constraints []string       `xml:"constraint"`
+}
+
+type constructTag struct {
+	Name     string `xml:"name,attr"`
+	Type     string `xml:"type,attr,omitempty"`
+	Required bool   `xml:"required,attr,omitempty"`
+	Default  string `xml:"default,attr,omitempty"`
+}
+
+// ParseConstructs reads stereotype definitions from a Constructs XML
+// document.
+func ParseConstructs(r io.Reader) ([]*Stereotype, error) {
+	var doc constructsDoc
+	if err := xml.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("profile: parse constructs: %w", err)
+	}
+	var out []*Stereotype
+	for _, e := range doc.Stereotypes {
+		if e.Name == "" {
+			return nil, fmt.Errorf("profile: constructs: stereotype with empty name")
+		}
+		base := uml.KindFromName(e.Base)
+		if base == uml.KindInvalid {
+			return nil, fmt.Errorf("profile: constructs: stereotype %q: unknown base metaclass %q",
+				e.Name, e.Base)
+		}
+		s := &Stereotype{Name: e.Name, Base: base, Doc: e.Doc, Constraints: e.Constraints}
+		for _, t := range e.Tags {
+			if t.Name == "" {
+				return nil, fmt.Errorf("profile: constructs: stereotype %q: tag with empty name", e.Name)
+			}
+			var typ TagType
+			switch t.Type {
+			case "", "String":
+				typ = TagString
+			case "Integer":
+				typ = TagInteger
+			case "Double":
+				typ = TagDouble
+			case "Expression":
+				typ = TagExpr
+			default:
+				return nil, fmt.Errorf("profile: constructs: stereotype %q tag %q: unknown type %q",
+					e.Name, t.Name, t.Type)
+			}
+			s.Tags = append(s.Tags, TagDef{
+				Name: t.Name, Type: typ, Required: t.Required, Default: t.Default,
+			})
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// LoadConstructs reads a Constructs file and registers every stereotype
+// it defines into the registry.
+func (r *Registry) LoadConstructs(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("profile: %w", err)
+	}
+	defer f.Close()
+	defs, err := ParseConstructs(f)
+	if err != nil {
+		return fmt.Errorf("profile: %s: %w", path, err)
+	}
+	for _, s := range defs {
+		if err := r.Register(s); err != nil {
+			return fmt.Errorf("profile: %s: %w", path, err)
+		}
+	}
+	return nil
+}
+
+// WriteConstructs renders stereotype definitions as a Constructs XML
+// document (for bootstrapping a project's extension file).
+func WriteConstructs(w io.Writer, defs []*Stereotype) error {
+	doc := constructsDoc{}
+	for _, s := range defs {
+		e := constructEntry{Name: s.Name, Base: s.Base.String(), Doc: s.Doc, Constraints: s.Constraints}
+		for _, t := range s.Tags {
+			e.Tags = append(e.Tags, constructTag{
+				Name: t.Name, Type: t.Type.String(), Required: t.Required, Default: t.Default,
+			})
+		}
+		doc.Stereotypes = append(doc.Stereotypes, e)
+	}
+	if _, err := io.WriteString(w, xml.Header); err != nil {
+		return err
+	}
+	enc := xml.NewEncoder(w)
+	enc.Indent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		return fmt.Errorf("profile: write constructs: %w", err)
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}

@@ -1,0 +1,146 @@
+package profile
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"prophet/internal/uml"
+)
+
+const sampleConstructs = `<?xml version="1.0"?>
+<constructs>
+  <stereotype name="gpu_kernel" base="Action" doc="CUDA kernel launch">
+    <tag name="blocks" type="Expression" required="true"/>
+    <tag name="time" type="Expression"/>
+    <tag name="device" type="Integer" default="0"/>
+    <constraint>device &gt;= 0</constraint>
+  </stereotype>
+  <stereotype name="io_phase" base="Activity">
+    <tag name="bytes" type="Double"/>
+  </stereotype>
+</constructs>`
+
+func TestParseConstructs(t *testing.T) {
+	defs, err := ParseConstructs(strings.NewReader(sampleConstructs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(defs) != 2 {
+		t.Fatalf("defs = %d", len(defs))
+	}
+	gpu := defs[0]
+	if gpu.Name != "gpu_kernel" || gpu.Base != uml.KindAction || gpu.Doc == "" {
+		t.Errorf("gpu def wrong: %+v", gpu)
+	}
+	blocks, ok := gpu.TagDef("blocks")
+	if !ok || blocks.Type != TagExpr || !blocks.Required {
+		t.Errorf("blocks tag wrong: %+v", blocks)
+	}
+	dev, _ := gpu.TagDef("device")
+	if dev.Type != TagInteger || dev.Default != "0" {
+		t.Errorf("device tag wrong: %+v", dev)
+	}
+	if len(gpu.Constraints) != 1 {
+		t.Errorf("constraints = %v", gpu.Constraints)
+	}
+	if defs[1].Base != uml.KindActivity {
+		t.Errorf("io_phase base wrong")
+	}
+}
+
+func TestParseConstructsErrors(t *testing.T) {
+	cases := map[string]string{
+		"not xml":      "junk",
+		"empty name":   `<constructs><stereotype base="Action"/></constructs>`,
+		"bad base":     `<constructs><stereotype name="x" base="Martian"/></constructs>`,
+		"empty tag":    `<constructs><stereotype name="x" base="Action"><tag/></stereotype></constructs>`,
+		"bad tag type": `<constructs><stereotype name="x" base="Action"><tag name="t" type="Blob"/></stereotype></constructs>`,
+	}
+	for name, src := range cases {
+		if _, err := ParseConstructs(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: should fail", name)
+		}
+	}
+}
+
+func TestLoadConstructsIntoRegistry(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "constructs.xml")
+	if err := os.WriteFile(path, []byte(sampleConstructs), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := NewRegistry()
+	if err := r.LoadConstructs(path); err != nil {
+		t.Fatal(err)
+	}
+	s, ok := r.Lookup("gpu_kernel")
+	if !ok {
+		t.Fatal("gpu_kernel not registered")
+	}
+
+	// Apply + validate like a built-in.
+	m := uml.NewModel("m")
+	d, _ := m.AddDiagram("main")
+	a, _ := m.AddAction(d, "", "Launch")
+	if err := r.Apply(a, "gpu_kernel"); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := a.Tag("device"); v != "0" {
+		t.Errorf("default tag not applied: %q", v)
+	}
+	errs := r.Validate(a)
+	if len(errs) != 1 { // blocks required
+		t.Errorf("want missing-blocks error, got %v", errs)
+	}
+	a.SetTag("blocks", "n / 256")
+	if errs := r.Validate(a); len(errs) != 0 {
+		t.Errorf("valid usage should pass: %v", errs)
+	}
+	// The loaded stereotype is performance-relevant (Action base).
+	if !r.IsPerformanceElement(a) {
+		t.Errorf("gpu_kernel should count as performance element")
+	}
+	_ = s
+}
+
+func TestLoadConstructsDuplicate(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "constructs.xml")
+	dup := `<constructs><stereotype name="action+" base="Action"/></constructs>`
+	if err := os.WriteFile(path, []byte(dup), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := NewRegistry().LoadConstructs(path); err == nil {
+		t.Error("redefining a built-in stereotype should fail")
+	}
+}
+
+func TestLoadConstructsMissingFile(t *testing.T) {
+	if err := NewRegistry().LoadConstructs(filepath.Join(t.TempDir(), "none.xml")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestWriteConstructsRoundTrip(t *testing.T) {
+	defs, err := ParseConstructs(strings.NewReader(sampleConstructs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteConstructs(&sb, defs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseConstructs(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatalf("re-parse: %v\n%s", err, sb.String())
+	}
+	if len(got) != len(defs) {
+		t.Fatalf("round trip lost stereotypes")
+	}
+	for i := range defs {
+		if got[i].Name != defs[i].Name || got[i].Base != defs[i].Base ||
+			len(got[i].Tags) != len(defs[i].Tags) {
+			t.Errorf("stereotype %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+package profile
+
+import (
+	"strings"
+	"testing"
+
+	"prophet/internal/uml"
+)
+
+func newActionElem(t *testing.T) (*uml.Model, *uml.ActionNode) {
+	t.Helper()
+	m := uml.NewModel("m")
+	d, err := m.AddDiagram("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := m.AddAction(d, "", "SampleAction")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, a
+}
+
+func TestStandardProfileRegistered(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{
+		ActionPlus, ActivityPlus, LoopPlus,
+		MPISend, MPIRecv, MPIBarrier, MPIBroadcast, MPIReduce,
+		OMPParallel, OMPCritical,
+	} {
+		if _, ok := r.Lookup(name); !ok {
+			t.Errorf("standard stereotype %q missing", name)
+		}
+	}
+}
+
+// TestFigure1Definition reproduces the paper's Figure 1(a): <<action+>> is
+// based on metaclass Action with tags id : Integer, type : String and
+// time (expression-typed here; Double values remain valid).
+func TestFigure1Definition(t *testing.T) {
+	r := NewRegistry()
+	s, ok := r.Lookup(ActionPlus)
+	if !ok {
+		t.Fatal("action+ not registered")
+	}
+	if s.Base != uml.KindAction {
+		t.Errorf("action+ base = %v, want Action", s.Base)
+	}
+	id, ok := s.TagDef("id")
+	if !ok || id.Type != TagInteger {
+		t.Errorf("tag id should be Integer, got %+v", id)
+	}
+	typ, ok := s.TagDef("type")
+	if !ok || typ.Type != TagString {
+		t.Errorf("tag type should be String, got %+v", typ)
+	}
+	if _, ok := s.TagDef("time"); !ok {
+		t.Errorf("tag time missing")
+	}
+	if _, ok := s.TagDef("bogus"); ok {
+		t.Errorf("TagDef should not find undeclared tags")
+	}
+}
+
+// TestFigure1Usage reproduces Figure 1(b): SampleAction with
+// {id = 1, type = SAMPLE, time = 10}.
+func TestFigure1Usage(t *testing.T) {
+	r := NewRegistry()
+	_, a := newActionElem(t)
+	if err := r.Apply(a, ActionPlus); err != nil {
+		t.Fatal(err)
+	}
+	a.SetTag("id", "1")
+	a.SetTag("type", "SAMPLE")
+	a.SetTag("time", "10")
+
+	s, _ := r.Lookup(ActionPlus)
+	got := s.Notation(a)
+	want := "<<action+>> {id = 1, type = SAMPLE, time = 10}"
+	if got != want {
+		t.Errorf("Notation = %q, want %q", got, want)
+	}
+	if errs := r.Validate(a); len(errs) != 0 {
+		t.Errorf("valid usage should produce no errors: %v", errs)
+	}
+}
+
+func TestNotationWithoutTags(t *testing.T) {
+	r := NewRegistry()
+	_, a := newActionElem(t)
+	r.Apply(a, ActionPlus)
+	s, _ := r.Lookup(ActionPlus)
+	if got := s.Notation(a); got != "<<action+>>" {
+		t.Errorf("Notation = %q", got)
+	}
+}
+
+func TestNotationExtraTagsSorted(t *testing.T) {
+	r := NewRegistry()
+	_, a := newActionElem(t)
+	r.Apply(a, ActionPlus)
+	a.SetTag("id", "1")
+	a.SetTag("zzz", "1")
+	a.SetTag("aaa", "2")
+	s, _ := r.Lookup(ActionPlus)
+	got := s.Notation(a)
+	if got != "<<action+>> {id = 1, aaa = 2, zzz = 1}" {
+		t.Errorf("Notation = %q", got)
+	}
+}
+
+func TestApplyWrongBaseClass(t *testing.T) {
+	r := NewRegistry()
+	m := uml.NewModel("m")
+	d, _ := m.AddDiagram("main")
+	act, _ := m.AddActivity(d, "", "SA", "SA")
+	if err := r.Apply(act, ActionPlus); err == nil {
+		t.Error("applying action+ to an Activity should fail")
+	}
+	if err := r.Apply(act, ActivityPlus); err != nil {
+		t.Errorf("activity+ on Activity should succeed: %v", err)
+	}
+}
+
+func TestApplyUnknownStereotype(t *testing.T) {
+	r := NewRegistry()
+	_, a := newActionElem(t)
+	if err := r.Apply(a, "nope+"); err == nil {
+		t.Error("unknown stereotype should fail")
+	}
+}
+
+func TestApplySetsDefaults(t *testing.T) {
+	r := NewRegistry()
+	_, a := newActionElem(t)
+	a.SetTag("size", "1024")
+	if err := r.Apply(a, MPIBroadcast); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := a.Tag("root"); !ok || v != "0" {
+		t.Errorf("default root tag not applied: %q, %v", v, ok)
+	}
+	// Defaults must not overwrite user values.
+	_, b := newActionElem(t)
+	b.SetTag("root", "3")
+	b.SetTag("size", "8")
+	r.Apply(b, MPIBroadcast)
+	if v, _ := b.Tag("root"); v != "3" {
+		t.Errorf("default overwrote explicit tag: %q", v)
+	}
+}
+
+func TestValidateTagTypes(t *testing.T) {
+	r := NewRegistry()
+	_, a := newActionElem(t)
+	r.Apply(a, ActionPlus)
+	a.SetTag("id", "not-an-int")
+	a.SetTag("time", "1 +") // malformed expression
+	errs := r.Validate(a)
+	if len(errs) != 2 {
+		t.Fatalf("want 2 validation errors, got %d: %v", len(errs), errs)
+	}
+	joined := errs[0].Error() + errs[1].Error()
+	if !strings.Contains(joined, "Integer") || !strings.Contains(joined, "expression") {
+		t.Errorf("error text unhelpful: %v", errs)
+	}
+}
+
+func TestValidateRequiredTags(t *testing.T) {
+	r := NewRegistry()
+	_, a := newActionElem(t)
+	r.Apply(a, MPISend)
+	errs := r.Validate(a)
+	if len(errs) != 2 { // dest and size required
+		t.Fatalf("want 2 missing-tag errors, got %d: %v", len(errs), errs)
+	}
+	a.SetTag("dest", "pid + 1")
+	a.SetTag("size", "1024 * 8")
+	if errs := r.Validate(a); len(errs) != 0 {
+		t.Errorf("all required tags set, want no errors: %v", errs)
+	}
+}
+
+func TestValidateConstraints(t *testing.T) {
+	r := NewRegistry()
+	custom := &Stereotype{
+		Name:        "timed+",
+		Base:        uml.KindAction,
+		Tags:        []TagDef{{Name: "time", Type: TagDouble}},
+		Constraints: []string{"time >= 0"},
+	}
+	if err := r.Register(custom); err != nil {
+		t.Fatal(err)
+	}
+	_, a := newActionElem(t)
+	r.Apply(a, "timed+")
+	a.SetTag("time", "-1")
+	errs := r.Validate(a)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "constraint") {
+		t.Fatalf("violated constraint should error: %v", errs)
+	}
+	a.SetTag("time", "5")
+	if errs := r.Validate(a); len(errs) != 0 {
+		t.Errorf("satisfied constraint should pass: %v", errs)
+	}
+	// Unset tag: the constraint is skipped (unset is reported only when
+	// the tag is declared Required).
+	a.DeleteTag("time")
+	if errs := r.Validate(a); len(errs) != 0 {
+		t.Errorf("constraint over unset tag should be skipped: %v", errs)
+	}
+}
+
+func TestValidateUnknownStereotype(t *testing.T) {
+	r := NewRegistry()
+	_, a := newActionElem(t)
+	a.SetStereotype("martian+")
+	errs := r.Validate(a)
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "unknown stereotype") {
+		t.Errorf("unknown stereotype should be reported: %v", errs)
+	}
+}
+
+func TestValidateNoStereotype(t *testing.T) {
+	r := NewRegistry()
+	_, a := newActionElem(t)
+	if errs := r.Validate(a); errs != nil {
+		t.Errorf("unstereotyped element should validate clean: %v", errs)
+	}
+}
+
+func TestValidateBaseClassMismatch(t *testing.T) {
+	r := NewRegistry()
+	_, a := newActionElem(t)
+	a.SetStereotype(ActivityPlus) // bypass Apply's check
+	errs := r.Validate(a)
+	if len(errs) == 0 {
+		t.Error("base-class mismatch should be reported")
+	}
+}
+
+func TestRegisterErrors(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(&Stereotype{Name: ""}); err == nil {
+		t.Error("empty name should be rejected")
+	}
+	if err := r.Register(&Stereotype{Name: ActionPlus}); err == nil {
+		t.Error("duplicate name should be rejected")
+	}
+}
+
+func TestPerformanceStereotypes(t *testing.T) {
+	r := NewRegistry()
+	perf := r.PerformanceStereotypes()
+	want := map[string]bool{
+		ActionPlus: true, ActivityPlus: true, LoopPlus: true,
+		MPISend: true, MPIRecv: true, MPISendrecv: true, MPIBarrier: true,
+		MPIBroadcast: true, MPIReduce: true,
+		OMPParallel: true, OMPCritical: true,
+	}
+	if len(perf) != len(want) {
+		t.Errorf("PerformanceStereotypes = %v", perf)
+	}
+	for _, name := range perf {
+		if !want[name] {
+			t.Errorf("unexpected performance stereotype %q", name)
+		}
+	}
+}
+
+func TestIsPerformanceElement(t *testing.T) {
+	r := NewRegistry()
+	_, a := newActionElem(t)
+	if r.IsPerformanceElement(a) {
+		t.Error("unstereotyped element is not performance-relevant")
+	}
+	r.Apply(a, ActionPlus)
+	if !r.IsPerformanceElement(a) {
+		t.Error("action+ element is performance-relevant")
+	}
+	a.SetStereotype("martian+")
+	if r.IsPerformanceElement(a) {
+		t.Error("unknown stereotype is not performance-relevant")
+	}
+}
+
+func TestTagTypeString(t *testing.T) {
+	if TagInteger.String() != "Integer" || TagDouble.String() != "Double" ||
+		TagString.String() != "String" || TagExpr.String() != "Expression" {
+		t.Error("TagType.String wrong")
+	}
+}
+
+func TestRegistryNamesOrder(t *testing.T) {
+	r := NewRegistry()
+	names := r.Names()
+	if len(names) == 0 || names[0] != ActionPlus {
+		t.Errorf("Names should start with action+: %v", names)
+	}
+}

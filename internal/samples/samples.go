@@ -1,0 +1,288 @@
+// Package samples constructs the models used throughout the paper and this
+// repository's examples, tests and benchmarks:
+//
+//   - Sample: the hypothetical program of the paper's Section 4 (Figures 7
+//     and 8) — main activity with A1, a branch on GV into activity SA or
+//     action A2, then A4.
+//   - Kernel6: the Livermore kernel 6 model of Figure 3, both the collapsed
+//     single-action form (Figure 3c) and the detailed loop-nest form
+//     (Figure 3b).
+//   - Synthetic: parameterized model generators for scalability benchmarks.
+package samples
+
+import (
+	"fmt"
+
+	"prophet/internal/builder"
+	"prophet/internal/profile"
+	"prophet/internal/uml"
+)
+
+// Sample builds the paper's sample performance model (Figure 7a):
+//
+//	initial -> A1 -> decision --[GV > 0]--> SA -> merge -> A4 -> final
+//	                          --[else]----> A2 --^
+//
+// with activity SA containing SA1 -> SA2, globals GV and P, the code
+// fragment of Figure 7(b) attached to A1, and one cost function per
+// performance modeling element (FA1, FA2, FA4, FSA1, FSA2) as in
+// Figure 8(a). FSA2 takes the process ID pid as a parameter, as in the
+// paper.
+func Sample() *uml.Model {
+	b := builder.New("sample")
+	b.Global("GV", "double").
+		Global("P", "double").
+		Function("FA1", nil, "0.5 + 2*P").
+		Function("FA2", nil, "3*P").
+		Function("FA4", nil, "1 + P").
+		Function("FSA1", nil, "5").
+		Function("FSA2", []string{"pid"}, "0.1*(pid+1)")
+
+	main := b.Diagram("main")
+	main.Initial()
+	main.Action("A1").
+		Cost("FA1()").
+		Code("GV = 10;\nP = 4;").
+		Tag("id", "1")
+	main.Decision("decision")
+	main.Activity("SA", "SA").Tag("id", "2")
+	main.Action("A2").Cost("FA2()").Tag("id", "3")
+	main.Merge("merge")
+	main.Action("A4").Cost("FA4()").Tag("id", "4")
+	main.Final()
+	main.Flow("initial", "A1").
+		Flow("A1", "decision").
+		FlowIf("decision", "SA", "GV > 0").
+		FlowIf("decision", "A2", "else").
+		Flow("SA", "merge").
+		Flow("A2", "merge").
+		Flow("merge", "A4").
+		Flow("A4", "final")
+
+	sa := b.Diagram("SA")
+	sa.Initial()
+	sa.Action("SA1").Cost("FSA1()").Tag("id", "5")
+	sa.Action("SA2").Cost("FSA2(pid)").Tag("id", "6")
+	sa.Final()
+	sa.Chain("initial", "SA1", "SA2", "final")
+
+	return builder.MustBuild(b)
+}
+
+// Kernel6 builds the collapsed performance model of Livermore kernel 6
+// (paper, Figure 3c): a single <<action+>> named Kernel6 whose cost
+// function FK6 models the execution time T_K6 of the triply nested loop
+//
+//	DO L = 1, M / DO i = 2, N / DO k = 1, i-1
+//	  W(i) = W(i) + B(i,k) * W(i-k)
+//
+// The kernel's inner statement executes M * (N-1)*N/2 times; FK6 charges
+// cost c per innermost iteration. N, M and c are model globals so the same
+// model serves for parameter sweeps; calibrate c against measurements of
+// the real kernel (internal/lfk).
+func Kernel6() *uml.Model {
+	b := builder.New("kernel6")
+	b.Global("N", "double").
+		Global("M", "double").
+		Global("c", "double").
+		Function("FK6", nil, "M * (N-1) * N / 2 * c")
+	d := b.Diagram("main")
+	d.Initial()
+	d.Action("Kernel6").Cost("FK6()").Tag("id", "1").Tag("type", "LOOP")
+	d.Final()
+	d.Chain("initial", "Kernel6", "final")
+	return builder.MustBuild(b)
+}
+
+// Kernel6Detailed builds the detailed loop-nest model of Figure 3b: three
+// nested <<loop+>> elements around the innermost statement W. The
+// innermost body charges c per execution, so the simulated total equals
+// FK6 of the collapsed model — the tests assert this equivalence, which is
+// the paper's justification for collapsing the kernel into one action.
+//
+// The middle loop runs i from 2 to N (N-1 iterations) and the inner loop
+// body executes i-1 times; the loop variable i is exposed to the inner
+// count expression.
+func Kernel6Detailed() *uml.Model {
+	b := builder.New("kernel6-detailed")
+	b.Global("N", "double").
+		Global("M", "double").
+		Global("c", "double").
+		Function("FW", nil, "c")
+
+	d := b.Diagram("main")
+	d.Initial()
+	d.Loop("LoopL", "M", "outer").Var("L").Tag("id", "1")
+	d.Final()
+	d.Chain("initial", "LoopL", "final")
+
+	outer := b.Diagram("outer")
+	outer.Initial()
+	// i runs 2..N: N-1 iterations; expose i with offset so the inner count
+	// i-1 is correct (iteration index starts at 0, so i = index + 2).
+	outer.Loop("LoopI", "N - 1", "inner").Var("iIdx").Tag("id", "2")
+	outer.Final()
+	outer.Chain("initial", "LoopI", "final")
+
+	inner := b.Diagram("inner")
+	inner.Initial()
+	// k runs 1..i-1: i-1 iterations, with i = iIdx + 2.
+	inner.Loop("LoopK", "iIdx + 1", "body").Var("k").Tag("id", "3")
+	inner.Final()
+	inner.Chain("initial", "LoopK", "final")
+
+	body := b.Diagram("body")
+	body.Initial()
+	body.Action("W").Cost("FW()").Code("W(i) = W(i) + B(i,k) * W(i-k)").Tag("id", "4")
+	body.Final()
+	body.Chain("initial", "W", "final")
+
+	return builder.MustBuild(b)
+}
+
+// Synthetic builds a linear model with the given number of diagrams and
+// actions per diagram; every action carries a constant-cost function. It
+// is used by the transformation scalability benchmarks (experiment FIG5).
+func Synthetic(diagrams, actionsPer int) *uml.Model {
+	b := builder.New(fmt.Sprintf("synthetic-%dx%d", diagrams, actionsPer))
+	b.Global("P", "double")
+	b.Function("FC", nil, "1 + 0*P")
+	for di := 0; di < diagrams; di++ {
+		name := "main"
+		if di > 0 {
+			name = fmt.Sprintf("sub%d", di)
+		}
+		d := b.Diagram(name)
+		d.Initial()
+		prev := "initial"
+		for ai := 0; ai < actionsPer; ai++ {
+			an := fmt.Sprintf("A%d_%d", di, ai)
+			d.Action(an).Cost("FC()").Tag("id", fmt.Sprint(di*actionsPer+ai+1))
+			d.Flow(prev, an)
+			prev = an
+		}
+		d.Final()
+		d.Flow(prev, "final")
+	}
+	return builder.MustBuild(b)
+}
+
+// Jacobi builds the distributed-memory iterative stencil model of
+// examples/jacobi: per iteration each process computes its slab of an
+// n x n grid, exchanges halo rows with its neighbors (guarded sends and
+// receives so the boundary ranks skip the missing side), and joins a
+// global reduction for the convergence test. Globals: n (grid dimension),
+// iters (iteration count), flop (seconds per grid-point update).
+func Jacobi() *uml.Model {
+	b := builder.New("jacobi")
+	b.Global("n", "double").
+		Global("iters", "double").
+		Global("flop", "double").
+		Function("FCompute", nil, "n * n / processes * flop").
+		Function("FResidual", nil, "n * n / processes * flop * 0.1")
+
+	d := b.Diagram("main")
+	d.Initial()
+	d.Action("Setup").Cost("n * flop").Tag("id", "1")
+	d.Loop("Iterate", "iters", "step").Var("it").Tag("id", "2")
+	d.Final()
+	d.Chain("initial", "Setup", "Iterate", "final")
+
+	s := b.Diagram("step")
+	s.Initial()
+	s.Action("Compute").Cost("FCompute()").Tag("id", "3")
+	s.Decision("hasLeft")
+	s.MPI("SendLeft", profile.MPISend).
+		Tag(profile.TagDest, "pid - 1").Tag(profile.TagSize, "8 * n").Tag("id", "4")
+	s.Merge("mL")
+	s.Decision("hasRight")
+	s.MPI("SendRight", profile.MPISend).
+		Tag(profile.TagDest, "pid + 1").Tag(profile.TagSize, "8 * n").Tag("id", "5")
+	s.Merge("mR")
+	s.Decision("hasLeft2")
+	s.MPI("RecvLeft", profile.MPIRecv).Tag(profile.TagSrc, "pid - 1").Tag("id", "6")
+	s.Merge("mL2")
+	s.Decision("hasRight2")
+	s.MPI("RecvRight", profile.MPIRecv).Tag(profile.TagSrc, "pid + 1").Tag("id", "7")
+	s.Merge("mR2")
+	s.Action("Residual").Cost("FResidual()").Tag("id", "8")
+	s.MPI("Converge", profile.MPIReduce).Tag(profile.TagSize, "8").Tag("id", "9")
+	s.Final()
+
+	s.Flow("initial", "Compute")
+	s.Flow("Compute", "hasLeft")
+	s.FlowIf("hasLeft", "SendLeft", "pid > 0")
+	s.FlowIf("hasLeft", "mL", "else")
+	s.Flow("SendLeft", "mL")
+	s.Flow("mL", "hasRight")
+	s.FlowIf("hasRight", "SendRight", "pid < processes - 1")
+	s.FlowIf("hasRight", "mR", "else")
+	s.Flow("SendRight", "mR")
+	s.Flow("mR", "hasLeft2")
+	s.FlowIf("hasLeft2", "RecvLeft", "pid > 0")
+	s.FlowIf("hasLeft2", "mL2", "else")
+	s.Flow("RecvLeft", "mL2")
+	s.Flow("mL2", "hasRight2")
+	s.FlowIf("hasRight2", "RecvRight", "pid < processes - 1")
+	s.FlowIf("hasRight2", "mR2", "else")
+	s.Flow("RecvRight", "mR2")
+	s.Flow("mR2", "Residual")
+	s.Flow("Residual", "Converge")
+	s.Flow("Converge", "final")
+
+	return builder.MustBuild(b)
+}
+
+// OmpRegion builds the shared-memory model of examples/openmp: a parallel
+// region whose team splits `work` seconds of computation, each thread then
+// entering a `critical`-second mutually exclusive section.
+func OmpRegion() *uml.Model {
+	b := builder.New("omp-region")
+	b.Global("work", "double").
+		Global("critical", "double").
+		Function("FSlice", nil, "work / threads")
+
+	d := b.Diagram("main")
+	d.Initial()
+	par := d.Activity("Par", "body")
+	par.Node().SetStereotype(profile.OMPParallel)
+	d.Final()
+	d.Chain("initial", "Par", "final")
+
+	body := b.Diagram("body")
+	body.Initial()
+	body.Action("Slice").Cost("FSlice()").Tag("id", "1")
+	crit := body.MPI("Update", profile.OMPCritical)
+	crit.Cost("critical").Tag("id", "2")
+	body.Final()
+	body.Chain("initial", "Slice", "Update", "final")
+
+	return builder.MustBuild(b)
+}
+
+// Pipeline builds a message-passing model: `stages` pipeline stages where
+// each process computes then sends to its right neighbor. It exercises the
+// MPI stereotypes of the profile and the point-to-point machinery of the
+// estimator.
+func Pipeline(stages int) *uml.Model {
+	b := builder.New(fmt.Sprintf("pipeline-%d", stages))
+	b.Global("work", "double")
+	b.Function("FCompute", nil, "work")
+	d := b.Diagram("main")
+	d.Initial()
+	prev := "initial"
+	for s := 0; s < stages; s++ {
+		comp := fmt.Sprintf("Compute%d", s)
+		d.Action(comp).Cost("FCompute()").Tag("id", fmt.Sprint(2*s+1))
+		send := fmt.Sprintf("Send%d", s)
+		d.MPI(send, profile.MPISend).
+			Tag(profile.TagDest, "(pid + 1) % processes").
+			Tag(profile.TagSize, "1024").
+			Tag("id", fmt.Sprint(2*s+2))
+		d.Chain(prev, comp, send)
+		prev = send
+	}
+	d.Final()
+	d.Flow(prev, "final")
+	return builder.MustBuild(b)
+}

@@ -1,0 +1,243 @@
+// Package sim is a process-oriented discrete-event simulation engine: the
+// stand-in for the commercial CSIM engine at the bottom of the paper's
+// Figure 2 architecture ("CSIM Simulation Engine").
+//
+// The feature set mirrors what the Performance Estimator needs from CSIM:
+//
+//   - processes: independent threads of simulated control (Spawn), which
+//     advance simulated time by holding (Process.Hold)
+//   - facilities: servers with FCFS queueing and utilization statistics
+//     (Facility), modeling processors and interconnect links
+//   - mailboxes: typed FIFO message channels with blocking receive
+//     (Mailbox), modeling point-to-point communication
+//   - barriers and events for collective synchronization
+//
+// Processes are backed by goroutines, but exactly one goroutine — either
+// the scheduler or a single process — runs at any instant; control is
+// handed over explicitly through channels. Together with a deterministic
+// (time, sequence)-ordered event queue this makes every simulation run
+// bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Engine is one simulation instance. The zero value is not usable; call
+// New.
+type Engine struct {
+	now    float64
+	events eventQueue
+	seq    uint64
+
+	yield chan struct{} // processes hand control back on this channel
+	alive []*Process
+	err   error
+
+	// tracer, when non-nil, observes process lifecycle transitions.
+	tracer func(t float64, p *Process, what string)
+}
+
+// New creates an empty simulation.
+func New() *Engine {
+	return &Engine{yield: make(chan struct{})}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() float64 { return e.now }
+
+// SetTracer installs a callback observing process lifecycle transitions
+// ("spawn", "run", "hold", "block", "done"). Pass nil to remove it.
+func (e *Engine) SetTracer(f func(t float64, p *Process, what string)) { e.tracer = f }
+
+func (e *Engine) trace(p *Process, what string) {
+	if e.tracer != nil {
+		e.tracer(e.now, p, what)
+	}
+}
+
+// event is a scheduled occurrence: resume a process or run a callback.
+type event struct {
+	time float64
+	seq  uint64
+	p    *Process
+	fn   func()
+}
+
+// eventQueue is a binary min-heap ordered by (time, seq): ties resolve in
+// schedule order, which keeps runs deterministic.
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return ev
+}
+
+// schedule enqueues an event at absolute time t.
+func (e *Engine) schedule(t float64, p *Process, fn func()) {
+	if t < e.now {
+		t = e.now
+	}
+	e.seq++
+	heap.Push(&e.events, &event{time: t, seq: e.seq, p: p, fn: fn})
+}
+
+// At schedules fn to run at absolute simulated time t (>= now). The
+// callback runs in scheduler context: it must not block, but it may spawn
+// processes and signal synchronization objects.
+func (e *Engine) At(t float64, fn func()) { e.schedule(t, nil, fn) }
+
+// After schedules fn to run dt time units from now.
+func (e *Engine) After(dt float64, fn func()) { e.At(e.now+dt, fn) }
+
+// Spawn creates a process executing fn. The process starts at the current
+// simulated time, after the caller yields control back to the scheduler.
+func (e *Engine) Spawn(name string, fn func(*Process)) *Process {
+	p := &Process{
+		eng:   e,
+		name:  name,
+		wake:  make(chan struct{}),
+		state: stateReady,
+	}
+	e.alive = append(e.alive, p)
+	e.trace(p, "spawn")
+	go func() {
+		<-p.wake // first dispatch
+		defer func() {
+			if r := recover(); r != nil {
+				if r == errPoisoned {
+					// Shutdown path: swallow and hand control back.
+					p.state = stateDone
+					e.yield <- struct{}{}
+					return
+				}
+				if e.err == nil {
+					e.err = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+				}
+			}
+			p.state = stateDone
+			e.trace(p, "done")
+			e.yield <- struct{}{}
+		}()
+		if p.poisoned {
+			panic(errPoisoned)
+		}
+		p.state = stateRunning
+		fn(p)
+	}()
+	e.schedule(e.now, p, nil)
+	return p
+}
+
+// Run executes the simulation until no events remain or an error occurs.
+// It returns the final simulated time. A simulation that ends with
+// processes still blocked on a facility, mailbox, barrier or event reports
+// a DeadlockError.
+func (e *Engine) Run() (float64, error) {
+	defer e.shutdown()
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.time
+		switch {
+		case ev.fn != nil:
+			ev.fn()
+		case ev.p != nil:
+			if ev.p.state == stateDone {
+				break // stale wakeup for a finished process
+			}
+			e.dispatch(ev.p)
+		}
+		if e.err != nil {
+			return e.now, e.err
+		}
+	}
+	if blocked := e.blockedProcesses(); len(blocked) > 0 {
+		return e.now, &DeadlockError{Time: e.now, Processes: blocked}
+	}
+	return e.now, nil
+}
+
+// RunUntil executes the simulation up to (and including) time limit.
+// Remaining events stay queued.
+func (e *Engine) RunUntil(limit float64) (float64, error) {
+	defer e.shutdown()
+	for len(e.events) > 0 && e.events[0].time <= limit {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.time
+		switch {
+		case ev.fn != nil:
+			ev.fn()
+		case ev.p != nil:
+			if ev.p.state == stateDone {
+				break
+			}
+			e.dispatch(ev.p)
+		}
+		if e.err != nil {
+			return e.now, e.err
+		}
+	}
+	return e.now, nil
+}
+
+// dispatch hands control to a process and waits until it yields back.
+func (e *Engine) dispatch(p *Process) {
+	p.state = stateRunning
+	e.trace(p, "run")
+	p.wake <- struct{}{}
+	<-e.yield
+}
+
+// blockedProcesses returns the names of processes stuck on a
+// synchronization object, sorted.
+func (e *Engine) blockedProcesses() []string {
+	var out []string
+	for _, p := range e.alive {
+		if p.state == stateBlocked {
+			out = append(out, p.name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// shutdown unwinds every goroutine that is still parked so that Run never
+// leaks OS resources, even after a deadlock or error.
+func (e *Engine) shutdown() {
+	for _, p := range e.alive {
+		switch p.state {
+		case stateBlocked, stateHolding, stateReady:
+			p.poisoned = true
+			p.wake <- struct{}{}
+			<-e.yield
+		}
+	}
+	e.alive = nil
+}
+
+// DeadlockError reports a simulation that ended with blocked processes.
+type DeadlockError struct {
+	Time      float64
+	Processes []string
+}
+
+func (d *DeadlockError) Error() string {
+	return fmt.Sprintf("sim: deadlock at t=%g: blocked processes: %s",
+		d.Time, strings.Join(d.Processes, ", "))
+}

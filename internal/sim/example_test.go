@@ -1,0 +1,48 @@
+package sim_test
+
+import (
+	"fmt"
+
+	"prophet/internal/sim"
+)
+
+// Example shows the CSIM-style process model: two processes contend for a
+// single-server facility, so the second waits for the first.
+func Example() {
+	e := sim.New()
+	cpu := e.NewFacility("cpu", 1)
+	for i := 0; i < 2; i++ {
+		i := i
+		e.Spawn(fmt.Sprintf("job%d", i), func(p *sim.Process) {
+			cpu.Use(p, 10)
+			fmt.Printf("job%d done at t=%v\n", i, p.Now())
+		})
+	}
+	end, err := e.Run()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("simulation ended at", end)
+	// Output:
+	// job0 done at t=10
+	// job1 done at t=20
+	// simulation ended at 20
+}
+
+// Example_messaging shows blocking point-to-point communication.
+func Example_messaging() {
+	e := sim.New()
+	mb := e.NewMailbox("inbox")
+	e.Spawn("producer", func(p *sim.Process) {
+		p.Hold(5)
+		mb.Send("result")
+	})
+	e.Spawn("consumer", func(p *sim.Process) {
+		msg := mb.Receive(p) // blocks until t=5
+		fmt.Printf("received %q at t=%v\n", msg, p.Now())
+	})
+	if _, err := e.Run(); err != nil {
+		panic(err)
+	}
+	// Output: received "result" at t=5
+}

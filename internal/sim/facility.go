@@ -1,0 +1,117 @@
+package sim
+
+import "fmt"
+
+// Facility is a CSIM-style service facility: a set of identical servers
+// with a single FCFS queue. The Performance Estimator uses facilities to
+// model contended resources — processors of a node, interconnect links,
+// critical sections.
+type Facility struct {
+	eng     *Engine
+	name    string
+	servers int
+	busy    int
+	waiting []*Process
+
+	// statistics
+	busyIntegral float64 // sum over time of (busy servers) dt
+	lastChange   float64
+	services     int
+	queueTimeSum float64
+	enqueueTime  map[*Process]float64
+}
+
+// NewFacility creates a facility with the given number of servers
+// (servers >= 1).
+func (e *Engine) NewFacility(name string, servers int) *Facility {
+	if servers < 1 {
+		panic(fmt.Sprintf("sim: facility %q needs at least 1 server", name))
+	}
+	return &Facility{
+		eng:         e,
+		name:        name,
+		servers:     servers,
+		enqueueTime: make(map[*Process]float64),
+	}
+}
+
+// Name returns the facility name.
+func (f *Facility) Name() string { return f.name }
+
+// Servers returns the number of servers.
+func (f *Facility) Servers() int { return f.servers }
+
+// account integrates busy-server time up to now.
+func (f *Facility) account() {
+	now := f.eng.now
+	f.busyIntegral += float64(f.busy) * (now - f.lastChange)
+	f.lastChange = now
+}
+
+// Acquire takes one server, blocking FCFS while all servers are busy.
+func (f *Facility) Acquire(p *Process) {
+	if f.busy < f.servers && len(f.waiting) == 0 {
+		f.account()
+		f.busy++
+		return
+	}
+	f.enqueueTime[p] = f.eng.now
+	f.waiting = append(f.waiting, p)
+	p.block()
+	// Woken by Release: the releasing side already transferred the server
+	// to us and recorded the queue time.
+}
+
+// Release returns one server and hands it to the longest-waiting process,
+// if any.
+func (f *Facility) Release(p *Process) {
+	if f.busy == 0 {
+		panic(fmt.Sprintf("sim: facility %q released more than acquired", f.name))
+	}
+	if len(f.waiting) > 0 {
+		next := f.waiting[0]
+		f.waiting = f.waiting[1:]
+		f.queueTimeSum += f.eng.now - f.enqueueTime[next]
+		delete(f.enqueueTime, next)
+		// The server passes directly to next: busy count is unchanged.
+		next.unblock()
+		return
+	}
+	f.account()
+	f.busy--
+}
+
+// Use models one complete service: acquire a server, hold for
+// serviceTime, release.
+func (f *Facility) Use(p *Process, serviceTime float64) {
+	f.Acquire(p)
+	p.Hold(serviceTime)
+	f.Release(p)
+	f.services++
+}
+
+// QueueLength returns the number of processes currently waiting.
+func (f *Facility) QueueLength() int { return len(f.waiting) }
+
+// Utilization returns the time-average fraction of busy servers over the
+// interval [0, now].
+func (f *Facility) Utilization() float64 {
+	f.account()
+	if f.eng.now == 0 {
+		return 0
+	}
+	return f.busyIntegral / (f.eng.now * float64(f.servers))
+}
+
+// CompletedServices returns the number of Use calls that finished.
+func (f *Facility) CompletedServices() int { return f.services }
+
+// MeanQueueTime returns the average time completed waiters spent queued
+// (0 when nothing ever queued).
+func (f *Facility) MeanQueueTime() float64 {
+	dequeued := f.services // approximation: services that had to queue are a subset
+	if f.queueTimeSum == 0 || dequeued == 0 {
+		return 0
+	}
+	return f.queueTimeSum / float64(dequeued)
+}

@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func TestFacilitySingleServerSerializes(t *testing.T) {
+	e := New()
+	f := e.NewFacility("cpu", 1)
+	var finish []float64
+	for i := 0; i < 3; i++ {
+		e.Spawn(fmt.Sprint(i), func(p *Process) {
+			f.Use(p, 10)
+			finish = append(finish, p.Now())
+		})
+	}
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 30 {
+		t.Errorf("3 jobs of 10 on 1 server should end at 30, got %v", end)
+	}
+	want := []float64{10, 20, 30}
+	for i, w := range want {
+		if finish[i] != w {
+			t.Errorf("finish[%d] = %v, want %v", i, finish[i], w)
+		}
+	}
+	if f.CompletedServices() != 3 {
+		t.Errorf("services = %d", f.CompletedServices())
+	}
+	if u := f.Utilization(); math.Abs(u-1.0) > 1e-9 {
+		t.Errorf("utilization = %v, want 1.0", u)
+	}
+}
+
+func TestFacilityMultiServerParallel(t *testing.T) {
+	e := New()
+	f := e.NewFacility("cpus", 2)
+	for i := 0; i < 4; i++ {
+		e.Spawn(fmt.Sprint(i), func(p *Process) {
+			f.Use(p, 10)
+		})
+	}
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 20 {
+		t.Errorf("4 jobs of 10 on 2 servers should end at 20, got %v", end)
+	}
+}
+
+func TestFacilityFCFSOrder(t *testing.T) {
+	e := New()
+	f := e.NewFacility("cpu", 1)
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		e.Spawn(fmt.Sprint(i), func(p *Process) {
+			p.Hold(float64(i)) // arrive in index order
+			f.Use(p, 100)
+			order = append(order, i)
+		})
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("service order not FCFS: %v", order)
+		}
+	}
+}
+
+func TestFacilityUtilizationPartial(t *testing.T) {
+	e := New()
+	f := e.NewFacility("cpu", 1)
+	e.Spawn("worker", func(p *Process) {
+		f.Use(p, 5)
+		p.Hold(5) // idle the facility
+	})
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 10 {
+		t.Fatalf("end = %v", end)
+	}
+	if u := f.Utilization(); math.Abs(u-0.5) > 1e-9 {
+		t.Errorf("utilization = %v, want 0.5", u)
+	}
+}
+
+func TestFacilityQueueLengthAndMeanQueueTime(t *testing.T) {
+	e := New()
+	f := e.NewFacility("cpu", 1)
+	probe := 0
+	for i := 0; i < 3; i++ {
+		e.Spawn(fmt.Sprint(i), func(p *Process) {
+			f.Use(p, 10)
+		})
+	}
+	e.At(5, func() { probe = f.QueueLength() })
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if probe != 2 {
+		t.Errorf("queue length at t=5 = %d, want 2", probe)
+	}
+	// Waiters queued 10 and 20 time units; mean over 3 services = 10.
+	if mq := f.MeanQueueTime(); math.Abs(mq-10) > 1e-9 {
+		t.Errorf("mean queue time = %v, want 10", mq)
+	}
+}
+
+func TestFacilityReleaseUnderflowPanics(t *testing.T) {
+	e := New()
+	f := e.NewFacility("cpu", 1)
+	e.Spawn("bad", func(p *Process) {
+		f.Release(p)
+	})
+	if _, err := e.Run(); err == nil {
+		t.Fatal("release without acquire should fail the run")
+	}
+}
+
+func TestNewFacilityValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("0 servers should panic")
+		}
+	}()
+	New().NewFacility("bad", 0)
+}
+
+func TestFacilityHandoffKeepsServerBusy(t *testing.T) {
+	// A released server granted to a waiter must not be double-counted.
+	e := New()
+	f := e.NewFacility("cpu", 1)
+	for i := 0; i < 2; i++ {
+		e.Spawn(fmt.Sprint(i), func(p *Process) {
+			f.Use(p, 10)
+		})
+	}
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if u := f.Utilization(); math.Abs(u-1.0) > 1e-9 {
+		t.Errorf("back-to-back handoff utilization = %v, want 1.0", u)
+	}
+}

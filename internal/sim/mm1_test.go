@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"math"
+	"testing"
+)
+
+// TestMM1AgainstAnalytics validates the engine against closed-form
+// queueing theory: an M/M/1 queue with arrival rate lambda and service
+// rate mu has
+//
+//	utilization      rho = lambda/mu
+//	mean time in system W = 1/(mu-lambda)
+//
+// A discrete-event engine that gets FCFS queueing, clock advance or
+// event ordering wrong cannot reproduce these numbers, so this is the
+// engine's end-to-end correctness certificate.
+func TestMM1AgainstAnalytics(t *testing.T) {
+	const (
+		lambda  = 0.5
+		mu      = 1.0
+		jobs    = 60000
+		warmup  = 5000
+		seedArr = 11
+		seedSvc = 23
+	)
+	e := New()
+	f := e.NewFacility("server", 1)
+	arrivals := NewStream(seedArr)
+	services := NewStream(seedSvc)
+
+	var totalTime float64
+	var measured int
+
+	// Open arrival process: spawn one job process per arrival.
+	var spawnArrivals func()
+	jobIndex := 0
+	spawnArrivals = func() {
+		if jobIndex >= jobs {
+			return
+		}
+		idx := jobIndex
+		jobIndex++
+		e.Spawn("job", func(p *Process) {
+			start := p.Now()
+			f.Use(p, services.Exponential(1/mu))
+			if idx >= warmup {
+				totalTime += p.Now() - start
+				measured++
+			}
+		})
+		e.After(arrivals.Exponential(1/lambda), spawnArrivals)
+	}
+	e.After(arrivals.Exponential(1/lambda), spawnArrivals)
+
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	gotW := totalTime / float64(measured)
+	wantW := 1 / (mu - lambda)
+	if rel := math.Abs(gotW-wantW) / wantW; rel > 0.1 {
+		t.Errorf("M/M/1 mean time in system = %.4f, analytic %.4f (rel err %.1f%%)",
+			gotW, wantW, rel*100)
+	}
+	gotRho := f.Utilization()
+	if math.Abs(gotRho-lambda/mu) > 0.03 {
+		t.Errorf("utilization = %.4f, want ~%.2f", gotRho, lambda/mu)
+	}
+}
+
+// TestMM2Utilization spot-checks the multi-server facility: an M/M/2
+// queue with offered load rho = lambda/(2 mu) has per-server utilization
+// rho.
+func TestMM2Utilization(t *testing.T) {
+	const (
+		lambda = 1.2
+		mu     = 1.0
+		jobs   = 40000
+	)
+	e := New()
+	f := e.NewFacility("servers", 2)
+	arrivals := NewStream(5)
+	services := NewStream(7)
+
+	jobIndex := 0
+	var spawnArrivals func()
+	spawnArrivals = func() {
+		if jobIndex >= jobs {
+			return
+		}
+		jobIndex++
+		e.Spawn("job", func(p *Process) {
+			f.Use(p, services.Exponential(1/mu))
+		})
+		e.After(arrivals.Exponential(1/lambda), spawnArrivals)
+	}
+	e.After(arrivals.Exponential(1/lambda), spawnArrivals)
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := lambda / (2 * mu)
+	if got := f.Utilization(); math.Abs(got-want) > 0.03 {
+		t.Errorf("per-server utilization = %.4f, want ~%.2f", got, want)
+	}
+}
+
+// TestLittlesLawPS validates the processor-sharing facility with Little's
+// law: in an M/G/1-PS queue the mean number in system depends only on
+// rho: L = rho/(1-rho), and by Little's law W = L/lambda.
+// PS is insensitive to the service distribution, so this must hold even
+// with deterministic service times.
+func TestLittlesLawPS(t *testing.T) {
+	const (
+		lambda = 0.5
+		mu     = 1.0 // deterministic service of 1/mu
+		jobs   = 40000
+		warmup = 4000
+	)
+	e := New()
+	f := e.NewPSFacility("cpu", 1)
+	arrivals := NewStream(3)
+
+	var totalTime float64
+	var measured int
+	jobIndex := 0
+	var spawnArrivals func()
+	spawnArrivals = func() {
+		if jobIndex >= jobs {
+			return
+		}
+		idx := jobIndex
+		jobIndex++
+		e.Spawn("job", func(p *Process) {
+			start := p.Now()
+			f.Use(p, 1/mu)
+			if idx >= warmup {
+				totalTime += p.Now() - start
+				measured++
+			}
+		})
+		e.After(arrivals.Exponential(1/lambda), spawnArrivals)
+	}
+	e.After(arrivals.Exponential(1/lambda), spawnArrivals)
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	rho := lambda / mu
+	wantW := (rho / (1 - rho)) / lambda // Little: W = L / lambda = 2
+	gotW := totalTime / float64(measured)
+	if rel := math.Abs(gotW-wantW) / wantW; rel > 0.1 {
+		t.Errorf("M/D/1-PS mean time in system = %.4f, analytic %.4f (rel err %.1f%%)",
+			gotW, wantW, rel*100)
+	}
+}

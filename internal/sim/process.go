@@ -1,0 +1,85 @@
+package sim
+
+import "errors"
+
+// errPoisoned unwinds parked process goroutines at engine shutdown.
+var errPoisoned = errors.New("sim: engine shut down")
+
+// procState tracks where a process is in its lifecycle.
+type procState int
+
+const (
+	// stateReady: spawned, not yet dispatched for the first time.
+	stateReady procState = iota
+	// stateRunning: currently executing (at most one process at a time).
+	stateRunning
+	// stateHolding: waiting for a scheduled timer (Hold).
+	stateHolding
+	// stateBlocked: waiting on a facility, mailbox, barrier or event.
+	stateBlocked
+	// stateDone: finished.
+	stateDone
+)
+
+// Process is one simulated thread of control. All methods must be called
+// from within the process's own function; calling them from another
+// goroutine corrupts the simulation.
+type Process struct {
+	eng      *Engine
+	name     string
+	wake     chan struct{}
+	state    procState
+	poisoned bool
+
+	// msg carries a mailbox delivery to a woken receiver.
+	msg interface{}
+}
+
+// Name returns the process name given at Spawn.
+func (p *Process) Name() string { return p.name }
+
+// Engine returns the owning engine.
+func (p *Process) Engine() *Engine { return p.eng }
+
+// Now returns the current simulated time.
+func (p *Process) Now() float64 { return p.eng.now }
+
+// pause yields control to the scheduler and parks until woken.
+func (p *Process) pause() {
+	p.eng.yield <- struct{}{}
+	<-p.wake
+	if p.poisoned {
+		panic(errPoisoned)
+	}
+	p.state = stateRunning
+}
+
+// Hold advances the process's local time by dt: the process is suspended
+// and resumes after dt simulated time units. This is CSIM's hold(): it is
+// how an ActionPlus element charges its cost-function time to the clock.
+func (p *Process) Hold(dt float64) {
+	if dt < 0 {
+		dt = 0
+	}
+	p.state = stateHolding
+	p.eng.trace(p, "hold")
+	p.eng.schedule(p.eng.now+dt, p, nil)
+	p.pause()
+}
+
+// block parks the process with no scheduled wakeup; some synchronization
+// object is responsible for scheduling its resume.
+func (p *Process) block() {
+	p.state = stateBlocked
+	p.eng.trace(p, "block")
+	p.pause()
+}
+
+// unblock schedules the process to resume at the current time.
+func (p *Process) unblock() {
+	p.eng.schedule(p.eng.now, p, nil)
+}
+
+// Yield lets other ready processes run at the same simulated time
+// (equivalent to Hold(0)).
+func (p *Process) Yield() { p.Hold(0) }

@@ -1,0 +1,261 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+)
+
+// timeAfter wraps time.After with seconds for readability in the
+// livelock regression test.
+func timeAfter(seconds int) <-chan time.Time {
+	return time.After(time.Duration(seconds) * time.Second)
+}
+
+func TestPSFairSharing(t *testing.T) {
+	// Two jobs of 10 on one shared server: both progress at rate 1/2 and
+	// finish together at t=20 (FCFS would finish them at 10 and 20).
+	e := New()
+	f := e.NewPSFacility("cpu", 1)
+	var finish []float64
+	for i := 0; i < 2; i++ {
+		e.Spawn(fmt.Sprint(i), func(p *Process) {
+			f.Use(p, 10)
+			finish = append(finish, p.Now())
+		})
+	}
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 20 {
+		t.Errorf("end = %v, want 20", end)
+	}
+	for _, ft := range finish {
+		if math.Abs(ft-20) > 1e-9 {
+			t.Errorf("finish times = %v, want both 20", finish)
+		}
+	}
+	if f.CompletedServices() != 2 {
+		t.Errorf("services = %d", f.CompletedServices())
+	}
+}
+
+func TestPSVsFCFSCompletionPattern(t *testing.T) {
+	runFCFS := func() []float64 {
+		e := New()
+		f := e.NewFacility("cpu", 1)
+		var finish []float64
+		for i := 0; i < 3; i++ {
+			e.Spawn(fmt.Sprint(i), func(p *Process) {
+				f.Use(p, 6)
+				finish = append(finish, p.Now())
+			})
+		}
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return finish
+	}
+	runPS := func() []float64 {
+		e := New()
+		f := e.NewPSFacility("cpu", 1)
+		var finish []float64
+		for i := 0; i < 3; i++ {
+			e.Spawn(fmt.Sprint(i), func(p *Process) {
+				f.Use(p, 6)
+				finish = append(finish, p.Now())
+			})
+		}
+		if _, err := e.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return finish
+	}
+	fcfs, ps := runFCFS(), runPS()
+	// Same total work, same last completion.
+	if fcfs[2] != 18 || math.Abs(ps[2]-18) > 1e-9 {
+		t.Errorf("last completions: fcfs %v, ps %v, want 18", fcfs[2], ps[2])
+	}
+	// FCFS staggered; PS simultaneous.
+	if fcfs[0] != 6 || fcfs[1] != 12 {
+		t.Errorf("fcfs completions = %v", fcfs)
+	}
+	if math.Abs(ps[0]-18) > 1e-9 || math.Abs(ps[1]-18) > 1e-9 {
+		t.Errorf("ps completions = %v, want all 18", ps)
+	}
+}
+
+func TestPSStaggeredArrivals(t *testing.T) {
+	// Job A (work 10) starts at 0; job B (work 5) arrives at 5.
+	// 0-5: A alone, rate 1, A has 5 left.
+	// 5-15: both share, rate 1/2 each: A finishes its 5 at t=15; B
+	// finishes its 5 at t=15 too.
+	e := New()
+	f := e.NewPSFacility("cpu", 1)
+	var aEnd, bEnd float64
+	e.Spawn("a", func(p *Process) {
+		f.Use(p, 10)
+		aEnd = p.Now()
+	})
+	e.Spawn("b", func(p *Process) {
+		p.Hold(5)
+		f.Use(p, 5)
+		bEnd = p.Now()
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(aEnd-15) > 1e-9 || math.Abs(bEnd-15) > 1e-9 {
+		t.Errorf("aEnd = %v, bEnd = %v, want both 15", aEnd, bEnd)
+	}
+}
+
+func TestPSShortJobBenefits(t *testing.T) {
+	// The key PS property: a short job arriving alongside a long one
+	// finishes before the long one (no head-of-line blocking).
+	e := New()
+	f := e.NewPSFacility("cpu", 1)
+	var shortEnd, longEnd float64
+	e.Spawn("long", func(p *Process) {
+		f.Use(p, 100)
+		longEnd = p.Now()
+	})
+	e.Spawn("short", func(p *Process) {
+		f.Use(p, 1)
+		shortEnd = p.Now()
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if shortEnd >= longEnd {
+		t.Errorf("short (%v) should finish before long (%v)", shortEnd, longEnd)
+	}
+	if math.Abs(shortEnd-2) > 1e-9 { // 1 unit of work at rate 1/2
+		t.Errorf("shortEnd = %v, want 2", shortEnd)
+	}
+	if math.Abs(longEnd-101) > 1e-9 { // 2 + remaining 99 at rate 1
+		t.Errorf("longEnd = %v, want 101", longEnd)
+	}
+}
+
+func TestPSMultiServer(t *testing.T) {
+	// 4 jobs of 10 on 2 servers: rate 1/2 each, all done at 20.
+	e := New()
+	f := e.NewPSFacility("cpu", 2)
+	for i := 0; i < 4; i++ {
+		e.Spawn(fmt.Sprint(i), func(p *Process) {
+			f.Use(p, 10)
+		})
+	}
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(end-20) > 1e-9 {
+		t.Errorf("end = %v, want 20", end)
+	}
+	// Under-loaded: 1 job on 2 servers runs at rate 1 (a job cannot use
+	// more than one server).
+	e2 := New()
+	f2 := e2.NewPSFacility("cpu", 2)
+	e2.Spawn("solo", func(p *Process) { f2.Use(p, 10) })
+	end2, err := e2.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(end2-10) > 1e-9 {
+		t.Errorf("solo end = %v, want 10", end2)
+	}
+}
+
+func TestPSUtilization(t *testing.T) {
+	e := New()
+	f := e.NewPSFacility("cpu", 2)
+	// One job of 10: only half the capacity is used while it runs.
+	e.Spawn("solo", func(p *Process) { f.Use(p, 10) })
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if u := f.Utilization(); math.Abs(u-0.5) > 1e-9 {
+		t.Errorf("utilization = %v, want 0.5", u)
+	}
+}
+
+func TestPSZeroWorkFree(t *testing.T) {
+	e := New()
+	f := e.NewPSFacility("cpu", 1)
+	e.Spawn("p", func(p *Process) {
+		f.Use(p, 0)
+		f.Use(p, -1)
+	})
+	end, err := e.Run()
+	if err != nil || end != 0 {
+		t.Errorf("zero work should be free: %v, %v", end, err)
+	}
+}
+
+func TestPSValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("0 servers should panic")
+		}
+	}()
+	New().NewPSFacility("bad", 0)
+}
+
+// TestPSClockResolutionLivelock is the regression test for a livelock
+// found by the M/M/1 validation: at large clock values, a job whose
+// remaining work maps to a wakeup below the clock's float64 resolution
+// would fire at the same timestamp forever (advance() saw dt == 0). The
+// facility now pads the wakeup past the clock's ULP and treats
+// sub-resolution work as complete.
+func TestPSClockResolutionLivelock(t *testing.T) {
+	e := New()
+	f := e.NewPSFacility("cpu", 1)
+	// Drive the clock to a large value, then run two sharing jobs whose
+	// staggered start leaves one with a tiny remaining at the other's
+	// completion — the float-drift scenario from the Poisson workload.
+	e.Spawn("driver", func(p *Process) {
+		p.Hold(1.2e4)
+		e.Spawn("a", func(pa *Process) {
+			f.Use(pa, 1.0/3.0)
+		})
+		p.Hold(1e-13) // below clock resolution at t=12000
+		e.Spawn("b", func(pb *Process) {
+			f.Use(pb, 1.0/3.0)
+		})
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := e.Run(); err != nil {
+			t.Errorf("run: %v", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-timeAfter(10):
+		t.Fatal("PS facility livelocked (clock-resolution regression)")
+	}
+	if f.CompletedServices() != 2 {
+		t.Errorf("services = %d, want 2", f.CompletedServices())
+	}
+}
+
+func TestPSActiveJobsProbe(t *testing.T) {
+	e := New()
+	f := e.NewPSFacility("cpu", 1)
+	probe := -1
+	for i := 0; i < 3; i++ {
+		e.Spawn(fmt.Sprint(i), func(p *Process) { f.Use(p, 10) })
+	}
+	e.At(5, func() { probe = f.ActiveJobs() })
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if probe != 3 {
+		t.Errorf("active jobs at t=5 = %d, want 3", probe)
+	}
+}

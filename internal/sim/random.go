@@ -1,0 +1,42 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Stream is a reproducible random-number stream for stochastic workload
+// and machine models. Distinct streams (e.g. one per process) keep
+// variance reduction intact when parameters change.
+type Stream struct {
+	rng *rand.Rand
+}
+
+// NewStream creates a stream from a seed. Equal seeds yield equal
+// sequences.
+func NewStream(seed int64) *Stream {
+	return &Stream{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Uniform returns a sample from U[a, b).
+func (s *Stream) Uniform(a, b float64) float64 {
+	return a + (b-a)*s.rng.Float64()
+}
+
+// Exponential returns a sample from Exp with the given mean.
+func (s *Stream) Exponential(mean float64) float64 {
+	return s.rng.ExpFloat64() * mean
+}
+
+// Normal returns a sample from N(mean, sd), truncated at zero (negative
+// service times are meaningless).
+func (s *Stream) Normal(mean, sd float64) float64 {
+	v := mean + sd*s.rng.NormFloat64()
+	return math.Max(0, v)
+}
+
+// Intn returns a uniform integer in [0, n).
+func (s *Stream) Intn(n int) int { return s.rng.Intn(n) }
+
+// Float64 returns a uniform sample in [0, 1).
+func (s *Stream) Float64() float64 { return s.rng.Float64() }

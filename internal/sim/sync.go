@@ -1,0 +1,129 @@
+package sim
+
+import "fmt"
+
+// Barrier synchronizes a fixed-size group of processes: each participant
+// blocks in Wait until all parties have arrived, then all resume at the
+// same simulated time. It is cyclic: after releasing a generation it
+// resets for the next one. The estimator uses it for mpi_barrier and for
+// the implicit join of parallel regions.
+type Barrier struct {
+	eng     *Engine
+	name    string
+	parties int
+	arrived int
+	waiting []*Process
+	cycles  int
+}
+
+// NewBarrier creates a barrier for the given number of parties
+// (parties >= 1).
+func (e *Engine) NewBarrier(name string, parties int) *Barrier {
+	if parties < 1 {
+		panic(fmt.Sprintf("sim: barrier %q needs at least 1 party", name))
+	}
+	return &Barrier{eng: e, name: name, parties: parties}
+}
+
+// Name returns the barrier name.
+func (b *Barrier) Name() string { return b.name }
+
+// Wait blocks until all parties have arrived.
+func (b *Barrier) Wait(p *Process) {
+	b.arrived++
+	if b.arrived < b.parties {
+		b.waiting = append(b.waiting, p)
+		p.block()
+		return
+	}
+	// Last arriver releases the generation.
+	for _, w := range b.waiting {
+		w.unblock()
+	}
+	b.waiting = b.waiting[:0]
+	b.arrived = 0
+	b.cycles++
+}
+
+// Cycles returns the number of completed barrier generations.
+func (b *Barrier) Cycles() int { return b.cycles }
+
+// Event is a CSIM-style state event: processes wait until it is set.
+// Setting wakes every waiter; the event stays set (new waiters pass
+// through) until Reset.
+type Event struct {
+	eng     *Engine
+	name    string
+	set     bool
+	waiting []*Process
+}
+
+// NewEvent creates an unset event.
+func (e *Engine) NewEvent(name string) *Event {
+	return &Event{eng: e, name: name}
+}
+
+// Name returns the event name.
+func (ev *Event) Name() string { return ev.name }
+
+// IsSet reports whether the event is currently set.
+func (ev *Event) IsSet() bool { return ev.set }
+
+// Wait blocks the process until the event is set.
+func (ev *Event) Wait(p *Process) {
+	if ev.set {
+		return
+	}
+	ev.waiting = append(ev.waiting, p)
+	p.block()
+}
+
+// Set marks the event and wakes every waiter. Safe to call from scheduler
+// callbacks.
+func (ev *Event) Set() {
+	if ev.set {
+		return
+	}
+	ev.set = true
+	for _, w := range ev.waiting {
+		w.unblock()
+	}
+	ev.waiting = ev.waiting[:0]
+}
+
+// Reset clears the event so future waiters block again.
+func (ev *Event) Reset() { ev.set = false }
+
+// Counter is a countdown latch: Wait blocks until Done has been called n
+// times. Used to implement joins over dynamically spawned workers.
+type Counter struct {
+	eng     *Engine
+	name    string
+	n       int
+	waiting []*Process
+}
+
+// NewCounter creates a countdown latch expecting n Done calls.
+func (e *Engine) NewCounter(name string, n int) *Counter {
+	return &Counter{eng: e, name: name, n: n}
+}
+
+// Done decrements the counter, waking waiters when it reaches zero.
+func (c *Counter) Done() {
+	c.n--
+	if c.n <= 0 {
+		for _, w := range c.waiting {
+			w.unblock()
+		}
+		c.waiting = c.waiting[:0]
+	}
+}
+
+// Wait blocks until the counter has reached zero.
+func (c *Counter) Wait(p *Process) {
+	if c.n <= 0 {
+		return
+	}
+	c.waiting = append(c.waiting, p)
+	p.block()
+}

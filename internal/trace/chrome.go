@@ -1,0 +1,144 @@
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+)
+
+// chromeEvent is one record of the Chrome trace-event format ("JSON Array
+// Format"): https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+// Complete events ("ph":"X") carry a start timestamp and a duration in
+// microseconds; pid/tid map directly onto the model's process/thread ids.
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat"`
+	Phase string            `json:"ph"`
+	TS    float64           `json:"ts"`
+	Dur   float64           `json:"dur,omitempty"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Args  map[string]string `json:"args,omitempty"`
+}
+
+// WriteChrome renders the trace in the Chrome trace-event JSON format so
+// runs can be inspected interactively in chrome://tracing or Perfetto —
+// a modern stand-in for Teuta's Animator/Charts. Simulated time units are
+// exported as seconds (1 unit = 1e6 us).
+func WriteChrome(w io.Writer, tr *Trace) error {
+	type key struct{ pid, tid int }
+	open := map[key][]Event{}
+	var events []chromeEvent
+
+	meta := map[string]string{"model": tr.Model}
+	for _, m := range tr.Meta {
+		meta[m.Key] = m.Value
+	}
+
+	for _, ev := range tr.Events {
+		k := key{ev.PID, ev.TID}
+		switch ev.Kind {
+		case Enter:
+			open[k] = append(open[k], ev)
+		case Leave:
+			st := open[k]
+			if len(st) == 0 {
+				return fmt.Errorf("trace: chrome export: leave %q without enter", ev.Name)
+			}
+			top := st[len(st)-1]
+			open[k] = st[:len(st)-1]
+			events = append(events, chromeEvent{
+				Name:  top.Name,
+				Cat:   "element",
+				Phase: "X",
+				TS:    top.T * 1e6,
+				Dur:   (ev.T - top.T) * 1e6,
+				PID:   ev.PID,
+				TID:   ev.TID,
+				Args:  map[string]string{"element": top.Elem},
+			})
+		case Send, Recv, Mark:
+			events = append(events, chromeEvent{
+				Name:  ev.Name,
+				Cat:   string(ev.Kind),
+				Phase: "i",
+				TS:    ev.T * 1e6,
+				PID:   ev.PID,
+				TID:   ev.TID,
+				Args:  map[string]string{"element": ev.Elem},
+			})
+		}
+	}
+	for k, st := range open {
+		if len(st) > 0 {
+			return fmt.Errorf("trace: chrome export: %d unclosed element(s) on pid %d tid %d",
+				len(st), k.pid, k.tid)
+		}
+	}
+
+	doc := struct {
+		TraceEvents []chromeEvent     `json:"traceEvents"`
+		Meta        map[string]string `json:"otherData"`
+	}{TraceEvents: events, Meta: meta}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// SaveChrome writes the Chrome trace JSON to a file.
+func SaveChrome(path string, tr *Trace) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	if err := WriteChrome(f, tr); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// WriteCSV exports the per-element summary as CSV (element, count, total,
+// mean, min, max) for spreadsheet analysis, rows sorted by descending
+// total.
+func WriteCSV(w io.Writer, tr *Trace) error {
+	sum, err := Summarize(tr)
+	if err != nil {
+		return err
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"element", "count", "total", "mean", "min", "max"}); err != nil {
+		return err
+	}
+	names := make([]string, 0, len(sum.Elements))
+	for n := range sum.Elements {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		a, b := sum.Elements[names[i]], sum.Elements[names[j]]
+		if a.Total != b.Total {
+			return a.Total > b.Total
+		}
+		return names[i] < names[j]
+	})
+	for _, n := range names {
+		e := sum.Elements[n]
+		rec := []string{
+			n,
+			strconv.Itoa(e.Count),
+			strconv.FormatFloat(e.Total, 'g', -1, 64),
+			strconv.FormatFloat(e.Mean(), 'g', -1, 64),
+			strconv.FormatFloat(e.Min, 'g', -1, 64),
+			strconv.FormatFloat(e.Max, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// DeltaRow compares one element across two runs.
+type DeltaRow struct {
+	Name string
+	// A and B are the element's total times in each run (0 when absent).
+	A, B float64
+	// Delta = B - A.
+	Delta float64
+	// Ratio = B / A (Inf when the element is new, 0 when it vanished and
+	// 1 when unchanged).
+	Ratio float64
+}
+
+// Compare summarizes two traces and reports the per-element total-time
+// deltas, ordered by descending |Delta|. It supports the before/after
+// modeling workflow: change a cost function or a system parameter, rerun,
+// and see exactly which elements moved.
+func Compare(a, b *Trace) ([]DeltaRow, float64, error) {
+	sa, err := Summarize(a)
+	if err != nil {
+		return nil, 0, fmt.Errorf("trace: compare: first trace: %w", err)
+	}
+	sb, err := Summarize(b)
+	if err != nil {
+		return nil, 0, fmt.Errorf("trace: compare: second trace: %w", err)
+	}
+	names := map[string]bool{}
+	for n := range sa.Elements {
+		names[n] = true
+	}
+	for n := range sb.Elements {
+		names[n] = true
+	}
+	var rows []DeltaRow
+	for n := range names {
+		row := DeltaRow{Name: n, A: sa.Elements[n].Total, B: sb.Elements[n].Total}
+		row.Delta = row.B - row.A
+		switch {
+		case row.A == 0 && row.B == 0:
+			row.Ratio = 1
+		case row.A == 0:
+			row.Ratio = math.Inf(1)
+		default:
+			row.Ratio = row.B / row.A
+		}
+		rows = append(rows, row)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		di, dj := math.Abs(rows[i].Delta), math.Abs(rows[j].Delta)
+		if di != dj {
+			return di > dj
+		}
+		return rows[i].Name < rows[j].Name
+	})
+	return rows, sb.Makespan - sa.Makespan, nil
+}
+
+// FormatComparison renders a comparison as a table.
+func FormatComparison(rows []DeltaRow, makespanDelta float64) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "makespan delta: %+.6g\n", makespanDelta)
+	fmt.Fprintf(&sb, "%-20s %12s %12s %12s %8s\n", "element", "before", "after", "delta", "ratio")
+	for _, r := range rows {
+		ratio := fmt.Sprintf("%8.3f", r.Ratio)
+		if math.IsInf(r.Ratio, 1) {
+			ratio = "     new"
+		}
+		fmt.Fprintf(&sb, "%-20s %12.6g %12.6g %+12.6g %s\n", r.Name, r.A, r.B, r.Delta, ratio)
+	}
+	return sb.String()
+}

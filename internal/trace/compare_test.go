@@ -1,0 +1,83 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func traceWith(elems map[string]float64) *Trace {
+	tr := &Trace{Model: "t"}
+	t := 0.0
+	for _, name := range []string{"A", "B", "C", "D"} {
+		dur, ok := elems[name]
+		if !ok {
+			continue
+		}
+		tr.Append(Event{T: t, Kind: Enter, Elem: name, Name: name})
+		tr.Append(Event{T: t + dur, Kind: Leave, Elem: name, Name: name})
+		t += dur
+	}
+	return tr
+}
+
+func TestCompare(t *testing.T) {
+	a := traceWith(map[string]float64{"A": 10, "B": 5, "C": 2})
+	b := traceWith(map[string]float64{"A": 10, "B": 8, "D": 3})
+	rows, dm, err := Compare(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dm != (10+8+3)-(10+5+2) {
+		t.Errorf("makespan delta = %v", dm)
+	}
+	byName := map[string]DeltaRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if r := byName["A"]; r.Delta != 0 || r.Ratio != 1 {
+		t.Errorf("A row = %+v", r)
+	}
+	if r := byName["B"]; r.Delta != 3 || math.Abs(r.Ratio-1.6) > 1e-12 {
+		t.Errorf("B row = %+v", r)
+	}
+	if r := byName["C"]; r.Delta != -2 || r.Ratio != 0 {
+		t.Errorf("C (vanished) row = %+v", r)
+	}
+	if r := byName["D"]; r.Delta != 3 || !math.IsInf(r.Ratio, 1) {
+		t.Errorf("D (new) row = %+v", r)
+	}
+	// Ordered by |delta| descending: B, C, D before A (B=3 ties D=3 and
+	// C=2 < 3; A=0 last).
+	if rows[len(rows)-1].Name != "A" {
+		t.Errorf("unchanged element should sort last: %v", rows)
+	}
+}
+
+func TestCompareErrors(t *testing.T) {
+	bad := &Trace{}
+	bad.Append(Event{T: 1, Kind: Leave, Elem: "x", Name: "X"})
+	good := traceWith(map[string]float64{"A": 1})
+	if _, _, err := Compare(bad, good); err == nil {
+		t.Error("bad first trace should fail")
+	}
+	if _, _, err := Compare(good, bad); err == nil {
+		t.Error("bad second trace should fail")
+	}
+}
+
+func TestFormatComparison(t *testing.T) {
+	rows, dm, err := Compare(
+		traceWith(map[string]float64{"A": 1}),
+		traceWith(map[string]float64{"A": 2, "B": 1}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := FormatComparison(rows, dm)
+	for _, want := range []string{"makespan delta: +2", "A", "B", "new"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted comparison missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,31 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzRead hardens the trace reader: arbitrary input must never panic,
+// and any trace it accepts must re-serialize.
+func FuzzRead(f *testing.F) {
+	var sb strings.Builder
+	Write(&sb, sampleTrace())
+	f.Add(sb.String())
+	f.Add("# model: x\n1\t0\t0\tenter\te\tE\n")
+	f.Add("not a trace")
+	f.Add("")
+	f.Add("1\t2\t3\t4\t5\t6\t7\t8")
+	f.Fuzz(func(t *testing.T, src string) {
+		tr, err := Read(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		var out strings.Builder
+		if err := Write(&out, tr); err != nil {
+			t.Fatalf("accepted trace failed to re-serialize: %v", err)
+		}
+		// Summarize may reject ill-paired traces, but must not panic.
+		_, _ = Summarize(tr)
+		_ = Gantt(tr, 40)
+	})
+}

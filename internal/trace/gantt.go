@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Gantt renders the trace as an ASCII timeline, one lane per process: the
+// textual stand-in for Teuta's performance visualization (Animator/Charts
+// in the paper's Figure 2). Each lane shows which top-level element was
+// executing in each of width time buckets; '.' marks idle time. Elements
+// are keyed by the first letter of their name, with a legend below.
+func Gantt(tr *Trace, width int) string {
+	if width < 10 {
+		width = 10
+	}
+	makespan := tr.Makespan()
+	if makespan == 0 || len(tr.Events) == 0 {
+		return "(empty trace)\n"
+	}
+
+	type interval struct {
+		from, to float64
+		name     string
+	}
+	type key struct{ pid, tid int }
+	open := map[key][]Event{}
+	intervalsByPID := map[int][]interval{}
+	for _, ev := range tr.Events {
+		k := key{ev.PID, ev.TID}
+		switch ev.Kind {
+		case Enter:
+			open[k] = append(open[k], ev)
+		case Leave:
+			st := open[k]
+			if len(st) == 0 {
+				continue
+			}
+			top := st[len(st)-1]
+			open[k] = st[:len(st)-1]
+			// Only top-level intervals paint the lane (nested elements are
+			// detail inside their parent).
+			if len(open[k]) == 0 {
+				intervalsByPID[ev.PID] = append(intervalsByPID[ev.PID],
+					interval{from: top.T, to: ev.T, name: top.Name})
+			}
+		}
+	}
+
+	var pids []int
+	for pid := range intervalsByPID {
+		pids = append(pids, pid)
+	}
+	sort.Ints(pids)
+
+	// Assign a stable glyph per element name.
+	glyphs := map[string]byte{}
+	legendOrder := []string{}
+	taken := map[byte]bool{'.': true}
+	assign := func(name string) byte {
+		if g, ok := glyphs[name]; ok {
+			return g
+		}
+		g := byte('#')
+		// Prefer the element's own first letter, then fall back to the
+		// first free candidate glyph.
+		if len(name) > 0 && !taken[name[0]] {
+			g = name[0]
+		} else {
+			const candidates = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+			for i := 0; i < len(candidates); i++ {
+				if !taken[candidates[i]] {
+					g = candidates[i]
+					break
+				}
+			}
+		}
+		taken[g] = true
+		glyphs[name] = g
+		legendOrder = append(legendOrder, name)
+		return g
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "time 0 .. %.6g  (%d buckets of %.6g)\n", makespan, width, makespan/float64(width))
+	for _, pid := range pids {
+		lane := make([]byte, width)
+		for i := range lane {
+			lane[i] = '.'
+		}
+		for _, iv := range intervalsByPID[pid] {
+			g := assign(iv.name)
+			lo := int(iv.from / makespan * float64(width))
+			hi := int(iv.to / makespan * float64(width))
+			if hi >= width {
+				hi = width - 1
+			}
+			if lo > hi {
+				lo = hi
+			}
+			for i := lo; i <= hi; i++ {
+				lane[i] = g
+			}
+		}
+		fmt.Fprintf(&sb, "pid %3d |%s|\n", pid, lane)
+	}
+	sb.WriteString("legend: ")
+	for i, name := range legendOrder {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "%c=%s", glyphs[name], name)
+	}
+	sb.WriteString("\n")
+	return sb.String()
+}

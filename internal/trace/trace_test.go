@@ -1,0 +1,273 @@
+package trace
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sampleTrace() *Trace {
+	tr := &Trace{Model: "sample"}
+	tr.SetMeta("processes", "2")
+	tr.SetMeta("threads", "1")
+	// pid 0: A1 [0,8], A4 [8,13]; pid 1: A2 [1,4]
+	tr.Append(Event{T: 0, PID: 0, TID: 0, Kind: Enter, Elem: "e1", Name: "A1"})
+	tr.Append(Event{T: 1, PID: 1, TID: 0, Kind: Enter, Elem: "e2", Name: "A2"})
+	tr.Append(Event{T: 4, PID: 1, TID: 0, Kind: Leave, Elem: "e2", Name: "A2"})
+	tr.Append(Event{T: 8, PID: 0, TID: 0, Kind: Leave, Elem: "e1", Name: "A1"})
+	tr.Append(Event{T: 8, PID: 0, TID: 0, Kind: Enter, Elem: "e3", Name: "A4"})
+	tr.Append(Event{T: 13, PID: 0, TID: 0, Kind: Leave, Elem: "e3", Name: "A4"})
+	return tr
+}
+
+func TestRoundTrip(t *testing.T) {
+	tr := sampleTrace()
+	var sb strings.Builder
+	if err := Write(&sb, tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Model != "sample" {
+		t.Errorf("model = %q", got.Model)
+	}
+	if v, ok := got.GetMeta("processes"); !ok || v != "2" {
+		t.Errorf("meta lost: %q %v", v, ok)
+	}
+	if len(got.Events) != len(tr.Events) {
+		t.Fatalf("events = %d, want %d", len(got.Events), len(tr.Events))
+	}
+	for i, ev := range tr.Events {
+		if got.Events[i] != ev {
+			t.Errorf("event %d differs: %+v vs %+v", i, got.Events[i], ev)
+		}
+	}
+}
+
+func TestRoundTripFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.trace")
+	if err := Save(path, sampleTrace()); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Makespan() != 13 {
+		t.Errorf("makespan = %v", got.Makespan())
+	}
+}
+
+func TestQuickTimeRoundTrip(t *testing.T) {
+	f := func(tv float64) bool {
+		if math.IsNaN(tv) || math.IsInf(tv, 0) || tv < 0 {
+			return true
+		}
+		tr := &Trace{Model: "q"}
+		tr.Append(Event{T: tv, Kind: Mark, Elem: "e", Name: "n"})
+		var sb strings.Builder
+		if err := Write(&sb, tr); err != nil {
+			return false
+		}
+		got, err := Read(strings.NewReader(sb.String()))
+		if err != nil {
+			return false
+		}
+		return len(got.Events) == 1 && got.Events[0].T == tv
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	cases := map[string]string{
+		"short row": "1.0\t0\t0\tenter\te1",
+		"bad time":  "x\t0\t0\tenter\te1\tA1",
+		"bad pid":   "1.0\tx\t0\tenter\te1\tA1",
+		"bad tid":   "1.0\t0\tx\tenter\te1\tA1",
+	}
+	for name, src := range cases {
+		if _, err := Read(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: should fail", name)
+		}
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Error("missing file should fail")
+	}
+}
+
+func TestSetMetaReplaces(t *testing.T) {
+	tr := &Trace{}
+	tr.SetMeta("k", "1")
+	tr.SetMeta("k", "2")
+	if len(tr.Meta) != 1 {
+		t.Fatalf("meta entries = %d", len(tr.Meta))
+	}
+	if v, _ := tr.GetMeta("k"); v != "2" {
+		t.Errorf("meta = %q", v)
+	}
+	if _, ok := tr.GetMeta("absent"); ok {
+		t.Error("absent meta should report false")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	sum, err := Summarize(sampleTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Makespan != 13 {
+		t.Errorf("makespan = %v", sum.Makespan)
+	}
+	if sum.Processes != 2 {
+		t.Errorf("processes = %d", sum.Processes)
+	}
+	a1 := sum.Elements["A1"]
+	if a1.Count != 1 || a1.Total != 8 || a1.Mean() != 8 {
+		t.Errorf("A1 stats = %+v", a1)
+	}
+	a2 := sum.Elements["A2"]
+	if a2.Total != 3 {
+		t.Errorf("A2 stats = %+v", a2)
+	}
+	if busy := sum.BusyByPID[0]; busy != 13 {
+		t.Errorf("pid0 busy = %v, want 13", busy)
+	}
+	if busy := sum.BusyByPID[1]; busy != 3 {
+		t.Errorf("pid1 busy = %v, want 3", busy)
+	}
+}
+
+func TestSummarizeNested(t *testing.T) {
+	tr := &Trace{}
+	// outer [0,10] contains inner [2,5]
+	tr.Append(Event{T: 0, Kind: Enter, Elem: "o", Name: "Outer"})
+	tr.Append(Event{T: 2, Kind: Enter, Elem: "i", Name: "Inner"})
+	tr.Append(Event{T: 5, Kind: Leave, Elem: "i", Name: "Inner"})
+	tr.Append(Event{T: 10, Kind: Leave, Elem: "o", Name: "Outer"})
+	sum, err := Summarize(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Elements["Outer"].Total != 10 || sum.Elements["Inner"].Total != 3 {
+		t.Errorf("nested stats wrong: %+v", sum.Elements)
+	}
+	if sum.BusyByPID[0] != 10 {
+		t.Errorf("nested busy should not double count: %v", sum.BusyByPID[0])
+	}
+}
+
+func TestSummarizeMultipleExecutions(t *testing.T) {
+	tr := &Trace{}
+	for i := 0; i < 3; i++ {
+		base := float64(i * 10)
+		tr.Append(Event{T: base, Kind: Enter, Elem: "k", Name: "K"})
+		tr.Append(Event{T: base + float64(i+1), Kind: Leave, Elem: "k", Name: "K"})
+	}
+	sum, err := Summarize(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sum.Elements["K"]
+	if k.Count != 3 || k.Total != 6 || k.Min != 1 || k.Max != 3 || k.Mean() != 2 {
+		t.Errorf("K stats = %+v", k)
+	}
+}
+
+func TestSummarizeErrors(t *testing.T) {
+	t.Run("leave without enter", func(t *testing.T) {
+		tr := &Trace{}
+		tr.Append(Event{T: 1, Kind: Leave, Elem: "x", Name: "X"})
+		if _, err := Summarize(tr); err == nil {
+			t.Error("should fail")
+		}
+	})
+	t.Run("mismatched pair", func(t *testing.T) {
+		tr := &Trace{}
+		tr.Append(Event{T: 0, Kind: Enter, Elem: "a", Name: "A"})
+		tr.Append(Event{T: 1, Kind: Leave, Elem: "b", Name: "B"})
+		if _, err := Summarize(tr); err == nil {
+			t.Error("should fail")
+		}
+	})
+	t.Run("unclosed element", func(t *testing.T) {
+		tr := &Trace{}
+		tr.Append(Event{T: 0, Kind: Enter, Elem: "a", Name: "A"})
+		if _, err := Summarize(tr); err == nil {
+			t.Error("should fail")
+		}
+	})
+}
+
+func TestReport(t *testing.T) {
+	sum, err := Summarize(sampleTrace())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := sum.Report()
+	for _, want := range []string{"makespan: 13", "A1", "A2", "A4", "pid   0", "pid   1"} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+	// Sorted by descending total: A1 (8) before A4 (5) before A2 (3).
+	if !(strings.Index(rep, "A1") < strings.Index(rep, "A4") &&
+		strings.Index(rep, "A4") < strings.Index(rep, "A2")) {
+		t.Errorf("rows not sorted by total:\n%s", rep)
+	}
+}
+
+func TestGantt(t *testing.T) {
+	g := Gantt(sampleTrace(), 26)
+	if !strings.Contains(g, "pid   0") || !strings.Contains(g, "pid   1") {
+		t.Errorf("lanes missing:\n%s", g)
+	}
+	if !strings.Contains(g, "legend:") || !strings.Contains(g, "=A1") {
+		t.Errorf("legend missing:\n%s", g)
+	}
+	// Lane 0 should start with the A1 glyph and contain no gap between A1
+	// and A4 (they abut at t=8).
+	lines := strings.Split(g, "\n")
+	var lane0 string
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "pid   0") {
+			lane0 = ln
+		}
+	}
+	if strings.Count(lane0, ".") != 0 {
+		t.Errorf("pid0 lane should be fully busy:\n%s", g)
+	}
+}
+
+func TestGanttEmpty(t *testing.T) {
+	if g := Gantt(&Trace{}, 40); !strings.Contains(g, "empty") {
+		t.Errorf("empty trace rendering: %q", g)
+	}
+}
+
+func TestGanttGlyphCollision(t *testing.T) {
+	tr := &Trace{}
+	// Two elements starting with the same letter.
+	tr.Append(Event{T: 0, PID: 0, Kind: Enter, Elem: "a", Name: "Alpha"})
+	tr.Append(Event{T: 5, PID: 0, Kind: Leave, Elem: "a", Name: "Alpha"})
+	tr.Append(Event{T: 5, PID: 0, Kind: Enter, Elem: "b", Name: "Avocado"})
+	tr.Append(Event{T: 9, PID: 0, Kind: Leave, Elem: "b", Name: "Avocado"})
+	g := Gantt(tr, 20)
+	if !strings.Contains(g, "=Alpha") || !strings.Contains(g, "=Avocado") {
+		t.Errorf("legend incomplete:\n%s", g)
+	}
+	// Glyphs must differ.
+	legend := g[strings.Index(g, "legend:"):]
+	parts := strings.Split(legend, ", ")
+	if len(parts) >= 2 && parts[0][len("legend: ")] == parts[1][0] {
+		t.Errorf("glyph collision:\n%s", g)
+	}
+}

@@ -1,0 +1,53 @@
+package traverse_test
+
+import (
+	"fmt"
+
+	"prophet/internal/samples"
+	"prophet/internal/traverse"
+	"prophet/internal/uml"
+)
+
+// Example shows the Figure 6 pattern: a Traverser drives a Navigator and
+// hands each element to a ContentHandler. Here the handler counts the
+// performance modeling elements — the first phase of the transformation
+// algorithm.
+func Example() {
+	m := samples.Sample()
+	sel := &traverse.SelectHandler{
+		Matches: func(e uml.Element) bool { return e.Stereotype() == "action+" },
+	}
+	if err := traverse.NewTraverser().Traverse(m, traverse.NewStackNavigator(), sel); err != nil {
+		panic(err)
+	}
+	for _, e := range sel.Selected {
+		fmt.Println(e.Name())
+	}
+	// Output:
+	// A1
+	// A2
+	// A4
+	// SA1
+	// SA2
+}
+
+// Example_multiHandler builds two representations in one pass.
+func Example_multiHandler() {
+	m := samples.Kernel6()
+	var nodes, edges int
+	counter := traverse.FuncHandler(func(ev traverse.Event) error {
+		switch ev.Phase {
+		case traverse.VisitNode:
+			nodes++
+		case traverse.VisitEdge:
+			edges++
+		}
+		return nil
+	})
+	var collect traverse.CollectHandler
+	if err := traverse.Run(m, traverse.MultiHandler{counter, &collect}); err != nil {
+		panic(err)
+	}
+	fmt.Printf("nodes=%d edges=%d events=%d\n", nodes, edges, len(collect.Events))
+	// Output: nodes=3 edges=2 events=9
+}

@@ -1,0 +1,60 @@
+package traverse
+
+import (
+	"prophet/internal/uml"
+)
+
+// CollectHandler records every event it sees. It is the simplest possible
+// ContentHandler, used by tests and by consumers that want the raw walk.
+type CollectHandler struct {
+	Events []Event
+}
+
+// Visit implements ContentHandler.
+func (c *CollectHandler) Visit(ev Event) error {
+	c.Events = append(c.Events, ev)
+	return nil
+}
+
+// SelectHandler collects the performance-relevant modeling elements of the
+// model: the first phase of the transformation algorithm (paper, Figure 5
+// lines 1-8, "IF element is performance modeling element THEN add element
+// to perf_elements"). An element qualifies when Matches returns true; the
+// typical predicate checks the stereotype name against the profile.
+type SelectHandler struct {
+	// Matches decides whether a node is performance-relevant.
+	Matches func(uml.Element) bool
+	// Selected accumulates matching nodes in traversal order.
+	Selected []uml.Element
+}
+
+// Visit implements ContentHandler.
+func (s *SelectHandler) Visit(ev Event) error {
+	if ev.Phase != VisitNode {
+		return nil
+	}
+	if s.Matches != nil && s.Matches(ev.Element) {
+		s.Selected = append(s.Selected, ev.Element)
+	}
+	return nil
+}
+
+// FuncHandler adapts a function to the ContentHandler interface.
+type FuncHandler func(Event) error
+
+// Visit implements ContentHandler.
+func (f FuncHandler) Visit(ev Event) error { return f(ev) }
+
+// MultiHandler fans every event out to several handlers, so one traversal
+// can build several representations in a single pass.
+type MultiHandler []ContentHandler
+
+// Visit implements ContentHandler.
+func (m MultiHandler) Visit(ev Event) error {
+	for _, h := range m {
+		if err := h.Visit(ev); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,116 @@
+package traverse
+
+import "prophet/internal/uml"
+
+// RecursiveNavigator materializes the full event sequence up front by a
+// recursive descent over the model tree, then replays it. Simple and cache
+// friendly for small models; costs O(model) memory.
+type RecursiveNavigator struct {
+	events []Event
+	pos    int
+}
+
+// NewRecursiveNavigator returns a navigator that precomputes the walk.
+func NewRecursiveNavigator() *RecursiveNavigator { return &RecursiveNavigator{} }
+
+// Start implements Navigator.
+func (n *RecursiveNavigator) Start(m *uml.Model) {
+	n.events = n.events[:0]
+	n.pos = -1
+	n.emit(Event{EnterModel, m})
+	for _, d := range m.Diagrams() {
+		n.descend(d)
+	}
+	n.emit(Event{LeaveModel, m})
+}
+
+func (n *RecursiveNavigator) descend(d *uml.Diagram) {
+	n.emit(Event{EnterDiagram, d})
+	for _, node := range d.Nodes() {
+		n.emit(Event{VisitNode, node})
+	}
+	for _, e := range d.Edges() {
+		n.emit(Event{VisitEdge, e})
+	}
+	n.emit(Event{LeaveDiagram, d})
+}
+
+func (n *RecursiveNavigator) emit(ev Event) { n.events = append(n.events, ev) }
+
+// Advance implements Navigator.
+func (n *RecursiveNavigator) Advance() bool {
+	if n.pos+1 >= len(n.events) {
+		return false
+	}
+	n.pos++
+	return true
+}
+
+// Current implements Navigator.
+func (n *RecursiveNavigator) Current() Event { return n.events[n.pos] }
+
+// StackNavigator walks the model lazily with an explicit work stack: O(1)
+// setup and O(depth) memory, at the cost of a little bookkeeping per step.
+// It yields exactly the same event sequence as RecursiveNavigator (asserted
+// by the cross-implementation tests); the ablation benchmark
+// BenchmarkNavigator compares the two.
+type StackNavigator struct {
+	stack []frame
+	cur   Event
+	valid bool
+}
+
+type frame struct {
+	ev     Event
+	expand bool // expand the element's children after yielding
+}
+
+// NewStackNavigator returns a lazily-walking navigator.
+func NewStackNavigator() *StackNavigator { return &StackNavigator{} }
+
+// Start implements Navigator.
+func (n *StackNavigator) Start(m *uml.Model) {
+	n.stack = n.stack[:0]
+	n.valid = false
+	// Push in reverse so pops come out in walk order.
+	n.stack = append(n.stack, frame{Event{LeaveModel, m}, false})
+	diagrams := m.Diagrams()
+	for i := len(diagrams) - 1; i >= 0; i-- {
+		n.stack = append(n.stack, frame{Event{EnterDiagram, diagrams[i]}, true})
+	}
+	n.stack = append(n.stack, frame{Event{EnterModel, m}, false})
+}
+
+// Advance implements Navigator.
+func (n *StackNavigator) Advance() bool {
+	if len(n.stack) == 0 {
+		n.valid = false
+		return false
+	}
+	f := n.stack[len(n.stack)-1]
+	n.stack = n.stack[:len(n.stack)-1]
+	if f.expand {
+		d := f.ev.Element.(*uml.Diagram)
+		// Children execute between this EnterDiagram and its LeaveDiagram.
+		n.stack = append(n.stack, frame{Event{LeaveDiagram, d}, false})
+		edges := d.Edges()
+		for i := len(edges) - 1; i >= 0; i-- {
+			n.stack = append(n.stack, frame{Event{VisitEdge, edges[i]}, false})
+		}
+		nodes := d.Nodes()
+		for i := len(nodes) - 1; i >= 0; i-- {
+			n.stack = append(n.stack, frame{Event{VisitNode, nodes[i]}, false})
+		}
+	}
+	n.cur = f.ev
+	n.valid = true
+	return true
+}
+
+// Current implements Navigator.
+func (n *StackNavigator) Current() Event {
+	if !n.valid {
+		panic("traverse: Current called before Advance")
+	}
+	return n.cur
+}

@@ -1,0 +1,130 @@
+// Package traverse implements the model traversing procedure of the paper's
+// Figure 6: three decoupled roles that communicate only via well-defined
+// interfaces.
+//
+//   - The Navigator knows how to walk the model tree. On each navigation
+//     command it advances to the next traversal event and exposes the
+//     current element.
+//   - The ContentHandler consumes traversal events and produces some model
+//     representation (C++, XML, DOT, statistics, ...).
+//   - The Traverser drives the interaction: it sends the navigation command
+//     to the Navigator, obtains the current element, and asks the
+//     ContentHandler to visit it.
+//
+// "Each implementation of one of these components can be combined with any
+// implementation of the other two components" (paper, Section 3); the
+// package ships two navigators (recursive pre-order and explicit-stack) and
+// any number of handlers live in sibling packages (cppgen, dot, gogen, ...).
+package traverse
+
+import (
+	"fmt"
+
+	"prophet/internal/uml"
+)
+
+// Phase tells a ContentHandler where in the tree walk an event occurred.
+type Phase int
+
+const (
+	// EnterModel is emitted once, before anything else.
+	EnterModel Phase = iota
+	// EnterDiagram is emitted when a diagram's subtree begins.
+	EnterDiagram
+	// VisitNode is emitted for each node of the current diagram.
+	VisitNode
+	// VisitEdge is emitted for each edge of the current diagram, after its
+	// nodes.
+	VisitEdge
+	// LeaveDiagram closes the diagram opened by the matching EnterDiagram.
+	LeaveDiagram
+	// LeaveModel is emitted once, after everything else.
+	LeaveModel
+)
+
+// String names the phase for diagnostics.
+func (p Phase) String() string {
+	switch p {
+	case EnterModel:
+		return "EnterModel"
+	case EnterDiagram:
+		return "EnterDiagram"
+	case VisitNode:
+		return "VisitNode"
+	case VisitEdge:
+		return "VisitEdge"
+	case LeaveDiagram:
+		return "LeaveDiagram"
+	case LeaveModel:
+		return "LeaveModel"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// Event is one step of the traversal: a phase plus the current element.
+type Event struct {
+	Phase   Phase
+	Element uml.Element
+}
+
+// Navigator walks a model and yields traversal events one at a time.
+//
+// The protocol mirrors the paper's communication diagram: Advance is the
+// navigationCommand(), Current is getCurrentElement().
+type Navigator interface {
+	// Start resets the navigator onto a model.
+	Start(m *uml.Model)
+	// Advance moves to the next event. It returns false when the walk is
+	// exhausted.
+	Advance() bool
+	// Current returns the event the navigator is positioned on. It is only
+	// valid after Advance returned true.
+	Current() Event
+}
+
+// ContentHandler consumes traversal events and builds a representation.
+type ContentHandler interface {
+	// Visit is called once per event, in traversal order.
+	Visit(Event) error
+}
+
+// Traverser drives a Navigator/ContentHandler pair over a model.
+type Traverser interface {
+	Traverse(m *uml.Model, nav Navigator, h ContentHandler) error
+}
+
+// defaultTraverser is the straightforward loop of Figure 6:
+// navigationCommand -> getCurrentElement -> visitElement.
+type defaultTraverser struct{}
+
+// NewTraverser returns the default Traverser implementation.
+func NewTraverser() Traverser { return defaultTraverser{} }
+
+// Traverse implements Traverser.
+func (defaultTraverser) Traverse(m *uml.Model, nav Navigator, h ContentHandler) error {
+	nav.Start(m)
+	for nav.Advance() {
+		ev := nav.Current()
+		if err := h.Visit(ev); err != nil {
+			return fmt.Errorf("traverse: %s %s: %w", ev.Phase, describe(ev.Element), err)
+		}
+	}
+	return nil
+}
+
+// Run is shorthand for traversing m with the default traverser and the
+// default (recursive) navigator.
+func Run(m *uml.Model, h ContentHandler) error {
+	return NewTraverser().Traverse(m, NewRecursiveNavigator(), h)
+}
+
+func describe(e uml.Element) string {
+	if e == nil {
+		return "<nil>"
+	}
+	if e.Name() != "" {
+		return fmt.Sprintf("%s %q", e.Kind(), e.Name())
+	}
+	return fmt.Sprintf("%s %q", e.Kind(), e.ID())
+}

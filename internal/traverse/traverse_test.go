@@ -1,0 +1,232 @@
+package traverse
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"prophet/internal/uml"
+)
+
+func buildModel(t *testing.T, diagrams, nodesPer int) *uml.Model {
+	t.Helper()
+	m := uml.NewModel("m")
+	for di := 0; di < diagrams; di++ {
+		d, err := m.AddDiagram(fmt.Sprintf("d%d", di))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var prev uml.Node
+		for ni := 0; ni < nodesPer; ni++ {
+			a, err := m.AddAction(d, "", fmt.Sprintf("A%d_%d", di, ni))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ni%2 == 0 {
+				a.SetStereotype("action+")
+			}
+			if prev != nil {
+				if _, err := d.Connect(prev.ID(), a.ID(), ""); err != nil {
+					t.Fatal(err)
+				}
+			}
+			prev = a
+		}
+	}
+	return m
+}
+
+func eventSignature(evs []Event) []string {
+	out := make([]string, len(evs))
+	for i, ev := range evs {
+		out[i] = ev.Phase.String() + ":" + ev.Element.ID()
+	}
+	return out
+}
+
+func TestDefaultTraversalOrder(t *testing.T) {
+	m := buildModel(t, 2, 2)
+	var c CollectHandler
+	if err := Run(m, &c); err != nil {
+		t.Fatal(err)
+	}
+	// model, d0(enter,2 nodes,1 edge,leave), d1(same), model leave
+	want := 1 + 2*(1+2+1+1) + 1
+	if len(c.Events) != want {
+		t.Fatalf("event count = %d, want %d", len(c.Events), want)
+	}
+	if c.Events[0].Phase != EnterModel || c.Events[len(c.Events)-1].Phase != LeaveModel {
+		t.Errorf("walk should be bracketed by EnterModel/LeaveModel")
+	}
+	// Within a diagram: enter, nodes, edges, leave.
+	if c.Events[1].Phase != EnterDiagram {
+		t.Errorf("second event should enter first diagram, got %v", c.Events[1].Phase)
+	}
+	if c.Events[2].Phase != VisitNode || c.Events[3].Phase != VisitNode {
+		t.Errorf("nodes should be visited before edges")
+	}
+	if c.Events[4].Phase != VisitEdge {
+		t.Errorf("edges should follow nodes")
+	}
+	if c.Events[5].Phase != LeaveDiagram {
+		t.Errorf("diagram should close after its edges")
+	}
+}
+
+// TestNavigatorsAgree asserts that both Navigator implementations produce
+// the identical event sequence, which is what makes them interchangeable
+// behind the Figure 6 interfaces.
+func TestNavigatorsAgree(t *testing.T) {
+	for _, size := range []struct{ d, n int }{{1, 1}, {2, 3}, {5, 10}, {1, 0}, {0, 0}} {
+		m := buildModel(t, size.d, size.n)
+		var a, b CollectHandler
+		if err := NewTraverser().Traverse(m, NewRecursiveNavigator(), &a); err != nil {
+			t.Fatal(err)
+		}
+		if err := NewTraverser().Traverse(m, NewStackNavigator(), &b); err != nil {
+			t.Fatal(err)
+		}
+		sa, sb := eventSignature(a.Events), eventSignature(b.Events)
+		if len(sa) != len(sb) {
+			t.Fatalf("d=%d n=%d: lengths differ %d vs %d", size.d, size.n, len(sa), len(sb))
+		}
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatalf("d=%d n=%d: event %d differs: %s vs %s", size.d, size.n, i, sa[i], sb[i])
+			}
+		}
+	}
+}
+
+// TestCrossPairing exercises the decoupling claim of Figure 6: every
+// navigator works with every handler through the same Traverser.
+func TestCrossPairing(t *testing.T) {
+	m := buildModel(t, 3, 4)
+	navs := map[string]func() Navigator{
+		"recursive": func() Navigator { return NewRecursiveNavigator() },
+		"stack":     func() Navigator { return NewStackNavigator() },
+	}
+	for name, mk := range navs {
+		t.Run(name+"/collect", func(t *testing.T) {
+			var c CollectHandler
+			if err := NewTraverser().Traverse(m, mk(), &c); err != nil {
+				t.Fatal(err)
+			}
+			if len(c.Events) == 0 {
+				t.Error("no events")
+			}
+		})
+		t.Run(name+"/select", func(t *testing.T) {
+			s := &SelectHandler{Matches: func(e uml.Element) bool { return e.Stereotype() == "action+" }}
+			if err := NewTraverser().Traverse(m, mk(), s); err != nil {
+				t.Fatal(err)
+			}
+			if len(s.Selected) != 3*2 { // nodes 0 and 2 of each of 3 diagrams
+				t.Errorf("selected %d elements, want 6", len(s.Selected))
+			}
+		})
+	}
+}
+
+func TestSelectHandlerIgnoresNonNodes(t *testing.T) {
+	m := buildModel(t, 1, 3)
+	s := &SelectHandler{Matches: func(uml.Element) bool { return true }}
+	if err := Run(m, s); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range s.Selected {
+		if !e.Kind().IsNode() {
+			t.Errorf("selected non-node %v", e.Kind())
+		}
+	}
+	if len(s.Selected) != 3 {
+		t.Errorf("selected %d, want 3", len(s.Selected))
+	}
+}
+
+func TestHandlerErrorStopsTraversal(t *testing.T) {
+	m := buildModel(t, 2, 2)
+	sentinel := errors.New("boom")
+	count := 0
+	h := FuncHandler(func(ev Event) error {
+		count++
+		if count == 4 {
+			return sentinel
+		}
+		return nil
+	})
+	err := Run(m, h)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("want wrapped sentinel, got %v", err)
+	}
+	if count != 4 {
+		t.Errorf("traversal continued after error: %d visits", count)
+	}
+}
+
+func TestMultiHandler(t *testing.T) {
+	m := buildModel(t, 1, 2)
+	var a, b CollectHandler
+	if err := Run(m, MultiHandler{&a, &b}); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != len(b.Events) || len(a.Events) == 0 {
+		t.Errorf("multi handler should fan out equally: %d vs %d", len(a.Events), len(b.Events))
+	}
+}
+
+func TestNavigatorRestart(t *testing.T) {
+	m1 := buildModel(t, 1, 1)
+	m2 := buildModel(t, 2, 2)
+	for _, nav := range []Navigator{NewRecursiveNavigator(), NewStackNavigator()} {
+		var c1 CollectHandler
+		if err := NewTraverser().Traverse(m1, nav, &c1); err != nil {
+			t.Fatal(err)
+		}
+		var c2 CollectHandler
+		if err := NewTraverser().Traverse(m2, nav, &c2); err != nil {
+			t.Fatal(err)
+		}
+		if len(c2.Events) <= len(c1.Events) {
+			t.Errorf("navigator not restartable: %d then %d events", len(c1.Events), len(c2.Events))
+		}
+	}
+}
+
+func TestStackNavigatorCurrentBeforeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Current before Advance should panic")
+		}
+	}()
+	n := NewStackNavigator()
+	n.Start(uml.NewModel("m"))
+	n.Current()
+}
+
+func TestAdvancePastEnd(t *testing.T) {
+	m := buildModel(t, 0, 0)
+	for _, nav := range []Navigator{NewRecursiveNavigator(), NewStackNavigator()} {
+		nav.Start(m)
+		for nav.Advance() {
+		}
+		if nav.Advance() {
+			t.Errorf("%T: Advance after exhaustion should keep returning false", nav)
+		}
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	phases := []Phase{EnterModel, EnterDiagram, VisitNode, VisitEdge, LeaveDiagram, LeaveModel}
+	seen := map[string]bool{}
+	for _, p := range phases {
+		s := p.String()
+		if seen[s] {
+			t.Errorf("duplicate phase name %q", s)
+		}
+		seen[s] = true
+	}
+	if Phase(42).String() != "Phase(42)" {
+		t.Errorf("unknown phase string wrong")
+	}
+}

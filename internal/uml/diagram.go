@@ -1,0 +1,128 @@
+package uml
+
+import "fmt"
+
+// Diagram is a UML activity diagram: an ordered collection of nodes and
+// control-flow edges. The paper models a scientific program with one or
+// more activity diagrams (Section 3); the content of an <<activity+>>
+// element is itself described by a diagram (Section 4).
+type Diagram struct {
+	base
+	model *Model
+	nodes []Node
+	edges []*Edge
+
+	nodesByID map[string]Node
+	outgoing  map[string][]*Edge
+	incoming  map[string][]*Edge
+}
+
+// Model returns the owning model.
+func (d *Diagram) Model() *Model { return d.model }
+
+// Nodes returns the diagram's nodes in insertion order. The returned slice
+// must not be modified.
+func (d *Diagram) Nodes() []Node { return d.nodes }
+
+// Edges returns the diagram's edges in insertion order. The returned slice
+// must not be modified.
+func (d *Diagram) Edges() []*Edge { return d.edges }
+
+// addNode wires a node into the diagram.
+func (d *Diagram) addNode(n Node) error {
+	id := n.ID()
+	if id == "" {
+		return fmt.Errorf("uml: node %q has empty ID", n.Name())
+	}
+	if d.model != nil {
+		if _, dup := d.model.byID[id]; dup {
+			return fmt.Errorf("uml: duplicate element ID %q", id)
+		}
+		d.model.byID[id] = n
+	}
+	if d.nodesByID == nil {
+		d.nodesByID = make(map[string]Node)
+	}
+	d.nodesByID[id] = n
+	d.nodes = append(d.nodes, n)
+	n.setDiagram(d)
+	n.setOwner(d)
+	return nil
+}
+
+// Node returns the node with the given ID, or nil if the diagram has none.
+func (d *Diagram) Node(id string) Node {
+	return d.nodesByID[id]
+}
+
+// NodeByName returns the first node with the given name, or nil.
+func (d *Diagram) NodeByName(name string) Node {
+	for _, n := range d.nodes {
+		if n.Name() == name {
+			return n
+		}
+	}
+	return nil
+}
+
+// Connect adds a control-flow edge from one node to another, identified by
+// ID. An empty guard means the edge is unconditional.
+func (d *Diagram) Connect(fromID, toID, guard string) (*Edge, error) {
+	from := d.Node(fromID)
+	if from == nil {
+		return nil, fmt.Errorf("uml: diagram %q: edge source %q not found", d.Name(), fromID)
+	}
+	to := d.Node(toID)
+	if to == nil {
+		return nil, fmt.Errorf("uml: diagram %q: edge target %q not found", d.Name(), toID)
+	}
+	id := fmt.Sprintf("%s.e%d", d.ID(), len(d.edges)+1)
+	e := &Edge{
+		base:    newBase(id, "", KindEdge),
+		from:    fromID,
+		to:      toID,
+		Guard:   guard,
+		diagram: d,
+	}
+	e.setOwner(d)
+	d.edges = append(d.edges, e)
+	if d.outgoing == nil {
+		d.outgoing = make(map[string][]*Edge)
+		d.incoming = make(map[string][]*Edge)
+	}
+	d.outgoing[fromID] = append(d.outgoing[fromID], e)
+	d.incoming[toID] = append(d.incoming[toID], e)
+	if d.model != nil {
+		d.model.byID[id] = e
+	}
+	return e, nil
+}
+
+// Outgoing returns the edges leaving the node with the given ID, in
+// insertion order.
+func (d *Diagram) Outgoing(nodeID string) []*Edge { return d.outgoing[nodeID] }
+
+// Incoming returns the edges entering the node with the given ID, in
+// insertion order.
+func (d *Diagram) Incoming(nodeID string) []*Edge { return d.incoming[nodeID] }
+
+// Initial returns the diagram's initial node, or nil when absent.
+func (d *Diagram) Initial() Node {
+	for _, n := range d.nodes {
+		if n.Kind() == KindInitial {
+			return n
+		}
+	}
+	return nil
+}
+
+// Finals returns every final node of the diagram.
+func (d *Diagram) Finals() []Node {
+	var out []Node
+	for _, n := range d.nodes {
+		if n.Kind() == KindFinal {
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,147 @@
+package uml
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTaggedValues(t *testing.T) {
+	m := NewModel("s")
+	d, _ := m.AddDiagram("main")
+	a, _ := m.AddAction(d, "", "A1")
+
+	if _, ok := a.Tag("id"); ok {
+		t.Errorf("unset tag should not exist")
+	}
+	a.SetTag("type", "SAMPLE")
+	a.SetTag("id", "1")
+	a.SetTag("time", "10")
+	if v, ok := a.Tag("type"); !ok || v != "SAMPLE" {
+		t.Errorf("Tag(type) = %q, %v", v, ok)
+	}
+
+	tags := a.Tags()
+	if len(tags) != 3 {
+		t.Fatalf("Tags() len = %d, want 3", len(tags))
+	}
+	// sorted by name: id, time, type
+	if tags[0].Name != "id" || tags[1].Name != "time" || tags[2].Name != "type" {
+		t.Errorf("Tags() not sorted: %v", tags)
+	}
+
+	a.DeleteTag("type")
+	if _, ok := a.Tag("type"); ok {
+		t.Errorf("DeleteTag did not remove tag")
+	}
+	a.DeleteTag("never-set") // must not panic
+}
+
+func TestTypedTagAccessors(t *testing.T) {
+	m := NewModel("s")
+	d, _ := m.AddDiagram("main")
+	a, _ := m.AddAction(d, "", "A1")
+
+	SetTagFloat(a, "time", 10.5)
+	if v, ok := TagFloat(a, "time"); !ok || v != 10.5 {
+		t.Errorf("TagFloat = %v, %v", v, ok)
+	}
+	SetTagInt(a, "id", 7)
+	if v, ok := TagInt(a, "id"); !ok || v != 7 {
+		t.Errorf("TagInt = %v, %v", v, ok)
+	}
+	if _, ok := TagFloat(a, "missing"); ok {
+		t.Errorf("TagFloat on missing tag should report false")
+	}
+	a.SetTag("junk", "not-a-number")
+	if _, ok := TagFloat(a, "junk"); ok {
+		t.Errorf("TagFloat on non-numeric tag should report false")
+	}
+	if _, ok := TagInt(a, "junk"); ok {
+		t.Errorf("TagInt on non-numeric tag should report false")
+	}
+}
+
+func TestConstraints(t *testing.T) {
+	m := NewModel("s")
+	d, _ := m.AddDiagram("main")
+	a, _ := m.AddAction(d, "", "A1")
+	if len(a.Constraints()) != 0 {
+		t.Errorf("new element should have no constraints")
+	}
+	a.AddConstraint("time >= 0")
+	a.AddConstraint("id > 0")
+	cs := a.Constraints()
+	if len(cs) != 2 || cs[0] != "time >= 0" {
+		t.Errorf("Constraints = %v", cs)
+	}
+	// The returned slice is a copy: mutating it must not affect the element.
+	cs[0] = "mutated"
+	if a.Constraints()[0] != "time >= 0" {
+		t.Errorf("Constraints() must return a defensive copy")
+	}
+}
+
+func TestKindStringRoundTrip(t *testing.T) {
+	kinds := []Kind{KindModel, KindDiagram, KindAction, KindActivity,
+		KindInitial, KindFinal, KindDecision, KindMerge, KindFork,
+		KindJoin, KindLoop, KindEdge}
+	for _, k := range kinds {
+		if got := KindFromName(k.String()); got != k {
+			t.Errorf("KindFromName(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if KindFromName("Bogus") != KindInvalid {
+		t.Errorf("unknown kind name should map to KindInvalid")
+	}
+	if got := Kind(99).String(); got != "Kind(99)" {
+		t.Errorf("out-of-range Kind.String = %q", got)
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	if !KindAction.IsNode() || !KindLoop.IsNode() {
+		t.Errorf("actions and loops are nodes")
+	}
+	if KindEdge.IsNode() || KindDiagram.IsNode() || KindModel.IsNode() {
+		t.Errorf("edges, diagrams and models are not nodes")
+	}
+	if !KindDecision.IsControl() || !KindInitial.IsControl() {
+		t.Errorf("decision and initial are control nodes")
+	}
+	if KindAction.IsControl() || KindActivity.IsControl() {
+		t.Errorf("actions and activities are not control nodes")
+	}
+}
+
+// Property: SetTag/Tag behaves like a map for arbitrary key/value strings.
+func TestQuickTagRoundTrip(t *testing.T) {
+	m := NewModel("s")
+	d, _ := m.AddDiagram("main")
+	a, _ := m.AddAction(d, "", "A1")
+	f := func(key, value string) bool {
+		a.SetTag(key, value)
+		got, ok := a.Tag(key)
+		return ok && got == value
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: SetTagFloat/TagFloat round-trips every finite float64.
+func TestQuickTagFloatRoundTrip(t *testing.T) {
+	m := NewModel("s")
+	d, _ := m.AddDiagram("main")
+	a, _ := m.AddAction(d, "", "A1")
+	f := func(v float64) bool {
+		if v != v { // NaN never round-trips by ==; skip
+			return true
+		}
+		SetTagFloat(a, "t", v)
+		got, ok := TagFloat(a, "t")
+		return ok && got == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,82 @@
+package uml
+
+import "fmt"
+
+// Kind classifies a model element. The set of kinds covers the activity
+// diagram subset of UML 2.0 that the performance profile builds on: action
+// and structured-activity nodes, the control nodes (initial, final,
+// decision, merge, fork, join), loop nodes (expansion regions in the paper's
+// Figure 3b), control-flow edges, diagrams and the model root itself.
+type Kind int
+
+const (
+	KindInvalid Kind = iota
+	KindModel
+	KindDiagram
+	KindAction
+	KindActivity
+	KindInitial
+	KindFinal
+	KindDecision
+	KindMerge
+	KindFork
+	KindJoin
+	KindLoop
+	KindEdge
+)
+
+var kindNames = [...]string{
+	KindInvalid:  "Invalid",
+	KindModel:    "Model",
+	KindDiagram:  "Diagram",
+	KindAction:   "Action",
+	KindActivity: "Activity",
+	KindInitial:  "InitialNode",
+	KindFinal:    "FinalNode",
+	KindDecision: "DecisionNode",
+	KindMerge:    "MergeNode",
+	KindFork:     "ForkNode",
+	KindJoin:     "JoinNode",
+	KindLoop:     "LoopNode",
+	KindEdge:     "ControlFlow",
+}
+
+// String returns the UML metaclass-style name of the kind.
+func (k Kind) String() string {
+	if k < 0 || int(k) >= len(kindNames) {
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+	return kindNames[k]
+}
+
+// KindFromName is the inverse of Kind.String. It returns KindInvalid for
+// unknown names.
+func KindFromName(name string) Kind {
+	for k, n := range kindNames {
+		if n == name && Kind(k) != KindInvalid {
+			return Kind(k)
+		}
+	}
+	return KindInvalid
+}
+
+// IsNode reports whether the kind is an activity-diagram node (as opposed to
+// an edge, diagram or the model root).
+func (k Kind) IsNode() bool {
+	switch k {
+	case KindAction, KindActivity, KindInitial, KindFinal, KindDecision,
+		KindMerge, KindFork, KindJoin, KindLoop:
+		return true
+	}
+	return false
+}
+
+// IsControl reports whether the kind is a pure control node: it routes the
+// flow of execution but does not itself consume simulated time.
+func (k Kind) IsControl() bool {
+	switch k {
+	case KindInitial, KindFinal, KindDecision, KindMerge, KindFork, KindJoin:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,243 @@
+package uml
+
+import "fmt"
+
+// Model is the root of the element tree: it owns the diagrams, the global
+// and local variables, and the cost-function definitions of a performance
+// model. A model together with its diagrams and modeling elements "forms a
+// tree data structure" (paper, Section 3) which the Model Traverser walks.
+type Model struct {
+	base
+	diagrams  []*Diagram
+	variables []Variable
+	functions []Function
+
+	main string // name of the main diagram, defaults to the first added
+	byID map[string]Element
+	seq  int
+}
+
+// NewModel creates an empty model with the given name.
+func NewModel(name string) *Model {
+	m := &Model{base: newBase("model", name, KindModel)}
+	m.byID = map[string]Element{"model": m}
+	return m
+}
+
+// NewID allocates a fresh element ID of the form "e<N>", unique within the
+// model.
+func (m *Model) NewID() string {
+	for {
+		m.seq++
+		id := fmt.Sprintf("e%d", m.seq)
+		if _, taken := m.byID[id]; !taken {
+			return id
+		}
+	}
+}
+
+// AddDiagram creates and attaches a new, empty activity diagram. The first
+// diagram added becomes the main diagram unless SetMain overrides it.
+func (m *Model) AddDiagram(name string) (*Diagram, error) {
+	if m.DiagramByName(name) != nil {
+		return nil, fmt.Errorf("uml: duplicate diagram name %q", name)
+	}
+	id := "d" + fmt.Sprint(len(m.diagrams)+1)
+	if _, taken := m.byID[id]; taken {
+		id = m.NewID()
+	}
+	d := &Diagram{base: newBase(id, name, KindDiagram), model: m}
+	d.setOwner(m)
+	m.diagrams = append(m.diagrams, d)
+	m.byID[id] = d
+	if m.main == "" {
+		m.main = name
+	}
+	return d, nil
+}
+
+// Diagrams returns the model's diagrams in insertion order.
+func (m *Model) Diagrams() []*Diagram { return m.diagrams }
+
+// DiagramByName returns the diagram with the given name, or nil.
+func (m *Model) DiagramByName(name string) *Diagram {
+	for _, d := range m.diagrams {
+		if d.Name() == name {
+			return d
+		}
+	}
+	return nil
+}
+
+// SetMain designates the main diagram, i.e. the one whose flow the generated
+// program body executes (paper, Figure 7a "main activity diagram").
+func (m *Model) SetMain(name string) error {
+	if m.DiagramByName(name) == nil {
+		return fmt.Errorf("uml: no diagram named %q", name)
+	}
+	m.main = name
+	return nil
+}
+
+// Main returns the main diagram, or nil for an empty model.
+func (m *Model) Main() *Diagram { return m.DiagramByName(m.main) }
+
+// MainName returns the name of the main diagram.
+func (m *Model) MainName() string { return m.main }
+
+// Element returns the element with the given ID anywhere in the model tree,
+// or nil.
+func (m *Model) Element(id string) Element { return m.byID[id] }
+
+// AddVariable declares a model variable. Redeclaring a name within the same
+// scope is an error.
+func (m *Model) AddVariable(v Variable) error {
+	if v.Name == "" {
+		return fmt.Errorf("uml: variable with empty name")
+	}
+	for _, have := range m.variables {
+		if have.Name == v.Name && have.Scope == v.Scope {
+			return fmt.Errorf("uml: duplicate %s variable %q", v.Scope, v.Name)
+		}
+	}
+	if v.Type == "" {
+		v.Type = "double"
+	}
+	m.variables = append(m.variables, v)
+	return nil
+}
+
+// Variables returns every model variable in declaration order.
+func (m *Model) Variables() []Variable { return m.variables }
+
+// VariablesIn returns the variables of one scope, in declaration order.
+func (m *Model) VariablesIn(scope VarScope) []Variable {
+	var out []Variable
+	for _, v := range m.variables {
+		if v.Scope == scope {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Variable returns the variable with the given name (searching globals then
+// locals) and whether it exists.
+func (m *Model) Variable(name string) (Variable, bool) {
+	for _, scope := range []VarScope{ScopeGlobal, ScopeLocal} {
+		for _, v := range m.variables {
+			if v.Name == name && v.Scope == scope {
+				return v, true
+			}
+		}
+	}
+	return Variable{}, false
+}
+
+// AddFunction attaches a cost-function definition to the model.
+func (m *Model) AddFunction(f Function) error {
+	if f.Name == "" {
+		return fmt.Errorf("uml: function with empty name")
+	}
+	if _, dup := m.Function(f.Name); dup {
+		return fmt.Errorf("uml: duplicate function %q", f.Name)
+	}
+	m.functions = append(m.functions, f)
+	return nil
+}
+
+// Functions returns every cost-function definition in declaration order.
+func (m *Model) Functions() []Function { return m.functions }
+
+// Function returns the cost function with the given name and whether it
+// exists.
+func (m *Model) Function(name string) (Function, bool) {
+	for _, f := range m.functions {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return Function{}, false
+}
+
+// node factory helpers ------------------------------------------------------
+
+// AddAction creates an ActionNode in the diagram. An empty id asks the model
+// to allocate one.
+func (m *Model) AddAction(d *Diagram, id, name string) (*ActionNode, error) {
+	if id == "" {
+		id = m.NewID()
+	}
+	n := &ActionNode{nodeBase: nodeBase{base: newBase(id, name, KindAction)}}
+	if err := d.addNode(n); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// AddActivity creates an ActivityNode whose content is the diagram named
+// body.
+func (m *Model) AddActivity(d *Diagram, id, name, body string) (*ActivityNode, error) {
+	if id == "" {
+		id = m.NewID()
+	}
+	n := &ActivityNode{nodeBase: nodeBase{base: newBase(id, name, KindActivity)}, Body: body}
+	if err := d.addNode(n); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// AddControl creates a control node of the given kind (initial, final,
+// decision, merge, fork or join).
+func (m *Model) AddControl(d *Diagram, id string, kind Kind) (*ControlNode, error) {
+	if !kind.IsControl() {
+		return nil, fmt.Errorf("uml: %v is not a control-node kind", kind)
+	}
+	if id == "" {
+		id = m.NewID()
+	}
+	n := &ControlNode{nodeBase: nodeBase{base: newBase(id, kind.String(), kind)}}
+	if err := d.addNode(n); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// AddLoop creates a LoopNode repeating the diagram named body count times.
+func (m *Model) AddLoop(d *Diagram, id, name, count, body string) (*LoopNode, error) {
+	if id == "" {
+		id = m.NewID()
+	}
+	n := &LoopNode{nodeBase: nodeBase{base: newBase(id, name, KindLoop)}, Count: count, Body: body}
+	if err := d.addNode(n); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// Stats summarizes the size of a model; it is used by benchmarks and the
+// CLI's describe output.
+type Stats struct {
+	Diagrams  int
+	Nodes     int
+	Edges     int
+	Actions   int
+	Variables int
+	Functions int
+}
+
+// Stats computes model size statistics.
+func (m *Model) Stats() Stats {
+	s := Stats{Diagrams: len(m.diagrams), Variables: len(m.variables), Functions: len(m.functions)}
+	for _, d := range m.diagrams {
+		s.Nodes += len(d.nodes)
+		s.Edges += len(d.edges)
+		for _, n := range d.nodes {
+			if n.Kind() == KindAction {
+				s.Actions++
+			}
+		}
+	}
+	return s
+}

@@ -1,0 +1,95 @@
+package uml
+
+// Node is a node of an activity diagram. Every node belongs to exactly one
+// diagram.
+type Node interface {
+	Element
+	// Diagram returns the diagram that owns the node.
+	Diagram() *Diagram
+	setDiagram(*Diagram)
+}
+
+// nodeBase implements the Node bookkeeping shared by all node types.
+type nodeBase struct {
+	base
+	diagram *Diagram
+}
+
+func (n *nodeBase) Diagram() *Diagram     { return n.diagram }
+func (n *nodeBase) setDiagram(d *Diagram) { n.diagram = d }
+
+// ActionNode models a single-entry single-exit code region (paper,
+// Section 2.1: "We are using <<action+>> to model various types of
+// single-entry single-exit code regions"). An action is not further
+// decomposed into other elements.
+type ActionNode struct {
+	nodeBase
+	// Code is the code fragment associated with the element (paper,
+	// Figure 7b). It is inlined verbatim into the generated C++ before the
+	// element's execute() call.
+	Code string
+	// CostFunc is the cost-function call expression associated with the
+	// element (paper, Figure 7c), e.g. "FA1()" or "FSA2(pid)". It models
+	// the execution time of the represented code block.
+	CostFunc string
+}
+
+// ActivityNode models a composite code region: while an action is not
+// further decomposed, an activity contains a set of elements described by a
+// separate activity diagram (paper, Section 4, activity SA).
+type ActivityNode struct {
+	nodeBase
+	// Body is the name of the diagram that describes the activity content.
+	Body string
+	// Code and CostFunc play the same role as on ActionNode: an activity
+	// may carry its own associated fragment or aggregate cost function.
+	Code     string
+	CostFunc string
+}
+
+// ControlNode is a pure routing node: initial, final, decision, merge, fork
+// or join. Its Kind discriminates the variant.
+type ControlNode struct {
+	nodeBase
+}
+
+// LoopNode models a counted repetition of a body diagram. It corresponds to
+// the loop annotations of the paper's Figure 3b ([L = 1,M] etc.): the body
+// is executed Count times. Count is an expression evaluated in the model
+// environment.
+type LoopNode struct {
+	nodeBase
+	// Count is the iteration-count expression, e.g. "M" or "N-1".
+	Count string
+	// Body is the name of the diagram holding the loop body.
+	Body string
+	// Var is the optional loop variable name made visible to the body.
+	Var string
+}
+
+// Edge is a control flow between two nodes of the same diagram. Guard is an
+// optional boolean expression; the distinguished guard "else" marks the
+// default branch out of a decision node (mapped to the trailing `else` of
+// the generated if/else-if chain, paper Figure 8b).
+type Edge struct {
+	base
+	from  string // node ID
+	to    string // node ID
+	Guard string
+	// Weight optionally biases probabilistic branch selection when the
+	// model is evaluated without concrete variable values.
+	Weight  float64
+	diagram *Diagram
+}
+
+// From returns the source node ID.
+func (e *Edge) From() string { return e.from }
+
+// To returns the target node ID.
+func (e *Edge) To() string { return e.to }
+
+// Diagram returns the diagram that owns the edge.
+func (e *Edge) Diagram() *Diagram { return e.diagram }
+
+// IsElse reports whether the edge carries the distinguished "else" guard.
+func (e *Edge) IsElse() bool { return e.Guard == "else" }

@@ -1,0 +1,60 @@
+package uml
+
+// VarScope distinguishes global model variables from variables local to the
+// generated program body (paper, Figure 8a lines 24-25 vs Figure 5 lines
+// 20-23).
+type VarScope int
+
+const (
+	// ScopeGlobal variables are emitted before the cost functions so that
+	// cost functions and guards may reference them (e.g. GV, P in the
+	// sample model).
+	ScopeGlobal VarScope = iota
+	// ScopeLocal variables are emitted inside the generated program body.
+	ScopeLocal
+)
+
+// String returns "global" or "local".
+func (s VarScope) String() string {
+	if s == ScopeLocal {
+		return "local"
+	}
+	return "global"
+}
+
+// Variable is a model variable. Name and Type are the properties the user
+// specifies in the model's property list (paper, Figure 7a bottom-right);
+// Init is an optional initializer expression.
+type Variable struct {
+	Name  string
+	Type  string // C++ type spelling: "double", "int", ...
+	Scope VarScope
+	Init  string // optional initializer expression, "" for none
+}
+
+// Param is a formal parameter of a cost function.
+type Param struct {
+	Name string
+	Type string
+}
+
+// Function is a cost-function definition attached to the model. Body is an
+// expression in the cost-function language (package expr); the generated C++
+// returns its value. Cost functions may be composed of other cost functions
+// (paper, Section 4: "a cost function may be composed using other functions
+// that are defined in the performance model").
+type Function struct {
+	Name   string
+	Params []Param
+	Type   string // return type, defaults to "double"
+	Body   string
+}
+
+// ReturnType returns the declared return type, defaulting to "double" as in
+// the paper's generated code (e.g. `double FA1(){...}`).
+func (f Function) ReturnType() string {
+	if f.Type == "" {
+		return "double"
+	}
+	return f.Type
+}

@@ -1,0 +1,29 @@
+package xmi
+
+import (
+	"testing"
+
+	"prophet/internal/samples"
+)
+
+// FuzzDecode hardens the model decoder against arbitrary bytes: it must
+// never panic, and any model it accepts must re-encode successfully.
+func FuzzDecode(f *testing.F) {
+	if s, err := EncodeString(samples.Sample()); err == nil {
+		f.Add(s)
+	}
+	f.Add(`<model name="m"><diagram id="d1" name="main"/></model>`)
+	f.Add(`<model name="m"><variable name="x" type="int"/></model>`)
+	f.Add(`<model`)
+	f.Add(``)
+	f.Add(`<model name="m"><diagram id="d" name="n"><node id="a" kind="Action"/><edge from="a" to="a"/></diagram></model>`)
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := DecodeString(src)
+		if err != nil {
+			return
+		}
+		if _, err := EncodeString(m); err != nil {
+			t.Fatalf("accepted model failed to re-encode: %v", err)
+		}
+	})
+}

@@ -1,0 +1,133 @@
+// Package prophet is the public API of this repository: a Go
+// implementation of the Performance Prophet methodology from "Automatic
+// Performance Model Transformation from UML to C++" (Pllana, Benkner,
+// Xhafa, Barolli — ICPP Workshops 2008).
+//
+// The workflow mirrors the paper's Figure 2 architecture:
+//
+//  1. Specify a performance model as UML activity diagrams extended with
+//     the performance profile (<<action+>>, <<activity+>>, ...). Use the
+//     fluent builder (NewModel) or load a model XML file (LoadModel).
+//  2. Check the model against the UML well-formedness rules and the
+//     profile (Prophet.Check).
+//  3. Transform it automatically to its C++ representation
+//     (Prophet.TransformCpp — the Figure 5 algorithm), or to DOT /
+//     generated Go program code.
+//  4. Evaluate it by simulation on the built-in CSIM-style engine
+//     (Prophet.Estimate): the system parameters generate a machine model,
+//     the integrated system model runs, and a trace file plus summary
+//     statistics come back.
+//
+// Quickstart:
+//
+//	p := prophet.New()
+//	m := prophet.NewModel("app")
+//	m.Global("P", "double").Function("F", nil, "2*P")
+//	d := m.Diagram("main")
+//	d.Initial()
+//	d.Action("Work").Cost("F()")
+//	d.Final()
+//	d.Chain("initial", "Work", "final")
+//	model, err := m.Build()
+//	// ...
+//	cpp, err := p.TransformCpp(model)
+//	est, err := p.Estimate(prophet.Request{Model: model,
+//	    Globals: map[string]float64{"P": 4}})
+//	fmt.Println(est.Makespan)
+package prophet
+
+import (
+	"prophet/internal/builder"
+	"prophet/internal/checker"
+	"prophet/internal/core"
+	"prophet/internal/estimator"
+	"prophet/internal/machine"
+	"prophet/internal/profile"
+	"prophet/internal/trace"
+	"prophet/internal/uml"
+	"prophet/internal/xmi"
+)
+
+// Prophet is the modeling-and-prediction pipeline (see package core).
+type Prophet = core.Prophet
+
+// Options configure a pipeline.
+type Options = core.Options
+
+// Request describes one performance evaluation.
+type Request = core.Request
+
+// Estimate is the outcome of one evaluation.
+type Estimate = core.Estimate
+
+// SystemParams are the system parameters (SP): nodes, processors per node,
+// processes, threads.
+type SystemParams = machine.SystemParams
+
+// NetParams parameterize the simulated interconnect.
+type NetParams = machine.NetParams
+
+// SweepPoint is one sample of a process-count sweep.
+type SweepPoint = estimator.SweepPoint
+
+// GlobalPoint is one sample of a global-variable sweep.
+type GlobalPoint = estimator.GlobalPoint
+
+// SensitivityPoint reports one global's makespan elasticity.
+type SensitivityPoint = estimator.SensitivityPoint
+
+// MonteCarloResult summarizes repeated stochastic evaluations.
+type MonteCarloResult = estimator.MonteCarloResult
+
+// Model is a UML performance model.
+type Model = uml.Model
+
+// ModelBuilder assembles models fluently.
+type ModelBuilder = builder.ModelBuilder
+
+// CheckReport is the outcome of model checking.
+type CheckReport = checker.Report
+
+// Trace is a recorded simulation run (the TF of the paper's Figure 2).
+type Trace = trace.Trace
+
+// Stereotype names of the standard performance profile.
+const (
+	ActionPlus   = profile.ActionPlus
+	ActivityPlus = profile.ActivityPlus
+	LoopPlus     = profile.LoopPlus
+	MPISend      = profile.MPISend
+	MPIRecv      = profile.MPIRecv
+	MPIBarrier   = profile.MPIBarrier
+	MPIBroadcast = profile.MPIBroadcast
+	MPIReduce    = profile.MPIReduce
+	OMPParallel  = profile.OMPParallel
+	OMPCritical  = profile.OMPCritical
+)
+
+// New assembles a pipeline with the standard profile and defaults.
+func New() *Prophet { return core.New() }
+
+// NewWith assembles a pipeline with explicit options.
+func NewWith(opts Options) *Prophet { return core.NewWith(opts) }
+
+// NewModel starts a fluent model builder.
+func NewModel(name string) *ModelBuilder { return builder.New(name) }
+
+// LoadModel reads a model from an XML file.
+func LoadModel(path string) (*Model, error) { return xmi.Load(path) }
+
+// SaveModel writes a model to an XML file.
+func SaveModel(path string, m *Model) error { return xmi.Save(path, m) }
+
+// DefaultParams is a single-process, single-node system configuration.
+func DefaultParams() SystemParams { return machine.DefaultParams() }
+
+// DefaultNet is a generic commodity-cluster interconnect.
+func DefaultNet() NetParams { return machine.DefaultNet() }
+
+// LoadTrace reads a trace file.
+func LoadTrace(path string) (*Trace, error) { return trace.Load(path) }
+
+// Gantt renders a trace as an ASCII timeline.
+func Gantt(tr *Trace, width int) string { return trace.Gantt(tr, width) }

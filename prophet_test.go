@@ -1,0 +1,104 @@
+package prophet
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestPublicAPIQuickstart exercises the documented quickstart end to end
+// through the public surface only.
+func TestPublicAPIQuickstart(t *testing.T) {
+	p := New()
+
+	mb := NewModel("app")
+	mb.Global("P", "double").Function("F", nil, "2*P")
+	d := mb.Diagram("main")
+	d.Initial()
+	d.Action("Work").Cost("F()")
+	d.Final()
+	d.Chain("initial", "Work", "final")
+	model, err := mb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep := p.Check(model); rep.HasErrors() {
+		t.Fatalf("model should check clean: %v", rep.Diagnostics)
+	}
+
+	cpp, err := p.TransformCpp(model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(cpp, "work.execute(uid, pid, tid, F());") {
+		t.Errorf("C++ missing execute call:\n%s", cpp)
+	}
+
+	est, err := p.Estimate(Request{Model: model, Globals: map[string]float64{"P": 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est.Makespan-8) > 1e-12 {
+		t.Errorf("makespan = %v, want 8", est.Makespan)
+	}
+}
+
+func TestPublicModelFileRoundTrip(t *testing.T) {
+	mb := NewModel("disk")
+	d := mb.Diagram("main")
+	d.Initial()
+	d.Action("A").Cost("1")
+	d.Final()
+	d.Chain("initial", "A", "final")
+	model, err := mb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "m.xml")
+	if err := SaveModel(path, model); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadModel(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name() != "disk" {
+		t.Errorf("name = %q", got.Name())
+	}
+}
+
+func TestPublicTraceHelpers(t *testing.T) {
+	p := New()
+	mb := NewModel("tr")
+	d := mb.Diagram("main")
+	d.Initial()
+	d.Action("A").Cost("2")
+	d.Final()
+	d.Chain("initial", "A", "final")
+	model, _ := mb.Build()
+	path := filepath.Join(t.TempDir(), "run.trace")
+	if _, err := p.Estimate(Request{Model: model, TracePath: path}); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := LoadTrace(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g := Gantt(tr, 30); !strings.Contains(g, "legend") {
+		t.Errorf("gantt: %s", g)
+	}
+}
+
+func TestPublicConstantsAndDefaults(t *testing.T) {
+	if ActionPlus != "action+" || MPISend != "mpi_send" {
+		t.Error("stereotype constants wrong")
+	}
+	if DefaultParams().Processes != 1 {
+		t.Error("default params wrong")
+	}
+	if DefaultNet().LatencyInter <= DefaultNet().LatencyIntra {
+		t.Error("default net should have slower inter-node latency")
+	}
+}
