@@ -2,9 +2,13 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench cover examples experiments clean
+.PHONY: all check build test vet race bench cover examples experiments clean
 
-all: build vet test
+all: check
+
+# The default gate: compile, vet, full test suite, and a race-detector
+# pass over the concurrency-heavy packages.
+check: build vet test race
 
 build:
 	$(GO) build ./...
@@ -14,6 +18,11 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Race-detector pass over the simulation engine (goroutine handoffs) and
+# the metrics package (lock-free atomics).
+race:
+	$(GO) test -race ./internal/sim/... ./internal/obs/...
 
 # Full benchmark pass (the per-table/figure harness of EXPERIMENTS.md).
 bench:

@@ -24,6 +24,7 @@ import (
 	"prophet/internal/lfk"
 	"prophet/internal/machine"
 	"prophet/internal/mdgen"
+	"prophet/internal/obs"
 	"prophet/internal/samples"
 	"prophet/internal/sim"
 	"prophet/internal/trace"
@@ -243,6 +244,51 @@ func BenchmarkEstimator(b *testing.B) {
 		}
 		for i := 0; i < b.N; i++ {
 			if _, err := est.EstimateCompiled(spr, estimator.Request{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEstimateWithMetrics measures the cost of observability around
+// one compiled estimate. "baseline" runs with no observer installed —
+// compare it against BenchmarkEstimator (pre-instrumentation cost is the
+// same code path) to see that the disabled hooks stay within noise (<5%).
+// "metrics" and "telemetry" show the enabled price.
+func BenchmarkEstimateWithMetrics(b *testing.B) {
+	est := estimator.New()
+	pr, err := est.Compile(samples.Kernel6Detailed())
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := estimator.Request{
+		Params:  machine.SystemParams{Nodes: 1, ProcessorsPerNode: 4, Processes: 4, Threads: 1},
+		Globals: map[string]float64{"N": 40, "M": 2, "c": 1e-6},
+	}
+	b.Run("baseline", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := est.EstimateCompiled(pr, base); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("metrics", func(b *testing.B) {
+		b.ReportAllocs()
+		req := base
+		req.Metrics = obs.NewRegistry()
+		for i := 0; i < b.N; i++ {
+			if _, err := est.EstimateCompiled(pr, req); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("telemetry", func(b *testing.B) {
+		b.ReportAllocs()
+		req := base
+		req.Telemetry = true
+		for i := 0; i < b.N; i++ {
+			if _, err := est.EstimateCompiled(pr, req); err != nil {
 				b.Fatal(err)
 			}
 		}

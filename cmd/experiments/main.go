@@ -8,8 +8,12 @@
 package main
 
 import (
+	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime/pprof"
 	"strings"
 
 	"prophet/internal/builder"
@@ -22,6 +26,29 @@ import (
 )
 
 func main() {
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile here")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address")
+	flag.Parse()
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments: pprof:", err)
+			}
+		}()
+	}
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)

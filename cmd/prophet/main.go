@@ -14,15 +14,20 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 
 	"prophet/internal/core"
 	"prophet/internal/estimator"
 	"prophet/internal/machine"
+	"prophet/internal/obs"
 	"prophet/internal/samples"
 	"prophet/internal/trace"
 	"prophet/internal/uml"
@@ -53,7 +58,32 @@ func main() {
 	}
 }
 
-func run(args []string) error {
+// metricsDoc is the JSON document written by -metrics: pipeline-stage
+// spans, the metrics registry snapshot, and (for plain estimates) the
+// simulation telemetry time series.
+type metricsDoc struct {
+	Model     string               `json:"model"`
+	Makespan  float64              `json:"makespan,omitempty"`
+	Spans     []obs.Span           `json:"spans"`
+	Metrics   obs.Snapshot         `json:"metrics"`
+	Telemetry *estimator.Telemetry `json:"telemetry,omitempty"`
+}
+
+func writeMetricsDoc(path string, doc metricsDoc) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+func run(args []string) (err error) {
 	fs := flag.NewFlagSet("prophet", flag.ContinueOnError)
 	modelPath := fs.String("model", "", "model XML file")
 	sampleName := fs.String("sample", "", "built-in model (sample|kernel6|kernel6-detailed|pipeline)")
@@ -75,16 +105,75 @@ func run(args []string) error {
 	latInter := fs.Float64("lat-inter", defNet.LatencyInter, "inter-node message latency (s)")
 	bwIntra := fs.Float64("bw-intra", defNet.BandwidthIntra, "intra-node bandwidth (bytes/s)")
 	bwInter := fs.Float64("bw-inter", defNet.BandwidthInter, "inter-node bandwidth (bytes/s)")
+	metricsPath := fs.String("metrics", "", "write an observability JSON dump (spans, metrics, telemetry) here")
+	sampleInterval := fs.Float64("sample-interval", 0, "simulated-time spacing of telemetry samples (0 = every time change)")
+	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile here")
+	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	globals := setFlags{}
 	fs.Var(globals, "set", "set a global model variable, K=V (repeatable)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *pprofAddr != "" {
+		go func() {
+			// net/http/pprof registers its handlers on the default mux.
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "prophet: pprof:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "pprof listening on http://%s/debug/pprof/\n", *pprofAddr)
+	}
+
+	// When -metrics is requested, every stage of the run records spans
+	// into one shared recorder and metrics into one shared registry.
+	var spans *obs.SpanRecorder
+	var registry *obs.Registry
+	if *metricsPath != "" {
+		spans = obs.NewSpanRecorder()
+		registry = obs.NewRegistry()
+	}
+
+	parseDone := spans.Start("parse")
 	m, err := resolveModel(*modelPath, *sampleName)
+	parseDone()
 	if err != nil {
 		return err
 	}
+
+	// The estimate's makespan and telemetry are filled in by whichever
+	// mode runs below; the deferred writer sees their final values.
+	var makespan float64
+	var telemetry *estimator.Telemetry
+	if *metricsPath != "" {
+		defer func() {
+			if err != nil {
+				return
+			}
+			err = writeMetricsDoc(*metricsPath, metricsDoc{
+				Model:     m.Name(),
+				Makespan:  makespan,
+				Spans:     spans.Spans(),
+				Metrics:   registry.Snapshot(),
+				Telemetry: telemetry,
+			})
+			if err == nil {
+				fmt.Printf("metrics: %s\n", *metricsPath)
+			}
+		}()
+	}
+
 	p := core.New()
 	params := machine.SystemParams{
 		Nodes: *nodes, ProcessorsPerNode: *ppn, Processes: *processes, Threads: *threads,
@@ -94,6 +183,12 @@ func run(args []string) error {
 		BandwidthIntra: *bwIntra, BandwidthInter: *bwInter,
 	}
 	req := core.Request{Model: m, Params: params, Globals: globals, TracePath: *tracePath, Net: &net}
+	if *metricsPath != "" {
+		req.Telemetry = true
+		req.SampleInterval = *sampleInterval
+		req.Spans = spans
+		req.Metrics = registry
+	}
 	switch *policy {
 	case "fcfs":
 	case "ps":
@@ -179,6 +274,8 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	makespan = est.Makespan
+	telemetry = est.Telemetry
 	fmt.Printf("model:       %s\n", m.Name())
 	fmt.Printf("system:      %d node(s) x %d processor(s), %d process(es), %d thread(s)\n",
 		params.Nodes, params.ProcessorsPerNode, params.Processes, params.Threads)

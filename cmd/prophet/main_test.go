@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"testing"
 )
@@ -78,6 +79,73 @@ func TestRunWritesTraceFiles(t *testing.T) {
 		if _, err := os.Stat(p); err != nil {
 			t.Errorf("expected output file %s: %v", p, err)
 		}
+	}
+}
+
+func TestRunMetricsFlag(t *testing.T) {
+	out := t.TempDir() + "/out.json"
+	err := run([]string{"-sample", "kernel6",
+		"-set", "N=1000", "-set", "M=10", "-set", "c=1e-9", "-metrics", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Model    string  `json:"model"`
+		Makespan float64 `json:"makespan"`
+		Spans    []struct {
+			Name    string  `json:"name"`
+			Seconds float64 `json:"seconds"`
+		} `json:"spans"`
+		Metrics struct {
+			Metrics []struct {
+				Name string `json:"name"`
+			} `json:"metrics"`
+		} `json:"metrics"`
+		Telemetry struct {
+			Samples []struct {
+				T                   float64            `json:"t"`
+				FacilityUtilization map[string]float64 `json:"facility_utilization"`
+				EventQueueLen       int                `json:"event_queue_len"`
+			} `json:"samples"`
+		} `json:"telemetry"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("metrics JSON: %v", err)
+	}
+	if doc.Makespan <= 0 {
+		t.Errorf("makespan = %g, want > 0", doc.Makespan)
+	}
+	stages := map[string]bool{}
+	for _, s := range doc.Spans {
+		stages[s.Name] = true
+	}
+	for _, want := range []string{"parse", "check", "compile", "simulate", "summarize"} {
+		if !stages[want] {
+			t.Errorf("span %q missing from %s", want, data)
+		}
+	}
+	names := map[string]bool{}
+	for _, m := range doc.Metrics.Metrics {
+		names[m.Name] = true
+	}
+	if !names["estimate_makespan_seconds"] || !names["sim_events_total"] {
+		t.Errorf("expected estimator metrics in snapshot, got %v", names)
+	}
+	if len(doc.Telemetry.Samples) == 0 {
+		t.Fatal("telemetry samples missing")
+	}
+	var sawUtil bool
+	for _, s := range doc.Telemetry.Samples {
+		if len(s.FacilityUtilization) > 0 {
+			sawUtil = true
+		}
+	}
+	if !sawUtil {
+		t.Error("no sample carries facility_utilization")
 	}
 }
 

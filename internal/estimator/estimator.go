@@ -16,7 +16,9 @@ import (
 	"prophet/internal/checker"
 	"prophet/internal/interp"
 	"prophet/internal/machine"
+	"prophet/internal/obs"
 	"prophet/internal/profile"
+	"prophet/internal/sim"
 	"prophet/internal/trace"
 	"prophet/internal/uml"
 )
@@ -43,6 +45,24 @@ type Request struct {
 	SkipCheck bool
 	// MaxSteps bounds element executions per process (0 = default).
 	MaxSteps int
+
+	// Telemetry enables simulated-time sampling during the run: the
+	// resulting Estimate carries facility utilization, queue length,
+	// mailbox depth, event-queue size and live-process series.
+	Telemetry bool
+	// SampleInterval is the simulated-time spacing between telemetry
+	// samples (0 = sample whenever simulated time advances).
+	SampleInterval float64
+	// MaxSamples bounds the retained telemetry series (0 = 2048); longer
+	// runs are decimated evenly.
+	MaxSamples int
+	// Spans, when non-nil, additionally receives every per-stage span
+	// the estimator records (Estimate.Stages always has them too). Use
+	// one recorder across repeated calls to aggregate a sweep.
+	Spans *obs.SpanRecorder
+	// Metrics, when non-nil, is updated with counters/gauges/histograms
+	// describing the run (see docs/OBSERVABILITY.md for the schema).
+	Metrics *obs.Registry
 }
 
 // Estimate is the outcome of one evaluation.
@@ -57,6 +77,23 @@ type Estimate struct {
 	CPUUtilization []float64
 	// Globals holds final global-variable values.
 	Globals map[string]float64
+	// Stages is the per-stage wall-clock breakdown of this evaluation
+	// ("check", "compile", "simulate", "summarize", "trace-write").
+	Stages []obs.Span
+	// Telemetry carries the simulated-time series sampled during the run
+	// (nil unless Request.Telemetry was set).
+	Telemetry *Telemetry
+}
+
+// Telemetry is the simulated-time series collected by the sim engine's
+// observer during one evaluation.
+type Telemetry struct {
+	// Samples is the retained (possibly decimated) sample series in time
+	// order; the last sample reflects the end of the run.
+	Samples []sim.Sample `json:"samples"`
+	// EventCounts tallies process lifecycle events by kind ("spawn",
+	// "run", "hold", "block", "done").
+	EventCounts map[string]int64 `json:"event_counts,omitempty"`
 }
 
 // Estimator evaluates performance models.
@@ -78,22 +115,35 @@ func NewWith(reg *profile.Registry, cfg checker.Config) *Estimator {
 	return &Estimator{registry: reg, checker: checker.NewWith(reg, cfg)}
 }
 
+// stage opens one pipeline span in both the estimate's own recorder and
+// the caller-provided one (when set); the returned func closes both.
+func stage(req Request, rec *obs.SpanRecorder, name string) func() {
+	d1 := rec.Start(name)
+	d2 := req.Spans.Start(name) // nil-safe
+	return func() { d1(); d2() }
+}
+
 // Estimate runs one evaluation: check, compile, simulate, summarize.
 func (e *Estimator) Estimate(req Request) (*Estimate, error) {
 	if req.Model == nil {
 		return nil, fmt.Errorf("estimator: nil model")
 	}
+	rec := obs.NewSpanRecorder()
 	if !req.SkipCheck {
+		done := stage(req, rec, "check")
 		rep := e.checker.Check(req.Model)
+		done()
 		if rep.HasErrors() {
 			return nil, &CheckError{Model: req.Model.Name(), Report: rep}
 		}
 	}
+	done := stage(req, rec, "compile")
 	pr, err := interp.Compile(req.Model, e.registry)
+	done()
 	if err != nil {
 		return nil, fmt.Errorf("estimator: %w", err)
 	}
-	return e.run(pr, req)
+	return e.runMode(pr, req, false, rec)
 }
 
 // Compile prepares a model once for repeated evaluation (parameter
@@ -116,14 +166,15 @@ func (e *Estimator) EstimateCompiled(pr *interp.Program, req Request) (*Estimate
 }
 
 func (e *Estimator) run(pr *interp.Program, req Request) (*Estimate, error) {
-	return e.runMode(pr, req, false)
+	return e.runMode(pr, req, false, obs.NewSpanRecorder())
 }
 
 // runMode evaluates the program; fast mode skips trace collection and
 // summarization (Estimate.Trace/Summary are nil), which is what the
-// sweep and Monte Carlo loops want.
-func (e *Estimator) runMode(pr *interp.Program, req Request, fast bool) (*Estimate, error) {
-	res, err := pr.Run(interp.Config{
+// sweep and Monte Carlo loops want. rec accumulates the per-stage spans
+// reported as Estimate.Stages.
+func (e *Estimator) runMode(pr *interp.Program, req Request, fast bool, rec *obs.SpanRecorder) (*Estimate, error) {
+	cfg := interp.Config{
 		Params:   req.Params,
 		Net:      req.Net,
 		Globals:  req.Globals,
@@ -131,7 +182,16 @@ func (e *Estimator) runMode(pr *interp.Program, req Request, fast bool) (*Estima
 		Seed:     req.Seed,
 		MaxSteps: req.MaxSteps,
 		NoTrace:  fast,
-	})
+	}
+	var simRec *sim.Recorder
+	if req.Telemetry || req.Metrics != nil {
+		simRec = sim.NewRecorder(req.MaxSamples)
+		cfg.Observer = simRec
+		cfg.SampleInterval = req.SampleInterval
+	}
+	done := stage(req, rec, "simulate")
+	res, err := pr.Run(cfg)
+	done()
 	if err != nil {
 		return nil, fmt.Errorf("estimator: %w", err)
 	}
@@ -140,21 +200,71 @@ func (e *Estimator) runMode(pr *interp.Program, req Request, fast bool) (*Estima
 		CPUUtilization: res.CPUUtilization,
 		Globals:        res.Globals,
 	}
+	if req.Telemetry && simRec != nil {
+		est.Telemetry = &Telemetry{
+			Samples:     simRec.Samples(),
+			EventCounts: simRec.EventCounts(),
+		}
+	}
 	if fast {
+		e.finish(req, est, rec, simRec)
 		return est, nil
 	}
+	done = stage(req, rec, "summarize")
 	sum, err := trace.Summarize(res.Trace)
+	done()
 	if err != nil {
 		return nil, fmt.Errorf("estimator: summarize: %w", err)
 	}
 	if req.TracePath != "" {
-		if err := trace.Save(req.TracePath, res.Trace); err != nil {
+		done = stage(req, rec, "trace-write")
+		err := trace.Save(req.TracePath, res.Trace)
+		done()
+		if err != nil {
 			return nil, fmt.Errorf("estimator: %w", err)
 		}
 	}
 	est.Trace = res.Trace
 	est.Summary = sum
+	e.finish(req, est, rec, simRec)
 	return est, nil
+}
+
+// finish attaches the recorded stages to the estimate and, when the
+// request carries a metrics registry, publishes the run's metrics into it.
+func (e *Estimator) finish(req Request, est *Estimate, rec *obs.SpanRecorder, simRec *sim.Recorder) {
+	est.Stages = rec.Spans()
+	reg := req.Metrics
+	if reg == nil {
+		return
+	}
+	reg.Counter("estimator_runs_total").Inc()
+	reg.Gauge("estimate_makespan_seconds").Set(est.Makespan)
+	stageHist := reg.HistogramVec("estimate_stage_seconds",
+		[]float64{1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10}, "stage")
+	stageGauge := reg.GaugeVec("estimate_stage_last_seconds", "stage")
+	for _, s := range est.Stages {
+		stageHist.With(s.Name).Observe(s.Seconds)
+		stageGauge.With(s.Name).Set(s.Seconds)
+	}
+	for node, u := range est.CPUUtilization {
+		reg.GaugeVec("cpu_utilization", "node").With(fmt.Sprint(node)).Set(u)
+	}
+	if simRec != nil {
+		events := reg.CounterVec("sim_events_total", "kind")
+		for kind, n := range simRec.EventCounts() {
+			events.With(kind).Add(n)
+		}
+		samples := simRec.Samples()
+		reg.Counter("sim_samples_total").Add(int64(len(samples)))
+		if len(samples) > 0 {
+			last := samples[len(samples)-1]
+			util := reg.GaugeVec("facility_utilization", "facility")
+			for name, u := range last.FacilityUtilization {
+				util.With(name).Set(u)
+			}
+		}
+	}
 }
 
 // CheckError reports a model that failed the Model Checker.
@@ -196,7 +306,9 @@ type SweepPoint struct {
 // to the first count. When req.Params.Nodes is 0 the node count scales
 // with the processes (one node per ProcessorsPerNode processes).
 func (e *Estimator) SweepProcesses(req Request, counts []int) ([]SweepPoint, error) {
+	done := req.Spans.Start("compile")
 	pr, err := e.Compile(req.Model)
+	done()
 	if err != nil {
 		return nil, err
 	}
@@ -217,7 +329,7 @@ func (e *Estimator) SweepProcesses(req Request, counts []int) ([]SweepPoint, err
 		}
 		r := req
 		r.Params = p
-		est, err := e.runMode(pr, r, true)
+		est, err := e.runMode(pr, r, true, obs.NewSpanRecorder())
 		if err != nil {
 			return nil, fmt.Errorf("estimator: sweep at %d processes: %w", procs, err)
 		}
@@ -244,7 +356,9 @@ type GlobalPoint struct {
 
 // SweepGlobal evaluates the model across values of one global variable.
 func (e *Estimator) SweepGlobal(req Request, name string, values []float64) ([]GlobalPoint, error) {
+	done := req.Spans.Start("compile")
 	pr, err := e.Compile(req.Model)
+	done()
 	if err != nil {
 		return nil, err
 	}
@@ -256,7 +370,7 @@ func (e *Estimator) SweepGlobal(req Request, name string, values []float64) ([]G
 			r.Globals[k] = gv
 		}
 		r.Globals[name] = v
-		est, err := e.runMode(pr, r, true)
+		est, err := e.runMode(pr, r, true, obs.NewSpanRecorder())
 		if err != nil {
 			return nil, fmt.Errorf("estimator: sweep %s=%g: %w", name, v, err)
 		}

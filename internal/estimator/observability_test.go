@@ -1,0 +1,192 @@
+package estimator
+
+import (
+	"testing"
+
+	"prophet/internal/machine"
+	"prophet/internal/obs"
+	"prophet/internal/samples"
+)
+
+func stageNames(spans []obs.Span) map[string]int {
+	out := map[string]int{}
+	for _, s := range spans {
+		out[s.Name]++
+	}
+	return out
+}
+
+func TestEstimateRecordsStages(t *testing.T) {
+	est, err := New().Estimate(Request{
+		Model:   samples.Kernel6(),
+		Globals: map[string]float64{"N": 100, "M": 10, "c": 1e-9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := stageNames(est.Stages)
+	for _, want := range []string{"check", "compile", "simulate", "summarize"} {
+		if got[want] != 1 {
+			t.Errorf("stage %q recorded %d times, want 1 (stages: %v)", want, got[want], got)
+		}
+	}
+	if got["trace-write"] != 0 {
+		t.Error("trace-write should not appear without TracePath")
+	}
+}
+
+func TestEstimateTraceWriteStage(t *testing.T) {
+	dir := t.TempDir()
+	est, err := New().Estimate(Request{
+		Model:     samples.Kernel6(),
+		Globals:   map[string]float64{"N": 10, "M": 2, "c": 1e-9},
+		TracePath: dir + "/out.trace",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stageNames(est.Stages)["trace-write"] != 1 {
+		t.Errorf("trace-write stage missing: %v", est.Stages)
+	}
+}
+
+func TestEstimateSkipCheckSkipsCheckStage(t *testing.T) {
+	est, err := New().Estimate(Request{
+		Model:     samples.Kernel6(),
+		Globals:   map[string]float64{"N": 10, "M": 2, "c": 1e-9},
+		SkipCheck: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stageNames(est.Stages)["check"] != 0 {
+		t.Errorf("check stage should be absent under SkipCheck: %v", est.Stages)
+	}
+}
+
+func TestEstimateTelemetry(t *testing.T) {
+	est, err := New().Estimate(Request{
+		Model: samples.Pipeline(3),
+		Params: machine.SystemParams{
+			Nodes: 2, ProcessorsPerNode: 1, Processes: 2, Threads: 1,
+		},
+		Globals:   map[string]float64{"work": 0.5},
+		Telemetry: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel := est.Telemetry
+	if tel == nil {
+		t.Fatal("telemetry requested but nil")
+	}
+	if len(tel.Samples) == 0 {
+		t.Fatal("no telemetry samples")
+	}
+	// The engine may run slightly past the makespan to drain in-flight
+	// message deliveries, so the final sample is at or after it.
+	last := tel.Samples[len(tel.Samples)-1]
+	if last.Time < est.Makespan {
+		t.Errorf("last sample at %v, want >= makespan %v", last.Time, est.Makespan)
+	}
+	if len(last.FacilityUtilization) == 0 {
+		t.Error("samples should carry facility utilization")
+	}
+	var sawCPU bool
+	for name := range last.FacilityUtilization {
+		if name == "cpu.node0" {
+			sawCPU = true
+		}
+	}
+	if !sawCPU {
+		t.Errorf("cpu.node0 missing from facility series: %v", last.FacilityUtilization)
+	}
+	if tel.EventCounts["spawn"] < 2 {
+		t.Errorf("expected at least 2 spawns, got %v", tel.EventCounts)
+	}
+}
+
+func TestEstimateWithoutTelemetryIsNil(t *testing.T) {
+	est, err := New().Estimate(Request{
+		Model:   samples.Kernel6(),
+		Globals: map[string]float64{"N": 10, "M": 2, "c": 1e-9},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Telemetry != nil {
+		t.Error("telemetry must be nil unless requested")
+	}
+}
+
+func TestEstimateMetricsRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	_, err := New().Estimate(Request{
+		Model:   samples.Kernel6(),
+		Globals: map[string]float64{"N": 100, "M": 10, "c": 1e-9},
+		Metrics: reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("estimator_runs_total").Value(); got != 1 {
+		t.Errorf("estimator_runs_total = %d, want 1", got)
+	}
+	snap := reg.Snapshot()
+	byName := map[string]bool{}
+	for _, m := range snap.Metrics {
+		byName[m.Name] = true
+	}
+	for _, want := range []string{
+		"estimate_makespan_seconds", "estimate_stage_seconds",
+		"cpu_utilization", "sim_events_total", "sim_samples_total",
+		"facility_utilization",
+	} {
+		if !byName[want] {
+			t.Errorf("metric %q missing from registry snapshot", want)
+		}
+	}
+}
+
+func TestSweepProcessesSharedSpanRecorder(t *testing.T) {
+	spans := obs.NewSpanRecorder()
+	_, err := New().SweepProcesses(Request{
+		Model:   samples.Pipeline(2),
+		Globals: map[string]float64{"work": 0.1},
+		Spans:   spans,
+	}, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := stageNames(spans.Spans())
+	if got["compile"] != 1 {
+		t.Errorf("compile spans = %d, want 1", got["compile"])
+	}
+	if got["simulate"] != 3 {
+		t.Errorf("simulate spans = %d, want 3 (one per sweep point)", got["simulate"])
+	}
+}
+
+func TestEstimateSampleIntervalBoundsSeries(t *testing.T) {
+	// Kernel6 collapses to very few events; the detailed model holds many
+	// times, giving auto mode plenty of timestamps to sample.
+	reqAuto := Request{
+		Model:     samples.Kernel6Detailed(),
+		Globals:   map[string]float64{"N": 10, "M": 4, "c": 1e-3},
+		Telemetry: true,
+	}
+	estAuto, err := New().Estimate(reqAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqCoarse := reqAuto
+	reqCoarse.SampleInterval = estAuto.Makespan // only start + end cross the threshold
+	estCoarse, err := New().Estimate(reqCoarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(estCoarse.Telemetry.Samples) >= len(estAuto.Telemetry.Samples) {
+		t.Errorf("coarse interval should thin the series: coarse=%d auto=%d",
+			len(estCoarse.Telemetry.Samples), len(estAuto.Telemetry.Samples))
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"prophet/internal/obs"
 )
 
 // MonteCarloResult summarizes repeated stochastic evaluations.
@@ -32,7 +34,7 @@ func (e *Estimator) MonteCarlo(req Request, runs int) (*MonteCarloResult, error)
 	for i := 0; i < runs; i++ {
 		r := req
 		r.Seed = int64(i + 1)
-		est, err := e.runMode(pr, r, true)
+		est, err := e.runMode(pr, r, true, obs.NewSpanRecorder())
 		if err != nil {
 			return nil, fmt.Errorf("estimator: monte carlo run %d: %w", i, err)
 		}
@@ -96,7 +98,7 @@ func (e *Estimator) Sensitivity(req Request, names []string, delta float64) ([]S
 		if name != "" {
 			r.Globals[name] = value
 		}
-		est, err := e.runMode(pr, r, true)
+		est, err := e.runMode(pr, r, true, obs.NewSpanRecorder())
 		if err != nil {
 			return 0, err
 		}

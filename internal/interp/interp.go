@@ -30,6 +30,7 @@ import (
 	"prophet/internal/expr"
 	"prophet/internal/machine"
 	"prophet/internal/profile"
+	"prophet/internal/sim"
 	"prophet/internal/trace"
 	"prophet/internal/uml"
 )
@@ -285,6 +286,15 @@ type Config struct {
 	// MaxSteps bounds the number of element executions per process
 	// (0 = 50e6 default), guarding against models that loop forever.
 	MaxSteps int
+	// Observer, when non-nil, receives the engine's telemetry during the
+	// run: process lifecycle events and simulated-time samples of
+	// facility utilization, queue lengths, mailbox depths and scheduler
+	// pressure.
+	Observer sim.Observer
+	// SampleInterval is the simulated-time spacing between telemetry
+	// samples (0 = sample whenever simulated time advances). Only
+	// meaningful when Observer is set.
+	SampleInterval float64
 }
 
 // Result is the outcome of one run.

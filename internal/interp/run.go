@@ -29,6 +29,9 @@ func (pr *Program) Run(cfg Config) (*Result, error) {
 	}
 
 	eng := sim.New()
+	if cfg.Observer != nil {
+		eng.SetObserver(cfg.Observer, cfg.SampleInterval)
+	}
 	mach, err := machine.NewWithPolicy(eng, sp, net, cfg.Policy)
 	if err != nil {
 		return nil, fmt.Errorf("interp: %w", err)

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WriteJSON writes the snapshot as indented JSON.
+func WriteJSON(w io.Writer, snap Snapshot) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(snap)
+}
+
+// formatValue renders numbers with the shortest round-tripping decimal,
+// so 42 stays "42" and 0.1 stays "0.1".
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// formatLabels renders labels as `k="v"` pairs joined by commas, or ""
+// when the metric is unlabeled.
+func formatLabels(labels []LabelPair) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, l := range labels {
+		parts[i] = fmt.Sprintf("%s=%q", l.Name, l.Value)
+	}
+	return strings.Join(parts, ",")
+}
+
+// WriteCSV writes the snapshot as CSV with one row per scalar value:
+//
+//	type,name,labels,field,value
+//
+// Counters and gauges contribute one "value" row; histograms contribute
+// "count", "sum" and one "bucket_le_<bound>" row per bucket.
+func WriteCSV(w io.Writer, snap Snapshot) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"type", "name", "labels", "field", "value"}); err != nil {
+		return err
+	}
+	for _, m := range snap.Metrics {
+		labels := formatLabels(m.Labels)
+		switch m.Type {
+		case "histogram":
+			rows := [][2]string{
+				{"count", strconv.FormatInt(m.Count, 10)},
+				{"sum", formatValue(m.Sum)},
+			}
+			for i, c := range m.Buckets {
+				le := "+Inf"
+				if i < len(m.Bounds) {
+					le = formatValue(m.Bounds[i])
+				}
+				rows = append(rows, [2]string{"bucket_le_" + le, strconv.FormatInt(c, 10)})
+			}
+			for _, row := range rows {
+				if err := cw.Write([]string{m.Type, m.Name, labels, row[0], row[1]}); err != nil {
+					return err
+				}
+			}
+		default:
+			if err := cw.Write([]string{m.Type, m.Name, labels, "value", formatValue(m.Value)}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteText writes the snapshot in an expvar/Prometheus-style plain-text
+// form: one `name{labels} value` line per scalar, with histograms
+// expanded into cumulative `_bucket{le="..."}` lines plus `_sum` and
+// `_count`.
+func WriteText(w io.Writer, snap Snapshot) error {
+	line := func(name, labels string, value string) error {
+		if labels != "" {
+			_, err := fmt.Fprintf(w, "%s{%s} %s\n", name, labels, value)
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s %s\n", name, value)
+		return err
+	}
+	joinLabels := func(base string, extra ...string) string {
+		parts := append([]string{}, extra...)
+		if base != "" {
+			parts = append([]string{base}, extra...)
+		}
+		return strings.Join(parts, ",")
+	}
+	for _, m := range snap.Metrics {
+		labels := formatLabels(m.Labels)
+		switch m.Type {
+		case "histogram":
+			cum := int64(0)
+			for i, c := range m.Buckets {
+				cum += c
+				le := "+Inf"
+				if i < len(m.Bounds) {
+					le = formatValue(m.Bounds[i])
+				}
+				ls := joinLabels(labels, fmt.Sprintf("le=%q", le))
+				if err := line(m.Name+"_bucket", ls, strconv.FormatInt(cum, 10)); err != nil {
+					return err
+				}
+			}
+			if err := line(m.Name+"_sum", labels, formatValue(m.Sum)); err != nil {
+				return err
+			}
+			if err := line(m.Name+"_count", labels, strconv.FormatInt(m.Count, 10)); err != nil {
+				return err
+			}
+		default:
+			v := m.Value
+			if math.IsNaN(v) {
+				v = 0
+			}
+			if err := line(m.Name, labels, formatValue(v)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

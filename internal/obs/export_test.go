@@ -1,0 +1,149 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("sim_events_total").Add(42)
+	r.Gauge("event_queue_depth").Set(3)
+	r.Histogram("queue_length", []float64{1, 4, 16}).Observe(2)
+	r.Histogram("queue_length", nil).Observe(5)
+	r.CounterVec("facility_services", "facility").With("cpu.node0").Add(7)
+	return r
+}
+
+const goldenJSON = `{
+  "metrics": [
+    {
+      "name": "sim_events_total",
+      "type": "counter",
+      "value": 42
+    },
+    {
+      "name": "event_queue_depth",
+      "type": "gauge",
+      "value": 3
+    },
+    {
+      "name": "queue_length",
+      "type": "histogram",
+      "value": 0,
+      "count": 2,
+      "sum": 7,
+      "bounds": [
+        1,
+        4,
+        16
+      ],
+      "buckets": [
+        0,
+        1,
+        1,
+        0
+      ]
+    },
+    {
+      "name": "facility_services",
+      "type": "counter",
+      "labels": [
+        {
+          "name": "facility",
+          "value": "cpu.node0"
+        }
+      ],
+      "value": 7
+    }
+  ]
+}
+`
+
+func TestWriteJSONGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, goldenRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != goldenJSON {
+		t.Errorf("JSON mismatch:\ngot:\n%s\nwant:\n%s", buf.String(), goldenJSON)
+	}
+	// And it must round-trip.
+	var snap Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &snap); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if len(snap.Metrics) != 4 {
+		t.Errorf("round-trip lost metrics: %+v", snap.Metrics)
+	}
+}
+
+const goldenCSV = `type,name,labels,field,value
+counter,sim_events_total,,value,42
+gauge,event_queue_depth,,value,3
+histogram,queue_length,,count,2
+histogram,queue_length,,sum,7
+histogram,queue_length,,bucket_le_1,0
+histogram,queue_length,,bucket_le_4,1
+histogram,queue_length,,bucket_le_16,1
+histogram,queue_length,,bucket_le_+Inf,0
+counter,facility_services,"facility=""cpu.node0""",value,7
+`
+
+func TestWriteCSVGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, goldenRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != goldenCSV {
+		t.Errorf("CSV mismatch:\ngot:\n%s\nwant:\n%s", buf.String(), goldenCSV)
+	}
+}
+
+const goldenText = `sim_events_total 42
+event_queue_depth 3
+queue_length_bucket{le="1"} 0
+queue_length_bucket{le="4"} 1
+queue_length_bucket{le="16"} 2
+queue_length_bucket{le="+Inf"} 2
+queue_length_sum 7
+queue_length_count 2
+facility_services{facility="cpu.node0"} 7
+`
+
+func TestWriteTextGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteText(&buf, goldenRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	if buf.String() != goldenText {
+		t.Errorf("text mismatch:\ngot:\n%s\nwant:\n%s", buf.String(), goldenText)
+	}
+}
+
+func TestTextHistogramBucketsAreCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h", []float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(1.5)
+	h.Observe(9)
+	var buf bytes.Buffer
+	if err := WriteText(&buf, r.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	want := []string{
+		`h_bucket{le="1"} 1`,
+		`h_bucket{le="2"} 2`,
+		`h_bucket{le="+Inf"} 3`,
+		`h_sum 11`,
+		`h_count 3`,
+	}
+	for i, w := range want {
+		if lines[i] != w {
+			t.Errorf("line %d = %q, want %q", i, lines[i], w)
+		}
+	}
+}

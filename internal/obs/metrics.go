@@ -1,0 +1,329 @@
+// Package obs is the observability layer of the Prophet pipeline: a
+// lock-cheap metrics registry (counters, gauges, fixed-bucket histograms,
+// plus labeled variants), wall-clock pipeline spans, and exporters for
+// JSON, CSV and an expvar-style text format.
+//
+// The package deliberately imports nothing else from this repository so
+// that every layer — the sim engine, the estimator, the CLIs — can depend
+// on it without cycles. Hot-path updates (Counter.Add, Gauge.Set,
+// Histogram.Observe) are single atomic operations; registry locks are
+// taken only on metric creation and snapshot.
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds delta; negative deltas are ignored to preserve monotonicity.
+func (c *Counter) Add(delta int64) {
+	if delta > 0 {
+		c.v.Add(delta)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+func (c *Counter) reset() { c.v.Store(0) }
+
+// Gauge is a floating-point metric that can go up and down.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores the value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the value by delta (compare-and-swap loop; gauges are
+// updated rarely enough that contention is negligible).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		cur := math.Float64frombits(old)
+		if g.bits.CompareAndSwap(old, math.Float64bits(cur+delta)) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) reset() { g.bits.Store(0) }
+
+// Histogram counts observations into fixed buckets. Buckets are defined
+// by their inclusive upper bounds in ascending order; an implicit +Inf
+// bucket catches everything above the last bound.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Int64 // len(bounds)+1, last is the +Inf bucket
+	count  atomic.Int64
+	sumμ   atomic.Uint64 // float64 bits of the running sum, CAS-updated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	bs := append([]float64(nil), bounds...)
+	sort.Float64s(bs)
+	return &Histogram{bounds: bs, counts: make([]atomic.Int64, len(bs)+1)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	// Binary search for the first bound >= v.
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumμ.Load()
+		cur := math.Float64frombits(old)
+		if h.sumμ.CompareAndSwap(old, math.Float64bits(cur+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumμ.Load()) }
+
+// Bounds returns the bucket upper bounds (without the implicit +Inf).
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// BucketCounts returns the per-bucket observation counts; the last entry
+// is the +Inf bucket.
+func (h *Histogram) BucketCounts() []int64 {
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+func (h *Histogram) reset() {
+	for i := range h.counts {
+		h.counts[i].Store(0)
+	}
+	h.count.Store(0)
+	h.sumμ.Store(0)
+}
+
+// labelKey folds label values into a map key. The separator cannot occur
+// in practice because label values in this codebase are identifiers.
+func labelKey(values []string) string { return strings.Join(values, "\x1f") }
+
+// CounterVec is a family of counters partitioned by label values.
+type CounterVec struct {
+	name   string
+	labels []string
+	mu     sync.RWMutex
+	kids   map[string]*Counter
+	keys   []string // insertion order for deterministic snapshots
+}
+
+// With returns (creating on first use) the child counter for the given
+// label values; the number of values must match the label names.
+func (v *CounterVec) With(values ...string) *Counter {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: counter %q expects %d label values, got %d", v.name, len(v.labels), len(values)))
+	}
+	k := labelKey(values)
+	v.mu.RLock()
+	c := v.kids[k]
+	v.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c = v.kids[k]; c == nil {
+		c = &Counter{}
+		v.kids[k] = c
+		v.keys = append(v.keys, k)
+	}
+	return c
+}
+
+// GaugeVec is a family of gauges partitioned by label values.
+type GaugeVec struct {
+	name   string
+	labels []string
+	mu     sync.RWMutex
+	kids   map[string]*Gauge
+	keys   []string
+}
+
+// With returns (creating on first use) the child gauge for the values.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: gauge %q expects %d label values, got %d", v.name, len(v.labels), len(values)))
+	}
+	k := labelKey(values)
+	v.mu.RLock()
+	g := v.kids[k]
+	v.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g = v.kids[k]; g == nil {
+		g = &Gauge{}
+		v.kids[k] = g
+		v.keys = append(v.keys, k)
+	}
+	return g
+}
+
+// HistogramVec is a family of histograms partitioned by label values.
+type HistogramVec struct {
+	name   string
+	labels []string
+	bounds []float64
+	mu     sync.RWMutex
+	kids   map[string]*Histogram
+	keys   []string
+}
+
+// With returns (creating on first use) the child histogram for the values.
+func (v *HistogramVec) With(values ...string) *Histogram {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("obs: histogram %q expects %d label values, got %d", v.name, len(v.labels), len(values)))
+	}
+	k := labelKey(values)
+	v.mu.RLock()
+	h := v.kids[k]
+	v.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if h = v.kids[k]; h == nil {
+		h = newHistogram(v.bounds)
+		v.kids[k] = h
+		v.keys = append(v.keys, k)
+	}
+	return h
+}
+
+// Registry owns a namespace of metrics. Metric accessors are get-or-create
+// and safe for concurrent use; creating the same name with a different
+// metric type panics (a programming error, like expvar).
+type Registry struct {
+	mu    sync.RWMutex
+	named map[string]any // *Counter | *Gauge | *Histogram | *CounterVec | *GaugeVec | *HistogramVec
+	order []string
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{named: make(map[string]any)}
+}
+
+func lookup[T any](r *Registry, name string, create func() T) T {
+	r.mu.RLock()
+	got, ok := r.named[name]
+	r.mu.RUnlock()
+	if !ok {
+		r.mu.Lock()
+		if got, ok = r.named[name]; !ok {
+			got = create()
+			r.named[name] = got
+			r.order = append(r.order, name)
+		}
+		r.mu.Unlock()
+	}
+	t, ok := got.(T)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q already registered as %T", name, got))
+	}
+	return t
+}
+
+// Counter returns the counter with the given name, creating it if needed.
+func (r *Registry) Counter(name string) *Counter {
+	return lookup(r, name, func() *Counter { return &Counter{} })
+}
+
+// Gauge returns the gauge with the given name, creating it if needed.
+func (r *Registry) Gauge(name string) *Gauge {
+	return lookup(r, name, func() *Gauge { return &Gauge{} })
+}
+
+// Histogram returns the histogram with the given name, creating it with
+// the given bucket upper bounds if needed (the bounds of an existing
+// histogram are kept).
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	return lookup(r, name, func() *Histogram { return newHistogram(bounds) })
+}
+
+// CounterVec returns the labeled counter family with the given name.
+func (r *Registry) CounterVec(name string, labels ...string) *CounterVec {
+	return lookup(r, name, func() *CounterVec {
+		return &CounterVec{name: name, labels: labels, kids: make(map[string]*Counter)}
+	})
+}
+
+// GaugeVec returns the labeled gauge family with the given name.
+func (r *Registry) GaugeVec(name string, labels ...string) *GaugeVec {
+	return lookup(r, name, func() *GaugeVec {
+		return &GaugeVec{name: name, labels: labels, kids: make(map[string]*Gauge)}
+	})
+}
+
+// HistogramVec returns the labeled histogram family with the given name.
+func (r *Registry) HistogramVec(name string, bounds []float64, labels ...string) *HistogramVec {
+	return lookup(r, name, func() *HistogramVec {
+		return &HistogramVec{name: name, labels: labels, bounds: bounds, kids: make(map[string]*Histogram)}
+	})
+}
+
+// Reset zeroes every metric in place (registrations and label children are
+// kept, so held metric pointers stay valid).
+func (r *Registry) Reset() {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	for _, m := range r.named {
+		switch m := m.(type) {
+		case *Counter:
+			m.reset()
+		case *Gauge:
+			m.reset()
+		case *Histogram:
+			m.reset()
+		case *CounterVec:
+			m.mu.RLock()
+			for _, c := range m.kids {
+				c.reset()
+			}
+			m.mu.RUnlock()
+		case *GaugeVec:
+			m.mu.RLock()
+			for _, g := range m.kids {
+				g.reset()
+			}
+			m.mu.RUnlock()
+		case *HistogramVec:
+			m.mu.RLock()
+			for _, h := range m.kids {
+				h.reset()
+			}
+			m.mu.RUnlock()
+		}
+	}
+}

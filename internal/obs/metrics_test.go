@@ -1,0 +1,255 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("events")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters are monotonic
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("events") != c {
+		t.Error("same name should return the same counter")
+	}
+	r.Reset()
+	if got := c.Value(); got != 0 {
+		t.Errorf("after reset counter = %d, want 0", got)
+	}
+}
+
+func TestGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("depth")
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Errorf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", []float64{1, 10, 100})
+	tests := []struct {
+		value  float64
+		bucket int // index expected to receive the observation
+	}{
+		{0, 0},      // below first bound
+		{1, 0},      // exactly on a bound lands in that bucket (inclusive upper)
+		{1.0001, 1}, // just above a bound spills into the next
+		{10, 1},
+		{99.999, 2},
+		{100, 2},
+		{100.5, 3}, // above the last bound: +Inf bucket
+	}
+	for _, tt := range tests {
+		before := h.BucketCounts()
+		h.Observe(tt.value)
+		after := h.BucketCounts()
+		for i := range after {
+			wantDelta := int64(0)
+			if i == tt.bucket {
+				wantDelta = 1
+			}
+			if after[i]-before[i] != wantDelta {
+				t.Errorf("observe(%v): bucket %d delta = %d, want %d", tt.value, i, after[i]-before[i], wantDelta)
+			}
+		}
+	}
+	if h.Count() != int64(len(tests)) {
+		t.Errorf("count = %d, want %d", h.Count(), len(tests))
+	}
+	wantSum := 0.0
+	for _, tt := range tests {
+		wantSum += tt.value
+	}
+	if got := h.Sum(); got != wantSum {
+		t.Errorf("sum = %v, want %v", got, wantSum)
+	}
+}
+
+func TestHistogramUnsortedBoundsAreSorted(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("x", []float64{100, 1, 10})
+	got := h.Bounds()
+	want := []float64{1, 10, 100}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bounds = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestConcurrentCounterIncrements(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Counter("shared").Inc()
+				r.CounterVec("byKind", "kind").With("a").Inc()
+				r.Histogram("h", []float64{0.5}).Observe(1)
+				r.Gauge("g").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared").Value(); got != workers*perWorker {
+		t.Errorf("shared = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.CounterVec("byKind", "kind").With("a").Value(); got != workers*perWorker {
+		t.Errorf("byKind = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("h", nil).Count(); got != workers*perWorker {
+		t.Errorf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Gauge("g").Value(); got != workers*perWorker {
+		t.Errorf("gauge = %v, want %d", got, workers*perWorker)
+	}
+}
+
+func TestLabeledVariants(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("calls", "facility")
+	cv.With("cpu.node0").Add(2)
+	cv.With("cpu.node1").Inc()
+	gv := r.GaugeVec("util", "facility")
+	gv.With("cpu.node0").Set(0.75)
+	hv := r.HistogramVec("queue", []float64{1, 4}, "facility")
+	hv.With("cpu.node0").Observe(2)
+
+	snap := r.Snapshot()
+	if len(snap.Metrics) != 4 {
+		t.Fatalf("snapshot has %d metrics, want 4: %+v", len(snap.Metrics), snap.Metrics)
+	}
+	first := snap.Metrics[0]
+	if first.Name != "calls" || first.Labels[0].Value != "cpu.node0" || first.Value != 2 {
+		t.Errorf("first metric wrong: %+v", first)
+	}
+}
+
+func TestMistypedMetricPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge should panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x")
+	r.Gauge("x")
+}
+
+func TestSpanRecorder(t *testing.T) {
+	r := NewSpanRecorder()
+	base := time.Unix(1000, 0)
+	tick := 0
+	r.clock = func() time.Time {
+		tick++
+		return base.Add(time.Duration(tick) * 10 * time.Millisecond)
+	}
+	done := r.Start("compile")
+	done()
+	r.Time("simulate", func() {})
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "compile" || spans[0].Duration != 10*time.Millisecond {
+		t.Errorf("span 0 = %+v", spans[0])
+	}
+	if spans[0].Seconds != 0.01 {
+		t.Errorf("seconds = %v, want 0.01", spans[0].Seconds)
+	}
+	if got := r.Total(""); got != 20*time.Millisecond {
+		t.Errorf("total = %v, want 20ms", got)
+	}
+	if got := r.Total("simulate"); got != 10*time.Millisecond {
+		t.Errorf("total(simulate) = %v, want 10ms", got)
+	}
+	r.Reset()
+	if len(r.Spans()) != 0 {
+		t.Error("reset should drop spans")
+	}
+}
+
+func TestNilSpanRecorderIsSafe(t *testing.T) {
+	var r *SpanRecorder
+	r.Start("x")()
+	r.Time("y", func() {})
+	r.Record("z", time.Time{}, time.Second)
+	r.Reset()
+	if r.Spans() != nil || r.Total("") != 0 {
+		t.Error("nil recorder should report nothing")
+	}
+}
+
+func TestSpanRecorderConcurrent(t *testing.T) {
+	r := NewSpanRecorder()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Start("s")()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := len(r.Spans()); got != 800 {
+		t.Errorf("got %d spans, want 800", got)
+	}
+}
+
+func TestResetPreservesLabelChildren(t *testing.T) {
+	r := NewRegistry()
+	c := r.CounterVec("v", "k").With("a")
+	c.Inc()
+	r.Reset()
+	if c.Value() != 0 {
+		t.Error("child not reset")
+	}
+	if r.CounterVec("v", "k").With("a") != c {
+		t.Error("reset must keep label children identity")
+	}
+	var found bool
+	for _, m := range r.Snapshot().Metrics {
+		if m.Name == "v" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("reset must keep registrations visible in snapshots")
+	}
+}
+
+func TestVecLabelArityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong label arity should panic")
+		}
+	}()
+	r := NewRegistry()
+	r.CounterVec("v", "a", "b").With("only-one")
+}
+
+func TestSnapshotIsStable(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b").Inc()
+	r.Counter("a").Inc()
+	s1 := r.Snapshot()
+	s2 := r.Snapshot()
+	if len(s1.Metrics) != 2 || s1.Metrics[0].Name != "b" || s2.Metrics[0].Name != "b" {
+		t.Errorf("snapshots must preserve registration order: %+v", s1.Metrics)
+	}
+}

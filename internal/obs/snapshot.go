@@ -1,0 +1,99 @@
+package obs
+
+import "strings"
+
+// LabelPair is one label name/value pair of a labeled metric.
+type LabelPair struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// MetricSnapshot is the frozen state of one metric (or one child of a
+// labeled family) at snapshot time.
+type MetricSnapshot struct {
+	Name   string      `json:"name"`
+	Type   string      `json:"type"` // "counter", "gauge" or "histogram"
+	Labels []LabelPair `json:"labels,omitempty"`
+
+	// Value carries the counter count or the gauge level.
+	Value float64 `json:"value"`
+
+	// Histogram-only fields.
+	Count   int64     `json:"count,omitempty"`
+	Sum     float64   `json:"sum,omitempty"`
+	Bounds  []float64 `json:"bounds,omitempty"`
+	Buckets []int64   `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry, ordered
+// by registration then label-creation order (deterministic across runs).
+type Snapshot struct {
+	Metrics []MetricSnapshot `json:"metrics"`
+}
+
+func pairs(labels []string, key string) []LabelPair {
+	values := strings.Split(key, "\x1f")
+	out := make([]LabelPair, 0, len(labels))
+	for i, l := range labels {
+		v := ""
+		if i < len(values) {
+			v = values[i]
+		}
+		out = append(out, LabelPair{Name: l, Value: v})
+	}
+	return out
+}
+
+func histSnap(name string, labels []LabelPair, h *Histogram) MetricSnapshot {
+	return MetricSnapshot{
+		Name:    name,
+		Type:    "histogram",
+		Labels:  labels,
+		Count:   h.Count(),
+		Sum:     h.Sum(),
+		Bounds:  h.Bounds(),
+		Buckets: h.BucketCounts(),
+	}
+}
+
+// Snapshot freezes the current state of every metric.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var snap Snapshot
+	for _, name := range r.order {
+		switch m := r.named[name].(type) {
+		case *Counter:
+			snap.Metrics = append(snap.Metrics, MetricSnapshot{Name: name, Type: "counter", Value: float64(m.Value())})
+		case *Gauge:
+			snap.Metrics = append(snap.Metrics, MetricSnapshot{Name: name, Type: "gauge", Value: m.Value()})
+		case *Histogram:
+			snap.Metrics = append(snap.Metrics, histSnap(name, nil, m))
+		case *CounterVec:
+			m.mu.RLock()
+			for _, k := range m.keys {
+				snap.Metrics = append(snap.Metrics, MetricSnapshot{
+					Name: name, Type: "counter", Labels: pairs(m.labels, k),
+					Value: float64(m.kids[k].Value()),
+				})
+			}
+			m.mu.RUnlock()
+		case *GaugeVec:
+			m.mu.RLock()
+			for _, k := range m.keys {
+				snap.Metrics = append(snap.Metrics, MetricSnapshot{
+					Name: name, Type: "gauge", Labels: pairs(m.labels, k),
+					Value: m.kids[k].Value(),
+				})
+			}
+			m.mu.RUnlock()
+		case *HistogramVec:
+			m.mu.RLock()
+			for _, k := range m.keys {
+				snap.Metrics = append(snap.Metrics, histSnap(name, pairs(m.labels, k), m.kids[k]))
+			}
+			m.mu.RUnlock()
+		}
+	}
+	return snap
+}

@@ -1,0 +1,106 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Span is one completed wall-clock interval of the pipeline: a named
+// stage (e.g. "check", "compile", "simulate") with its start time and
+// duration. Spans answer "where does the time go inside an estimate?".
+type Span struct {
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"duration"`
+	// Seconds duplicates Duration in float seconds so exported JSON is
+	// readable without knowing Go's nanosecond Duration encoding.
+	Seconds float64 `json:"seconds"`
+}
+
+// SpanRecorder collects spans. It is safe for concurrent use, and a nil
+// *SpanRecorder is a valid no-op recorder — callers can instrument
+// unconditionally:
+//
+//	done := rec.Start("compile") // rec may be nil
+//	...
+//	done()
+type SpanRecorder struct {
+	mu    sync.Mutex
+	spans []Span
+	clock func() time.Time // test seam; nil means time.Now
+}
+
+// NewSpanRecorder creates an empty recorder.
+func NewSpanRecorder() *SpanRecorder { return &SpanRecorder{} }
+
+func (r *SpanRecorder) now() time.Time {
+	if r.clock != nil {
+		return r.clock()
+	}
+	return time.Now()
+}
+
+// Start begins a span and returns the function that ends it. A nil
+// recorder returns a no-op.
+func (r *SpanRecorder) Start(name string) func() {
+	if r == nil {
+		return func() {}
+	}
+	start := r.now()
+	return func() { r.Record(name, start, r.now().Sub(start)) }
+}
+
+// Time runs fn inside a span. A nil recorder just runs fn.
+func (r *SpanRecorder) Time(name string, fn func()) {
+	done := r.Start(name)
+	defer done()
+	fn()
+}
+
+// Record appends a completed span directly.
+func (r *SpanRecorder) Record(name string, start time.Time, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.spans = append(r.spans, Span{Name: name, Start: start, Duration: d, Seconds: d.Seconds()})
+	r.mu.Unlock()
+}
+
+// Spans returns a copy of the recorded spans in completion order. Safe on
+// a nil recorder (returns nil).
+func (r *SpanRecorder) Spans() []Span {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]Span(nil), r.spans...)
+}
+
+// Reset drops all recorded spans.
+func (r *SpanRecorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.spans = r.spans[:0]
+	r.mu.Unlock()
+}
+
+// Total returns the summed duration of every span with the given name
+// ("" sums all spans).
+func (r *SpanRecorder) Total(name string) time.Duration {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var total time.Duration
+	for _, s := range r.spans {
+		if name == "" || s.Name == name {
+			total += s.Duration
+		}
+	}
+	return total
+}

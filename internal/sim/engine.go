@@ -37,13 +37,22 @@ type Engine struct {
 	alive []*Process
 	err   error
 
-	// tracer, when non-nil, observes process lifecycle transitions.
-	tracer func(t float64, p *Process, what string)
+	// obs, when non-nil, receives lifecycle events and telemetry samples
+	// (see Observer in observer.go).
+	obs         Observer
+	sampleEvery float64 // sampling interval in simulated time; 0 = every time change
+	nextSample  float64 // next simulated time at which to sample
+	lastSampled float64 // time of the last emitted sample (-1: none yet)
+
+	// registries of resources created on this engine, for telemetry.
+	facilities   []*Facility
+	psFacilities []*PSFacility
+	mailboxes    []*Mailbox
 }
 
 // New creates an empty simulation.
 func New() *Engine {
-	return &Engine{yield: make(chan struct{})}
+	return &Engine{yield: make(chan struct{}), lastSampled: -1}
 }
 
 // Now returns the current simulated time.
@@ -51,11 +60,26 @@ func (e *Engine) Now() float64 { return e.now }
 
 // SetTracer installs a callback observing process lifecycle transitions
 // ("spawn", "run", "hold", "block", "done"). Pass nil to remove it.
-func (e *Engine) SetTracer(f func(t float64, p *Process, what string)) { e.tracer = f }
+//
+// Deprecated: SetTracer predates the Observer interface and survives as a
+// thin adapter over it — the callback is wrapped into an Observer whose
+// Sample method is a no-op, so installing a tracer replaces any observer
+// set via SetObserver (and vice versa). New code should implement
+// Observer and call SetObserver, which additionally delivers telemetry
+// samples (facility utilization, queue lengths, event-queue depth).
+func (e *Engine) SetTracer(f func(t float64, p *Process, what string)) {
+	if f == nil {
+		if _, ok := e.obs.(tracerAdapter); ok {
+			e.obs = nil
+		}
+		return
+	}
+	e.SetObserver(tracerAdapter{fn: f}, 0)
+}
 
 func (e *Engine) trace(p *Process, what string) {
-	if e.tracer != nil {
-		e.tracer(e.now, p, what)
+	if e.obs != nil {
+		e.obs.Event(e.now, p, what)
 	}
 }
 
@@ -166,7 +190,9 @@ func (e *Engine) Run() (float64, error) {
 		if e.err != nil {
 			return e.now, e.err
 		}
+		e.maybeSample()
 	}
+	e.finalSample()
 	if blocked := e.blockedProcesses(); len(blocked) > 0 {
 		return e.now, &DeadlockError{Time: e.now, Processes: blocked}
 	}
@@ -192,6 +218,7 @@ func (e *Engine) RunUntil(limit float64) (float64, error) {
 		if e.err != nil {
 			return e.now, e.err
 		}
+		e.maybeSample()
 	}
 	return e.now, nil
 }

@@ -27,12 +27,14 @@ func (e *Engine) NewFacility(name string, servers int) *Facility {
 	if servers < 1 {
 		panic(fmt.Sprintf("sim: facility %q needs at least 1 server", name))
 	}
-	return &Facility{
+	f := &Facility{
 		eng:         e,
 		name:        name,
 		servers:     servers,
 		enqueueTime: make(map[*Process]float64),
 	}
+	e.facilities = append(e.facilities, f)
+	return f
 }
 
 // Name returns the facility name.

@@ -12,7 +12,9 @@ type Mailbox struct {
 
 // NewMailbox creates an empty mailbox.
 func (e *Engine) NewMailbox(name string) *Mailbox {
-	return &Mailbox{eng: e, name: name}
+	m := &Mailbox{eng: e, name: name}
+	e.mailboxes = append(e.mailboxes, m)
+	return m
 }
 
 // Name returns the mailbox name.

@@ -34,12 +34,14 @@ func (e *Engine) NewPSFacility(name string, servers int) *PSFacility {
 	if servers < 1 {
 		panic(fmt.Sprintf("sim: PS facility %q needs at least 1 server", name))
 	}
-	return &PSFacility{
+	f := &PSFacility{
 		eng:     e,
 		name:    name,
 		servers: servers,
 		jobs:    make(map[*psJob]struct{}),
 	}
+	e.psFacilities = append(e.psFacilities, f)
+	return f
 }
 
 // Name returns the facility name.

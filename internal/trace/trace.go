@@ -226,7 +226,16 @@ type Summary struct {
 
 // Summarize computes per-element and per-process statistics by matching
 // enter/leave pairs per (pid, tid) in LIFO order (elements nest).
+//
+// A nil or zero-event trace yields an empty summary (zero makespan, no
+// elements) rather than an error, so degenerate runs report cleanly.
 func Summarize(tr *Trace) (*Summary, error) {
+	if tr == nil || len(tr.Events) == 0 {
+		return &Summary{
+			Elements:  map[string]ElemStat{},
+			BusyByPID: map[int]float64{},
+		}, nil
+	}
 	type key struct{ pid, tid int }
 	stacks := map[key][]Event{}
 	depth := map[int]int{}

@@ -146,6 +146,22 @@ func TestSummarize(t *testing.T) {
 	}
 }
 
+func TestSummarizeEmptyTrace(t *testing.T) {
+	for name, tr := range map[string]*Trace{"nil": nil, "zero-events": {}} {
+		sum, err := Summarize(tr)
+		if err != nil {
+			t.Fatalf("%s trace: %v", name, err)
+		}
+		if sum.Makespan != 0 || sum.Processes != 0 || len(sum.Elements) != 0 {
+			t.Errorf("%s trace: summary = %+v, want empty", name, sum)
+		}
+		// The report must render without NaNs or panics.
+		if rep := sum.Report(); strings.Contains(rep, "NaN") {
+			t.Errorf("%s trace report contains NaN:\n%s", name, rep)
+		}
+	}
+}
+
 func TestSummarizeNested(t *testing.T) {
 	tr := &Trace{}
 	// outer [0,10] contains inner [2,5]

@@ -42,7 +42,9 @@ import (
 	"prophet/internal/core"
 	"prophet/internal/estimator"
 	"prophet/internal/machine"
+	"prophet/internal/obs"
 	"prophet/internal/profile"
+	"prophet/internal/sim"
 	"prophet/internal/trace"
 	"prophet/internal/uml"
 	"prophet/internal/xmi"
@@ -90,6 +92,31 @@ type CheckReport = checker.Report
 
 // Trace is a recorded simulation run (the TF of the paper's Figure 2).
 type Trace = trace.Trace
+
+// Metrics is a registry of named counters, gauges and histograms. Pass
+// one as Request.Metrics to collect pipeline and simulation metrics.
+type Metrics = obs.Registry
+
+// Span is one timed pipeline stage (parse, check, compile, simulate, ...).
+type Span = obs.Span
+
+// SpanRecorder accumulates stage spans. Pass one as Request.Spans to
+// time the pipeline stages of an evaluation.
+type SpanRecorder = obs.SpanRecorder
+
+// Telemetry is the simulation time series captured when
+// Request.Telemetry is set.
+type Telemetry = estimator.Telemetry
+
+// Sample is one instant of simulation telemetry: facility utilization,
+// queue lengths, mailbox depths, event-queue size, live processes.
+type Sample = sim.Sample
+
+// NewMetrics creates an empty metrics registry.
+func NewMetrics() *Metrics { return obs.NewRegistry() }
+
+// NewSpanRecorder creates an empty span recorder.
+func NewSpanRecorder() *SpanRecorder { return obs.NewSpanRecorder() }
 
 // Stereotype names of the standard performance profile.
 const (
