@@ -19,14 +19,19 @@ vet:
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the simulation engine (goroutine handoffs) and
-# the metrics package (lock-free atomics).
+# Race-detector pass over the simulation engine (goroutine handoffs),
+# the metrics package (lock-free atomics), and the batch runtime
+# (worker-pool fan-out) plus the estimator entry points built on it.
 race:
-	$(GO) test -race ./internal/sim/... ./internal/obs/...
+	$(GO) test -race ./internal/sim/... ./internal/obs/... ./internal/runner/... ./internal/estimator/...
 
-# Full benchmark pass (the per-table/figure harness of EXPERIMENTS.md).
+# Full benchmark pass (the per-table/figure harness of EXPERIMENTS.md),
+# plus the runner/sim hot-path benchmarks and the BENCH_runner.json
+# artifact tracking ns/op, allocs/op, and parallel speedup across PRs.
 bench:
 	$(GO) test -bench=. -benchmem .
+	$(GO) test -bench=. -benchmem ./internal/sim/ ./internal/estimator/
+	$(GO) run ./cmd/benchrunner -o BENCH_runner.json
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

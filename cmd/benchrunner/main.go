@@ -1,0 +1,166 @@
+// Command benchrunner measures the batch-evaluation runtime and the sim
+// engine's event hot path, and writes the results to a JSON file
+// (BENCH_runner.json by default) so the performance trajectory is
+// tracked across PRs: ns/op and allocs/op per benchmark, plus the
+// wall-clock speedup of a 64-run Monte Carlo batch at 4 workers vs 1.
+//
+//	go run ./cmd/benchrunner -o BENCH_runner.json
+//
+// Interpreting the speedup requires the host's core count, which is
+// recorded in the document as gomaxprocs: a single-core runner cannot
+// show parallel speedup no matter how good the fan-out is.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"prophet/internal/builder"
+	"prophet/internal/estimator"
+	"prophet/internal/sim"
+	"prophet/internal/uml"
+)
+
+// result is one benchmark's measurement.
+type result struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Iterations  int     `json:"iterations"`
+}
+
+// doc is the BENCH_runner.json schema.
+type doc struct {
+	GeneratedAt        string   `json:"generated_at"`
+	GoVersion          string   `json:"go_version"`
+	GOMAXPROCS         int      `json:"gomaxprocs"`
+	Benchmarks         []result `json:"benchmarks"`
+	MonteCarloSpeedup4 float64  `json:"montecarlo_speedup_4_workers_vs_1"`
+	Note               string   `json:"note"`
+}
+
+func measure(name string, fn func(b *testing.B)) result {
+	r := testing.Benchmark(fn)
+	return result{
+		Name:        name,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		Iterations:  r.N,
+	}
+}
+
+// queryMixModel is the stochastic workload shared with the estimator
+// benchmarks: 200 weighted cache hits/misses per run.
+func queryMixModel() (*uml.Model, error) {
+	mb := builder.New("bench-query-mix")
+	mb.Global("hitCost", "double").Global("missCost", "double")
+	d := mb.Diagram("main")
+	d.Initial()
+	d.Loop("Queries", "200", "one").Var("q")
+	d.Final()
+	d.Chain("initial", "Queries", "final")
+	one := mb.Diagram("one")
+	one.Initial()
+	one.Decision("cache")
+	one.Action("Hit").Cost("hitCost")
+	one.Action("Miss").Cost("missCost")
+	one.Merge("done")
+	one.Final()
+	one.Flow("initial", "cache")
+	one.FlowWeighted("cache", "Hit", 0.85)
+	one.FlowWeighted("cache", "Miss", 0.15)
+	one.Flow("Hit", "done")
+	one.Flow("Miss", "done")
+	one.Flow("done", "final")
+	return mb.Build()
+}
+
+func run(out string) error {
+	m, err := queryMixModel()
+	if err != nil {
+		return err
+	}
+	e := estimator.New()
+	globals := map[string]float64{"hitCost": 100e-6, "missCost": 10e-3}
+	if _, err := e.CompileCached(m); err != nil {
+		return err
+	}
+
+	mc := func(workers int) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.MonteCarlo(estimator.Request{
+					Model: m, Globals: globals, Parallel: workers,
+				}, 64); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+
+	d := doc{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Note: "montecarlo_64 benches run one 64-seed batch per op on the " +
+			"stochastic query-mix model; event_scheduling runs one engine " +
+			"with 1000 holds per op. Speedup is sequential ns/op divided " +
+			"by 4-worker ns/op and is bounded by gomaxprocs.",
+	}
+
+	d.Benchmarks = append(d.Benchmarks, measure("event_scheduling_1000_holds", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			eng := sim.New()
+			eng.Spawn("p", func(p *sim.Process) {
+				for j := 0; j < 1000; j++ {
+					p.Hold(1)
+				}
+			})
+			if _, err := eng.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	seq := measure("montecarlo_64_workers_1", mc(1))
+	par := measure("montecarlo_64_workers_4", mc(4))
+	d.Benchmarks = append(d.Benchmarks, seq, par)
+	if par.NsPerOp > 0 {
+		d.MonteCarloSpeedup4 = seq.NsPerOp / par.NsPerOp
+	}
+
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(d); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (gomaxprocs=%d, 64-run Monte Carlo speedup at 4 workers: %.2fx)\n",
+		out, d.GOMAXPROCS, d.MonteCarloSpeedup4)
+	return nil
+}
+
+func main() {
+	out := flag.String("o", "BENCH_runner.json", "output JSON path")
+	flag.Parse()
+	if err := run(*out); err != nil {
+		fmt.Fprintln(os.Stderr, "benchrunner:", err)
+		os.Exit(1)
+	}
+}

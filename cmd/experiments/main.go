@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -22,12 +23,18 @@ import (
 	"prophet/internal/estimator"
 	"prophet/internal/lfk"
 	"prophet/internal/machine"
+	"prophet/internal/runner"
 	"prophet/internal/samples"
 )
+
+// parallelism is the worker bound every batch experiment runs under
+// (0 = GOMAXPROCS); set by -parallel.
+var parallelism int
 
 func main() {
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile here")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address")
+	flag.IntVar(&parallelism, "parallel", 0, "worker pool size for batch experiments (0 = GOMAXPROCS)")
 	flag.Parse()
 	if *cpuProfile != "" {
 		f, err := os.Create(*cpuProfile)
@@ -112,8 +119,9 @@ func monteCarlo() error {
 		return err
 	}
 	res, err := estimator.New().MonteCarlo(estimator.Request{
-		Model:   m,
-		Globals: map[string]float64{"hitCost": 100e-6, "missCost": 10e-3},
+		Model:    m,
+		Globals:  map[string]float64{"hitCost": 100e-6, "missCost": 10e-3},
+		Parallel: parallelism,
 	}, 200)
 	if err != nil {
 		return err
@@ -136,20 +144,31 @@ func interconnectSweep() error {
 	if err != nil {
 		return err
 	}
+	bandwidths := []float64{100e6, 1e9, 10e9, 100e9}
+	// The what-if points are independent: fan them across the worker pool
+	// and print in bandwidth order.
+	makespans, err := runner.Map(context.Background(), len(bandwidths),
+		runner.Options{Workers: parallelism, Label: "interconnect-point"},
+		func(ctx context.Context, i int) (float64, error) {
+			net := machine.DefaultNet()
+			net.BandwidthInter = bandwidths[i]
+			e, err := est.EstimateCompiled(pr, estimator.Request{
+				Params:  machine.SystemParams{Nodes: 4, ProcessorsPerNode: 8, Processes: 32, Threads: 1},
+				Net:     &net,
+				Globals: map[string]float64{"n": 4096, "iters": 50, "flop": 2e-9},
+			})
+			if err != nil {
+				return 0, err
+			}
+			return e.Makespan, nil
+		})
+	if err != nil {
+		return err
+	}
 	fmt.Println("| inter-node bandwidth | makespan (s) |")
 	fmt.Println("|---:|---:|")
-	for _, bw := range []float64{100e6, 1e9, 10e9, 100e9} {
-		net := machine.DefaultNet()
-		net.BandwidthInter = bw
-		e, err := est.EstimateCompiled(pr, estimator.Request{
-			Params:  machine.SystemParams{Nodes: 4, ProcessorsPerNode: 8, Processes: 32, Threads: 1},
-			Net:     &net,
-			Globals: map[string]float64{"n": 4096, "iters": 50, "flop": 2e-9},
-		})
-		if err != nil {
-			return err
-		}
-		fmt.Printf("| %.0e B/s | %.4g |\n", bw, e.Makespan)
+	for i, bw := range bandwidths {
+		fmt.Printf("| %.0e B/s | %.4g |\n", bw, makespans[i])
 	}
 	fmt.Println()
 	return nil
@@ -261,9 +280,10 @@ func jacobiScaling() error {
 	model := samples.Jacobi()
 	est := estimator.New()
 	pts, err := est.SweepProcesses(estimator.Request{
-		Model:   model,
-		Params:  machine.SystemParams{ProcessorsPerNode: 8, Threads: 1},
-		Globals: map[string]float64{"n": 4096, "iters": 50, "flop": 2e-9},
+		Model:    model,
+		Params:   machine.SystemParams{ProcessorsPerNode: 8, Threads: 1},
+		Globals:  map[string]float64{"n": 4096, "iters": 50, "flop": 2e-9},
+		Parallel: parallelism,
 	}, []int{1, 2, 4, 8, 16, 32, 64})
 	if err != nil {
 		return err
@@ -282,26 +302,35 @@ func openmpSweep() error {
 	fmt.Println("## EXTRA-OMP: parallel region with critical section (8-processor node)")
 	fmt.Println()
 	model := samples.OmpRegion()
-	p := core.New()
+	est := estimator.New()
+	pr, err := est.Compile(model)
+	if err != nil {
+		return err
+	}
+	threadCounts := []int{1, 2, 4, 8, 16, 32}
+	makespans, err := runner.Map(context.Background(), len(threadCounts),
+		runner.Options{Workers: parallelism, Label: "omp-point"},
+		func(ctx context.Context, i int) (float64, error) {
+			e, err := est.EstimateCompiled(pr, estimator.Request{
+				Params: machine.SystemParams{
+					Nodes: 1, ProcessorsPerNode: 8, Processes: 1, Threads: threadCounts[i],
+				},
+				Globals: map[string]float64{"work": 8, "critical": 0.05},
+			})
+			if err != nil {
+				return 0, err
+			}
+			return e.Makespan, nil
+		})
+	if err != nil {
+		return err
+	}
 	fmt.Println("| threads | makespan (s) | speedup | efficiency |")
 	fmt.Println("|---:|---:|---:|---:|")
-	var base float64
-	for _, threads := range []int{1, 2, 4, 8, 16, 32} {
-		est, err := p.Estimate(core.Request{
-			Model: model,
-			Params: machine.SystemParams{
-				Nodes: 1, ProcessorsPerNode: 8, Processes: 1, Threads: threads,
-			},
-			Globals: map[string]float64{"work": 8, "critical": 0.05},
-		})
-		if err != nil {
-			return err
-		}
-		if base == 0 {
-			base = est.Makespan
-		}
-		sp := base / est.Makespan
-		fmt.Printf("| %d | %.4g | %.2f | %.2f |\n", threads, est.Makespan, sp, sp/float64(threads))
+	base := makespans[0]
+	for i, threads := range threadCounts {
+		sp := base / makespans[i]
+		fmt.Printf("| %d | %.4g | %.2f | %.2f |\n", threads, makespans[i], sp, sp/float64(threads))
 	}
 	fmt.Println()
 	return nil
@@ -311,17 +340,21 @@ func sensitivity() error {
 	fmt.Println("## Sensitivity (kernel 6, N=1000 M=10 c=1e-9, ±5%)")
 	fmt.Println()
 	est := estimator.New()
-	pts, err := est.Sensitivity(estimator.Request{
-		Model:   samples.Kernel6(),
-		Globals: map[string]float64{"N": 1000, "M": 10, "c": 1e-9},
+	res, err := est.Sensitivity(estimator.Request{
+		Model:    samples.Kernel6(),
+		Globals:  map[string]float64{"N": 1000, "M": 10, "c": 1e-9},
+		Parallel: parallelism,
 	}, []string{"N", "M", "c"}, 0.05)
 	if err != nil {
 		return err
 	}
 	fmt.Println("| variable | base | elasticity |")
 	fmt.Println("|---|---:|---:|")
-	for _, pt := range pts {
+	for _, pt := range res.Points {
 		fmt.Printf("| %s | %.4g | %.3f |\n", pt.Variable, pt.Base, pt.Elasticity)
+	}
+	for _, sk := range res.Skipped {
+		fmt.Printf("\nskipped: %s\n", sk)
 	}
 	fmt.Println()
 	return nil

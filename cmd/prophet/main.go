@@ -99,6 +99,7 @@ func run(args []string) (err error) {
 	policy := fs.String("policy", "fcfs", "processor contention policy: fcfs or ps")
 	sensitivity := fs.String("sensitivity", "", "comma-separated globals for a +-5% sensitivity analysis")
 	montecarlo := fs.Int("montecarlo", 0, "run N seeds and report the makespan distribution (stochastic models)")
+	parallel := fs.Int("parallel", 0, "worker pool size for batch evaluations: sweeps, -sensitivity, -montecarlo, -versus (0 = GOMAXPROCS)")
 	versus := fs.String("versus", "", "second model XML: compare both designs across -sweep process counts")
 	defNet := machine.DefaultNet()
 	latIntra := fs.Float64("lat-intra", defNet.LatencyIntra, "intra-node message latency (s)")
@@ -182,7 +183,7 @@ func run(args []string) (err error) {
 		LatencyIntra: *latIntra, LatencyInter: *latInter,
 		BandwidthIntra: *bwIntra, BandwidthInter: *bwInter,
 	}
-	req := core.Request{Model: m, Params: params, Globals: globals, TracePath: *tracePath, Net: &net}
+	req := core.Request{Model: m, Params: params, Globals: globals, TracePath: *tracePath, Net: &net, Parallel: *parallel}
 	if *metricsPath != "" {
 		req.Telemetry = true
 		req.SampleInterval = *sampleInterval
@@ -209,7 +210,7 @@ func run(args []string) (err error) {
 			}
 		}
 		cmp, err := estimator.New().CompareModels(m, other, estimator.Request{
-			Params: params, Globals: globals, Net: &net, Policy: req.Policy,
+			Params: params, Globals: globals, Net: &net, Policy: req.Policy, Parallel: *parallel,
 		}, counts)
 		if err != nil {
 			return err
@@ -242,13 +243,16 @@ func run(args []string) (err error) {
 		for i := range names {
 			names[i] = strings.TrimSpace(names[i])
 		}
-		pts, err := p.Sensitivity(req, names, 0.05)
+		res, err := p.Sensitivity(req, names, 0.05)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("%-12s %14s %14s %12s\n", "variable", "base", "makespan", "elasticity")
-		for _, pt := range pts {
+		for _, pt := range res.Points {
 			fmt.Printf("%-12s %14.6g %14.6g %12.3f\n", pt.Variable, pt.Base, pt.BaseMakespan, pt.Elasticity)
+		}
+		for _, sk := range res.Skipped {
+			fmt.Printf("skipped: %s\n", sk)
 		}
 		return nil
 	}

@@ -151,9 +151,9 @@ func (p *Prophet) SweepGlobal(req Request, name string, values []float64) ([]est
 	return p.estimator.SweepGlobal(req, name, values)
 }
 
-// Sensitivity reports the makespan elasticity of each named global (see
-// estimator.Sensitivity).
-func (p *Prophet) Sensitivity(req Request, names []string, delta float64) ([]estimator.SensitivityPoint, error) {
+// Sensitivity reports the makespan elasticity of each named global,
+// plus the variables that had to be skipped (see estimator.Sensitivity).
+func (p *Prophet) Sensitivity(req Request, names []string, delta float64) (*estimator.SensitivityResult, error) {
 	return p.estimator.Sensitivity(req, names, delta)
 }
 

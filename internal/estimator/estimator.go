@@ -11,13 +11,16 @@
 package estimator
 
 import (
+	"context"
 	"fmt"
+	"sync"
 
 	"prophet/internal/checker"
 	"prophet/internal/interp"
 	"prophet/internal/machine"
 	"prophet/internal/obs"
 	"prophet/internal/profile"
+	"prophet/internal/runner"
 	"prophet/internal/sim"
 	"prophet/internal/trace"
 	"prophet/internal/uml"
@@ -56,6 +59,16 @@ type Request struct {
 	// MaxSamples bounds the retained telemetry series (0 = 2048); longer
 	// runs are decimated evenly.
 	MaxSamples int
+	// Parallel bounds the worker pool used by batch evaluations
+	// (MonteCarlo, Sensitivity, sweeps, CompareModels): 0 means
+	// GOMAXPROCS, 1 forces a sequential batch, N allows at most N
+	// concurrent simulation runs. Batch results are bit-identical at
+	// every setting — results are keyed by job index and aggregated in
+	// index order, never in completion order.
+	Parallel int
+	// Context, when non-nil, cancels batch evaluations early; the batch
+	// returns promptly with the context's error. nil means Background.
+	Context context.Context
 	// Spans, when non-nil, additionally receives every per-stage span
 	// the estimator records (Estimate.Stages always has them too). Use
 	// one recorder across repeated calls to aggregate a sweep.
@@ -96,10 +109,35 @@ type Telemetry struct {
 	EventCounts map[string]int64 `json:"event_counts,omitempty"`
 }
 
+// ctx resolves the request's batch context.
+func (r Request) ctx() context.Context {
+	if r.Context != nil {
+		return r.Context
+	}
+	return context.Background()
+}
+
+// pool builds the runner options shared by every batch entry point: the
+// request's worker bound plus its observability sinks.
+func (r Request) pool(label string) runner.Options {
+	return runner.Options{
+		Workers: r.Parallel,
+		Label:   label,
+		Spans:   r.Spans,
+		Metrics: r.Metrics,
+	}
+}
+
 // Estimator evaluates performance models.
 type Estimator struct {
 	registry *profile.Registry
 	checker  *checker.Checker
+
+	// progMu guards progs, the per-estimator compiled-program cache:
+	// batch entry points compile a model once and reuse the program for
+	// every run of every subsequent batch on the same model value.
+	progMu sync.Mutex
+	progs  map[*uml.Model]*interp.Program
 }
 
 // New returns an estimator using the standard profile and default checker
@@ -158,6 +196,53 @@ func (e *Estimator) Compile(m *uml.Model) (*interp.Program, error) {
 		return nil, fmt.Errorf("estimator: %w", err)
 	}
 	return pr, nil
+}
+
+// CompileCached returns the cached compiled program for m, checking and
+// compiling it on first use. The cache is keyed by model identity: every
+// batch entry point (MonteCarlo, Sensitivity, sweeps, CompareModels)
+// compiles a model exactly once per estimator rather than once per run.
+// A model mutated after its first evaluation must be re-registered by
+// calling InvalidateCache (or by using a fresh Estimator).
+func (e *Estimator) CompileCached(m *uml.Model) (*interp.Program, error) {
+	if m == nil {
+		return nil, fmt.Errorf("estimator: nil model")
+	}
+	e.progMu.Lock()
+	pr, ok := e.progs[m]
+	e.progMu.Unlock()
+	if ok {
+		return pr, nil
+	}
+	pr, err := e.Compile(m)
+	if err != nil {
+		return nil, err
+	}
+	e.progMu.Lock()
+	if e.progs == nil {
+		e.progs = map[*uml.Model]*interp.Program{}
+	}
+	// A concurrent caller may have compiled the same model; keep the
+	// first program so every run of a batch uses one instance.
+	if prev, ok := e.progs[m]; ok {
+		pr = prev
+	} else {
+		e.progs[m] = pr
+	}
+	e.progMu.Unlock()
+	return pr, nil
+}
+
+// InvalidateCache drops the compiled program cached for m (all cached
+// programs when m is nil). Call it after mutating a model in place.
+func (e *Estimator) InvalidateCache(m *uml.Model) {
+	e.progMu.Lock()
+	if m == nil {
+		e.progs = nil
+	} else {
+		delete(e.progs, m)
+	}
+	e.progMu.Unlock()
 }
 
 // EstimateCompiled evaluates a pre-compiled program.
@@ -307,43 +392,47 @@ type SweepPoint struct {
 // with the processes (one node per ProcessorsPerNode processes).
 func (e *Estimator) SweepProcesses(req Request, counts []int) ([]SweepPoint, error) {
 	done := req.Spans.Start("compile")
-	pr, err := e.Compile(req.Model)
+	pr, err := e.CompileCached(req.Model)
 	done()
 	if err != nil {
 		return nil, err
 	}
-	var out []SweepPoint
-	var base float64
-	var baseProcs int
-	for i, procs := range counts {
-		p := req.Params
-		if p.ProcessorsPerNode == 0 {
-			p.ProcessorsPerNode = 1
-		}
-		if p.Threads == 0 {
-			p.Threads = 1
-		}
-		p.Processes = procs
-		if req.Params.Nodes == 0 {
-			p.Nodes = (procs + p.ProcessorsPerNode - 1) / p.ProcessorsPerNode
-		}
-		r := req
-		r.Params = p
-		est, err := e.runMode(pr, r, true, obs.NewSpanRecorder())
-		if err != nil {
-			return nil, fmt.Errorf("estimator: sweep at %d processes: %w", procs, err)
-		}
-		pt := SweepPoint{Processes: procs, Nodes: p.Nodes, Makespan: est.Makespan}
+	out, err := runner.Map(req.ctx(), len(counts), req.pool("sweep-point"),
+		func(ctx context.Context, i int) (SweepPoint, error) {
+			procs := counts[i]
+			p := req.Params
+			if p.ProcessorsPerNode == 0 {
+				p.ProcessorsPerNode = 1
+			}
+			if p.Threads == 0 {
+				p.Threads = 1
+			}
+			p.Processes = procs
+			if req.Params.Nodes == 0 {
+				p.Nodes = (procs + p.ProcessorsPerNode - 1) / p.ProcessorsPerNode
+			}
+			r := req
+			r.Params = p
+			est, err := e.runMode(pr, r, true, obs.NewSpanRecorder())
+			if err != nil {
+				return SweepPoint{}, fmt.Errorf("estimator: sweep at %d processes: %w", procs, err)
+			}
+			return SweepPoint{Processes: procs, Nodes: p.Nodes, Makespan: est.Makespan}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	// Speedup and efficiency are relative to the first point; derive them
+	// after the fan-out so the derivation order is independent of worker
+	// scheduling.
+	for i := range out {
 		if i == 0 {
-			base = est.Makespan
-			baseProcs = procs
-			pt.Speedup = 1
-			pt.Efficiency = 1
-		} else if est.Makespan > 0 {
-			pt.Speedup = base / est.Makespan
-			pt.Efficiency = pt.Speedup / (float64(procs) / float64(baseProcs))
+			out[i].Speedup = 1
+			out[i].Efficiency = 1
+		} else if out[i].Makespan > 0 {
+			out[i].Speedup = out[0].Makespan / out[i].Makespan
+			out[i].Efficiency = out[i].Speedup / (float64(out[i].Processes) / float64(out[0].Processes))
 		}
-		out = append(out, pt)
 	}
 	return out, nil
 }
@@ -357,24 +446,24 @@ type GlobalPoint struct {
 // SweepGlobal evaluates the model across values of one global variable.
 func (e *Estimator) SweepGlobal(req Request, name string, values []float64) ([]GlobalPoint, error) {
 	done := req.Spans.Start("compile")
-	pr, err := e.Compile(req.Model)
+	pr, err := e.CompileCached(req.Model)
 	done()
 	if err != nil {
 		return nil, err
 	}
-	var out []GlobalPoint
-	for _, v := range values {
-		r := req
-		r.Globals = make(map[string]float64, len(req.Globals)+1)
-		for k, gv := range req.Globals {
-			r.Globals[k] = gv
-		}
-		r.Globals[name] = v
-		est, err := e.runMode(pr, r, true, obs.NewSpanRecorder())
-		if err != nil {
-			return nil, fmt.Errorf("estimator: sweep %s=%g: %w", name, v, err)
-		}
-		out = append(out, GlobalPoint{Value: v, Makespan: est.Makespan})
-	}
-	return out, nil
+	return runner.Map(req.ctx(), len(values), req.pool("sweep-point"),
+		func(ctx context.Context, i int) (GlobalPoint, error) {
+			v := values[i]
+			r := req
+			r.Globals = make(map[string]float64, len(req.Globals)+1)
+			for k, gv := range req.Globals {
+				r.Globals[k] = gv
+			}
+			r.Globals[name] = v
+			est, err := e.runMode(pr, r, true, obs.NewSpanRecorder())
+			if err != nil {
+				return GlobalPoint{}, fmt.Errorf("estimator: sweep %s=%g: %w", name, v, err)
+			}
+			return GlobalPoint{Value: v, Makespan: est.Makespan}, nil
+		})
 }

@@ -1,0 +1,84 @@
+package estimator
+
+import (
+	"fmt"
+	"testing"
+
+	"prophet/internal/builder"
+)
+
+// benchModel builds the stochastic query-mix workload used by the runner
+// benchmarks: a loop of weighted cache hits/misses, enough simulated
+// events per run that fan-out overhead is amortized realistically.
+func benchModel(b *testing.B) *builder.ModelBuilder {
+	b.Helper()
+	mb := builder.New("bench-query-mix")
+	mb.Global("hitCost", "double").Global("missCost", "double")
+	d := mb.Diagram("main")
+	d.Initial()
+	d.Loop("Queries", "200", "one").Var("q")
+	d.Final()
+	d.Chain("initial", "Queries", "final")
+	one := mb.Diagram("one")
+	one.Initial()
+	one.Decision("cache")
+	one.Action("Hit").Cost("hitCost")
+	one.Action("Miss").Cost("missCost")
+	one.Merge("done")
+	one.Final()
+	one.Flow("initial", "cache")
+	one.FlowWeighted("cache", "Hit", 0.85)
+	one.FlowWeighted("cache", "Miss", 0.15)
+	one.Flow("Hit", "done")
+	one.Flow("Miss", "done")
+	one.Flow("done", "final")
+	return mb
+}
+
+// BenchmarkMonteCarloWorkers measures a 64-run Monte Carlo batch at
+// several worker counts. On multi-core hardware the wall-clock ns/op
+// should fall roughly linearly with workers (the runs are independent);
+// allocs/op stays flat because parallelism adds no per-run allocation.
+func BenchmarkMonteCarloWorkers(b *testing.B) {
+	m, err := benchModel(b).Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := New()
+	globals := map[string]float64{"hitCost": 100e-6, "missCost": 10e-3}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.MonteCarlo(Request{
+					Model: m, Globals: globals, Parallel: workers,
+				}, 64); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSensitivityWorkers measures the sensitivity fan-out (1 + 2
+// jobs per variable) at 1 vs 4 workers.
+func BenchmarkSensitivityWorkers(b *testing.B) {
+	m, err := benchModel(b).Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	e := New()
+	globals := map[string]float64{"hitCost": 100e-6, "missCost": 10e-3}
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Sensitivity(Request{
+					Model: m, Globals: globals, Parallel: workers,
+				}, []string{"hitCost", "missCost"}, 0.05); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

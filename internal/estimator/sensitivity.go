@@ -1,11 +1,13 @@
 package estimator
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"prophet/internal/obs"
+	"prophet/internal/runner"
 )
 
 // MonteCarloResult summarizes repeated stochastic evaluations.
@@ -21,24 +23,36 @@ type MonteCarloResult struct {
 // MonteCarlo evaluates a model with probabilistic (weighted) branches
 // across `runs` seeds and summarizes the makespan distribution. For
 // deterministic models every run is identical and Std is 0.
+//
+// Runs are independent and fan out across Request.Parallel workers; the
+// per-run seeds derive from Request.Seed and the run index (seed, seed+1,
+// …, with seed 0 meaning 1), and the distribution is aggregated in run
+// order, so the result is bit-identical at every worker count.
 func (e *Estimator) MonteCarlo(req Request, runs int) (*MonteCarloResult, error) {
 	if runs < 1 {
 		return nil, fmt.Errorf("estimator: monte carlo needs runs >= 1, got %d", runs)
 	}
-	pr, err := e.Compile(req.Model)
+	pr, err := e.CompileCached(req.Model)
+	if err != nil {
+		return nil, err
+	}
+	seeds := runner.Seeds(req.Seed, runs)
+	makespans, err := runner.Map(req.ctx(), runs, req.pool("mc-run"),
+		func(ctx context.Context, i int) (float64, error) {
+			r := req
+			r.Seed = seeds[i]
+			est, err := e.runMode(pr, r, true, obs.NewSpanRecorder())
+			if err != nil {
+				return 0, fmt.Errorf("estimator: monte carlo run %d: %w", i, err)
+			}
+			return est.Makespan, nil
+		})
 	if err != nil {
 		return nil, err
 	}
 	res := &MonteCarloResult{Runs: runs}
 	var sum, sumSq float64
-	for i := 0; i < runs; i++ {
-		r := req
-		r.Seed = int64(i + 1)
-		est, err := e.runMode(pr, r, true, obs.NewSpanRecorder())
-		if err != nil {
-			return nil, fmt.Errorf("estimator: monte carlo run %d: %w", i, err)
-		}
-		m := est.Makespan
+	for i, m := range makespans {
 		sum += m
 		sumSq += m * m
 		if i == 0 || m < res.Min {
@@ -76,57 +90,107 @@ type SensitivityPoint struct {
 	Elasticity float64
 }
 
+// SkippedVariable names a requested sensitivity variable that could not
+// be perturbed, with the reason why.
+type SkippedVariable struct {
+	Name   string
+	Reason string
+}
+
+func (s SkippedVariable) String() string { return s.Name + " (" + s.Reason + ")" }
+
+// SensitivityResult carries the analysis: the elasticity points sorted by
+// influence, plus every requested variable that had to be skipped.
+type SensitivityResult struct {
+	// Points holds one entry per analyzed variable, sorted by descending
+	// |elasticity| (ties by name).
+	Points []SensitivityPoint
+	// Skipped lists requested variables that were not analyzed — unknown
+	// names and zero baselines — in request order. Callers that silently
+	// drop this field reproduce the old lossy behavior; surface it.
+	Skipped []SkippedVariable
+}
+
 // Sensitivity perturbs each named global by ±delta (relative) around the
 // values in req.Globals and reports the makespan elasticity of each — the
 // model-based "which parameter should I tune" analysis that motivates
-// performance modeling in the first place. Variables with a zero baseline
-// are skipped (relative perturbation is undefined there).
-func (e *Estimator) Sensitivity(req Request, names []string, delta float64) ([]SensitivityPoint, error) {
+// performance modeling in the first place. Variables it cannot perturb —
+// names absent from req.Globals, or zero baselines (relative perturbation
+// is undefined there) — are reported in SensitivityResult.Skipped rather
+// than silently dropped.
+//
+// The baseline and every perturbed evaluation are independent and fan
+// out across Request.Parallel workers; results are keyed by job index,
+// so the analysis is bit-identical at every worker count.
+func (e *Estimator) Sensitivity(req Request, names []string, delta float64) (*SensitivityResult, error) {
 	if delta <= 0 || delta >= 1 {
 		return nil, fmt.Errorf("estimator: sensitivity delta must be in (0,1), got %g", delta)
 	}
-	pr, err := e.Compile(req.Model)
+	pr, err := e.CompileCached(req.Model)
 	if err != nil {
 		return nil, err
 	}
-	runWith := func(name string, value float64) (float64, error) {
-		r := req
-		r.Globals = make(map[string]float64, len(req.Globals)+1)
-		for k, v := range req.Globals {
-			r.Globals[k] = v
-		}
-		if name != "" {
-			r.Globals[name] = value
-		}
-		est, err := e.runMode(pr, r, true, obs.NewSpanRecorder())
-		if err != nil {
-			return 0, err
-		}
-		return est.Makespan, nil
-	}
 
-	base, err := runWith("", 0)
-	if err != nil {
-		return nil, fmt.Errorf("estimator: sensitivity baseline: %w", err)
+	res := &SensitivityResult{}
+	// Job plan: job 0 is the unperturbed baseline; each analyzable
+	// variable contributes an up job and a down job.
+	type job struct {
+		name  string
+		value float64
 	}
-
-	var out []SensitivityPoint
+	jobs := []job{{}} // baseline
+	var vars []string
+	var bases []float64
 	for _, name := range names {
 		bv, ok := req.Globals[name]
-		if !ok || bv == 0 {
-			continue
+		switch {
+		case !ok:
+			res.Skipped = append(res.Skipped, SkippedVariable{Name: name, Reason: "not in request globals"})
+		case bv == 0:
+			res.Skipped = append(res.Skipped, SkippedVariable{Name: name, Reason: "zero baseline"})
+		default:
+			vars = append(vars, name)
+			bases = append(bases, bv)
+			jobs = append(jobs, job{name: name, value: bv * (1 + delta)})
+			jobs = append(jobs, job{name: name, value: bv * (1 - delta)})
 		}
-		up, err := runWith(name, bv*(1+delta))
-		if err != nil {
-			return nil, fmt.Errorf("estimator: sensitivity %s up: %w", name, err)
-		}
-		down, err := runWith(name, bv*(1-delta))
-		if err != nil {
-			return nil, fmt.Errorf("estimator: sensitivity %s down: %w", name, err)
-		}
+	}
+
+	makespans, err := runner.Map(req.ctx(), len(jobs), req.pool("sensitivity-run"),
+		func(ctx context.Context, i int) (float64, error) {
+			j := jobs[i]
+			r := req
+			r.Globals = make(map[string]float64, len(req.Globals)+1)
+			for k, v := range req.Globals {
+				r.Globals[k] = v
+			}
+			if j.name != "" {
+				r.Globals[j.name] = j.value
+			}
+			est, err := e.runMode(pr, r, true, obs.NewSpanRecorder())
+			if err != nil {
+				if i == 0 {
+					return 0, fmt.Errorf("estimator: sensitivity baseline: %w", err)
+				}
+				dir := "up"
+				if i%2 == 0 {
+					dir = "down"
+				}
+				return 0, fmt.Errorf("estimator: sensitivity %s %s: %w", j.name, dir, err)
+			}
+			return est.Makespan, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	base := makespans[0]
+	for vi, name := range vars {
+		up := makespans[1+2*vi]
+		down := makespans[2+2*vi]
 		pt := SensitivityPoint{
 			Variable:     name,
-			Base:         bv,
+			Base:         bases[vi],
 			BaseMakespan: base,
 			UpMakespan:   up,
 			DownMakespan: down,
@@ -135,20 +199,15 @@ func (e *Estimator) Sensitivity(req Request, names []string, delta float64) ([]S
 			// Central difference of log(makespan) wrt log(variable).
 			pt.Elasticity = (up - down) / (2 * delta * base)
 		}
-		out = append(out, pt)
+		res.Points = append(res.Points, pt)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		ai, aj := out[i].Elasticity, out[j].Elasticity
-		if ai < 0 {
-			ai = -ai
-		}
-		if aj < 0 {
-			aj = -aj
-		}
+	sort.Slice(res.Points, func(i, j int) bool {
+		ai := math.Abs(res.Points[i].Elasticity)
+		aj := math.Abs(res.Points[j].Elasticity)
 		if ai != aj {
 			return ai > aj
 		}
-		return out[i].Variable < out[j].Variable
+		return res.Points[i].Variable < res.Points[j].Variable
 	})
-	return out, nil
+	return res, nil
 }

@@ -15,12 +15,16 @@ func TestSensitivityKernel6(t *testing.T) {
 		Model:   samples.Kernel6(),
 		Globals: map[string]float64{"N": 1000, "M": 10, "c": 1e-9},
 	}
-	pts, err := New().Sensitivity(req, []string{"N", "M", "c"}, 0.05)
+	res, err := New().Sensitivity(req, []string{"N", "M", "c"}, 0.05)
 	if err != nil {
 		t.Fatal(err)
 	}
+	pts := res.Points
 	if len(pts) != 3 {
 		t.Fatalf("points = %d, want 3", len(pts))
+	}
+	if len(res.Skipped) != 0 {
+		t.Fatalf("nothing should be skipped: %v", res.Skipped)
 	}
 	byName := map[string]SensitivityPoint{}
 	for _, pt := range pts {
@@ -121,12 +125,23 @@ func TestSensitivitySkipsUnsetAndZero(t *testing.T) {
 		Model:   samples.Kernel6(),
 		Globals: map[string]float64{"N": 10, "M": 1, "c": 0},
 	}
-	pts, err := New().Sensitivity(req, []string{"c", "ghost"}, 0.1)
+	res, err := New().Sensitivity(req, []string{"c", "ghost"}, 0.1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(pts) != 0 {
-		t.Errorf("zero-baseline and unset variables should be skipped: %v", pts)
+	if len(res.Points) != 0 {
+		t.Errorf("zero-baseline and unset variables should be skipped: %v", res.Points)
+	}
+	// The skip is no longer silent: both variables are reported with a
+	// reason, in request order.
+	if len(res.Skipped) != 2 {
+		t.Fatalf("skipped = %v, want 2 entries", res.Skipped)
+	}
+	if res.Skipped[0].Name != "c" || res.Skipped[0].Reason != "zero baseline" {
+		t.Errorf("skipped[0] = %+v, want c / zero baseline", res.Skipped[0])
+	}
+	if res.Skipped[1].Name != "ghost" || res.Skipped[1].Reason != "not in request globals" {
+		t.Errorf("skipped[1] = %+v, want ghost / not in request globals", res.Skipped[1])
 	}
 }
 

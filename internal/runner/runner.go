@@ -1,0 +1,217 @@
+// Package runner is the batch-evaluation runtime of the Performance
+// Estimator: it fans a set of independent simulation runs — Monte Carlo
+// seeds, sensitivity perturbations, sweep points, design comparisons —
+// across a bounded pool of workers.
+//
+// The contract that makes the fan-out safe to use for performance
+// prediction is determinism: results are keyed by job index, never by
+// completion order, so a batch evaluated at any worker count produces
+// bit-identical output. Each simulation run is already reproducible on
+// its own (the sim engine orders events by (time, sequence)); the runner
+// preserves that property across runs by keeping aggregation order fixed
+// and by deriving per-job seeds from the job index, not from scheduling.
+//
+// Error handling is fail-fast and equally deterministic: the first
+// failure cancels the batch context so queued jobs never start, in-flight
+// jobs finish, and the error returned is always the one of the
+// lowest-index failed job — the same error a sequential loop would have
+// reported.
+package runner
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"time"
+
+	"prophet/internal/obs"
+)
+
+// Options configures one batch.
+type Options struct {
+	// Workers bounds the number of concurrently running jobs.
+	// 0 (or negative) means runtime.GOMAXPROCS(0); 1 runs the batch
+	// sequentially on the calling goroutine's schedule.
+	Workers int
+	// Label names the batch in spans and metrics ("" = "job").
+	Label string
+	// Spans, when non-nil, receives one span per job (named Label),
+	// measuring the job's wall-clock execution time.
+	Spans *obs.SpanRecorder
+	// Metrics, when non-nil, is updated with the pool's gauges and
+	// counters: runner_workers, runner_jobs_total, runner_jobs_failed_total
+	// and the runner_job_seconds histogram.
+	Metrics *obs.Registry
+}
+
+// workers resolves the effective pool size for n jobs.
+func (o Options) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+func (o Options) label() string {
+	if o.Label == "" {
+		return "job"
+	}
+	return o.Label
+}
+
+// jobError pairs a failure with its job index so the batch can report the
+// lowest-index error deterministically.
+type jobError struct {
+	index int
+	err   error
+}
+
+// Map runs fn(ctx, i) for every i in [0, n) on a bounded worker pool and
+// returns the results in job-index order. On failure it returns the error
+// of the lowest-index failed job; remaining queued jobs are skipped via
+// context cancellation, and Map does not return until every started job
+// has finished (no goroutine outlives the call).
+//
+// A nil ctx means context.Background(). If ctx is cancelled before or
+// during the batch, Map returns ctx's error unless a lower-index job
+// already failed with its own.
+func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	workers := opts.workers(n)
+	label := opts.label()
+
+	var jobsTotal, jobsFailed *obs.Counter
+	var jobSeconds *obs.Histogram
+	if reg := opts.Metrics; reg != nil {
+		reg.Gauge("runner_workers").Set(float64(workers))
+		jobsTotal = reg.Counter("runner_jobs_total")
+		jobsFailed = reg.Counter("runner_jobs_failed_total")
+		jobSeconds = reg.Histogram("runner_job_seconds",
+			[]float64{1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10})
+	}
+
+	out := make([]T, n)
+	runOne := func(ctx context.Context, i int) error {
+		done := opts.Spans.Start(label) // nil-safe
+		start := time.Now()
+		v, err := fn(ctx, i)
+		done()
+		if jobSeconds != nil {
+			jobSeconds.Observe(time.Since(start).Seconds())
+		}
+		if jobsTotal != nil {
+			jobsTotal.Inc()
+		}
+		if err != nil {
+			if jobsFailed != nil {
+				jobsFailed.Inc()
+			}
+			return err
+		}
+		out[i] = v
+		return nil
+	}
+
+	if workers == 1 {
+		// Sequential fast path: no goroutines, same semantics.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			if err := runOne(ctx, i); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	jobs := make(chan int)
+	errs := make(chan jobError, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if ctx.Err() != nil {
+					// Batch already failed or was cancelled: drain without
+					// running so the feeder can finish.
+					continue
+				}
+				if err := runOne(ctx, i); err != nil {
+					select {
+					case errs <- jobError{index: i, err: err}:
+					default:
+					}
+					cancel()
+				}
+			}
+		}()
+	}
+
+	// Feed jobs in index order so low indices start first; stop feeding as
+	// soon as the batch is cancelled.
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+	close(errs)
+
+	var first *jobError
+	for je := range errs {
+		je := je
+		if first == nil || je.index < first.index {
+			first = &je
+		}
+	}
+	if first != nil {
+		return nil, first.err
+	}
+	if err := ctx.Err(); err != nil && err != context.Canceled {
+		return nil, err
+	}
+	// The parent may have been cancelled without any job error.
+	select {
+	case <-ctx.Done():
+		return nil, context.Cause(ctx)
+	default:
+	}
+	return out, nil
+}
+
+// Seeds derives n per-job random seeds from a base seed: base, base+1, …
+// A base of 0 means 1, matching the sim engine's convention that seed 0
+// falls back to the default stream. The derivation is pure — equal
+// (base, n) always yields the same slice — which is what keeps stochastic
+// batches reproducible at any worker count.
+func Seeds(base int64, n int) []int64 {
+	if base == 0 {
+		base = 1
+	}
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = base + int64(i)
+	}
+	return out
+}

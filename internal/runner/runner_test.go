@@ -1,0 +1,251 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"prophet/internal/obs"
+)
+
+func TestMapOrdersResultsByJobIndex(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		out, err := Map(context.Background(), 100, Options{Workers: workers},
+			func(ctx context.Context, i int) (int, error) {
+				return i * i, nil
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(out) != 100 {
+			t.Fatalf("workers=%d: len = %d", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapZeroJobs(t *testing.T) {
+	out, err := Map(context.Background(), 0, Options{},
+		func(ctx context.Context, i int) (int, error) { return 0, nil })
+	if err != nil || out != nil {
+		t.Fatalf("empty batch: out=%v err=%v", out, err)
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak atomic.Int64
+	_, err := Map(context.Background(), 50, Options{Workers: workers},
+		func(ctx context.Context, i int) (struct{}, error) {
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			time.Sleep(time.Millisecond)
+			cur.Add(-1)
+			return struct{}{}, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Errorf("peak concurrency %d exceeds worker bound %d", p, workers)
+	}
+}
+
+func TestMapReturnsLowestIndexError(t *testing.T) {
+	// Jobs 3 and 7 fail; whatever the completion order, the batch must
+	// report job 3's error.
+	for _, workers := range []int{1, 4, 16} {
+		_, err := Map(context.Background(), 10, Options{Workers: workers},
+			func(ctx context.Context, i int) (int, error) {
+				if i == 3 || i == 7 {
+					return 0, fmt.Errorf("job %d failed", i)
+				}
+				return i, nil
+			})
+		if err == nil || err.Error() != "job 3 failed" {
+			t.Errorf("workers=%d: err = %v, want job 3's error", workers, err)
+		}
+	}
+}
+
+func TestMapFailFastSkipsQueuedJobs(t *testing.T) {
+	var started atomic.Int64
+	boom := errors.New("boom")
+	_, err := Map(context.Background(), 1000, Options{Workers: 2},
+		func(ctx context.Context, i int) (int, error) {
+			started.Add(1)
+			if i == 0 {
+				return 0, boom
+			}
+			return i, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	// With 2 workers and job 0 failing immediately, the vast majority of
+	// the 1000 jobs must never start.
+	if n := started.Load(); n > 100 {
+		t.Errorf("%d jobs started after fail-fast, want only a handful", n)
+	}
+}
+
+func TestMapNoGoroutineLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	boom := errors.New("boom")
+	for i := 0; i < 20; i++ {
+		_, err := Map(context.Background(), 100, Options{Workers: 8},
+			func(ctx context.Context, j int) (int, error) {
+				if j == 5 {
+					return 0, boom
+				}
+				return j, nil
+			})
+		if !errors.Is(err, boom) {
+			t.Fatal(err)
+		}
+	}
+	// Workers are joined before Map returns; allow scheduler jitter.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before+2 {
+		t.Errorf("goroutines grew from %d to %d — worker leak", before, after)
+	}
+}
+
+func TestMapHonorsParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var block sync.WaitGroup
+	block.Add(1)
+	done := make(chan error, 1)
+	go func() {
+		_, err := Map(ctx, 100, Options{Workers: 2},
+			func(ctx context.Context, i int) (int, error) {
+				if i < 2 {
+					block.Wait() // park the first jobs until cancelled
+				}
+				return i, nil
+			})
+		done <- err
+	}()
+	cancel()
+	block.Done()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("cancelled batch returned nil error")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled batch did not return promptly")
+	}
+}
+
+func TestMapPreCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	_, err := Map(ctx, 10, Options{Workers: 4},
+		func(ctx context.Context, i int) (int, error) {
+			ran.Add(1)
+			return i, nil
+		})
+	if err == nil {
+		t.Fatal("pre-cancelled batch returned nil error")
+	}
+	if n := ran.Load(); n > 8 {
+		t.Errorf("%d jobs ran under a pre-cancelled context", n)
+	}
+}
+
+func TestMapSequentialPathMatchesParallel(t *testing.T) {
+	run := func(workers int) []float64 {
+		out, err := Map(context.Background(), 64, Options{Workers: workers},
+			func(ctx context.Context, i int) (float64, error) {
+				return float64(i) * 1.5, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	seq := run(1)
+	for _, w := range []int{4, 16} {
+		par := run(w)
+		for i := range seq {
+			if par[i] != seq[i] {
+				t.Fatalf("workers=%d: out[%d] differs", w, i)
+			}
+		}
+	}
+}
+
+func TestMapPublishesMetricsAndSpans(t *testing.T) {
+	reg := obs.NewRegistry()
+	spans := obs.NewSpanRecorder()
+	_, err := Map(context.Background(), 10,
+		Options{Workers: 2, Label: "unit", Metrics: reg, Spans: spans},
+		func(ctx context.Context, i int) (int, error) { return i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := reg.Counter("runner_jobs_total").Value(); n != 10 {
+		t.Errorf("runner_jobs_total = %d, want 10", n)
+	}
+	if w := reg.Gauge("runner_workers").Value(); w != 2 {
+		t.Errorf("runner_workers = %v, want 2", w)
+	}
+	got := spans.Spans()
+	if len(got) != 10 {
+		t.Fatalf("spans = %d, want 10", len(got))
+	}
+	for _, s := range got {
+		if s.Name != "unit" {
+			t.Errorf("span name %q, want unit", s.Name)
+		}
+	}
+}
+
+func TestSeeds(t *testing.T) {
+	got := Seeds(0, 4)
+	want := []int64{1, 2, 3, 4}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Seeds(0,4) = %v, want %v", got, want)
+		}
+	}
+	got = Seeds(100, 3)
+	want = []int64{100, 101, 102}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Seeds(100,3) = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestOptionsWorkerResolution(t *testing.T) {
+	if w := (Options{}).workers(100); w != runtime.GOMAXPROCS(0) {
+		t.Errorf("default workers = %d, want GOMAXPROCS", w)
+	}
+	if w := (Options{Workers: 8}).workers(3); w != 3 {
+		t.Errorf("workers capped at jobs: got %d, want 3", w)
+	}
+	if w := (Options{Workers: -1}).workers(5); w < 1 {
+		t.Errorf("negative workers resolved to %d", w)
+	}
+}

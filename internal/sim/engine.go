@@ -35,7 +35,13 @@ type Engine struct {
 
 	yield chan struct{} // processes hand control back on this channel
 	alive []*Process
+	done  int // processes in alive that have reached stateDone
 	err   error
+
+	// free is the event free-list: events popped from the queue are
+	// recycled through schedule instead of being reallocated, so a
+	// steady-state simulation schedules with zero allocations.
+	free *event
 
 	// obs, when non-nil, receives lifecycle events and telemetry samples
 	// (see Observer in observer.go).
@@ -50,9 +56,16 @@ type Engine struct {
 	mailboxes    []*Mailbox
 }
 
-// New creates an empty simulation.
+// New creates an empty simulation. The event queue and process table are
+// preallocated so short-lived engines (parameter sweeps create one per
+// run) don't grow them from zero.
 func New() *Engine {
-	return &Engine{yield: make(chan struct{}), lastSampled: -1}
+	return &Engine{
+		yield:       make(chan struct{}),
+		lastSampled: -1,
+		events:      make(eventQueue, 0, 128),
+		alive:       make([]*Process, 0, 16),
+	}
 }
 
 // Now returns the current simulated time.
@@ -89,6 +102,7 @@ type event struct {
 	seq  uint64
 	p    *Process
 	fn   func()
+	next *event // free-list link; nil while the event is queued
 }
 
 // eventQueue is a binary min-heap ordered by (time, seq): ties resolve in
@@ -113,13 +127,29 @@ func (q *eventQueue) Pop() interface{} {
 	return ev
 }
 
-// schedule enqueues an event at absolute time t.
+// schedule enqueues an event at absolute time t, reusing a recycled
+// event when one is available.
 func (e *Engine) schedule(t float64, p *Process, fn func()) {
 	if t < e.now {
 		t = e.now
 	}
 	e.seq++
-	heap.Push(&e.events, &event{time: t, seq: e.seq, p: p, fn: fn})
+	ev := e.free
+	if ev != nil {
+		e.free = ev.next
+		ev.time, ev.seq, ev.p, ev.fn, ev.next = t, e.seq, p, fn, nil
+	} else {
+		ev = &event{time: t, seq: e.seq, p: p, fn: fn}
+	}
+	heap.Push(&e.events, ev)
+}
+
+// release returns a popped event to the free-list. The event must no
+// longer be referenced by the queue.
+func (e *Engine) release(ev *event) {
+	ev.p, ev.fn = nil, nil
+	ev.next = e.free
+	e.free = ev
 }
 
 // At schedules fn to run at absolute simulated time t (>= now). The
@@ -186,10 +216,15 @@ func (e *Engine) Run() (float64, error) {
 				break // stale wakeup for a finished process
 			}
 			e.dispatch(ev.p)
+			if ev.p.state == stateDone {
+				e.done++
+			}
 		}
+		e.release(ev)
 		if e.err != nil {
 			return e.now, e.err
 		}
+		e.compactAlive()
 		e.maybeSample()
 	}
 	e.finalSample()
@@ -200,7 +235,8 @@ func (e *Engine) Run() (float64, error) {
 }
 
 // RunUntil executes the simulation up to (and including) time limit.
-// Remaining events stay queued.
+// Remaining events stay queued. Like Run, it closes the telemetry series
+// with a final sample, so a partial run keeps the tail of its series.
 func (e *Engine) RunUntil(limit float64) (float64, error) {
 	defer e.shutdown()
 	for len(e.events) > 0 && e.events[0].time <= limit {
@@ -214,12 +250,18 @@ func (e *Engine) RunUntil(limit float64) (float64, error) {
 				break
 			}
 			e.dispatch(ev.p)
+			if ev.p.state == stateDone {
+				e.done++
+			}
 		}
+		e.release(ev)
 		if e.err != nil {
 			return e.now, e.err
 		}
+		e.compactAlive()
 		e.maybeSample()
 	}
+	e.finalSample()
 	return e.now, nil
 }
 
@@ -229,6 +271,29 @@ func (e *Engine) dispatch(p *Process) {
 	e.trace(p, "run")
 	p.wake <- struct{}{}
 	<-e.yield
+}
+
+// compactAlive drops finished processes from the process table once they
+// outnumber the live ones, filtering in place so the backing array is
+// reused. Long runs that spawn transient processes (forks, parallel
+// regions inside loops) would otherwise grow alive without bound and pay
+// for it on every telemetry sample.
+func (e *Engine) compactAlive() {
+	if e.done <= 32 || e.done <= len(e.alive)/2 {
+		return
+	}
+	live := e.alive[:0]
+	for _, p := range e.alive {
+		if p.state != stateDone {
+			live = append(live, p)
+		}
+	}
+	// Clear the tail so finished processes are collectable.
+	for i := len(live); i < len(e.alive); i++ {
+		e.alive[i] = nil
+	}
+	e.alive = live
+	e.done = 0
 }
 
 // blockedProcesses returns the names of processes stuck on a
@@ -256,6 +321,7 @@ func (e *Engine) shutdown() {
 		}
 	}
 	e.alive = nil
+	e.done = 0
 }
 
 // DeadlockError reports a simulation that ended with blocked processes.

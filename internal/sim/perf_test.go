@@ -1,0 +1,172 @@
+package sim
+
+import (
+	"testing"
+)
+
+// TestRunUntilEmitsFinalSample locks the satellite fix: a partial run
+// must close its telemetry series with the end-of-run state, exactly
+// like Run does, so the tail of the series is not lost.
+func TestRunUntilEmitsFinalSample(t *testing.T) {
+	e := New()
+	obs := &collectObserver{}
+	// A large interval means no periodic sample fires during the run:
+	// every retained point must come from the final-sample path.
+	e.SetObserver(obs, 100)
+	e.Spawn("p", func(p *Process) {
+		for i := 0; i < 10; i++ {
+			p.Hold(1)
+		}
+	})
+	if _, err := e.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	if len(obs.samples) == 0 {
+		t.Fatal("RunUntil emitted no final sample")
+	}
+	last := obs.samples[len(obs.samples)-1]
+	if last.Time != 5 {
+		t.Errorf("final sample at t=%v, want 5", last.Time)
+	}
+}
+
+// TestRunUntilDoesNotDuplicateFinalSample: when the stop time was
+// already sampled by the periodic path, the final sample is skipped.
+func TestRunUntilDoesNotDuplicateFinalSample(t *testing.T) {
+	e := New()
+	obs := &collectObserver{}
+	e.SetObserver(obs, 0) // auto mode: sample at every distinct time
+	e.Spawn("p", func(p *Process) {
+		for i := 0; i < 10; i++ {
+			p.Hold(1)
+		}
+	})
+	if _, err := e.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(obs.samples); i++ {
+		if obs.samples[i].Time == obs.samples[i-1].Time {
+			t.Errorf("duplicate sample at t=%v", obs.samples[i].Time)
+		}
+	}
+}
+
+// TestEventFreeListRecycles exercises schedule/release through a long
+// hold chain and checks the queue still orders correctly — the free-list
+// must be invisible to simulation semantics.
+func TestEventFreeListRecycles(t *testing.T) {
+	e := New()
+	var order []float64
+	for i := 0; i < 50; i++ {
+		e.Spawn("p", func(p *Process) {
+			for j := 0; j < 20; j++ {
+				p.Hold(1)
+			}
+			order = append(order, p.Now())
+		})
+	}
+	end, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 20 {
+		t.Errorf("end = %v, want 20", end)
+	}
+	if len(order) != 50 {
+		t.Errorf("finished = %d, want 50", len(order))
+	}
+}
+
+// TestAliveCompaction spawns far more transient processes than the
+// compaction threshold and checks the table shrinks while live processes
+// survive.
+func TestAliveCompaction(t *testing.T) {
+	e := New()
+	e.Spawn("spawner", func(p *Process) {
+		for i := 0; i < 500; i++ {
+			e.Spawn("transient", func(q *Process) {
+				q.Hold(0.5)
+			})
+			p.Hold(1)
+		}
+	})
+	if _, err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// After Run, shutdown clears alive entirely; the property under test
+	// is mid-run table size, observed via a callback.
+	e2 := New()
+	var tableAtEnd int
+	e2.Spawn("spawner", func(p *Process) {
+		for i := 0; i < 500; i++ {
+			e2.Spawn("transient", func(q *Process) {
+				q.Hold(0.5)
+			})
+			p.Hold(1)
+		}
+		tableAtEnd = len(e2.alive)
+	})
+	if _, err := e2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tableAtEnd > 100 {
+		t.Errorf("alive table grew to %d entries despite compaction (want well under 100)", tableAtEnd)
+	}
+}
+
+// BenchmarkEventScheduling measures the engine's event hot path — one
+// process holding repeatedly, i.e. pure schedule/pop traffic. The event
+// free-list should keep allocs/op near zero once the queue is warm.
+func BenchmarkEventScheduling(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := New()
+		e.Spawn("p", func(p *Process) {
+			for j := 0; j < 1000; j++ {
+				p.Hold(1)
+			}
+		})
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEventSchedulingFanout stresses the queue with many concurrent
+// processes so pops interleave across producers.
+func BenchmarkEventSchedulingFanout(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := New()
+		for p := 0; p < 64; p++ {
+			e.Spawn("p", func(pr *Process) {
+				for j := 0; j < 100; j++ {
+					pr.Hold(1)
+				}
+			})
+		}
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFacilityContention measures the facility queue path under
+// contention: 8 processes sharing a 2-server facility.
+func BenchmarkFacilityContention(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := New()
+		f := e.NewFacility("cpu", 2)
+		for p := 0; p < 8; p++ {
+			e.Spawn("p", func(pr *Process) {
+				for j := 0; j < 100; j++ {
+					f.Use(pr, 1)
+				}
+			})
+		}
+		if _, err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

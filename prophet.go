@@ -78,6 +78,10 @@ type GlobalPoint = estimator.GlobalPoint
 // SensitivityPoint reports one global's makespan elasticity.
 type SensitivityPoint = estimator.SensitivityPoint
 
+// SensitivityResult carries the sensitivity points plus the requested
+// variables that had to be skipped (unknown name, zero baseline).
+type SensitivityResult = estimator.SensitivityResult
+
 // MonteCarloResult summarizes repeated stochastic evaluations.
 type MonteCarloResult = estimator.MonteCarloResult
 
