@@ -2,7 +2,8 @@
 
 GO ?= go
 
-.PHONY: all check build test vet race bench cover examples experiments clean
+.PHONY: all check build test vet race bench cover examples experiments \
+	conformance conformance-update fuzz-smoke clean
 
 all: check
 
@@ -49,5 +50,24 @@ examples:
 experiments:
 	$(GO) run ./cmd/experiments
 
+# End-to-end conformance harness: corpus → full pipeline → goldens +
+# differential oracles (docs/TESTING.md). Fails on drift.
+conformance:
+	$(GO) run ./cmd/conformance run -json conformance-report.json
+
+# Regenerate the golden artifacts after an intentional output change;
+# review the testdata/golden diff before committing.
+conformance-update:
+	$(GO) run ./cmd/conformance update
+
+# Short fuzz pass over every target; long sessions are manual.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzDecode -fuzztime=5s ./internal/xmi/
+	$(GO) test -fuzz=FuzzRoundTrip -fuzztime=5s ./internal/xmi/
+	$(GO) test -fuzz=FuzzParse -fuzztime=5s ./internal/expr/
+	$(GO) test -fuzz=FuzzEval -fuzztime=5s ./internal/expr/
+	$(GO) test -fuzz=FuzzRead -fuzztime=5s ./internal/trace/
+	$(GO) test -fuzz=FuzzPipeline -fuzztime=10s ./internal/core/
+
 clean:
-	rm -f cover.out test_output.txt bench_output.txt
+	rm -f cover.out test_output.txt bench_output.txt conformance-report.json

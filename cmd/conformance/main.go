@@ -1,0 +1,172 @@
+// Command conformance drives the end-to-end conformance harness: every
+// corpus model runs through the full pipeline (parse → check → cppgen +
+// gogen → simulate → trace → summarize), each stage's output is compared
+// against the golden artifacts under testdata/golden/, and the
+// differential oracles (analytic agreement, parallel bit-identity, Run vs
+// RunUntil, serialization round-trip) run per model.
+//
+// Usage:
+//
+//	conformance list                 # corpus entries and oracle matrix
+//	conformance run  [-json report.json] [-only name,...]
+//	conformance update               # regenerate golden artifacts
+//	conformance diff [-only name,...]  # golden comparison only, no oracles
+//	conformance gen-corpus           # rewrite testdata/corpus XML models
+//
+// `run` and `diff` exit non-zero when any golden artifact drifts or any
+// oracle disagrees; see docs/TESTING.md for the workflow.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"prophet/internal/conformance"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "conformance:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: conformance <list|run|update|diff|gen-corpus> [flags]")
+	}
+	cmd, rest := args[0], args[1:]
+
+	fs := flag.NewFlagSet("conformance "+cmd, flag.ContinueOnError)
+	corpusDir := fs.String("corpus", "", "corpus directory (default <repo>/testdata/corpus)")
+	goldenDir := fs.String("golden", "", "golden directory (default <repo>/testdata/golden)")
+	jsonPath := fs.String("json", "", "write the JSON report to this file")
+	only := fs.String("only", "", "comma-separated entry names to restrict the run to")
+	quiet := fs.Bool("q", false, "suppress per-entry progress output")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+
+	opts := conformance.Options{
+		CorpusDir: *corpusDir,
+		GoldenDir: *goldenDir,
+	}
+	if *only != "" {
+		for _, n := range strings.Split(*only, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				opts.Only = append(opts.Only, n)
+			}
+		}
+	}
+	if !*quiet {
+		opts.Log = os.Stderr
+	}
+
+	switch cmd {
+	case "list":
+		return list(opts)
+	case "run":
+	case "update":
+		opts.Update = true
+	case "diff":
+		opts.SkipOracles = true
+	case "gen-corpus":
+		return genCorpus(opts)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want list, run, update, diff or gen-corpus)", cmd)
+	}
+
+	rep, err := conformance.Run(opts)
+	if err != nil {
+		return err
+	}
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			return err
+		}
+		if err := rep.WriteJSON(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	fmt.Println(rep.Summary())
+	if !rep.Passed {
+		reportFailures(rep)
+		return fmt.Errorf("conformance drift detected")
+	}
+	return nil
+}
+
+// reportFailures prints the stage-level detail of every failing entry.
+func reportFailures(rep *conformance.Report) {
+	for _, r := range rep.Entries {
+		if r.Passed() {
+			continue
+		}
+		if r.Error != "" {
+			fmt.Printf("  %s: pipeline error: %s\n", r.Entry, r.Error)
+		}
+		for _, d := range r.Drifts {
+			fmt.Printf("  %s\n", d)
+		}
+		for _, o := range r.Oracles {
+			if !o.Passed {
+				fmt.Printf("  %s/%s: %s\n", o.Entry, o.Oracle, o.Detail)
+			}
+		}
+	}
+	for _, name := range rep.StaleGolden {
+		fmt.Printf("  stale golden dir: %s (no corpus entry; delete or run update)\n", name)
+	}
+}
+
+func list(opts conformance.Options) error {
+	if opts.CorpusDir == "" {
+		corpus, golden, err := conformance.DefaultDirs()
+		if err != nil {
+			return err
+		}
+		opts.CorpusDir, opts.GoldenDir = corpus, golden
+	}
+	entries, err := conformance.Corpus(opts.CorpusDir)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-20s %-28s %-9s %s\n", "ENTRY", "SOURCE", "ANALYTIC", "ARTIFACTS")
+	for _, e := range entries {
+		analytic := "-"
+		if e.Analytic {
+			analytic = "yes"
+		}
+		fmt.Printf("%-20s %-28s %-9s %s\n",
+			e.Name, e.Source, analytic, strings.Join(conformance.ArtifactNames(), " "))
+	}
+	fmt.Printf("\noracles per entry: %s\n", strings.Join(conformance.OracleNames(), ", "))
+	return nil
+}
+
+// genCorpus (re)writes the adversarial corpus models as XML + config
+// sidecars; committed files and constructors are pinned to each other by
+// the package tests.
+func genCorpus(opts conformance.Options) error {
+	if opts.CorpusDir == "" {
+		corpus, _, err := conformance.DefaultDirs()
+		if err != nil {
+			return err
+		}
+		opts.CorpusDir = corpus
+	}
+	for _, e := range conformance.AdversarialEntries() {
+		if err := conformance.WriteCorpusEntry(opts.CorpusDir, e); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s/%s.xml\n", opts.CorpusDir, e.Name)
+	}
+	return nil
+}

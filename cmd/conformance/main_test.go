@@ -1,0 +1,50 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestListSubcommand(t *testing.T) {
+	if err := run([]string{"list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunSubcommandWritesReport(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs the full corpus")
+	}
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := run([]string{"run", "-q", "-json", path, "-only", "kernel6,sample"}); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Mode    string `json:"mode"`
+		Passed  bool   `json:"passed"`
+		Entries []struct {
+			Entry string `json:"entry"`
+		} `json:"entries"`
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "run" || !rep.Passed || len(rep.Entries) != 2 {
+		t.Fatalf("unexpected report: mode %q passed %v entries %d", rep.Mode, rep.Passed, len(rep.Entries))
+	}
+}
+
+func TestUnknownSubcommand(t *testing.T) {
+	if err := run([]string{"frobnicate"}); err == nil {
+		t.Fatal("unknown subcommand did not error")
+	}
+	if err := run(nil); err == nil {
+		t.Fatal("missing subcommand did not error")
+	}
+}

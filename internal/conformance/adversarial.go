@@ -1,0 +1,130 @@
+package conformance
+
+import (
+	"prophet/internal/builder"
+	"prophet/internal/machine"
+	"prophet/internal/profile"
+	"prophet/internal/uml"
+)
+
+// The adversarial corpus models stress the structural edge cases that the
+// paper's well-formed examples never reach: cyclic flow graphs (back
+// edges through a merge), fork/join with zero-time branches, loops that
+// iterate zero times, activities with empty body diagrams, and degenerate
+// machine configurations (heavy oversubscription, zero-size collectives).
+//
+// The committed XML files under testdata/corpus/ are the canonical form
+// of these models; the constructors here regenerate them (cmd/conformance
+// gen-corpus) and a test pins the two representations to each other.
+
+// CyclicRetry models a retry loop as a real flow-graph cycle: a merge
+// node re-enters the Try action until the attempt counter — incremented
+// by Try's code fragment — satisfies the exit guard. Four attempts run,
+// with a linearly growing backoff between them.
+func CyclicRetry() *uml.Model {
+	b := builder.New("cyclic-retry")
+	b.Global("attempts", "double").
+		Function("FTry", nil, "0.25").
+		Function("FBackoff", nil, "0.05*attempts")
+	d := b.Diagram("main")
+	d.Initial()
+	d.Merge("again")
+	d.Action("Try").Cost("FTry()").Code("attempts = attempts + 1").Tag("id", "1")
+	d.Decision("ok")
+	d.Action("Backoff").Cost("FBackoff()").Tag("id", "2")
+	d.Final()
+	d.Flow("initial", "again").
+		Flow("again", "Try").
+		Flow("Try", "ok").
+		FlowIf("ok", "final", "attempts >= 4").
+		FlowIf("ok", "Backoff", "else").
+		Flow("Backoff", "again") // the back edge closing the cycle
+	return builder.MustBuild(b)
+}
+
+// ZeroTime models a program in which no element consumes time: a fork
+// whose three branches hold zero-cost actions, a loop that iterates zero
+// times, and an activity whose body diagram is completely empty. The
+// whole pipeline must survive a zero-length makespan.
+func ZeroTime() *uml.Model {
+	b := builder.New("zero-time")
+	b.Global("eps", "double").
+		Function("FZero", nil, "0")
+	d := b.Diagram("main")
+	d.Initial()
+	d.Fork("split")
+	d.Action("A").Cost("FZero()").Tag("id", "1")
+	d.Action("B1").Cost("0").Tag("id", "2")
+	d.Action("B2").Cost("eps").Tag("id", "3")
+	d.Loop("Never", "0", "skipped").Tag("id", "4")
+	d.Join("meet")
+	d.Activity("Nop", "empty").Tag("id", "5")
+	d.Final()
+	d.Flow("initial", "split").
+		Flow("split", "A").
+		Flow("split", "B1").
+		Flow("B1", "B2").
+		Flow("split", "Never").
+		Flow("A", "meet").
+		Flow("B2", "meet").
+		Flow("Never", "meet").
+		Flow("meet", "Nop").
+		Flow("Nop", "final")
+
+	s := b.Diagram("skipped")
+	s.Initial()
+	s.Action("Unreached").Cost("1e9").Tag("id", "6")
+	s.Final()
+	s.Chain("initial", "Unreached", "final")
+
+	b.Diagram("empty") // an activity body with no nodes at all
+
+	return builder.MustBuild(b)
+}
+
+// DegenerateMachine models a collective-heavy program meant to run under
+// a pathological system configuration (five processes time-sharing one
+// processor, a thread count exceeding the process count): per-rank skewed
+// compute, a full barrier, a zero-byte broadcast, and a zero-cost tail.
+func DegenerateMachine() *uml.Model {
+	b := builder.New("degenerate-machine")
+	b.Global("w", "double")
+	d := b.Diagram("main")
+	d.Initial()
+	d.Action("Skew").Cost("w*(pid+1)").Tag("id", "1")
+	d.MPI("Sync", profile.MPIBarrier).Tag("id", "2")
+	d.MPI("Share", profile.MPIBroadcast).Tag(profile.TagSize, "0").Tag("id", "3")
+	d.Action("Wrap").Cost("0").Tag("id", "4")
+	d.Final()
+	d.Chain("initial", "Skew", "Sync", "Share", "Wrap", "final")
+	return builder.MustBuild(b)
+}
+
+// AdversarialEntries returns the adversarial corpus models with their
+// fixed evaluation configurations. The XML files under testdata/corpus/
+// are generated from exactly these entries.
+func AdversarialEntries() []Entry {
+	return []Entry{
+		{
+			Name:   "cyclic-retry",
+			Model:  CyclicRetry(),
+			Config: EvalConfig{MaxSteps: 100000},
+			// Cycles are exactly what the analytic walker must agree on.
+			Analytic: true,
+		},
+		{
+			Name:     "zero-time",
+			Model:    ZeroTime(),
+			Config:   EvalConfig{Globals: map[string]float64{"eps": 0}},
+			Analytic: true,
+		},
+		{
+			Name:  "degenerate-machine",
+			Model: DegenerateMachine(),
+			Config: EvalConfig{
+				Params:  machine.SystemParams{Nodes: 1, ProcessorsPerNode: 1, Processes: 5, Threads: 3},
+				Globals: map[string]float64{"w": 0.01},
+			},
+		},
+	}
+}

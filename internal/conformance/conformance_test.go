@@ -1,0 +1,227 @@
+package conformance
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"prophet/internal/xmi"
+)
+
+// TestCorpusCoverage pins the acceptance floor: at least 8 models, at
+// least 3 of them from the adversarial XML corpus.
+func TestCorpusCoverage(t *testing.T) {
+	corpusDir, _, err := DefaultDirs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := Corpus(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 8 {
+		t.Errorf("corpus has %d entries, want >= 8", len(entries))
+	}
+	fromFiles := 0
+	for _, e := range entries {
+		if e.Source != "builtin" {
+			fromFiles++
+		}
+	}
+	if fromFiles < 3 {
+		t.Errorf("corpus has %d file-based (adversarial) entries, want >= 3", fromFiles)
+	}
+}
+
+// TestConformance is the tier-1 drift catcher: the full harness — golden
+// comparison plus every differential oracle — over the committed corpus.
+func TestConformance(t *testing.T) {
+	rep, err := Run(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rep.Entries {
+		if r.Passed() {
+			continue
+		}
+		if r.Error != "" {
+			t.Errorf("%s: pipeline error: %s", r.Entry, r.Error)
+		}
+		for _, d := range r.Drifts {
+			t.Errorf("golden drift: %s", d)
+		}
+		for _, o := range r.Oracles {
+			if !o.Passed {
+				t.Errorf("oracle %s/%s: %s", o.Entry, o.Oracle, o.Detail)
+			}
+		}
+	}
+	for _, name := range rep.StaleGolden {
+		t.Errorf("stale golden dir %s has no corpus entry", name)
+	}
+	if want := len(OracleNames()); len(rep.Entries) > 0 {
+		for _, r := range rep.Entries {
+			if r.Error == "" && len(r.Oracles) != want {
+				t.Errorf("%s: ran %d oracles, want %d", r.Entry, len(r.Oracles), want)
+			}
+		}
+	}
+}
+
+// TestAdversarialCorpusPinned keeps the committed XML corpus and the
+// in-code constructors in lockstep: regenerating an adversarial model must
+// reproduce the committed file byte for byte.
+func TestAdversarialCorpusPinned(t *testing.T) {
+	corpusDir, _, err := DefaultDirs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range AdversarialEntries() {
+		var sb strings.Builder
+		if err := xmi.Encode(&sb, e.Model); err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		committed, err := os.ReadFile(filepath.Join(corpusDir, e.Name+".xml"))
+		if err != nil {
+			t.Fatalf("%s: %v (run `go run ./cmd/conformance gen-corpus`)", e.Name, err)
+		}
+		if normalize(sb.String()) != string(committed) {
+			t.Errorf("%s: committed XML differs from constructor output; run `go run ./cmd/conformance gen-corpus`", e.Name)
+		}
+
+		wantSC, err := json.Marshal(sidecarFor(e.Config, e.Analytic))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := os.ReadFile(filepath.Join(corpusDir, e.Name+".config.json"))
+		if err != nil {
+			t.Fatalf("%s: %v", e.Name, err)
+		}
+		var got, want any
+		if err := json.Unmarshal(raw, &got); err != nil {
+			t.Fatalf("%s sidecar: %v", e.Name, err)
+		}
+		if err := json.Unmarshal(wantSC, &want); err != nil {
+			t.Fatal(err)
+		}
+		var gb, wb bytes.Buffer
+		json.NewEncoder(&gb).Encode(got)
+		json.NewEncoder(&wb).Encode(want)
+		if gb.String() != wb.String() {
+			t.Errorf("%s: committed sidecar %s differs from constructor config %s", e.Name, gb.String(), wb.String())
+		}
+	}
+}
+
+// TestUpdateDeterministic regenerates goldens twice into a scratch
+// directory: the second update must change nothing.
+func TestUpdateDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("regenerates every golden twice")
+	}
+	corpusDir, _, err := DefaultDirs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	scratch := t.TempDir()
+	opts := Options{CorpusDir: corpusDir, GoldenDir: scratch, Update: true, SkipOracles: true}
+	if _, err := Run(opts); err != nil {
+		t.Fatal(err)
+	}
+	first := snapshotTree(t, scratch)
+	if _, err := Run(opts); err != nil {
+		t.Fatal(err)
+	}
+	second := snapshotTree(t, scratch)
+	if len(first) == 0 {
+		t.Fatal("update produced no files")
+	}
+	for path, a := range first {
+		if b, ok := second[path]; !ok {
+			t.Errorf("%s vanished on second update", path)
+		} else if a != b {
+			t.Errorf("%s changed on second update", path)
+		}
+	}
+	for path := range second {
+		if _, ok := first[path]; !ok {
+			t.Errorf("%s appeared on second update", path)
+		}
+	}
+}
+
+func snapshotTree(t *testing.T, root string) map[string]string {
+	t.Helper()
+	files := map[string]string{}
+	err := filepath.Walk(root, func(path string, info os.FileInfo, err error) error {
+		if err != nil || info.IsDir() {
+			return err
+		}
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		rel, _ := filepath.Rel(root, path)
+		files[rel] = string(raw)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return files
+}
+
+// TestAnalyticWalker checks the walker against a hand-computed makespan of
+// the paper's sample model: A1 sets GV=10 and P=4 before charging
+// FA1()=0.5+2*4, the decision takes the GV>0 branch into SA
+// (FSA1=5, FSA2=0.1*(pid+1) with pid 0), then A4 charges 1+P.
+func TestAnalyticWalker(t *testing.T) {
+	for _, e := range Builtins() {
+		if e.Name != "sample" {
+			continue
+		}
+		got, err := AnalyticMakespan(e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := 8.5 + 5 + 0.1 + 5
+		if !withinTolerance(got, want, AgreementTolerance) {
+			t.Errorf("analytic makespan of sample = %g, want %g", got, want)
+		}
+		return
+	}
+	t.Fatal("sample entry not found")
+}
+
+// TestRunOnlyFilter exercises the -only selection including the
+// unknown-name error path.
+func TestRunOnlyFilter(t *testing.T) {
+	rep, err := Run(Options{Only: []string{"kernel6"}, SkipOracles: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Entries) != 1 || rep.Entries[0].Entry != "kernel6" {
+		t.Fatalf("Only filter returned %d entries, want exactly kernel6", len(rep.Entries))
+	}
+	if _, err := Run(Options{Only: []string{"no-such-model"}}); err == nil {
+		t.Fatal("unknown entry name did not error")
+	}
+}
+
+// TestNormalize pins the artifact canonicalization rules.
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"a\r\nb", "a\nb\n"},
+		{"a\n\n\n", "a\n"},
+		{"", "(empty)\n"},
+		{"x", "x\n"},
+	}
+	for _, c := range cases {
+		if got := normalize(c.in); got != c.want {
+			t.Errorf("normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package conformance
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"prophet/internal/builder"
+	"prophet/internal/machine"
+	"prophet/internal/samples"
+	"prophet/internal/uml"
+	"prophet/internal/xmi"
+)
+
+// Builtins returns the corpus entries built from the models the repository
+// already ships — the paper's sample program, the Livermore kernel 6 pair,
+// a synthetic transformation-benchmark model, and the example programs —
+// each with a fixed, golden-friendly evaluation configuration (small
+// problem sizes keep the committed traces small).
+func Builtins() []Entry {
+	entries := []Entry{
+		{
+			Name:  "sample",
+			Model: samples.Sample(),
+			// The paper's Figure 7/8 model: GV and P are set by A1's code
+			// fragment, so no globals are needed.
+			Analytic: true,
+		},
+		{
+			Name:     "kernel6",
+			Model:    samples.Kernel6(),
+			Config:   EvalConfig{Globals: map[string]float64{"N": 64, "M": 4, "c": 1e-6}},
+			Analytic: true,
+		},
+		{
+			Name:     "kernel6-detailed",
+			Model:    samples.Kernel6Detailed(),
+			Config:   EvalConfig{Globals: map[string]float64{"N": 8, "M": 2, "c": 1e-6}},
+			Analytic: true,
+		},
+		{
+			Name:     "synthetic-3x4",
+			Model:    samples.Synthetic(3, 4),
+			Config:   EvalConfig{Globals: map[string]float64{"P": 1}},
+			Analytic: true,
+		},
+		{
+			Name:  "jacobi",
+			Model: samples.Jacobi(),
+			Config: EvalConfig{
+				Params:  machine.SystemParams{Nodes: 2, ProcessorsPerNode: 2, Processes: 4, Threads: 1},
+				Globals: map[string]float64{"n": 64, "iters": 3, "flop": 1e-8},
+			},
+		},
+		{
+			Name:  "omp-region",
+			Model: samples.OmpRegion(),
+			Config: EvalConfig{
+				Params:  machine.SystemParams{Nodes: 1, ProcessorsPerNode: 4, Processes: 1, Threads: 4},
+				Globals: map[string]float64{"work": 1, "critical": 0.1},
+			},
+		},
+		{
+			Name:  "pipeline-4",
+			Model: samples.Pipeline(4),
+			Config: EvalConfig{
+				Params:  machine.SystemParams{Nodes: 2, ProcessorsPerNode: 1, Processes: 2, Threads: 1},
+				Globals: map[string]float64{"work": 0.5},
+			},
+		},
+		{
+			Name:   "query-mix",
+			Model:  QueryMix(50),
+			Config: EvalConfig{Globals: map[string]float64{"hitCost": 100e-6, "missCost": 10e-3}, Seed: 7},
+		},
+	}
+	for i := range entries {
+		entries[i].Source = "builtin"
+	}
+	return entries
+}
+
+// QueryMix builds the weighted-branch model of examples/stochastic: a
+// query loop where each lookup hits a fast cache with probability 0.85 and
+// falls through to slow storage otherwise. The decision carries branch
+// weights, so evaluation is seed-dependent — the corpus pins the seed.
+func QueryMix(queries int) *uml.Model {
+	b := builder.New("query-mix")
+	b.Global("hitCost", "double").
+		Global("missCost", "double")
+
+	d := b.Diagram("main")
+	d.Initial()
+	d.Loop("Queries", fmt.Sprint(queries), "one").Var("q").Tag("id", "1")
+	d.Final()
+	d.Chain("initial", "Queries", "final")
+
+	one := b.Diagram("one")
+	one.Initial()
+	one.Decision("cache")
+	one.Action("Hit").Cost("hitCost").Tag("id", "2")
+	one.Action("Miss").Cost("missCost").Tag("id", "3")
+	one.Merge("done")
+	one.Final()
+	one.Flow("initial", "cache").
+		FlowWeighted("cache", "Hit", 0.85).
+		FlowWeighted("cache", "Miss", 0.15).
+		Flow("Hit", "done").
+		Flow("Miss", "done").
+		Flow("done", "final")
+
+	return builder.MustBuild(b)
+}
+
+// fileConfig is the JSON sidecar (<model>.config.json) that fixes the
+// evaluation of an XML corpus model.
+type fileConfig struct {
+	Nodes             int                `json:"nodes,omitempty"`
+	ProcessorsPerNode int                `json:"processorsPerNode,omitempty"`
+	Processes         int                `json:"processes,omitempty"`
+	Threads           int                `json:"threads,omitempty"`
+	Globals           map[string]float64 `json:"globals,omitempty"`
+	Seed              int64              `json:"seed,omitempty"`
+	MaxSteps          int                `json:"maxSteps,omitempty"`
+	Analytic          bool               `json:"analytic,omitempty"`
+}
+
+func (fc fileConfig) eval() EvalConfig {
+	return EvalConfig{
+		Params: machine.SystemParams{
+			Nodes:             fc.Nodes,
+			ProcessorsPerNode: fc.ProcessorsPerNode,
+			Processes:         fc.Processes,
+			Threads:           fc.Threads,
+		},
+		Globals:  fc.Globals,
+		Seed:     fc.Seed,
+		MaxSteps: fc.MaxSteps,
+	}
+}
+
+func sidecarFor(cfg EvalConfig, analytic bool) fileConfig {
+	return fileConfig{
+		Nodes:             cfg.Params.Nodes,
+		ProcessorsPerNode: cfg.Params.ProcessorsPerNode,
+		Processes:         cfg.Params.Processes,
+		Threads:           cfg.Params.Threads,
+		Globals:           cfg.Globals,
+		Seed:              cfg.Seed,
+		MaxSteps:          cfg.MaxSteps,
+		Analytic:          analytic,
+	}
+}
+
+// LoadCorpusDir reads every *.xml model under dir (XMI documents), pairing
+// each with its optional <base>.config.json sidecar. A missing directory
+// yields an empty corpus, not an error, so fresh checkouts work before
+// gen-corpus has run.
+func LoadCorpusDir(dir string) ([]Entry, error) {
+	names, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("conformance: corpus dir: %w", err)
+	}
+	var entries []Entry
+	for _, de := range names {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".xml") {
+			continue
+		}
+		path := filepath.Join(dir, de.Name())
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("conformance: %s: %w", path, err)
+		}
+		m, err := xmi.Decode(strings.NewReader(string(raw)))
+		if err != nil {
+			return nil, fmt.Errorf("conformance: %s: %w", path, err)
+		}
+		e := Entry{
+			Name:   strings.TrimSuffix(de.Name(), ".xml"),
+			Source: path,
+			Model:  m,
+		}
+		scPath := strings.TrimSuffix(path, ".xml") + ".config.json"
+		if sc, err := os.ReadFile(scPath); err == nil {
+			var fc fileConfig
+			if err := json.Unmarshal(sc, &fc); err != nil {
+				return nil, fmt.Errorf("conformance: %s: %w", scPath, err)
+			}
+			e.Config = fc.eval()
+			e.Analytic = fc.Analytic
+		} else if !os.IsNotExist(err) {
+			return nil, fmt.Errorf("conformance: %s: %w", scPath, err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// Corpus returns the full conformance corpus: the built-in entries plus
+// every model committed under corpusDir, sorted by name. File entries
+// shadow built-ins of the same name so a committed model can pin down a
+// built-in's serialized form.
+func Corpus(corpusDir string) ([]Entry, error) {
+	fromFiles, err := LoadCorpusDir(corpusDir)
+	if err != nil {
+		return nil, err
+	}
+	byName := map[string]Entry{}
+	for _, e := range Builtins() {
+		byName[e.Name] = e
+	}
+	for _, e := range fromFiles {
+		byName[e.Name] = e
+	}
+	entries := make([]Entry, 0, len(byName))
+	for _, e := range byName {
+		entries = append(entries, e)
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Name < entries[j].Name })
+	return entries, nil
+}
+
+// WriteCorpusEntry serializes an entry's model and evaluation sidecar into
+// dir, producing <name>.xml and <name>.config.json. Used by gen-corpus to
+// materialize the adversarial models.
+func WriteCorpusEntry(dir string, e Entry) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	var sb strings.Builder
+	if err := xmi.Encode(&sb, e.Model); err != nil {
+		return fmt.Errorf("conformance: encode %s: %w", e.Name, err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, e.Name+".xml"), []byte(normalize(sb.String())), 0o644); err != nil {
+		return err
+	}
+	sc, err := json.MarshalIndent(sidecarFor(e.Config, e.Analytic), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, e.Name+".config.json"), append(sc, '\n'), 0o644)
+}

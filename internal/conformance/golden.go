@@ -1,0 +1,120 @@
+package conformance
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// Drift is one disagreement between a produced artifact and its golden
+// counterpart.
+type Drift struct {
+	Entry    string `json:"entry"`
+	Artifact string `json:"artifact"`
+	// Kind is "changed", "missing" (no golden committed) or "stale" (a
+	// golden file with no corpus counterpart).
+	Kind   string `json:"kind"`
+	Detail string `json:"detail,omitempty"`
+}
+
+func (d Drift) String() string {
+	return fmt.Sprintf("%s/%s: %s: %s", d.Entry, d.Artifact, d.Kind, d.Detail)
+}
+
+// CompareGolden checks an entry's produced artifacts against the files
+// under <goldenDir>/<entry>/. Every expected artifact must exist and
+// match; unexpected files under the entry's directory are stale.
+func CompareGolden(goldenDir string, e Entry, arts map[string]string) []Drift {
+	var drifts []Drift
+	dir := filepath.Join(goldenDir, e.Name)
+	for _, name := range ArtifactNames() {
+		want, err := os.ReadFile(filepath.Join(dir, name))
+		if os.IsNotExist(err) {
+			drifts = append(drifts, Drift{Entry: e.Name, Artifact: name, Kind: "missing",
+				Detail: "no golden file committed; run with -update"})
+			continue
+		}
+		if err != nil {
+			drifts = append(drifts, Drift{Entry: e.Name, Artifact: name, Kind: "missing", Detail: err.Error()})
+			continue
+		}
+		if got := arts[name]; got != normalize(string(want)) {
+			drifts = append(drifts, Drift{Entry: e.Name, Artifact: name, Kind: "changed",
+				Detail: firstDiffLine(normalize(string(want)), got)})
+		}
+	}
+	known := map[string]bool{}
+	for _, name := range ArtifactNames() {
+		known[name] = true
+	}
+	if des, err := os.ReadDir(dir); err == nil {
+		for _, de := range des {
+			if !known[de.Name()] {
+				drifts = append(drifts, Drift{Entry: e.Name, Artifact: de.Name(), Kind: "stale",
+					Detail: "file is not a produced artifact; delete it or run -update"})
+			}
+		}
+	}
+	return drifts
+}
+
+// UpdateGolden (re)writes an entry's golden directory from its produced
+// artifacts, deleting files that are no longer produced, so two
+// consecutive updates are a no-op.
+func UpdateGolden(goldenDir string, e Entry, arts map[string]string) error {
+	dir := filepath.Join(goldenDir, e.Name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	known := map[string]bool{}
+	for _, name := range ArtifactNames() {
+		known[name] = true
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(arts[name]), 0o644); err != nil {
+			return err
+		}
+	}
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	for _, de := range des {
+		if !known[de.Name()] {
+			if err := os.RemoveAll(filepath.Join(dir, de.Name())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// StaleGoldenDirs lists golden subdirectories with no corpus entry —
+// left-overs of renamed or removed models.
+func StaleGoldenDirs(goldenDir string, entries []Entry) []string {
+	names := map[string]bool{}
+	for _, e := range entries {
+		names[e.Name] = true
+	}
+	var stale []string
+	if des, err := os.ReadDir(goldenDir); err == nil {
+		for _, de := range des {
+			if de.IsDir() && !names[de.Name()] {
+				stale = append(stale, de.Name())
+			}
+		}
+	}
+	sort.Strings(stale)
+	return stale
+}
+
+// PruneGoldenDirs removes golden subdirectories with no corpus entry
+// (update mode's counterpart to StaleGoldenDirs).
+func PruneGoldenDirs(goldenDir string, entries []Entry) ([]string, error) {
+	stale := StaleGoldenDirs(goldenDir, entries)
+	for _, name := range stale {
+		if err := os.RemoveAll(filepath.Join(goldenDir, name)); err != nil {
+			return stale, err
+		}
+	}
+	return stale, nil
+}

@@ -1,0 +1,231 @@
+package conformance
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"prophet/internal/core"
+	"prophet/internal/diff"
+	"prophet/internal/interp"
+	"prophet/internal/trace"
+	"prophet/internal/uml"
+	"prophet/internal/xmi"
+)
+
+// AgreementTolerance is the relative tolerance of the analytic/simulation
+// agreement oracle. The two evaluations perform the same float additions
+// in different orders, so they may differ by accumulated rounding, never
+// by more than a few ulps per element.
+const AgreementTolerance = 1e-9
+
+// OracleResult is the outcome of one differential oracle on one entry.
+type OracleResult struct {
+	Entry  string `json:"entry"`
+	Oracle string `json:"oracle"`
+	Passed bool   `json:"passed"`
+	// Detail explains a failure, or summarizes what was compared.
+	Detail string `json:"detail,omitempty"`
+}
+
+// OracleNames lists the differential oracles in execution order.
+func OracleNames() []string {
+	return []string{
+		"trace-makespan",
+		"analytic-agreement",
+		"parallel-identity",
+		"run-vs-rununtil",
+		"round-trip",
+	}
+}
+
+// RunOracles executes every differential oracle against an entry. Oracles
+// that do not apply (analytic-agreement on non-analytic entries) report
+// passed with an explanatory detail, so the matrix stays complete.
+func RunOracles(e Entry) []OracleResult {
+	return []OracleResult{
+		traceMakespanOracle(e),
+		analyticOracle(e),
+		parallelIdentityOracle(e),
+		runUntilOracle(e),
+		roundTripOracle(e),
+	}
+}
+
+func fail(e Entry, oracle, format string, args ...any) OracleResult {
+	return OracleResult{Entry: e.Name, Oracle: oracle, Passed: false, Detail: fmt.Sprintf(format, args...)}
+}
+
+func pass(e Entry, oracle, format string, args ...any) OracleResult {
+	return OracleResult{Entry: e.Name, Oracle: oracle, Passed: true, Detail: fmt.Sprintf(format, args...)}
+}
+
+// traceMakespanOracle checks that the reported makespan equals the time of
+// the last trace event: the trace and the scalar prediction are two views
+// of the same run and may not drift apart.
+func traceMakespanOracle(e Entry) OracleResult {
+	const name = "trace-makespan"
+	est, err := core.New().Estimate(e.Request())
+	if err != nil {
+		return fail(e, name, "estimate: %v", err)
+	}
+	last := 0.0
+	for _, ev := range est.Trace.Events {
+		if ev.T > last {
+			last = ev.T
+		}
+	}
+	if last != est.Makespan {
+		return fail(e, name, "last trace event at %g but makespan %g", last, est.Makespan)
+	}
+	return pass(e, name, "makespan %g matches trace", est.Makespan)
+}
+
+// analyticOracle compares the simulated makespan against the independent
+// analytic flow walk for entries in the analytic subset.
+func analyticOracle(e Entry) OracleResult {
+	const name = "analytic-agreement"
+	if !e.Analytic {
+		return pass(e, name, "not in the analytic subset (skipped)")
+	}
+	want, err := AnalyticMakespan(e)
+	if err != nil {
+		return fail(e, name, "analytic walk: %v", err)
+	}
+	est, err := core.New().Estimate(e.Request())
+	if err != nil {
+		return fail(e, name, "estimate: %v", err)
+	}
+	if !withinTolerance(want, est.Makespan, AgreementTolerance) {
+		return fail(e, name, "analytic %g vs simulated %g (rel tol %g)", want, est.Makespan, AgreementTolerance)
+	}
+	return pass(e, name, "analytic %g ≈ simulated %g", want, est.Makespan)
+}
+
+// withinTolerance reports |a-b| <= tol * max(|a|,|b|), with exact equality
+// required at zero.
+func withinTolerance(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return math.Abs(a-b) <= tol*scale
+}
+
+// parallelIdentityOracle runs a small Monte Carlo batch sequentially and
+// with four workers: the distribution must be bit-identical, the
+// determinism contract of the batch runner.
+func parallelIdentityOracle(e Entry) OracleResult {
+	const name = "parallel-identity"
+	const runs = 6
+	p := core.New()
+
+	seq := e.Request()
+	seq.Parallel = 1
+	a, err := p.MonteCarlo(seq, runs)
+	if err != nil {
+		return fail(e, name, "sequential batch: %v", err)
+	}
+	par := e.Request()
+	par.Parallel = 4
+	b, err := p.MonteCarlo(par, runs)
+	if err != nil {
+		return fail(e, name, "parallel batch: %v", err)
+	}
+	if a.Mean != b.Mean || a.Std != b.Std || a.Min != b.Min || a.Max != b.Max {
+		return fail(e, name, "sequential {mean %g std %g min %g max %g} != parallel {mean %g std %g min %g max %g}",
+			a.Mean, a.Std, a.Min, a.Max, b.Mean, b.Std, b.Min, b.Max)
+	}
+	return pass(e, name, "%d runs bit-identical at 1 and 4 workers", runs)
+}
+
+// runUntilOracle simulates the entry once through Engine.Run and once
+// through Engine.RunUntil(+Inf): draining the same event set through the
+// bounded-run path must produce an identical trace and makespan.
+func runUntilOracle(e Entry) OracleResult {
+	const name = "run-vs-rununtil"
+	prog, err := interp.Compile(e.Model, nil)
+	if err != nil {
+		return fail(e, name, "compile: %v", err)
+	}
+	base := interp.Config{
+		Params:   e.Config.Params,
+		Globals:  e.Config.Globals,
+		Seed:     e.Config.Seed,
+		MaxSteps: e.Config.MaxSteps,
+	}
+	run, err := prog.Run(base)
+	if err != nil {
+		return fail(e, name, "Run: %v", err)
+	}
+	bounded := base
+	bounded.RunLimit = math.Inf(1)
+	until, err := prog.Run(bounded)
+	if err != nil {
+		return fail(e, name, "RunUntil(+Inf): %v", err)
+	}
+	if run.Makespan != until.Makespan {
+		return fail(e, name, "makespan %g (Run) != %g (RunUntil)", run.Makespan, until.Makespan)
+	}
+	at, bt := renderTrace(run.Trace), renderTrace(until.Trace)
+	if at != bt {
+		return fail(e, name, "traces differ:\n%s", firstDiffLine(at, bt))
+	}
+	return pass(e, name, "identical traces (%d events)", len(run.Trace.Events))
+}
+
+// roundTripOracle serializes the model, parses it back, and serializes
+// again: the texts must reach a fixed point after one cycle and the
+// structural diff between original and re-parsed model must be empty.
+// Clone is held to the same standard, since diff and golden updates both
+// rely on it.
+func roundTripOracle(e Entry) OracleResult {
+	const name = "round-trip"
+	enc1, err := xmi.EncodeString(e.Model)
+	if err != nil {
+		return fail(e, name, "encode: %v", err)
+	}
+	decoded, err := xmi.Decode(strings.NewReader(enc1))
+	if err != nil {
+		return fail(e, name, "decode: %v", err)
+	}
+	enc2, err := xmi.EncodeString(decoded)
+	if err != nil {
+		return fail(e, name, "re-encode: %v", err)
+	}
+	if enc1 != enc2 {
+		return fail(e, name, "serialization is not a fixed point:\n%s", firstDiffLine(enc1, enc2))
+	}
+	if changes := diff.Models(e.Model, decoded); len(changes) > 0 {
+		return fail(e, name, "re-parsed model differs structurally:\n%s", diff.Format(changes))
+	}
+	if changes := diff.Models(e.Model, uml.Clone(e.Model)); len(changes) > 0 {
+		return fail(e, name, "clone differs structurally:\n%s", diff.Format(changes))
+	}
+	return pass(e, name, "fixed point after one encode/decode cycle")
+}
+
+// renderTrace renders a trace to its file format, the exact representation
+// the bit-identity contracts compare.
+func renderTrace(tr *trace.Trace) string {
+	var sb strings.Builder
+	if err := trace.Write(&sb, tr); err != nil {
+		return "unrenderable trace: " + err.Error()
+	}
+	return sb.String()
+}
+
+// firstDiffLine locates the first line where two texts diverge, for
+// failure messages that point at the drift instead of dumping both texts.
+func firstDiffLine(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) && i < len(bl); i++ {
+		if al[i] != bl[i] {
+			return fmt.Sprintf("line %d:\n  - %s\n  + %s", i+1, al[i], bl[i])
+		}
+	}
+	if len(al) != len(bl) {
+		return fmt.Sprintf("line counts differ: %d vs %d", len(al), len(bl))
+	}
+	return "texts are equal"
+}

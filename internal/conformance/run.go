@@ -1,0 +1,205 @@
+package conformance
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"prophet/internal/obs"
+)
+
+// Options configure one harness invocation.
+type Options struct {
+	// CorpusDir holds the committed XML corpus models (default:
+	// <repo>/testdata/corpus).
+	CorpusDir string
+	// GoldenDir holds the golden artifacts (default: <repo>/testdata/golden).
+	GoldenDir string
+	// Update regenerates golden artifacts instead of comparing.
+	Update bool
+	// Only restricts the run to the named entries (empty = all).
+	Only []string
+	// SkipOracles runs only the golden comparison (used by `diff`).
+	SkipOracles bool
+	// Log, when non-nil, receives per-entry progress lines.
+	Log io.Writer
+}
+
+// EntryResult is the full outcome for one corpus entry.
+type EntryResult struct {
+	Entry  string `json:"entry"`
+	Source string `json:"source"`
+	// Error is a pipeline failure that prevented artifact generation.
+	Error   string         `json:"error,omitempty"`
+	Drifts  []Drift        `json:"drifts,omitempty"`
+	Oracles []OracleResult `json:"oracles,omitempty"`
+}
+
+// Passed reports whether the entry is fully conformant.
+func (r EntryResult) Passed() bool {
+	if r.Error != "" || len(r.Drifts) > 0 {
+		return false
+	}
+	for _, o := range r.Oracles {
+		if !o.Passed {
+			return false
+		}
+	}
+	return true
+}
+
+// Report is the JSON document the harness emits: per-entry outcomes plus
+// the run's metrics snapshot.
+type Report struct {
+	// Mode is "run", "update" or "diff".
+	Mode    string        `json:"mode"`
+	Entries []EntryResult `json:"entries"`
+	// StaleGolden lists golden directories without a corpus entry.
+	StaleGolden []string `json:"stale_golden,omitempty"`
+	// Passed is the bottom line: no errors, no drift, no oracle failures.
+	Passed bool `json:"passed"`
+	// Metrics is the harness's own obs snapshot (entry/artifact/oracle
+	// counters), the same schema the estimator exports.
+	Metrics obs.Snapshot `json:"metrics"`
+}
+
+// Run executes the conformance harness over the corpus and returns the
+// report. Update mode rewrites goldens (and prunes stale ones) instead of
+// comparing; oracles run in both modes unless SkipOracles is set.
+func Run(opts Options) (*Report, error) {
+	if opts.CorpusDir == "" || opts.GoldenDir == "" {
+		corpus, golden, err := DefaultDirs()
+		if err != nil {
+			return nil, err
+		}
+		if opts.CorpusDir == "" {
+			opts.CorpusDir = corpus
+		}
+		if opts.GoldenDir == "" {
+			opts.GoldenDir = golden
+		}
+	}
+	entries, err := Corpus(opts.CorpusDir)
+	if err != nil {
+		return nil, err
+	}
+	if len(opts.Only) > 0 {
+		only := map[string]bool{}
+		for _, n := range opts.Only {
+			only[n] = true
+		}
+		var kept []Entry
+		for _, e := range entries {
+			if only[e.Name] {
+				kept = append(kept, e)
+				delete(only, e.Name)
+			}
+		}
+		if len(only) > 0 {
+			missing := make([]string, 0, len(only))
+			for n := range only {
+				missing = append(missing, n)
+			}
+			sort.Strings(missing)
+			return nil, fmt.Errorf("conformance: unknown entries %v", missing)
+		}
+		entries = kept
+	}
+
+	mode := "run"
+	if opts.Update {
+		mode = "update"
+	} else if opts.SkipOracles {
+		mode = "diff"
+	}
+	metrics := obs.NewRegistry()
+	rep := &Report{Mode: mode, Passed: true}
+	logf := func(format string, args ...any) {
+		if opts.Log != nil {
+			fmt.Fprintf(opts.Log, format+"\n", args...)
+		}
+	}
+
+	for _, e := range entries {
+		start := time.Now()
+		res := EntryResult{Entry: e.Name, Source: e.Source}
+		metrics.Counter("conformance_entries_total").Inc()
+
+		arts, err := Artifacts(e)
+		if err != nil {
+			res.Error = err.Error()
+			metrics.Counter("conformance_pipeline_errors_total").Inc()
+		} else if opts.Update {
+			if err := UpdateGolden(opts.GoldenDir, e, arts); err != nil {
+				return nil, err
+			}
+		} else {
+			res.Drifts = CompareGolden(opts.GoldenDir, e, arts)
+			metrics.Counter("conformance_drifts_total").Add(int64(len(res.Drifts)))
+		}
+
+		if res.Error == "" && !opts.SkipOracles {
+			res.Oracles = RunOracles(e)
+			for _, o := range res.Oracles {
+				if o.Passed {
+					metrics.CounterVec("conformance_oracle_passes_total", "oracle").With(o.Oracle).Inc()
+				} else {
+					metrics.CounterVec("conformance_oracle_failures_total", "oracle").With(o.Oracle).Inc()
+				}
+			}
+		}
+
+		if !res.Passed() {
+			rep.Passed = false
+		}
+		status := "ok"
+		if !res.Passed() {
+			status = "FAIL"
+		}
+		logf("%-20s %-6s %d drift(s), %d oracle(s), %s",
+			e.Name, status, len(res.Drifts), len(res.Oracles), time.Since(start).Round(time.Millisecond))
+		rep.Entries = append(rep.Entries, res)
+	}
+
+	if opts.Update {
+		pruned, err := PruneGoldenDirs(opts.GoldenDir, entries)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range pruned {
+			logf("pruned stale golden dir %s", name)
+		}
+	} else if len(opts.Only) == 0 {
+		rep.StaleGolden = StaleGoldenDirs(opts.GoldenDir, entries)
+		if len(rep.StaleGolden) > 0 {
+			rep.Passed = false
+		}
+	}
+
+	rep.Metrics = metrics.Snapshot()
+	return rep, nil
+}
+
+// WriteJSON emits the report as indented JSON (the CI artifact).
+func (rep *Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// Summary renders a human-readable bottom line.
+func (rep *Report) Summary() string {
+	failed := 0
+	for _, r := range rep.Entries {
+		if !r.Passed() {
+			failed++
+		}
+	}
+	if rep.Passed {
+		return fmt.Sprintf("conformance: %d entries passed (%s mode)", len(rep.Entries), rep.Mode)
+	}
+	return fmt.Sprintf("conformance: %d of %d entries failed (%s mode); %d stale golden dir(s)",
+		failed, len(rep.Entries), rep.Mode, len(rep.StaleGolden))
+}

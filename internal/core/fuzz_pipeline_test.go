@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"prophet/internal/samples"
+	"prophet/internal/xmi"
+)
+
+// FuzzPipeline hardens the whole pipeline against arbitrary model XML:
+// whatever the decoder accepts must flow through the checker, both code
+// generators and the simulator without panicking. Models the checker
+// rejects stop there (rejection is the correct outcome, not a bug); the
+// committed seeds under testdata/fuzz/FuzzPipeline cover malformed tags,
+// cyclic flows and NaN/Inf execution times.
+func FuzzPipeline(f *testing.F) {
+	if s, err := xmi.EncodeString(samples.Sample()); err == nil {
+		f.Add(s)
+	}
+	f.Add(`<model name="m" main="main"><diagram id="d" name="main">` +
+		`<node id="a" kind="InitialNode" name="initial"/>` +
+		`<node id="b" kind="Action" name="A" stereotype="action+"><tag name="time" value="1e309"/></node>` +
+		`<node id="c" kind="FinalNode" name="final"/>` +
+		`<edge from="a" to="b"/><edge from="b" to="c"/></diagram></model>`)
+	f.Add(`<model name="m" main="main"><diagram id="d" name="main">` +
+		`<node id="a" kind="Action" name="A" stereotype="action+"/>` +
+		`<edge from="a" to="a"/></diagram></model>`)
+	f.Add(`<model name="m"><diagram id="d" name="main">` +
+		`<node id="a" kind="LoopNode" name="L" body="main" count="processes"/></diagram></model>`)
+
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := xmi.DecodeString(src)
+		if err != nil {
+			return
+		}
+		p := New()
+		rep := p.Check(m)
+		if rep.HasErrors() {
+			return
+		}
+		// Generators may still refuse (e.g. unstructured cycles); they just
+		// must not panic, and what they emit must be well-formed.
+		if _, err := p.TransformCpp(m); err == nil {
+			if _, err := p.TransformGo(m); err != nil {
+				t.Logf("cppgen accepted but gogen refused: %v", err)
+			}
+		}
+		// Simulate with a tight execution bound so runaway loops fail fast
+		// instead of timing out the fuzzer.
+		_, _ = p.Estimate(Request{Model: m, MaxSteps: 2000, SkipCheck: true})
+	})
+}

@@ -1,0 +1,117 @@
+package estimator
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"prophet/internal/machine"
+	"prophet/internal/obs"
+	"prophet/internal/samples"
+)
+
+// TestObservabilityDeterminism guards the obs layer: two identical
+// evaluations must produce the same stage-span sequence, the same metrics
+// (modulo wall-clock-valued series) and bit-identical simulated-time
+// telemetry. Only wall-clock fields (span start/duration, duration
+// histograms) may differ between the runs.
+func TestObservabilityDeterminism(t *testing.T) {
+	runOnce := func() (*Estimate, obs.Snapshot) {
+		reg := obs.NewRegistry()
+		est, err := New().Estimate(Request{
+			Model:  samples.Jacobi(),
+			Params: machine.SystemParams{Nodes: 2, ProcessorsPerNode: 2, Processes: 4, Threads: 1},
+			Globals: map[string]float64{
+				"n": 32, "iters": 2, "flop": 1e-8,
+			},
+			Telemetry: true,
+			Metrics:   reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return est, reg.Snapshot()
+	}
+
+	a, snapA := runOnce()
+	b, snapB := runOnce()
+
+	// Stage spans: same names in the same order; durations are wall-clock
+	// and may differ.
+	if len(a.Stages) == 0 {
+		t.Fatal("no stage spans recorded")
+	}
+	namesOf := func(spans []obs.Span) []string {
+		names := make([]string, len(spans))
+		for i, s := range spans {
+			names[i] = s.Name
+		}
+		return names
+	}
+	if got, want := namesOf(b.Stages), namesOf(a.Stages); !reflect.DeepEqual(got, want) {
+		t.Errorf("stage sequence differs between runs: %v vs %v", got, want)
+	}
+
+	// Scalar results must be bit-identical.
+	if a.Makespan != b.Makespan {
+		t.Errorf("makespan differs: %g vs %g", a.Makespan, b.Makespan)
+	}
+	if !reflect.DeepEqual(a.Globals, b.Globals) {
+		t.Errorf("final globals differ: %v vs %v", a.Globals, b.Globals)
+	}
+	if !reflect.DeepEqual(a.CPUUtilization, b.CPUUtilization) {
+		t.Errorf("cpu utilization differs: %v vs %v", a.CPUUtilization, b.CPUUtilization)
+	}
+
+	// Telemetry runs on simulated time only, so the whole series — sample
+	// times, facility maps, event counts — must be identical.
+	if a.Telemetry == nil || b.Telemetry == nil {
+		t.Fatal("telemetry missing")
+	}
+	ja, err := json.Marshal(a.Telemetry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jb, err := json.Marshal(b.Telemetry)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ja) != string(jb) {
+		t.Errorf("telemetry series differ:\n%s\nvs\n%s", ja, jb)
+	}
+
+	// Metrics: snapshots are deterministically ordered, so names must
+	// match pairwise; values must match except for duration-valued
+	// metrics, which carry wall-clock time.
+	if len(snapA.Metrics) == 0 {
+		t.Fatal("no metrics recorded")
+	}
+	if len(snapA.Metrics) != len(snapB.Metrics) {
+		t.Fatalf("metric counts differ: %d vs %d", len(snapA.Metrics), len(snapB.Metrics))
+	}
+	for i := range snapA.Metrics {
+		ma, mb := snapA.Metrics[i], snapB.Metrics[i]
+		if ma.Name != mb.Name {
+			t.Errorf("metric %d name differs: %q vs %q", i, ma.Name, mb.Name)
+			continue
+		}
+		if isWallClockMetric(ma.Name) {
+			continue
+		}
+		if !reflect.DeepEqual(ma, mb) {
+			t.Errorf("metric %q differs between identical runs:\n%+v\nvs\n%+v", ma.Name, ma, mb)
+		}
+	}
+}
+
+// isWallClockMetric reports whether a metric's value measures host time
+// (and is therefore exempt from the determinism contract).
+func isWallClockMetric(name string) bool {
+	for _, suffix := range []string{"_seconds", "_duration"} {
+		if len(name) >= len(suffix) && name[len(name)-len(suffix):] == suffix {
+			// estimate_makespan_seconds is simulated time, not wall clock.
+			return name != "estimate_makespan_seconds"
+		}
+	}
+	return false
+}

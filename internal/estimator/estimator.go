@@ -13,6 +13,7 @@ package estimator
 import (
 	"context"
 	"fmt"
+	"sort"
 	"sync"
 
 	"prophet/internal/checker"
@@ -332,24 +333,37 @@ func (e *Estimator) finish(req Request, est *Estimate, rec *obs.SpanRecorder, si
 		stageHist.With(s.Name).Observe(s.Seconds)
 		stageGauge.With(s.Name).Set(s.Seconds)
 	}
+	// Labeled children are snapshotted in creation order, so publish map
+	// entries in sorted key order to keep snapshots stable across runs.
 	for node, u := range est.CPUUtilization {
 		reg.GaugeVec("cpu_utilization", "node").With(fmt.Sprint(node)).Set(u)
 	}
 	if simRec != nil {
 		events := reg.CounterVec("sim_events_total", "kind")
-		for kind, n := range simRec.EventCounts() {
-			events.With(kind).Add(n)
+		counts := simRec.EventCounts()
+		for _, kind := range sortedKeys(counts) {
+			events.With(kind).Add(counts[kind])
 		}
 		samples := simRec.Samples()
 		reg.Counter("sim_samples_total").Add(int64(len(samples)))
 		if len(samples) > 0 {
 			last := samples[len(samples)-1]
 			util := reg.GaugeVec("facility_utilization", "facility")
-			for name, u := range last.FacilityUtilization {
-				util.With(name).Set(u)
+			for _, name := range sortedKeys(last.FacilityUtilization) {
+				util.With(name).Set(last.FacilityUtilization[name])
 			}
 		}
 	}
+}
+
+// sortedKeys returns m's keys in ascending order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // CheckError reports a model that failed the Model Checker.

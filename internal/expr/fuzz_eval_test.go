@@ -1,0 +1,85 @@
+package expr
+
+import (
+	"math"
+	"testing"
+)
+
+// fuzzEnv binds a handful of variables, including non-finite values, so
+// evaluation exercises the NaN/Inf paths of every operator.
+type fuzzEnv struct{}
+
+func (fuzzEnv) Var(name string) (float64, bool) {
+	switch name {
+	case "x":
+		return 2.5, true
+	case "zero":
+		return 0, true
+	case "inf":
+		return math.Inf(1), true
+	case "nan":
+		return math.NaN(), true
+	}
+	return 0, false
+}
+
+func (fuzzEnv) Func(name string) (Func, bool) { return Builtins.Func(name) }
+
+// FuzzEval hardens compilation and evaluation: whatever parses must
+// compile and evaluate without panicking (NaN/Inf results are legal —
+// models carry measured times, and measurements go bad), evaluation must
+// be deterministic, and constant folding must not change the value.
+func FuzzEval(f *testing.F) {
+	for _, seed := range []string{
+		"x + 1",
+		"1/zero",
+		"0/0",
+		"inf - inf",
+		"nan == nan",
+		"1e309 * 2",
+		"-1 % 0",
+		"sqrt(-1)",
+		"log(zero)",
+		"x > 0 ? inf : nan",
+		"min(nan, 1) + max(inf, 2)",
+		"pow(0, -1)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		n, err := Parse(src)
+		if err != nil {
+			return
+		}
+		c, err := CompileString(src)
+		if err != nil {
+			return
+		}
+		v1, err1 := c.Eval(fuzzEnv{})
+		v2, err2 := c.Eval(fuzzEnv{})
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("evaluation not deterministic: %v vs %v", err1, err2)
+		}
+		if err1 == nil && !sameFloat(v1, v2) {
+			t.Fatalf("evaluation not deterministic: %g vs %g", v1, v2)
+		}
+		// Folding happens on constant subtrees only, so it must preserve
+		// both the outcome and the value bit for bit.
+		folded := Compile(Fold(n))
+		v3, err3 := folded.Eval(fuzzEnv{})
+		if (err1 == nil) != (err3 == nil) {
+			t.Fatalf("folding changed the outcome of %q: %v vs %v", src, err1, err3)
+		}
+		if err1 == nil && !sameFloat(v1, v3) {
+			t.Fatalf("folding changed the value of %q: %g vs %g", src, v1, v3)
+		}
+	})
+}
+
+// sameFloat treats two NaNs as equal and otherwise compares bit for bit.
+func sameFloat(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	return math.Float64bits(a) == math.Float64bits(b)
+}

@@ -286,6 +286,13 @@ type Config struct {
 	// MaxSteps bounds the number of element executions per process
 	// (0 = 50e6 default), guarding against models that loop forever.
 	MaxSteps int
+	// RunLimit, when positive, runs the simulation through
+	// sim.Engine.RunUntil(RunLimit) instead of sim.Engine.Run: events past
+	// the limit stay queued and no deadlock detection happens at the end.
+	// Use math.Inf(1) to drain every event through the RunUntil path — the
+	// conformance harness asserts that this produces a trace identical to
+	// Run's.
+	RunLimit float64
 	// Observer, when non-nil, receives the engine's telemetry during the
 	// run: process lifecycle events and simulated-time samples of
 	// facility utilization, queue lengths, mailbox depths and scheduler

@@ -9,6 +9,7 @@ import (
 	"prophet/internal/machine"
 	"prophet/internal/profile"
 	"prophet/internal/samples"
+	"prophet/internal/testutil"
 	"prophet/internal/trace"
 	"prophet/internal/uml"
 )
@@ -165,9 +166,7 @@ func TestLoopVariableScoping(t *testing.T) {
 	}
 	res := run(t, m, Config{})
 	// cost sum: (0+1)+(1+1)+(2+1)+(3+1) = 10; acc = 0+1+2+3 = 6.
-	if res.Makespan != 10 {
-		t.Errorf("makespan = %v, want 10", res.Makespan)
-	}
+	testutil.AssertTime(t, "makespan", res.Makespan, 10)
 	if res.Globals["acc"] != 6 {
 		t.Errorf("acc = %v, want 6", res.Globals["acc"])
 	}
@@ -498,13 +497,13 @@ func TestGlobalInitializers(t *testing.T) {
 	if res.Globals["derived"] != 6 {
 		t.Errorf("derived = %v, want 6", res.Globals["derived"])
 	}
-	if res.Makespan != 6 { // 3 parallel processes at cost 6 on 8 cpus
-		t.Errorf("makespan = %v, want 6", res.Makespan)
-	}
+	// 3 parallel processes at cost 6 on 8 cpus.
+	testutil.AssertTime(t, "makespan", res.Makespan, 6)
 	// Config overrides win over initializers.
 	cfg.Globals = map[string]float64{"derived": 1}
 	res = run(t, m, cfg)
-	if res.Makespan != 1 { // 3 parallel processes at cost 1 on 8 cpus
+	// 3 parallel processes at cost 1 on 8 cpus.
+	if !testutil.CloseTimes(res.Makespan, 1) {
 		t.Errorf("override not applied: makespan %v", res.Makespan)
 	}
 }

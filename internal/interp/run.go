@@ -95,7 +95,11 @@ func (pr *Program) Run(cfg Config) (*Result, error) {
 		})
 	}
 
-	if _, err := eng.Run(); err != nil {
+	if cfg.RunLimit > 0 {
+		if _, err := eng.RunUntil(cfg.RunLimit); err != nil {
+			return nil, fmt.Errorf("interp: %w", err)
+		}
+	} else if _, err := eng.Run(); err != nil {
 		return nil, fmt.Errorf("interp: %w", err)
 	}
 

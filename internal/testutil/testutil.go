@@ -1,0 +1,43 @@
+// Package testutil holds small helpers shared across the repo's test
+// suites. Its main job is a single, consistent tolerance for comparing
+// simulated times: independently derived expectations (hand-computed
+// makespans, analytic formulas) accumulate floating-point error along a
+// different operation order than the simulator, so exact equality is the
+// wrong contract for them. Bit-identity contracts — the same computation
+// run twice, sequential vs parallel evaluation, trace round-trips — must
+// NOT use these helpers; for those, exact comparison is the point.
+package testutil
+
+import (
+	"math"
+	"testing"
+)
+
+// TimeTolerance is the relative tolerance used when comparing simulated
+// times against independently computed expectations. It matches the
+// conformance harness's differential-oracle tolerance.
+const TimeTolerance = 1e-9
+
+// CloseTimes reports whether two simulated times agree within
+// TimeTolerance, relative to the larger magnitude (absolute near zero).
+// NaN never agrees with anything; equal infinities agree.
+func CloseTimes(got, want float64) bool {
+	if got == want {
+		return true
+	}
+	if math.IsNaN(got) || math.IsNaN(want) || math.IsInf(got, 0) || math.IsInf(want, 0) {
+		return false
+	}
+	scale := math.Max(1, math.Max(math.Abs(got), math.Abs(want)))
+	return math.Abs(got-want) <= TimeTolerance*scale
+}
+
+// AssertTime fails the test when a simulated time does not agree with its
+// expectation within TimeTolerance. The name identifies the quantity in
+// the failure message.
+func AssertTime(t testing.TB, name string, got, want float64) {
+	t.Helper()
+	if !CloseTimes(got, want) {
+		t.Errorf("%s = %v, want %v (±%g relative)", name, got, want, TimeTolerance)
+	}
+}

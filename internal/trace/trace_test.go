@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 	"testing/quick"
+
+	"prophet/internal/testutil"
 )
 
 func sampleTrace() *Trace {
@@ -124,9 +126,7 @@ func TestSummarize(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if sum.Makespan != 13 {
-		t.Errorf("makespan = %v", sum.Makespan)
-	}
+	testutil.AssertTime(t, "makespan", sum.Makespan, 13)
 	if sum.Processes != 2 {
 		t.Errorf("processes = %d", sum.Processes)
 	}

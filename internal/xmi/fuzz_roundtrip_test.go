@@ -1,0 +1,52 @@
+package xmi
+
+import (
+	"testing"
+
+	"prophet/internal/diff"
+	"prophet/internal/samples"
+)
+
+// FuzzRoundTrip strengthens FuzzDecode's accept-implies-encodable property
+// to a full fixed point: any accepted model must survive
+// encode → decode → encode with byte-identical text and an empty
+// structural diff — the same contract the conformance harness enforces on
+// the corpus, here extended to arbitrary decoder-accepted inputs.
+func FuzzRoundTrip(f *testing.F) {
+	if s, err := EncodeString(samples.Sample()); err == nil {
+		f.Add(s)
+	}
+	if s, err := EncodeString(samples.Jacobi()); err == nil {
+		f.Add(s)
+	}
+	f.Add(`<model name="m" main="main"><diagram id="d" name="main">` +
+		`<node id="a" kind="Action" name="A" stereotype="action+">` +
+		`<tag name="time" value="NaN"/><tag name="" value="x"/></node></diagram></model>`)
+	f.Add(`<model name="m"><diagram id="d" name="n">` +
+		`<node id="a" kind="MergeNode" name="m1"/><edge from="a" to="a" guard="1&lt;2"/></diagram></model>`)
+
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := DecodeString(src)
+		if err != nil {
+			return
+		}
+		enc1, err := EncodeString(m)
+		if err != nil {
+			t.Fatalf("accepted model failed to encode: %v", err)
+		}
+		m2, err := DecodeString(enc1)
+		if err != nil {
+			t.Fatalf("own encoding %q does not decode: %v", enc1, err)
+		}
+		enc2, err := EncodeString(m2)
+		if err != nil {
+			t.Fatalf("re-encode failed: %v", err)
+		}
+		if enc1 != enc2 {
+			t.Fatalf("encoding is not a fixed point:\nfirst:  %q\nsecond: %q", enc1, enc2)
+		}
+		if changes := diff.Models(m, m2); len(changes) > 0 {
+			t.Fatalf("re-decoded model differs structurally: %v", changes)
+		}
+	})
+}

@@ -1,0 +1,2 @@
+(generation refused)
+cppgen: diagram "main": unstructured cycle through node "again"; model loops with <<loop+>> elements
