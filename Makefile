@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all check build test vet race bench cover examples experiments \
+.PHONY: all check build test vet race smoke bench cover examples experiments \
 	conformance conformance-update fuzz-smoke clean
 
 all: check
@@ -21,10 +21,16 @@ test:
 	$(GO) test ./...
 
 # Race-detector pass over the simulation engine (goroutine handoffs),
-# the metrics package (lock-free atomics), and the batch runtime
-# (worker-pool fan-out) plus the estimator entry points built on it.
+# the metrics package (lock-free atomics), the batch runtime
+# (worker-pool fan-out) plus the estimator entry points built on it,
+# and the HTTP serving layer (admission control, drain, model store).
 race:
-	$(GO) test -race ./internal/sim/... ./internal/obs/... ./internal/runner/... ./internal/estimator/...
+	$(GO) test -race ./internal/sim/... ./internal/obs/... ./internal/runner/... ./internal/estimator/... ./internal/server/...
+
+# Black-box smoke test of the prophetd binary: start it, register a
+# model, estimate, scrape /metrics, and check SIGTERM drains cleanly.
+smoke:
+	./scripts/prophetd_smoke.sh
 
 # Full benchmark pass (the per-table/figure harness of EXPERIMENTS.md),
 # plus the runner/sim hot-path benchmarks and the BENCH_runner.json

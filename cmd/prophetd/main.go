@@ -1,0 +1,105 @@
+// Command prophetd serves performance estimates over HTTP: the
+// long-running, hardened front-end to the Performance Prophet pipeline.
+//
+//	prophetd -addr :8080
+//
+// Endpoints (full reference in docs/SERVING.md):
+//
+//	POST /v1/models    register an XMI model, returns its content address
+//	POST /v1/estimate  one evaluation (inline XMI or a stored model id)
+//	POST /v1/sweep     process-count or global-variable sweep
+//	POST /v1/compare   two-design comparison across process counts
+//	GET  /healthz      liveness (503 while draining)
+//	GET  /metrics      obs text-format metrics
+//
+// prophetd sheds load with 503 + Retry-After when the in-flight and
+// queue bounds are exceeded, enforces a per-request deadline inside the
+// simulation, and drains gracefully on SIGTERM/SIGINT: /healthz flips to
+// 503, new evaluations are rejected, in-flight requests complete (up to
+// -drain-timeout), then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"prophet/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "prophetd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("prophetd", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address")
+		maxInFlight  = fs.Int("max-inflight", 0, "max concurrent evaluations (0 = GOMAXPROCS)")
+		maxQueue     = fs.Int("max-queue", 0, "max queued requests (0 = 2*max-inflight, -1 = none)")
+		queueWait    = fs.Duration("queue-wait", 2*time.Second, "max time a request waits for an evaluation slot")
+		timeout      = fs.Duration("timeout", 30*time.Second, "default per-request evaluation deadline")
+		maxTimeout   = fs.Duration("max-timeout", 5*time.Minute, "upper clamp on client-requested deadlines")
+		maxBody      = fs.Int64("max-body", 8<<20, "max request body bytes")
+		maxModels    = fs.Int("max-models", 1024, "max models kept in the content-addressed store")
+		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "max time to wait for in-flight requests on shutdown")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	srv := server.New(server.Config{
+		MaxInFlight:    *maxInFlight,
+		MaxQueue:       *maxQueue,
+		QueueWait:      *queueWait,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxBodyBytes:   *maxBody,
+		MaxModels:      *maxModels,
+	})
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("prophetd: listening on %s", *addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop advertising health and shedding new work
+	// first, then let http.Server.Shutdown wait for in-flight requests.
+	log.Printf("prophetd: draining (waiting up to %s for in-flight requests)", *drainTimeout)
+	srv.Drain()
+	sctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(sctx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("prophetd: drained, exiting")
+	return nil
+}

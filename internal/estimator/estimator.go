@@ -25,6 +25,7 @@ import (
 	"prophet/internal/sim"
 	"prophet/internal/trace"
 	"prophet/internal/uml"
+	"prophet/internal/xmi"
 )
 
 // Request describes one evaluation.
@@ -67,8 +68,11 @@ type Request struct {
 	// every setting — results are keyed by job index and aggregated in
 	// index order, never in completion order.
 	Parallel int
-	// Context, when non-nil, cancels batch evaluations early; the batch
-	// returns promptly with the context's error. nil means Background.
+	// Context, when non-nil, cancels the evaluation early: a single
+	// Estimate is interrupted cooperatively between simulation events,
+	// and batch entry points additionally stop fanning out further runs.
+	// The call returns promptly with an error wrapping the context's
+	// cancellation cause. nil means Background (run to completion).
 	Context context.Context
 	// Spans, when non-nil, additionally receives every per-stage span
 	// the estimator records (Estimate.Stages always has them too). Use
@@ -129,16 +133,31 @@ func (r Request) pool(label string) runner.Options {
 	}
 }
 
+// maxCachedPrograms bounds the compiled-program cache: entries beyond it
+// are evicted oldest-first. Content-hash keys mean a model mutated in
+// place leaves its old entry unreachable, so the bound also caps how much
+// garbage a mutate-recompile loop can accumulate.
+const maxCachedPrograms = 256
+
 // Estimator evaluates performance models.
 type Estimator struct {
 	registry *profile.Registry
 	checker  *checker.Checker
 
-	// progMu guards progs, the per-estimator compiled-program cache:
-	// batch entry points compile a model once and reuse the program for
-	// every run of every subsequent batch on the same model value.
-	progMu sync.Mutex
-	progs  map[*uml.Model]*interp.Program
+	// progMu guards progs/progOrder, the per-estimator compiled-program
+	// cache, keyed by the model's canonical-XMI content hash (xmi.Hash):
+	// batch entry points and the serving layer compile each distinct
+	// model content exactly once, and a model mutated in place hashes to
+	// a new key, so it is recompiled instead of served stale.
+	progMu    sync.Mutex
+	progs     map[string]*interp.Program
+	progOrder []string // insertion order, for oldest-first eviction
+
+	// cacheHits/cacheMisses count CompileCached outcomes; metrics, when
+	// set, mirrors them into estimator_cache_{hits,misses}_total.
+	cacheHits   int64
+	cacheMisses int64
+	metrics     *obs.Registry
 }
 
 // New returns an estimator using the standard profile and default checker
@@ -166,6 +185,11 @@ func stage(req Request, rec *obs.SpanRecorder, name string) func() {
 func (e *Estimator) Estimate(req Request) (*Estimate, error) {
 	if req.Model == nil {
 		return nil, fmt.Errorf("estimator: nil model")
+	}
+	// An already-done context returns before any work; mid-run expiry is
+	// handled cooperatively inside the simulation (interp.Config.Context).
+	if ctx := req.ctx(); ctx.Err() != nil {
+		return nil, fmt.Errorf("estimator: %w", context.Cause(ctx))
 	}
 	rec := obs.NewSpanRecorder()
 	if !req.SkipCheck {
@@ -199,56 +223,128 @@ func (e *Estimator) Compile(m *uml.Model) (*interp.Program, error) {
 	return pr, nil
 }
 
+// SetMetrics installs a registry that receives the estimator's cache
+// counters (estimator_cache_hits_total, estimator_cache_misses_total).
+// Call it once, before the estimator is used concurrently.
+func (e *Estimator) SetMetrics(reg *obs.Registry) {
+	e.progMu.Lock()
+	e.metrics = reg
+	e.progMu.Unlock()
+}
+
+// CacheStats returns how many CompileCached calls were served from the
+// compiled-program cache and how many had to compile.
+func (e *Estimator) CacheStats() (hits, misses int64) {
+	e.progMu.Lock()
+	defer e.progMu.Unlock()
+	return e.cacheHits, e.cacheMisses
+}
+
+// cacheEvent counts one cache outcome; call with progMu held.
+func (e *Estimator) cacheEvent(hit bool) {
+	name := "estimator_cache_misses_total"
+	if hit {
+		e.cacheHits++
+		name = "estimator_cache_hits_total"
+	} else {
+		e.cacheMisses++
+	}
+	if e.metrics != nil {
+		e.metrics.Counter(name).Inc()
+	}
+}
+
 // CompileCached returns the cached compiled program for m, checking and
-// compiling it on first use. The cache is keyed by model identity: every
-// batch entry point (MonteCarlo, Sensitivity, sweeps, CompareModels)
-// compiles a model exactly once per estimator rather than once per run.
-// A model mutated after its first evaluation must be re-registered by
-// calling InvalidateCache (or by using a fresh Estimator).
+// compiling it on first use. The cache is keyed by the model's
+// canonical-XMI content hash (xmi.Hash) — the same key the serving
+// layer's model store uses — so every batch entry point (MonteCarlo,
+// Sensitivity, sweeps, CompareModels) and every server request compiles
+// each distinct model content exactly once. Because the key is content,
+// not identity, a model mutated in place hashes to a new key and is
+// recompiled — the cache can never serve a stale program. The cache
+// holds at most maxCachedPrograms entries, evicting oldest-first.
 func (e *Estimator) CompileCached(m *uml.Model) (*interp.Program, error) {
 	if m == nil {
 		return nil, fmt.Errorf("estimator: nil model")
 	}
+	key, err := xmi.Hash(m)
+	if err != nil {
+		// A model that cannot be canonicalized cannot be content-addressed;
+		// compile it uncached rather than risking a stale identity hit.
+		return e.Compile(m)
+	}
 	e.progMu.Lock()
-	pr, ok := e.progs[m]
+	pr, ok := e.progs[key]
+	e.cacheEvent(ok)
 	e.progMu.Unlock()
 	if ok {
 		return pr, nil
 	}
-	pr, err := e.Compile(m)
+	pr, err = e.Compile(m)
 	if err != nil {
 		return nil, err
 	}
 	e.progMu.Lock()
 	if e.progs == nil {
-		e.progs = map[*uml.Model]*interp.Program{}
+		e.progs = map[string]*interp.Program{}
 	}
-	// A concurrent caller may have compiled the same model; keep the
+	// A concurrent caller may have compiled the same content; keep the
 	// first program so every run of a batch uses one instance.
-	if prev, ok := e.progs[m]; ok {
+	if prev, ok := e.progs[key]; ok {
 		pr = prev
 	} else {
-		e.progs[m] = pr
+		e.progs[key] = pr
+		e.progOrder = append(e.progOrder, key)
+		for len(e.progOrder) > maxCachedPrograms {
+			delete(e.progs, e.progOrder[0])
+			e.progOrder = e.progOrder[1:]
+		}
 	}
 	e.progMu.Unlock()
 	return pr, nil
 }
 
-// InvalidateCache drops the compiled program cached for m (all cached
-// programs when m is nil). Call it after mutating a model in place.
+// InvalidateCache drops the compiled program cached for m's current
+// content (all cached programs when m is nil). With content-hash keys a
+// mutated model never hits its old entry, so invalidation is no longer
+// needed for correctness — it only releases memory, e.g. for a model
+// that will not be evaluated again.
 func (e *Estimator) InvalidateCache(m *uml.Model) {
 	e.progMu.Lock()
+	defer e.progMu.Unlock()
 	if m == nil {
 		e.progs = nil
-	} else {
-		delete(e.progs, m)
+		e.progOrder = nil
+		return
 	}
-	e.progMu.Unlock()
+	key, err := xmi.Hash(m)
+	if err != nil {
+		return
+	}
+	if _, ok := e.progs[key]; !ok {
+		return
+	}
+	delete(e.progs, key)
+	for i, k := range e.progOrder {
+		if k == key {
+			e.progOrder = append(e.progOrder[:i], e.progOrder[i+1:]...)
+			break
+		}
+	}
 }
 
 // EstimateCompiled evaluates a pre-compiled program.
 func (e *Estimator) EstimateCompiled(pr *interp.Program, req Request) (*Estimate, error) {
 	return e.run(pr, req)
+}
+
+// EstimateCompiledFast evaluates a pre-compiled program in fast mode:
+// trace collection and summarization are skipped (Estimate.Trace and
+// Estimate.Summary are nil), the mode the batch loops use internally.
+// This is the hot path of the serving layer, which returns the makespan
+// and utilization but never ships a trace.
+func (e *Estimator) EstimateCompiledFast(pr *interp.Program, req Request) (*Estimate, error) {
+	return e.runMode(pr, req, true, obs.NewSpanRecorder())
 }
 
 func (e *Estimator) run(pr *interp.Program, req Request) (*Estimate, error) {
@@ -268,6 +364,7 @@ func (e *Estimator) runMode(pr *interp.Program, req Request, fast bool, rec *obs
 		Seed:     req.Seed,
 		MaxSteps: req.MaxSteps,
 		NoTrace:  fast,
+		Context:  req.Context,
 	}
 	var simRec *sim.Recorder
 	if req.Telemetry || req.Metrics != nil {

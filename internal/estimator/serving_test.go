@@ -1,0 +1,196 @@
+package estimator
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"prophet/internal/builder"
+	"prophet/internal/machine"
+	"prophet/internal/samples"
+	"prophet/internal/uml"
+)
+
+// slowModel executes `iters` tiny hold events: long enough to outlive a
+// short deadline, quick to stop once the engine is interrupted.
+func slowModel(t *testing.T, iters int) *uml.Model {
+	t.Helper()
+	b := builder.New("slow")
+	b.Function("F", nil, "0.001")
+	d := b.Diagram("main") // first diagram added becomes the main one
+	d.Initial()
+	d.Loop("L", itoa(iters), "body")
+	d.Final()
+	d.Chain("initial", "L", "final")
+	body := b.Diagram("body")
+	body.Initial()
+	body.Action("W").Cost("F()")
+	body.Final()
+	body.Chain("initial", "W", "final")
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func TestEstimatePreCancelledContext(t *testing.T) {
+	m := slowModel(t, 5_000_000)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := New().Estimate(Request{Model: m, Context: ctx, MaxSteps: 100_000_000})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("pre-cancelled Estimate took %v, want immediate return", d)
+	}
+}
+
+func TestEstimateShortDeadlineReturnsPromptly(t *testing.T) {
+	m := slowModel(t, 20_000_000)
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := New().Estimate(Request{Model: m, Context: ctx, MaxSteps: 100_000_000})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded, got %v", err)
+	}
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("deadline took %v to surface", d)
+	}
+	// No goroutine leak: the simulation processes and the context watcher
+	// must all unwind once the run is interrupted.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Mutating a model after it was compiled must miss the cache: the key is
+// the canonical XMI content hash, not the pointer.
+func TestCompileCachedDetectsMutation(t *testing.T) {
+	e := New()
+	m := samples.Sample()
+	req := Request{Model: m, Params: machine.SystemParams{Nodes: 1, ProcessorsPerNode: 2, Processes: 4, Threads: 1}}
+	pr, err := e.CompileCached(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := e.EstimateCompiled(pr, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits0, misses0 := e.CacheStats()
+	if misses0 != 1 {
+		t.Fatalf("first compile should be one miss, got hits=%d misses=%d", hits0, misses0)
+	}
+
+	// Same content, same pointer: a hit.
+	if _, err := e.CompileCached(m); err != nil {
+		t.Fatal(err)
+	}
+	hits1, misses1 := e.CacheStats()
+	if hits1 != hits0+1 || misses1 != misses0 {
+		t.Fatalf("unchanged model recompiled: hits %d→%d misses %d→%d", hits0, hits1, misses0, misses1)
+	}
+
+	// Mutate an action cost in place. The stale pointer-keyed cache would
+	// happily serve the old program here.
+	var mutated bool
+	for _, d := range m.Diagrams() {
+		for _, n := range d.Nodes() {
+			if a, ok := n.(*uml.ActionNode); ok && a.CostFunc == "FSA1()" {
+				a.CostFunc = "FA2()" // 5.0 → 3*P = 12: makespan must shift
+				mutated = true
+				break
+			}
+		}
+		if mutated {
+			break
+		}
+	}
+	if !mutated {
+		t.Fatal("sample model has no action with a cost function to mutate")
+	}
+
+	pr2, err := e.CompileCached(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits2, misses2 := e.CacheStats()
+	if misses2 != misses1+1 {
+		t.Fatalf("mutation did not trigger recompilation: hits %d→%d misses %d→%d",
+			hits1, hits2, misses1, misses2)
+	}
+	if pr2 == pr {
+		t.Fatal("mutated model served the stale compiled program")
+	}
+	changed, err := e.EstimateCompiled(pr2, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if changed.Makespan == base.Makespan {
+		t.Errorf("makespan unchanged (%g) after cost mutation: stale program served", base.Makespan)
+	}
+}
+
+func TestCompileCachedSameContentSharesProgram(t *testing.T) {
+	e := New()
+	p1, err := e.CompileCached(samples.Sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A different *uml.Model pointer with identical content hits the
+	// same cache entry.
+	p2, err := e.CompileCached(samples.Sample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Error("identical content compiled twice: cache keyed by pointer, not content")
+	}
+}
+
+func TestInvalidateCacheByContent(t *testing.T) {
+	e := New()
+	m := samples.Sample()
+	p1, err := e.CompileCached(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.InvalidateCache(m)
+	p2, err := e.CompileCached(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Error("InvalidateCache left the entry in place")
+	}
+	e.InvalidateCache(nil) // clears everything; must not panic
+}

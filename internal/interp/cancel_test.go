@@ -1,0 +1,159 @@
+package interp
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"prophet/internal/builder"
+	"prophet/internal/profile"
+	"prophet/internal/sim"
+	"prophet/internal/uml"
+)
+
+// longModel builds a model that executes `iters` hold events — big
+// enough to outlive any short deadline, small enough to finish promptly
+// once interrupted.
+func longModel(t *testing.T, iters int) *uml.Model {
+	t.Helper()
+	b := builder.New("long")
+	b.Function("F", nil, "0.001")
+	d := b.Diagram("main") // first diagram added is the main one
+	d.Initial()
+	d.Loop("L", itoa(iters), "body")
+	d.Final()
+	d.Chain("initial", "L", "final")
+	body := b.Diagram("body")
+	body.Initial()
+	body.Action("W").Cost("F()")
+	body.Final()
+	body.Chain("initial", "W", "final")
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func compileOrDie(t *testing.T, m *uml.Model) *Program {
+	t.Helper()
+	pr, err := Compile(m, profile.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pr
+}
+
+func TestRunPreCancelledContext(t *testing.T) {
+	pr := compileOrDie(t, longModel(t, 1_000_000))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := pr.Run(Config{Context: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Errorf("pre-cancelled run took %v, want immediate return", d)
+	}
+}
+
+func TestRunDeadlineMidSimulation(t *testing.T) {
+	pr := compileOrDie(t, longModel(t, 20_000_000))
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := pr.Run(Config{Context: ctx, MaxSteps: 100_000_000})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want DeadlineExceeded through the chain, got %v", err)
+	}
+	var ie *sim.InterruptError
+	if !errors.As(err, &ie) {
+		t.Fatalf("want the typed *sim.InterruptError in the chain, got %v", err)
+	}
+	// "Promptly" = within event granularity plus scheduling slack, far
+	// below the seconds the full run would take.
+	if d := time.Since(start); d > 5*time.Second {
+		t.Errorf("deadline expiry took %v to surface", d)
+	}
+}
+
+func TestRunNilContextUnchanged(t *testing.T) {
+	pr := compileOrDie(t, longModel(t, 10))
+	res, err := pr.Run(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan <= 0 {
+		t.Errorf("makespan = %g", res.Makespan)
+	}
+}
+
+// A flow error (here: a decision whose only guard is false, with no else
+// branch) must surface as a typed *sim.ProcessError wrapping the flow
+// error — not as an opaque "process panicked" string.
+func TestFlowErrorIsTyped(t *testing.T) {
+	b := builder.New("flowerr")
+	b.Global("GV", "double")
+	d := b.Diagram("main")
+	d.Initial()
+	d.Decision("dec")
+	d.Action("A")
+	d.Final()
+	d.Flow("initial", "dec").
+		FlowIf("dec", "A", "GV > 0"). // GV stays 0: no branch is viable
+		Flow("A", "final")
+	m, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr := compileOrDie(t, m)
+	_, err = pr.Run(Config{})
+	if err == nil {
+		t.Fatal("flow error did not fail the run")
+	}
+	var pe *sim.ProcessError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *sim.ProcessError, got %T: %v", err, err)
+	}
+	if !strings.Contains(err.Error(), "no guard") {
+		t.Errorf("flow error text lost: %v", err)
+	}
+	if strings.Contains(err.Error(), "panicked") {
+		t.Errorf("flow error still reported as a panic: %v", err)
+	}
+	// A deadlock stays distinguishable from a flow error by type.
+	var de *sim.DeadlockError
+	if errors.As(err, &de) {
+		t.Error("flow error must not match DeadlockError")
+	}
+}
+
+// MaxSteps exhaustion travels the same typed path.
+func TestRunawayGuardErrorIsTyped(t *testing.T) {
+	pr := compileOrDie(t, longModel(t, 10_000))
+	_, err := pr.Run(Config{MaxSteps: 100})
+	var pe *sim.ProcessError
+	if !errors.As(err, &pe) {
+		t.Fatalf("want *sim.ProcessError for the step guard, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "element executions") {
+		t.Errorf("step-guard message lost: %v", err)
+	}
+}

@@ -24,6 +24,7 @@
 package interp
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -293,6 +294,12 @@ type Config struct {
 	// conformance harness asserts that this produces a trace identical to
 	// Run's.
 	RunLimit float64
+	// Context, when non-nil, cancels the run cooperatively: the engine
+	// checks for cancellation between simulation events, so a run whose
+	// context is cancelled (or whose deadline expires) mid-simulation
+	// returns promptly with an error wrapping context.Cause — at event
+	// granularity, not only at run boundaries. nil runs to completion.
+	Context context.Context
 	// Observer, when non-nil, receives the engine's telemetry during the
 	// run: process lifecycle events and simulated-time samples of
 	// facility utilization, queue lengths, mailbox depths and scheduler

@@ -1,6 +1,7 @@
 package interp
 
 import (
+	"context"
 	"fmt"
 
 	"prophet/internal/expr"
@@ -31,6 +32,27 @@ func (pr *Program) Run(cfg Config) (*Result, error) {
 	eng := sim.New()
 	if cfg.Observer != nil {
 		eng.SetObserver(cfg.Observer, cfg.SampleInterval)
+	}
+	if ctx := cfg.Context; ctx != nil {
+		// Cooperative cancellation: refuse to start on an already-done
+		// context, then watch it for the duration of the run. The watcher
+		// interrupts the engine, which checks between simulation events,
+		// so the run unwinds at event granularity. The watcher is always
+		// joined before Run returns — no goroutine outlives the call.
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("interp: %w", context.Cause(ctx))
+		}
+		stop := make(chan struct{})
+		watched := make(chan struct{})
+		go func() {
+			defer close(watched)
+			select {
+			case <-ctx.Done():
+				eng.Interrupt(context.Cause(ctx))
+			case <-stop:
+			}
+		}()
+		defer func() { close(stop); <-watched }()
 	}
 	mach, err := machine.NewWithPolicy(eng, sp, net, cfg.Policy)
 	if err != nil {
@@ -85,7 +107,11 @@ func (pr *Program) Run(cfg Config) (*Result, error) {
 		eng.Spawn(fmt.Sprintf("p%d", pid), func(p *sim.Process) {
 			fc := rs.newFlowCtx(p, pid, 0)
 			if err := fc.runDiagram(main); err != nil {
-				panic(err)
+				// Fail, not panic: the engine wraps this as a typed
+				// *sim.ProcessError, keeping the flow error's chain
+				// intact for errors.Is/As. True panics still surface as
+				// "process panicked".
+				p.Fail(err)
 			}
 			// Program completion = when the last process finishes; late
 			// in-flight message deliveries do not extend the makespan.

@@ -1,0 +1,98 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// A parent cancelled with a custom cause must surface that cause, not a
+// bare context.Canceled — and never be misreported as a job failure.
+func TestMapReportsCancellationCause(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		t.Run(fmt.Sprint("workers=", workers), func(t *testing.T) {
+			cause := errors.New("shedding load")
+			ctx, cancel := context.WithCancelCause(context.Background())
+			cancel(cause)
+			_, err := Map(ctx, 10, Options{Workers: workers},
+				func(ctx context.Context, i int) (int, error) { return i, nil })
+			if !errors.Is(err, cause) {
+				t.Fatalf("want the cancellation cause, got %v", err)
+			}
+		})
+	}
+}
+
+func TestMapReportsDeadlineCause(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var block sync.WaitGroup
+	block.Add(1)
+	done := make(chan error, 1)
+	go func() {
+		_, err := Map(ctx, 50, Options{Workers: 2},
+			func(ctx context.Context, i int) (int, error) {
+				if i < 2 {
+					block.Wait()
+					// Mid-job cancellation surfaces as a wrapped context
+					// error, the shape interp produces when its engine is
+					// interrupted.
+					if ctx.Err() != nil {
+						return 0, fmt.Errorf("run interrupted: %w", context.Cause(ctx))
+					}
+				}
+				return i, nil
+			})
+		done <- err
+	}()
+	cancel()
+	block.Done()
+	err := <-done
+	if err == nil {
+		t.Fatal("cancelled batch returned nil")
+	}
+	// The wrapped Canceled from the in-flight jobs is a casualty of the
+	// batch cancellation, not a job failure: the batch must report the
+	// cancellation itself.
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want a cancellation error, got %v", err)
+	}
+}
+
+// A job error that merely wraps context.Canceled while the batch is NOT
+// cancelled is a genuine failure and must be reported as such.
+func TestMapWrappedCanceledJobErrorWithoutCancellation(t *testing.T) {
+	jobErr := fmt.Errorf("job 3 gave up: %w", context.Canceled)
+	_, err := Map(context.Background(), 8, Options{Workers: 2},
+		func(ctx context.Context, i int) (int, error) {
+			if i == 3 {
+				return 0, jobErr
+			}
+			return i, nil
+		})
+	if !errors.Is(err, jobErr) {
+		t.Fatalf("want the job's own error, got %v", err)
+	}
+}
+
+func TestMapSequentialCancellationCause(t *testing.T) {
+	cause := errors.New("custom cause")
+	ctx, cancel := context.WithCancelCause(context.Background())
+	ran := 0
+	_, err := Map(ctx, 10, Options{Workers: 1},
+		func(ctx context.Context, i int) (int, error) {
+			ran++
+			if i == 2 {
+				cancel(cause)
+				return 0, fmt.Errorf("wrapped: %w", context.Cause(ctx))
+			}
+			return i, nil
+		})
+	if !errors.Is(err, cause) {
+		t.Fatalf("sequential path lost the cause: %v", err)
+	}
+	if ran > 3 {
+		t.Errorf("%d jobs ran after cancellation", ran)
+	}
+}

@@ -20,12 +20,25 @@ package runner
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"time"
 
 	"prophet/internal/obs"
 )
+
+// casualty reports whether a job error is a side effect of ctx's own
+// cancellation (the job observed — possibly wrapped — Canceled or
+// DeadlineExceeded after the batch was cancelled) rather than a failure
+// of the job itself. Casualties are not reported as job errors; the
+// batch reports the cancellation cause instead.
+func casualty(ctx context.Context, err error) bool {
+	if ctx.Err() == nil {
+		return false
+	}
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
 
 // Options configures one batch.
 type Options struct {
@@ -127,16 +140,23 @@ func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 	if workers == 1 {
 		// Sequential fast path: no goroutines, same semantics.
 		for i := 0; i < n; i++ {
-			if err := ctx.Err(); err != nil {
-				return nil, err
+			if ctx.Err() != nil {
+				// Report the cancellation cause, not the bare Canceled
+				// sentinel, so a caller that cancelled with
+				// context.CancelCauseFunc sees its own error.
+				return nil, context.Cause(ctx)
 			}
 			if err := runOne(ctx, i); err != nil {
+				if casualty(ctx, err) {
+					return nil, context.Cause(ctx)
+				}
 				return nil, err
 			}
 		}
 		return out, nil
 	}
 
+	parent := ctx
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
@@ -154,6 +174,12 @@ func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 					continue
 				}
 				if err := runOne(ctx, i); err != nil {
+					if casualty(ctx, err) {
+						// The batch is already being torn down; this
+						// job's error is cancellation echoing back, not
+						// a failure to report.
+						continue
+					}
 					select {
 					case errs <- jobError{index: i, err: err}:
 					default:
@@ -188,14 +214,13 @@ feed:
 	if first != nil {
 		return nil, first.err
 	}
-	if err := ctx.Err(); err != nil && err != context.Canceled {
-		return nil, err
-	}
-	// The parent may have been cancelled without any job error.
-	select {
-	case <-ctx.Done():
-		return nil, context.Cause(ctx)
-	default:
+	// With no job error, the derived ctx can only be done because the
+	// parent is: report the parent's cancellation cause. context.Cause
+	// sees through wrapping, so a deadline reports DeadlineExceeded and a
+	// CancelCauseFunc reports the caller's own error — never a bare
+	// Canceled misreported as (or mistaken for) a job failure.
+	if parent.Err() != nil {
+		return nil, context.Cause(parent)
 	}
 	return out, nil
 }

@@ -1,0 +1,101 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"time"
+
+	"prophet/internal/obs"
+)
+
+// errSaturated is returned by admission.acquire when the request cannot
+// be admitted: every evaluation slot is busy and the wait queue is full
+// (or the wait timed out). Handlers translate it to 503 + Retry-After —
+// shedding load early instead of queueing unboundedly is what keeps tail
+// latency bounded under a saturating burst.
+var errSaturated = errors.New("server: saturated")
+
+// admission bounds the evaluation work a server accepts: at most
+// maxInFlight evaluations run concurrently, at most maxQueue requests
+// wait for a slot, and no request waits longer than queueWait.
+type admission struct {
+	slots     chan struct{} // buffered; a held token = one in-flight evaluation
+	maxQueue  int64
+	queueWait time.Duration
+
+	waiting  atomic.Int64 // current queue depth; the strict admission bound
+	inflight *obs.Gauge
+	depth    *obs.Gauge
+	rejected *obs.CounterVec
+}
+
+func newAdmission(maxInFlight, maxQueue int, queueWait time.Duration, reg *obs.Registry) *admission {
+	a := &admission{
+		slots:     make(chan struct{}, maxInFlight),
+		maxQueue:  int64(maxQueue),
+		queueWait: queueWait,
+		inflight:  reg.Gauge("server_inflight"),
+		depth:     reg.Gauge("server_queue_depth"),
+		rejected:  reg.CounterVec("server_rejected_total", "reason"),
+	}
+	reg.Gauge("server_max_inflight").Set(float64(maxInFlight))
+	reg.Gauge("server_max_queue").Set(float64(maxQueue))
+	return a
+}
+
+// acquire admits the request or reports why it cannot run: errSaturated
+// when capacity is exhausted, or the context's cancellation cause when
+// the client gave up while queued. On success the caller must release().
+func (a *admission) acquire(ctx context.Context) error {
+	select {
+	case a.slots <- struct{}{}:
+		a.inflight.Add(1)
+		return nil
+	default:
+	}
+	// No free slot: join the bounded wait queue. The atomic add-then-check
+	// keeps the bound strict under concurrent arrivals.
+	if a.waiting.Add(1) > a.maxQueue {
+		a.waiting.Add(-1)
+		a.rejected.With("queue_full").Inc()
+		return errSaturated
+	}
+	a.depth.Set(float64(a.waiting.Load()))
+	defer func() {
+		a.waiting.Add(-1)
+		a.depth.Set(float64(a.waiting.Load()))
+	}()
+	timer := time.NewTimer(a.queueWait)
+	defer timer.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		a.inflight.Add(1)
+		return nil
+	case <-timer.C:
+		a.rejected.With("queue_timeout").Inc()
+		return errSaturated
+	case <-ctx.Done():
+		a.rejected.With("client_gone").Inc()
+		return context.Cause(ctx)
+	}
+}
+
+// release returns the caller's evaluation slot.
+func (a *admission) release() {
+	<-a.slots
+	a.inflight.Add(-1)
+}
+
+// retryAfter suggests how long a rejected client should back off: the
+// queue-wait bound, rounded up to whole seconds (minimum 1).
+func (a *admission) retryAfter() int {
+	s := int(a.queueWait / time.Second)
+	if time.Duration(s)*time.Second < a.queueWait || s < 1 {
+		s++
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}

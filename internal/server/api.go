@@ -1,0 +1,191 @@
+package server
+
+import (
+	"fmt"
+
+	"prophet/internal/estimator"
+	"prophet/internal/machine"
+	"prophet/internal/trace"
+)
+
+// ModelRef names the model a request evaluates: either a content address
+// previously returned by POST /v1/models (or any earlier response), or
+// the XMI document itself inline. Exactly one must be set; an inline
+// model is stored on arrival, and every response echoes the content
+// address so follow-up requests can switch to model_id.
+type ModelRef struct {
+	ModelID  string `json:"model_id,omitempty"`
+	ModelXMI string `json:"model_xmi,omitempty"`
+}
+
+// Params mirrors machine.SystemParams on the wire. Omitted or
+// non-positive fields default to 1, matching the estimator's "one
+// process on one single-processor node" zero value.
+type Params struct {
+	Nodes             int `json:"nodes,omitempty"`
+	ProcessorsPerNode int `json:"processors_per_node,omitempty"`
+	Processes         int `json:"processes,omitempty"`
+	Threads           int `json:"threads,omitempty"`
+}
+
+// toMachine converts to machine.SystemParams, defaulting omitted fields.
+func (p *Params) toMachine() machine.SystemParams {
+	sp := machine.DefaultParams()
+	if p == nil {
+		return sp
+	}
+	if p.Nodes > 0 {
+		sp.Nodes = p.Nodes
+	}
+	if p.ProcessorsPerNode > 0 {
+		sp.ProcessorsPerNode = p.ProcessorsPerNode
+	}
+	if p.Processes > 0 {
+		sp.Processes = p.Processes
+	}
+	if p.Threads > 0 {
+		sp.Threads = p.Threads
+	}
+	return sp
+}
+
+// EstimateRequest is the body of POST /v1/estimate.
+type EstimateRequest struct {
+	ModelRef
+	Params  *Params            `json:"params,omitempty"`
+	Globals map[string]float64 `json:"globals,omitempty"`
+	// Seed drives probabilistic branch selection (0 = default seed).
+	Seed int64 `json:"seed,omitempty"`
+	// Policy is "fcfs" (default) or "ps" (processor sharing).
+	Policy string `json:"policy,omitempty"`
+	// MaxSteps bounds element executions per process (0 = default).
+	MaxSteps int `json:"max_steps,omitempty"`
+	// TimeoutMS is the per-request deadline in milliseconds. 0 means the
+	// server's default; values above the server's maximum are clamped.
+	// The deadline covers the whole evaluation and is enforced
+	// cooperatively inside the simulation, at event granularity.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// Summary additionally collects the trace and returns its per-element
+	// summary (slower; off by default).
+	Summary bool `json:"summary,omitempty"`
+	// Telemetry returns simulated-time event counts sampled during the
+	// run.
+	Telemetry bool `json:"telemetry,omitempty"`
+}
+
+// StageSpan is one pipeline stage's wall-clock share of an evaluation.
+type StageSpan struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// EstimateResponse is the body of a successful POST /v1/estimate.
+type EstimateResponse struct {
+	ModelID        string             `json:"model_id"`
+	Makespan       float64            `json:"makespan"`
+	CPUUtilization []float64          `json:"cpu_utilization,omitempty"`
+	Globals        map[string]float64 `json:"globals,omitempty"`
+	Stages         []StageSpan        `json:"stages,omitempty"`
+	Summary        *trace.Summary     `json:"summary,omitempty"`
+	EventCounts    map[string]int64   `json:"event_counts,omitempty"`
+}
+
+// GlobalSweep selects a global-variable sweep: evaluate the model once
+// per value of the named global.
+type GlobalSweep struct {
+	Name   string    `json:"name"`
+	Values []float64 `json:"values"`
+}
+
+// SweepRequest is the body of POST /v1/sweep. Exactly one of Processes
+// (a process-count scalability sweep) or Global must be set.
+type SweepRequest struct {
+	EstimateRequest
+	Processes []int        `json:"processes,omitempty"`
+	Global    *GlobalSweep `json:"global,omitempty"`
+}
+
+// SweepPoint is one sample of a process-count sweep.
+type SweepPoint struct {
+	Processes  int     `json:"processes"`
+	Nodes      int     `json:"nodes"`
+	Makespan   float64 `json:"makespan"`
+	Speedup    float64 `json:"speedup"`
+	Efficiency float64 `json:"efficiency"`
+}
+
+// GlobalPoint is one sample of a global-variable sweep.
+type GlobalPoint struct {
+	Value    float64 `json:"value"`
+	Makespan float64 `json:"makespan"`
+}
+
+// SweepResponse is the body of a successful POST /v1/sweep; exactly one
+// of Points or GlobalPoints is populated, matching the request.
+type SweepResponse struct {
+	ModelID      string        `json:"model_id"`
+	Points       []SweepPoint  `json:"points,omitempty"`
+	GlobalPoints []GlobalPoint `json:"global_points,omitempty"`
+}
+
+// CompareRequest is the body of POST /v1/compare: evaluate two
+// alternative designs across process counts and report who wins where.
+type CompareRequest struct {
+	ModelA    ModelRef           `json:"model_a"`
+	ModelB    ModelRef           `json:"model_b"`
+	Processes []int              `json:"processes"`
+	Params    *Params            `json:"params,omitempty"`
+	Globals   map[string]float64 `json:"globals,omitempty"`
+	Seed      int64              `json:"seed,omitempty"`
+	Policy    string             `json:"policy,omitempty"`
+	TimeoutMS int64              `json:"timeout_ms,omitempty"`
+}
+
+// ComparePoint is one process count's verdict.
+type ComparePoint struct {
+	Processes int     `json:"processes"`
+	MakespanA float64 `json:"makespan_a"`
+	MakespanB float64 `json:"makespan_b"`
+	Winner    string  `json:"winner"`
+}
+
+// CompareResponse is the body of a successful POST /v1/compare.
+type CompareResponse struct {
+	ModelAID   string         `json:"model_a_id"`
+	ModelBID   string         `json:"model_b_id"`
+	NameA      string         `json:"name_a"`
+	NameB      string         `json:"name_b"`
+	Points     []ComparePoint `json:"points"`
+	Crossovers []int          `json:"crossovers,omitempty"`
+}
+
+// ModelResponse is the body of a successful POST /v1/models.
+type ModelResponse struct {
+	ID   string `json:"id"`
+	Name string `json:"name"`
+}
+
+// ErrorResponse is the body of every non-2xx JSON response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// policyOf parses the wire policy name.
+func policyOf(s string) (machine.Policy, error) {
+	switch s {
+	case "", "fcfs":
+		return machine.PolicyFCFS, nil
+	case "ps":
+		return machine.PolicyPS, nil
+	}
+	return 0, fmt.Errorf("unknown policy %q (want \"fcfs\" or \"ps\")", s)
+}
+
+// stagesOf converts recorded spans to wire form.
+func stagesOf(est *estimator.Estimate) []StageSpan {
+	out := make([]StageSpan, 0, len(est.Stages))
+	for _, s := range est.Stages {
+		out = append(out, StageSpan{Name: s.Name, Seconds: s.Seconds})
+	}
+	return out
+}

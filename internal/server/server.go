@@ -1,0 +1,519 @@
+// Package server is prophetd's HTTP serving layer: a hardened front-end
+// over the Performance Estimator that turns one-shot batch evaluation
+// into a long-running estimation service.
+//
+// The contract it adds on top of the estimator:
+//
+//   - per-request deadlines, enforced cooperatively inside the simulation
+//     at event granularity (interp.Config.Context), so a request whose
+//     deadline expires mid-run returns promptly with a context error
+//   - admission control: a bounded number of in-flight evaluations plus a
+//     bounded wait queue; beyond that, requests are shed with
+//     503 + Retry-After instead of queueing unboundedly
+//   - a content-addressed model store (POST /v1/models) whose ids are
+//     canonical-XMI content hashes — the same keys the estimator's
+//     compiled-program cache uses, so repeated requests for the same
+//     model content compile once
+//   - graceful drain: Drain() flips /healthz to 503 and rejects new
+//     evaluations while in-flight work completes (cmd/prophetd wires
+//     this to SIGTERM via http.Server.Shutdown)
+//   - observability: request counters, latency histograms, queue-depth
+//     and in-flight gauges, and the estimator's cache hit/miss counters,
+//     all served from /metrics in the obs text format
+//
+// See docs/SERVING.md for the full API reference.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"prophet/internal/estimator"
+	"prophet/internal/obs"
+	"prophet/internal/sim"
+	"prophet/internal/uml"
+	"prophet/internal/xmi"
+)
+
+// Config parameterizes a Server. The zero value serves with sensible
+// defaults (see withDefaults).
+type Config struct {
+	// MaxInFlight bounds concurrently running evaluations
+	// (0 = GOMAXPROCS). Each evaluation is single-threaded, so this is
+	// also the CPU bound.
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an evaluation slot
+	// (0 = 2*MaxInFlight). Negative means no queue: saturation rejects
+	// immediately.
+	MaxQueue int
+	// QueueWait bounds how long a request may wait for a slot before
+	// being shed (0 = 2s).
+	QueueWait time.Duration
+	// DefaultTimeout is the per-request evaluation deadline applied when
+	// the request doesn't carry timeout_ms (0 = 30s).
+	DefaultTimeout time.Duration
+	// MaxTimeout clamps client-requested deadlines (0 = 5m).
+	MaxTimeout time.Duration
+	// MaxBodyBytes bounds request bodies (0 = 8 MiB).
+	MaxBodyBytes int64
+	// MaxModels bounds the content-addressed model store; beyond it the
+	// oldest models are evicted (0 = 1024).
+	MaxModels int
+	// Registry receives the server's metrics (nil = a fresh registry).
+	Registry *obs.Registry
+	// Estimator evaluates requests (nil = estimator.New()).
+	Estimator *estimator.Estimator
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case c.MaxQueue == 0:
+		c.MaxQueue = 2 * c.MaxInFlight
+	case c.MaxQueue < 0:
+		c.MaxQueue = 0
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 2 * time.Second
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxModels <= 0 {
+		c.MaxModels = 1024
+	}
+	if c.Registry == nil {
+		c.Registry = obs.NewRegistry()
+	}
+	if c.Estimator == nil {
+		c.Estimator = estimator.New()
+	}
+	return c
+}
+
+// Server is the estimation service. Create with New, mount via Handler.
+type Server struct {
+	cfg      Config
+	est      *estimator.Estimator
+	reg      *obs.Registry
+	store    *modelStore
+	adm      *admission
+	mux      *http.ServeMux
+	draining atomic.Bool
+
+	// requests/latency instrument every route.
+	requests *obs.CounterVec
+	latency  *obs.HistogramVec
+
+	// hookAdmitted, when non-nil, runs after a request is admitted and
+	// before it evaluates — a test seam for holding a slot open.
+	hookAdmitted func()
+}
+
+// New builds a server from cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		est:   cfg.Estimator,
+		reg:   cfg.Registry,
+		store: newModelStore(cfg.MaxModels, cfg.Registry.Gauge("model_store_models")),
+		adm:   newAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait, cfg.Registry),
+		mux:   http.NewServeMux(),
+	}
+	s.est.SetMetrics(s.reg)
+	s.requests = s.reg.CounterVec("http_requests_total", "route", "code")
+	s.latency = s.reg.HistogramVec("http_request_seconds",
+		[]float64{1e-4, 1e-3, 1e-2, 0.1, 1, 10, 60}, "route")
+	s.mux.HandleFunc("POST /v1/models", s.route("models", s.handleModels))
+	s.mux.HandleFunc("POST /v1/estimate", s.route("estimate", s.admitted(s.handleEstimate)))
+	s.mux.HandleFunc("POST /v1/sweep", s.route("sweep", s.admitted(s.handleSweep)))
+	s.mux.HandleFunc("POST /v1/compare", s.route("compare", s.admitted(s.handleCompare)))
+	s.mux.HandleFunc("GET /healthz", s.route("healthz", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.route("metrics", s.handleMetrics))
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain puts the server into drain mode: /healthz turns 503 so load
+// balancers stop routing here, and new evaluations are shed, while
+// in-flight work keeps running. cmd/prophetd calls this on SIGTERM just
+// before http.Server.Shutdown, which then waits for in-flight requests.
+func (s *Server) Drain() { s.draining.Store(true) }
+
+// Draining reports whether Drain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// statusWriter captures the response code for instrumentation.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// route instruments a handler with the request counter and latency
+// histogram and applies the body-size bound.
+func (s *Server) route(name string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+		}
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		s.latency.With(name).Observe(time.Since(start).Seconds())
+		s.requests.With(name, fmt.Sprint(sw.code)).Inc()
+	}
+}
+
+// admitted applies admission control: evaluations run only while holding
+// one of the bounded slots, wait at most QueueWait in a bounded queue,
+// and are shed with 503 + Retry-After beyond that. Draining servers shed
+// immediately.
+func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if s.draining.Load() {
+			s.unavailable(w, "server is draining")
+			return
+		}
+		if err := s.adm.acquire(r.Context()); err != nil {
+			if errors.Is(err, errSaturated) {
+				s.unavailable(w, "server saturated: in-flight and queue limits reached")
+				return
+			}
+			// The client went away while queued; 499 is the de-facto
+			// "client closed request" status.
+			writeError(w, 499, "client cancelled while queued")
+			return
+		}
+		defer s.adm.release()
+		if s.hookAdmitted != nil {
+			s.hookAdmitted()
+		}
+		h(w, r)
+	}
+}
+
+// unavailable sheds a request with 503 and a Retry-After hint.
+func (s *Server) unavailable(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", fmt.Sprint(s.adm.retryAfter()))
+	writeError(w, http.StatusServiceUnavailable, msg)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, ErrorResponse{Error: msg})
+}
+
+// decodeJSON parses the request body into v, rejecting unknown fields so
+// typos ("modelid") fail loudly instead of evaluating defaults.
+func decodeJSON(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	// Trailing garbage after the document is a malformed request too.
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return errors.New("request body must be a single JSON document")
+	}
+	return nil
+}
+
+// resolveModel materializes a ModelRef: inline XMI is decoded, content-
+// addressed and stored; ids are looked up in the store. The returned
+// status is the HTTP code to report on error.
+func (s *Server) resolveModel(ref ModelRef) (*uml.Model, string, int, error) {
+	switch {
+	case ref.ModelXMI != "" && ref.ModelID != "":
+		return nil, "", http.StatusBadRequest, errors.New("set model_id or model_xmi, not both")
+	case ref.ModelXMI != "":
+		m, err := xmi.DecodeString(ref.ModelXMI)
+		if err != nil {
+			return nil, "", http.StatusBadRequest, fmt.Errorf("model_xmi: %v", err)
+		}
+		id, err := xmi.Hash(m)
+		if err != nil {
+			return nil, "", http.StatusBadRequest, fmt.Errorf("model_xmi: %v", err)
+		}
+		s.store.put(id, m)
+		return m, id, 0, nil
+	case ref.ModelID != "":
+		m, ok := s.store.get(ref.ModelID)
+		if !ok {
+			return nil, "", http.StatusNotFound, fmt.Errorf("unknown model %q (upload it via POST /v1/models)", ref.ModelID)
+		}
+		return m, ref.ModelID, 0, nil
+	}
+	return nil, "", http.StatusBadRequest, errors.New("request needs model_id or model_xmi")
+}
+
+// evalContext derives the evaluation context: the client's connection
+// context bounded by the request's (clamped) or the server's default
+// deadline.
+func (s *Server) evalContext(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+	}
+	if d > s.cfg.MaxTimeout {
+		d = s.cfg.MaxTimeout
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// writeEvalError maps an evaluation failure to an HTTP status: model
+// errors are the client's (422), deadline expiry is 504, client
+// cancellation 499, and anything else 500.
+func writeEvalError(w http.ResponseWriter, err error) {
+	var ce *estimator.CheckError
+	var pe *sim.ProcessError
+	var de *sim.DeadlockError
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, err.Error())
+	case errors.Is(err, context.Canceled):
+		writeError(w, 499, err.Error())
+	case errors.As(err, &ce), errors.As(err, &pe), errors.As(err, &de):
+		// The model failed checking, a flow error surfaced at runtime, or
+		// the simulated program deadlocked: an unprocessable model.
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+	default:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	}
+}
+
+// buildRequest converts the wire request to an estimator.Request bound
+// to ctx.
+func buildRequest(ctx context.Context, m *uml.Model, er *EstimateRequest) (estimator.Request, error) {
+	pol, err := policyOf(er.Policy)
+	if err != nil {
+		return estimator.Request{}, err
+	}
+	sp := er.Params.toMachine()
+	if err := sp.Validate(); err != nil {
+		return estimator.Request{}, err
+	}
+	return estimator.Request{
+		Model:     m,
+		Params:    sp,
+		Globals:   er.Globals,
+		Seed:      er.Seed,
+		Policy:    pol,
+		MaxSteps:  er.MaxSteps,
+		Telemetry: er.Telemetry,
+		Context:   ctx,
+	}, nil
+}
+
+// handleModels registers a model: the body is the XMI document itself
+// (no JSON envelope), the response its content address.
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("read body: %v", err))
+		return
+	}
+	m, err := xmi.DecodeString(string(body))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("decode model: %v", err))
+		return
+	}
+	id, err := xmi.Hash(m)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("hash model: %v", err))
+		return
+	}
+	s.store.put(id, m)
+	writeJSON(w, http.StatusOK, ModelResponse{ID: id, Name: m.Name()})
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var er EstimateRequest
+	if err := decodeJSON(r, &er); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	m, id, code, err := s.resolveModel(er.ModelRef)
+	if err != nil {
+		writeError(w, code, err.Error())
+		return
+	}
+	ctx, cancel := s.evalContext(r, er.TimeoutMS)
+	defer cancel()
+	req, err := buildRequest(ctx, m, &er)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	pr, err := s.est.CompileCached(m)
+	if err != nil {
+		writeEvalError(w, err)
+		return
+	}
+	var est *estimator.Estimate
+	if er.Summary {
+		est, err = s.est.EstimateCompiled(pr, req)
+	} else {
+		est, err = s.est.EstimateCompiledFast(pr, req)
+	}
+	if err != nil {
+		writeEvalError(w, err)
+		return
+	}
+	resp := EstimateResponse{
+		ModelID:        id,
+		Makespan:       est.Makespan,
+		CPUUtilization: est.CPUUtilization,
+		Globals:        est.Globals,
+		Stages:         stagesOf(est),
+		Summary:        est.Summary,
+	}
+	if est.Telemetry != nil {
+		resp.EventCounts = est.Telemetry.EventCounts
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	var sr SweepRequest
+	if err := decodeJSON(r, &sr); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if (len(sr.Processes) == 0) == (sr.Global == nil) {
+		writeError(w, http.StatusBadRequest, "set exactly one of processes or global")
+		return
+	}
+	m, id, code, err := s.resolveModel(sr.ModelRef)
+	if err != nil {
+		writeError(w, code, err.Error())
+		return
+	}
+	ctx, cancel := s.evalContext(r, sr.TimeoutMS)
+	defer cancel()
+	req, err := buildRequest(ctx, m, &sr.EstimateRequest)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// The sweep fans out on the runner inside one admission slot; keep it
+	// sequential so a single sweep cannot monopolize every core.
+	req.Parallel = 1
+	resp := SweepResponse{ModelID: id}
+	if len(sr.Processes) > 0 {
+		pts, err := s.est.SweepProcesses(req, sr.Processes)
+		if err != nil {
+			writeEvalError(w, err)
+			return
+		}
+		for _, p := range pts {
+			resp.Points = append(resp.Points, SweepPoint(p))
+		}
+	} else {
+		if sr.Global.Name == "" || len(sr.Global.Values) == 0 {
+			writeError(w, http.StatusBadRequest, "global sweep needs name and values")
+			return
+		}
+		pts, err := s.est.SweepGlobal(req, sr.Global.Name, sr.Global.Values)
+		if err != nil {
+			writeEvalError(w, err)
+			return
+		}
+		for _, p := range pts {
+			resp.GlobalPoints = append(resp.GlobalPoints, GlobalPoint(p))
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	var cr CompareRequest
+	if err := decodeJSON(r, &cr); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(cr.Processes) == 0 {
+		writeError(w, http.StatusBadRequest, "compare needs a non-empty processes list")
+		return
+	}
+	ma, ida, code, err := s.resolveModel(cr.ModelA)
+	if err != nil {
+		writeError(w, code, fmt.Sprintf("model_a: %v", err))
+		return
+	}
+	mb, idb, code, err := s.resolveModel(cr.ModelB)
+	if err != nil {
+		writeError(w, code, fmt.Sprintf("model_b: %v", err))
+		return
+	}
+	ctx, cancel := s.evalContext(r, cr.TimeoutMS)
+	defer cancel()
+	req, err := buildRequest(ctx, ma, &EstimateRequest{
+		Params: cr.Params, Globals: cr.Globals, Seed: cr.Seed, Policy: cr.Policy,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	req.Parallel = 1
+	cmp, err := s.est.CompareModels(ma, mb, req, cr.Processes)
+	if err != nil {
+		writeEvalError(w, err)
+		return
+	}
+	resp := CompareResponse{
+		ModelAID:   ida,
+		ModelBID:   idb,
+		NameA:      cmp.NameA,
+		NameB:      cmp.NameB,
+		Crossovers: cmp.Crossovers,
+	}
+	for _, p := range cmp.Points {
+		resp.Points = append(resp.Points, ComparePoint{
+			Processes: p.Processes, MakespanA: p.MakespanA, MakespanB: p.MakespanB, Winner: p.Winner,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_ = obs.WriteText(w, s.reg.Snapshot())
+}

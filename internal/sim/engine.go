@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync/atomic"
 )
 
 // Engine is one simulation instance. The zero value is not usable; call
@@ -37,6 +38,11 @@ type Engine struct {
 	alive []*Process
 	done  int // processes in alive that have reached stateDone
 	err   error
+
+	// interrupted carries an external stop request (Interrupt). It is the
+	// only engine field touched from outside the scheduler goroutine, so
+	// it is atomic; the scheduler loop checks it between events.
+	interrupted atomic.Pointer[interruptCause]
 
 	// free is the event free-list: events popped from the queue are
 	// recycled through schedule instead of being reallocated, so a
@@ -182,7 +188,14 @@ func (e *Engine) Spawn(name string, fn func(*Process)) *Process {
 					return
 				}
 				if e.err == nil {
-					e.err = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+					if f, ok := r.(failure); ok {
+						// A cooperative abort via Process.Fail: keep the
+						// error chain intact so callers can errors.Is/As
+						// through it.
+						e.err = &ProcessError{Process: p.name, Err: f.err}
+					} else {
+						e.err = fmt.Errorf("sim: process %q panicked: %v", p.name, r)
+					}
 				}
 			}
 			p.state = stateDone
@@ -206,6 +219,9 @@ func (e *Engine) Spawn(name string, fn func(*Process)) *Process {
 func (e *Engine) Run() (float64, error) {
 	defer e.shutdown()
 	for len(e.events) > 0 {
+		if c := e.interrupted.Load(); c != nil {
+			return e.now, &InterruptError{Time: e.now, Cause: c.err}
+		}
 		ev := heap.Pop(&e.events).(*event)
 		e.now = ev.time
 		switch {
@@ -240,6 +256,9 @@ func (e *Engine) Run() (float64, error) {
 func (e *Engine) RunUntil(limit float64) (float64, error) {
 	defer e.shutdown()
 	for len(e.events) > 0 && e.events[0].time <= limit {
+		if c := e.interrupted.Load(); c != nil {
+			return e.now, &InterruptError{Time: e.now, Cause: c.err}
+		}
 		ev := heap.Pop(&e.events).(*event)
 		e.now = ev.time
 		switch {
@@ -323,6 +342,53 @@ func (e *Engine) shutdown() {
 	e.alive = nil
 	e.done = 0
 }
+
+// interruptCause boxes the Interrupt cause so it fits an atomic.Pointer.
+type interruptCause struct{ err error }
+
+// Interrupt requests that the running simulation stop: the scheduler
+// checks between events, unwinds every parked process, and Run/RunUntil
+// return an *InterruptError wrapping cause. Unlike every other Engine
+// method, Interrupt is safe to call from any goroutine — it is how a
+// caller plumbs context cancellation into a run without polling. Calling
+// it on an engine that is not running makes the next Run return
+// immediately; later calls keep the first cause.
+func (e *Engine) Interrupt(cause error) {
+	if cause == nil {
+		cause = fmt.Errorf("sim: interrupted")
+	}
+	e.interrupted.CompareAndSwap(nil, &interruptCause{err: cause})
+}
+
+// InterruptError reports a run stopped by Engine.Interrupt. It unwraps to
+// the interrupt cause, so errors.Is(err, context.DeadlineExceeded) and
+// friends see through it.
+type InterruptError struct {
+	Time  float64
+	Cause error
+}
+
+func (e *InterruptError) Error() string {
+	return fmt.Sprintf("sim: run interrupted at t=%g: %v", e.Time, e.Cause)
+}
+
+func (e *InterruptError) Unwrap() error { return e.Cause }
+
+// ProcessError reports a simulation process that aborted the run through
+// Process.Fail: the typed alternative to panicking with an error, which
+// would flatten the chain into a string. It unwraps to the process's
+// error, so callers can errors.Is/As through a failed run (for example to
+// distinguish an expression-evaluation failure from a DeadlockError).
+type ProcessError struct {
+	Process string
+	Err     error
+}
+
+func (p *ProcessError) Error() string {
+	return fmt.Sprintf("sim: process %q failed: %v", p.Process, p.Err)
+}
+
+func (p *ProcessError) Unwrap() error { return p.Err }
 
 // DeadlockError reports a simulation that ended with blocked processes.
 type DeadlockError struct {

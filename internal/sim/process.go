@@ -35,6 +35,22 @@ type Process struct {
 	msg interface{}
 }
 
+// failure carries an error raised by Process.Fail through the panic
+// unwind, letting the engine distinguish a cooperative abort (wrapped as
+// *ProcessError, chain preserved) from a true panic (reported as such).
+type failure struct{ err error }
+
+// Fail aborts the simulation with err: the run's Run/RunUntil call
+// returns a *ProcessError that wraps err, keeping the error chain intact
+// for errors.Is/As. Fail does not return. A nil err is replaced by a
+// generic failure error.
+func (p *Process) Fail(err error) {
+	if err == nil {
+		err = errors.New("sim: process failed")
+	}
+	panic(failure{err: err})
+}
+
 // Name returns the process name given at Spawn.
 func (p *Process) Name() string { return p.name }
 

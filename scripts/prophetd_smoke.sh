@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Black-box smoke test for prophetd: build the binary, serve a corpus
+# model, estimate it twice (miss then cache hit), scrape /metrics, and
+# check that SIGTERM drains to a clean exit 0.
+#
+# Needs curl; uses jq when available, falls back to grep.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PORT="${PROPHETD_SMOKE_PORT:-18080}"
+BASE="http://127.0.0.1:${PORT}"
+MODEL="testdata/corpus/zero-time.xml"
+BIN="$(mktemp -d)/prophetd"
+PID=""
+
+cleanup() {
+    [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null || true
+    rm -rf "$(dirname "$BIN")"
+}
+trap cleanup EXIT
+
+fail() { echo "smoke: FAIL: $*" >&2; exit 1; }
+
+echo "smoke: building prophetd"
+go build -o "$BIN" ./cmd/prophetd
+
+echo "smoke: starting on $BASE"
+"$BIN" -addr "127.0.0.1:${PORT}" &
+PID=$!
+
+# Wait for /healthz (the server should come up in well under 10s).
+up=""
+for _ in $(seq 1 100); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then up=1; break; fi
+    kill -0 "$PID" 2>/dev/null || fail "prophetd exited before becoming healthy"
+    sleep 0.1
+done
+[ -n "$up" ] || fail "/healthz never became ready"
+echo "smoke: healthy"
+
+# Register a model; the response carries its content address.
+reg="$(curl -fsS -X POST --data-binary "@${MODEL}" "$BASE/v1/models")"
+if command -v jq >/dev/null 2>&1; then
+    id="$(printf '%s' "$reg" | jq -r .id)"
+else
+    id="$(printf '%s' "$reg" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')"
+fi
+case "$id" in
+    sha256:*) echo "smoke: registered $id" ;;
+    *) fail "unexpected model id in $reg" ;;
+esac
+
+# Estimate by id, twice: the second run must hit the compile cache.
+for i in 1 2; do
+    est="$(curl -fsS -X POST -H 'Content-Type: application/json' \
+        -d "{\"model_id\": \"${id}\", \"globals\": {\"eps\": 0.5}}" \
+        "$BASE/v1/estimate")"
+    printf '%s' "$est" | grep -q '"makespan"' || fail "estimate $i has no makespan: $est"
+done
+echo "smoke: estimates ok"
+
+metrics="$(curl -fsS "$BASE/metrics")"
+for want in estimator_cache_hits_total estimator_cache_misses_total \
+    server_queue_depth server_inflight model_store_models http_requests_total; do
+    printf '%s\n' "$metrics" | grep -q "^${want}" || fail "/metrics missing ${want}"
+done
+printf '%s\n' "$metrics" | grep -q '^estimator_cache_hits_total 1' \
+    || fail "second estimate did not hit the compile cache"
+echo "smoke: metrics ok"
+
+# SIGTERM must drain and exit 0.
+kill -TERM "$PID"
+status=0
+wait "$PID" || status=$?
+PID=""
+[ "$status" -eq 0 ] || fail "prophetd exited $status on SIGTERM, want 0"
+echo "smoke: clean shutdown"
+echo "smoke: PASS"
