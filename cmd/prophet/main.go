@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -69,6 +70,22 @@ type metricsDoc struct {
 	Telemetry *estimator.Telemetry `json:"telemetry,omitempty"`
 }
 
+// writeSpanTree writes a trace's span tree as indented JSON, the format
+// traceview -spans (and prophetd's GET /v1/traces/{id}) uses.
+func writeSpanTree(path string, tt obs.TraceTree) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(tt); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func writeMetricsDoc(path string, doc metricsDoc) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -107,6 +124,7 @@ func run(args []string) (err error) {
 	bwIntra := fs.Float64("bw-intra", defNet.BandwidthIntra, "intra-node bandwidth (bytes/s)")
 	bwInter := fs.Float64("bw-inter", defNet.BandwidthInter, "inter-node bandwidth (bytes/s)")
 	metricsPath := fs.String("metrics", "", "write an observability JSON dump (spans, metrics, telemetry) here")
+	spansPath := fs.String("spans", "", "record the run's span tree and write it as JSON here (render with traceview -spans)")
 	sampleInterval := fs.Float64("sample-interval", 0, "simulated-time spacing of telemetry samples (0 = every time change)")
 	cpuProfile := fs.String("cpuprofile", "", "write a CPU profile here")
 	pprofAddr := fs.String("pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
@@ -198,6 +216,25 @@ func run(args []string) (err error) {
 		return fmt.Errorf("unknown policy %q (fcfs or ps)", *policy)
 	}
 
+	// -spans records the same hierarchical trace a prophetd request gets:
+	// the root span rides the request context, every pipeline stage (and
+	// each batch job) attaches its child, and the tree is written at exit.
+	if *spansPath != "" {
+		tr, root := obs.NewTrace("prophet")
+		root.Annotate("model", m.Name())
+		req.Context = obs.ContextWithSpan(context.Background(), root)
+		defer func() {
+			if err != nil {
+				return
+			}
+			root.End()
+			err = writeSpanTree(*spansPath, tr.Tree())
+			if err == nil {
+				fmt.Printf("spans: %s\n", *spansPath)
+			}
+		}()
+	}
+
 	if *versus != "" {
 		other, err := core.New().LoadModel(*versus)
 		if err != nil {
@@ -211,6 +248,7 @@ func run(args []string) (err error) {
 		}
 		cmp, err := estimator.New().CompareModels(m, other, estimator.Request{
 			Params: params, Globals: globals, Net: &net, Policy: req.Policy, Parallel: *parallel,
+			Context: req.Context,
 		}, counts)
 		if err != nil {
 			return err

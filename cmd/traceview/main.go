@@ -5,13 +5,17 @@
 // Usage:
 //
 //	traceview [-gantt] [-width N] <run.trace>
+//	traceview -spans <spans.json>     # span tree from prophet -spans or
+//	                                  # prophetd GET /v1/traces/{id}
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
+	"prophet/internal/obs"
 	"prophet/internal/trace"
 )
 
@@ -29,13 +33,20 @@ func run() error {
 	chromePath := fs.String("chrome", "", "also write Chrome trace-event JSON here")
 	csvOut := fs.Bool("csv", false, "print the per-element summary as CSV instead of the table")
 	comparePath := fs.String("compare", "", "second trace file: print a before/after comparison")
+	spans := fs.Bool("spans", false, "input is a request span tree (prophet -spans / prophetd /v1/traces/{id}) instead of a trace file")
 	if err := fs.Parse(os.Args[1:]); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: traceview [-gantt] [-width N] <run.trace>")
+		return fmt.Errorf("usage: traceview [-gantt] [-width N] [-spans] <run.trace>")
 	}
-	tr, err := trace.Load(fs.Arg(0))
+	var tr *trace.Trace
+	var err error
+	if *spans {
+		tr, err = loadSpanTree(fs.Arg(0))
+	} else {
+		tr, err = trace.Load(fs.Arg(0))
+	}
 	if err != nil {
 		return err
 	}
@@ -75,4 +86,19 @@ func run() error {
 		fmt.Printf("chrome trace written to %s\n", *chromePath)
 	}
 	return nil
+}
+
+// loadSpanTree reads a request span tree (obs.TraceTree JSON) and
+// converts it to a renderable trace via trace.FromSpanTree.
+func loadSpanTree(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var tt obs.TraceTree
+	if err := json.NewDecoder(f).Decode(&tt); err != nil {
+		return nil, fmt.Errorf("%s: not a span tree: %v", path, err)
+	}
+	return trace.FromSpanTree(tt), nil
 }

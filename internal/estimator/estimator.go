@@ -173,12 +173,21 @@ func NewWith(reg *profile.Registry, cfg checker.Config) *Estimator {
 	return &Estimator{registry: reg, checker: checker.NewWith(reg, cfg)}
 }
 
-// stage opens one pipeline span in both the estimate's own recorder and
-// the caller-provided one (when set); the returned func closes both.
-func stage(req Request, rec *obs.SpanRecorder, name string) func() {
+// stage opens one pipeline span in the estimate's own recorder, the
+// caller-provided recorder (when set), and — when a trace span rides the
+// request context — the request's trace tree. The returned context
+// carries the trace child (it is req.Context unchanged when no trace is
+// attached, nil when the request has none); the returned func closes
+// every span opened.
+func stage(req Request, rec *obs.SpanRecorder, name string) (context.Context, func()) {
 	d1 := rec.Start(name)
 	d2 := req.Spans.Start(name) // nil-safe
-	return func() { d1(); d2() }
+	ctx := req.Context
+	var ts *obs.TraceSpan
+	if ctx != nil {
+		ctx, ts = obs.StartSpan(ctx, name)
+	}
+	return ctx, func() { d1(); d2(); ts.End() }
 }
 
 // Estimate runs one evaluation: check, compile, simulate, summarize.
@@ -193,14 +202,14 @@ func (e *Estimator) Estimate(req Request) (*Estimate, error) {
 	}
 	rec := obs.NewSpanRecorder()
 	if !req.SkipCheck {
-		done := stage(req, rec, "check")
+		_, done := stage(req, rec, "check")
 		rep := e.checker.Check(req.Model)
 		done()
 		if rep.HasErrors() {
 			return nil, &CheckError{Model: req.Model.Name(), Report: rep}
 		}
 	}
-	done := stage(req, rec, "compile")
+	_, done := stage(req, rec, "compile")
 	pr, err := interp.Compile(req.Model, e.registry)
 	done()
 	if err != nil {
@@ -212,11 +221,25 @@ func (e *Estimator) Estimate(req Request) (*Estimate, error) {
 // Compile prepares a model once for repeated evaluation (parameter
 // sweeps).
 func (e *Estimator) Compile(m *uml.Model) (*interp.Program, error) {
+	return e.compileCtx(context.Background(), m, "")
+}
+
+// compileCtx checks then compiles the model, recording "check" and
+// "compile" spans into the trace riding ctx (no-ops without one).
+// cacheAttr, when non-empty, annotates the compile span's cache outcome.
+func (e *Estimator) compileCtx(ctx context.Context, m *uml.Model, cacheAttr string) (*interp.Program, error) {
+	_, sp := obs.StartSpan(ctx, "check")
 	rep := e.checker.Check(m)
+	sp.End()
 	if rep.HasErrors() {
 		return nil, &CheckError{Model: m.Name(), Report: rep}
 	}
+	_, sp = obs.StartSpan(ctx, "compile")
 	pr, err := interp.Compile(m, e.registry)
+	if cacheAttr != "" {
+		sp.Annotate("cache", cacheAttr)
+	}
+	sp.End()
 	if err != nil {
 		return nil, fmt.Errorf("estimator: %w", err)
 	}
@@ -264,6 +287,15 @@ func (e *Estimator) cacheEvent(hit bool) {
 // recompiled — the cache can never serve a stale program. The cache
 // holds at most maxCachedPrograms entries, evicting oldest-first.
 func (e *Estimator) CompileCached(m *uml.Model) (*interp.Program, error) {
+	return e.CompileCachedCtx(context.Background(), m)
+}
+
+// CompileCachedCtx is CompileCached with request tracing: when ctx
+// carries a trace span, a cache hit records a "compile" span annotated
+// cache=hit, and a miss records the real "check" and "compile" spans
+// (the latter annotated cache=miss) — so a request's span tree shows
+// whether it paid for compilation.
+func (e *Estimator) CompileCachedCtx(ctx context.Context, m *uml.Model) (*interp.Program, error) {
 	if m == nil {
 		return nil, fmt.Errorf("estimator: nil model")
 	}
@@ -271,16 +303,19 @@ func (e *Estimator) CompileCached(m *uml.Model) (*interp.Program, error) {
 	if err != nil {
 		// A model that cannot be canonicalized cannot be content-addressed;
 		// compile it uncached rather than risking a stale identity hit.
-		return e.Compile(m)
+		return e.compileCtx(ctx, m, "uncacheable")
 	}
 	e.progMu.Lock()
 	pr, ok := e.progs[key]
 	e.cacheEvent(ok)
 	e.progMu.Unlock()
 	if ok {
+		_, sp := obs.StartSpan(ctx, "compile")
+		sp.Annotate("cache", "hit")
+		sp.End()
 		return pr, nil
 	}
-	pr, err = e.Compile(m)
+	pr, err = e.compileCtx(ctx, m, "miss")
 	if err != nil {
 		return nil, err
 	}
@@ -372,7 +407,11 @@ func (e *Estimator) runMode(pr *interp.Program, req Request, fast bool, rec *obs
 		cfg.Observer = simRec
 		cfg.SampleInterval = req.SampleInterval
 	}
-	done := stage(req, rec, "simulate")
+	// The simulate stage's derived context carries the stage's trace span
+	// into the interpreter, which nests the engine-level "sim" span (with
+	// event counts) underneath it.
+	simCtx, done := stage(req, rec, "simulate")
+	cfg.Context = simCtx
 	res, err := pr.Run(cfg)
 	done()
 	if err != nil {
@@ -393,14 +432,14 @@ func (e *Estimator) runMode(pr *interp.Program, req Request, fast bool, rec *obs
 		e.finish(req, est, rec, simRec)
 		return est, nil
 	}
-	done = stage(req, rec, "summarize")
+	_, done = stage(req, rec, "summarize")
 	sum, err := trace.Summarize(res.Trace)
 	done()
 	if err != nil {
 		return nil, fmt.Errorf("estimator: summarize: %w", err)
 	}
 	if req.TracePath != "" {
-		done = stage(req, rec, "trace-write")
+		_, done = stage(req, rec, "trace-write")
 		err := trace.Save(req.TracePath, res.Trace)
 		done()
 		if err != nil {
@@ -503,7 +542,7 @@ type SweepPoint struct {
 // with the processes (one node per ProcessorsPerNode processes).
 func (e *Estimator) SweepProcesses(req Request, counts []int) ([]SweepPoint, error) {
 	done := req.Spans.Start("compile")
-	pr, err := e.CompileCached(req.Model)
+	pr, err := e.CompileCachedCtx(req.ctx(), req.Model)
 	done()
 	if err != nil {
 		return nil, err
@@ -524,6 +563,10 @@ func (e *Estimator) SweepProcesses(req Request, counts []int) ([]SweepPoint, err
 			}
 			r := req
 			r.Params = p
+			// ctx is the runner's per-job context: cancelled when the batch
+			// fails fast, and carrying the job's trace span when the request
+			// is traced — so the simulate span nests under its sweep point.
+			r.Context = ctx
 			est, err := e.runMode(pr, r, true, obs.NewSpanRecorder())
 			if err != nil {
 				return SweepPoint{}, fmt.Errorf("estimator: sweep at %d processes: %w", procs, err)
@@ -557,7 +600,7 @@ type GlobalPoint struct {
 // SweepGlobal evaluates the model across values of one global variable.
 func (e *Estimator) SweepGlobal(req Request, name string, values []float64) ([]GlobalPoint, error) {
 	done := req.Spans.Start("compile")
-	pr, err := e.CompileCached(req.Model)
+	pr, err := e.CompileCachedCtx(req.ctx(), req.Model)
 	done()
 	if err != nil {
 		return nil, err
@@ -571,6 +614,7 @@ func (e *Estimator) SweepGlobal(req Request, name string, values []float64) ([]G
 				r.Globals[k] = gv
 			}
 			r.Globals[name] = v
+			r.Context = ctx
 			est, err := e.runMode(pr, r, true, obs.NewSpanRecorder())
 			if err != nil {
 				return GlobalPoint{}, fmt.Errorf("estimator: sweep %s=%g: %w", name, v, err)

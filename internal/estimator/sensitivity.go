@@ -32,7 +32,7 @@ func (e *Estimator) MonteCarlo(req Request, runs int) (*MonteCarloResult, error)
 	if runs < 1 {
 		return nil, fmt.Errorf("estimator: monte carlo needs runs >= 1, got %d", runs)
 	}
-	pr, err := e.CompileCached(req.Model)
+	pr, err := e.CompileCachedCtx(req.ctx(), req.Model)
 	if err != nil {
 		return nil, err
 	}
@@ -41,6 +41,7 @@ func (e *Estimator) MonteCarlo(req Request, runs int) (*MonteCarloResult, error)
 		func(ctx context.Context, i int) (float64, error) {
 			r := req
 			r.Seed = seeds[i]
+			r.Context = ctx
 			est, err := e.runMode(pr, r, true, obs.NewSpanRecorder())
 			if err != nil {
 				return 0, fmt.Errorf("estimator: monte carlo run %d: %w", i, err)
@@ -126,7 +127,7 @@ func (e *Estimator) Sensitivity(req Request, names []string, delta float64) (*Se
 	if delta <= 0 || delta >= 1 {
 		return nil, fmt.Errorf("estimator: sensitivity delta must be in (0,1), got %g", delta)
 	}
-	pr, err := e.CompileCached(req.Model)
+	pr, err := e.CompileCachedCtx(req.ctx(), req.Model)
 	if err != nil {
 		return nil, err
 	}
@@ -167,6 +168,7 @@ func (e *Estimator) Sensitivity(req Request, names []string, delta float64) (*Se
 			if j.name != "" {
 				r.Globals[j.name] = j.value
 			}
+			r.Context = ctx
 			est, err := e.runMode(pr, r, true, obs.NewSpanRecorder())
 			if err != nil {
 				if i == 0 {

@@ -3,9 +3,11 @@ package interp
 import (
 	"context"
 	"fmt"
+	"strconv"
 
 	"prophet/internal/expr"
 	"prophet/internal/machine"
+	"prophet/internal/obs"
 	"prophet/internal/profile"
 	"prophet/internal/sim"
 	"prophet/internal/trace"
@@ -121,13 +123,27 @@ func (pr *Program) Run(cfg Config) (*Result, error) {
 		})
 	}
 
+	// When the request carries a trace (obs.StartSpan no-ops otherwise),
+	// the engine run gets its own span under the estimator's "simulate"
+	// stage, annotated with the work the simulation actually did — the
+	// deepest level of the request's span tree.
+	_, span := obs.StartSpan(cfg.Context, "sim")
+	annotate := func() {
+		span.Annotate("events", strconv.FormatInt(eng.EventsExecuted(), 10))
+		span.Annotate("sim_time", strconv.FormatFloat(eng.Now(), 'g', -1, 64))
+		span.Annotate("processes", strconv.Itoa(sp.Processes))
+		span.End()
+	}
 	if cfg.RunLimit > 0 {
 		if _, err := eng.RunUntil(cfg.RunLimit); err != nil {
+			annotate()
 			return nil, fmt.Errorf("interp: %w", err)
 		}
 	} else if _, err := eng.Run(); err != nil {
+		annotate()
 		return nil, fmt.Errorf("interp: %w", err)
 	}
+	annotate()
 
 	res := &Result{
 		Trace:    rs.trace,

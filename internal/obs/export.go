@@ -77,11 +77,51 @@ func WriteCSV(w io.Writer, snap Snapshot) error {
 	return cw.Error()
 }
 
+// WritePrometheus writes the registry in the Prometheus text exposition
+// format (version 0.0.4): one `# TYPE` line per metric family (plus
+// `# HELP` when Registry.Help registered one), `name{labels} value`
+// samples, and histograms expanded into cumulative `_bucket{le="..."}`
+// series (the final `le="+Inf"` bucket included) with `_sum` and
+// `_count`. This is what prophetd serves on GET /metrics.
+func WritePrometheus(w io.Writer, reg *Registry) error {
+	snap := reg.Snapshot()
+	var last string
+	for _, m := range snap.Metrics {
+		if m.Name != last {
+			last = m.Name
+			if help := reg.helpFor(m.Name); help != "" {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", m.Name, help); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", m.Name, m.Type); err != nil {
+				return err
+			}
+		}
+		if err := writeTextMetric(w, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // WriteText writes the snapshot in an expvar/Prometheus-style plain-text
 // form: one `name{labels} value` line per scalar, with histograms
 // expanded into cumulative `_bucket{le="..."}` lines plus `_sum` and
 // `_count`.
 func WriteText(w io.Writer, snap Snapshot) error {
+	for _, m := range snap.Metrics {
+		if err := writeTextMetric(w, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeTextMetric writes one metric's sample lines (shared by WriteText
+// and WritePrometheus — the sample syntax is identical, the Prometheus
+// form just adds family headers).
+func writeTextMetric(w io.Writer, m MetricSnapshot) error {
 	line := func(name, labels string, value string) error {
 		if labels != "" {
 			_, err := fmt.Fprintf(w, "%s{%s} %s\n", name, labels, value)
@@ -97,37 +137,30 @@ func WriteText(w io.Writer, snap Snapshot) error {
 		}
 		return strings.Join(parts, ",")
 	}
-	for _, m := range snap.Metrics {
-		labels := formatLabels(m.Labels)
-		switch m.Type {
-		case "histogram":
-			cum := int64(0)
-			for i, c := range m.Buckets {
-				cum += c
-				le := "+Inf"
-				if i < len(m.Bounds) {
-					le = formatValue(m.Bounds[i])
-				}
-				ls := joinLabels(labels, fmt.Sprintf("le=%q", le))
-				if err := line(m.Name+"_bucket", ls, strconv.FormatInt(cum, 10)); err != nil {
-					return err
-				}
+	labels := formatLabels(m.Labels)
+	switch m.Type {
+	case "histogram":
+		cum := int64(0)
+		for i, c := range m.Buckets {
+			cum += c
+			le := "+Inf"
+			if i < len(m.Bounds) {
+				le = formatValue(m.Bounds[i])
 			}
-			if err := line(m.Name+"_sum", labels, formatValue(m.Sum)); err != nil {
-				return err
-			}
-			if err := line(m.Name+"_count", labels, strconv.FormatInt(m.Count, 10)); err != nil {
-				return err
-			}
-		default:
-			v := m.Value
-			if math.IsNaN(v) {
-				v = 0
-			}
-			if err := line(m.Name, labels, formatValue(v)); err != nil {
+			ls := joinLabels(labels, fmt.Sprintf("le=%q", le))
+			if err := line(m.Name+"_bucket", ls, strconv.FormatInt(cum, 10)); err != nil {
 				return err
 			}
 		}
+		if err := line(m.Name+"_sum", labels, formatValue(m.Sum)); err != nil {
+			return err
+		}
+		return line(m.Name+"_count", labels, strconv.FormatInt(m.Count, 10))
+	default:
+		v := m.Value
+		if math.IsNaN(v) {
+			v = 0
+		}
+		return line(m.Name, labels, formatValue(v))
 	}
-	return nil
 }

@@ -126,17 +126,51 @@ func (h *Histogram) reset() {
 // in practice because label values in this codebase are identifiers.
 func labelKey(values []string) string { return strings.Join(values, "\x1f") }
 
+// DefaultMaxLabelSets caps the distinct label-value sets one labeled
+// metric may grow. Label values often echo request content (routes,
+// status codes, stage names); without a cap, a misbehaving client could
+// grow the registry — and every /metrics response — without bound.
+// Observations beyond the cap fold into a single overflow series whose
+// every label value is OverflowLabel.
+const DefaultMaxLabelSets = 256
+
+// OverflowLabel is the label value of the overflow series that absorbs
+// observations past a vec's label-set cap.
+const OverflowLabel = "other"
+
+// overflowKey returns the map key of the overflow child for n labels.
+func overflowKey(n int) string {
+	values := make([]string, n)
+	for i := range values {
+		values[i] = OverflowLabel
+	}
+	return labelKey(values)
+}
+
+// vecKey resolves the key to store a missing child under, honouring the
+// cardinality cap: at or beyond limit distinct label sets, new sets fold
+// into the overflow key. Call with the vec's write lock held.
+func vecKey(k string, keys []string, limit, labels int) string {
+	if limit > 0 && len(keys) >= limit {
+		return overflowKey(labels)
+	}
+	return k
+}
+
 // CounterVec is a family of counters partitioned by label values.
 type CounterVec struct {
 	name   string
 	labels []string
+	limit  int // max distinct label sets; 0 = unlimited
 	mu     sync.RWMutex
 	kids   map[string]*Counter
 	keys   []string // insertion order for deterministic snapshots
 }
 
 // With returns (creating on first use) the child counter for the given
-// label values; the number of values must match the label names.
+// label values; the number of values must match the label names. Past
+// the registry's label-set cap, unseen label sets share one overflow
+// child labeled OverflowLabel.
 func (v *CounterVec) With(values ...string) *Counter {
 	if len(values) != len(v.labels) {
 		panic(fmt.Sprintf("obs: counter %q expects %d label values, got %d", v.name, len(v.labels), len(values)))
@@ -150,6 +184,7 @@ func (v *CounterVec) With(values ...string) *Counter {
 	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
+	k = vecKey(k, v.keys, v.limit, len(v.labels))
 	if c = v.kids[k]; c == nil {
 		c = &Counter{}
 		v.kids[k] = c
@@ -162,6 +197,7 @@ func (v *CounterVec) With(values ...string) *Counter {
 type GaugeVec struct {
 	name   string
 	labels []string
+	limit  int
 	mu     sync.RWMutex
 	kids   map[string]*Gauge
 	keys   []string
@@ -181,6 +217,7 @@ func (v *GaugeVec) With(values ...string) *Gauge {
 	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
+	k = vecKey(k, v.keys, v.limit, len(v.labels))
 	if g = v.kids[k]; g == nil {
 		g = &Gauge{}
 		v.kids[k] = g
@@ -194,6 +231,7 @@ type HistogramVec struct {
 	name   string
 	labels []string
 	bounds []float64
+	limit  int
 	mu     sync.RWMutex
 	kids   map[string]*Histogram
 	keys   []string
@@ -213,6 +251,7 @@ func (v *HistogramVec) With(values ...string) *Histogram {
 	}
 	v.mu.Lock()
 	defer v.mu.Unlock()
+	k = vecKey(k, v.keys, v.limit, len(v.labels))
 	if h = v.kids[k]; h == nil {
 		h = newHistogram(v.bounds)
 		v.kids[k] = h
@@ -228,11 +267,57 @@ type Registry struct {
 	mu    sync.RWMutex
 	named map[string]any // *Counter | *Gauge | *Histogram | *CounterVec | *GaugeVec | *HistogramVec
 	order []string
+	help  map[string]string
+	// maxLabelSets caps distinct label sets per labeled metric created
+	// from this registry: 0 means DefaultMaxLabelSets, negative means
+	// unlimited. Applied at vec creation time.
+	maxLabelSets int
 }
 
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{named: make(map[string]any)}
+}
+
+// SetMaxLabelSets caps how many distinct label sets each labeled metric
+// created *after* this call may hold (overflow folds into a series
+// labeled OverflowLabel). 0 restores DefaultMaxLabelSets; negative
+// removes the cap.
+func (r *Registry) SetMaxLabelSets(n int) {
+	r.mu.Lock()
+	r.maxLabelSets = n
+	r.mu.Unlock()
+}
+
+// labelLimit resolves the effective cap for a new vec. It is called from
+// lookup's create funcs, which already hold r.mu, so it must not lock.
+func (r *Registry) labelLimit() int {
+	switch n := r.maxLabelSets; {
+	case n == 0:
+		return DefaultMaxLabelSets
+	case n < 0:
+		return 0 // unlimited
+	default:
+		return n
+	}
+}
+
+// Help attaches a help string to a metric name; WritePrometheus emits it
+// as the metric's # HELP line.
+func (r *Registry) Help(name, text string) {
+	r.mu.Lock()
+	if r.help == nil {
+		r.help = make(map[string]string)
+	}
+	r.help[name] = text
+	r.mu.Unlock()
+}
+
+// helpFor returns the registered help string ("" when none).
+func (r *Registry) helpFor(name string) string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.help[name]
 }
 
 func lookup[T any](r *Registry, name string, create func() T) T {
@@ -275,21 +360,21 @@ func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
 // CounterVec returns the labeled counter family with the given name.
 func (r *Registry) CounterVec(name string, labels ...string) *CounterVec {
 	return lookup(r, name, func() *CounterVec {
-		return &CounterVec{name: name, labels: labels, kids: make(map[string]*Counter)}
+		return &CounterVec{name: name, labels: labels, limit: r.labelLimit(), kids: make(map[string]*Counter)}
 	})
 }
 
 // GaugeVec returns the labeled gauge family with the given name.
 func (r *Registry) GaugeVec(name string, labels ...string) *GaugeVec {
 	return lookup(r, name, func() *GaugeVec {
-		return &GaugeVec{name: name, labels: labels, kids: make(map[string]*Gauge)}
+		return &GaugeVec{name: name, labels: labels, limit: r.labelLimit(), kids: make(map[string]*Gauge)}
 	})
 }
 
 // HistogramVec returns the labeled histogram family with the given name.
 func (r *Registry) HistogramVec(name string, bounds []float64, labels ...string) *HistogramVec {
 	return lookup(r, name, func() *HistogramVec {
-		return &HistogramVec{name: name, labels: labels, bounds: bounds, kids: make(map[string]*Histogram)}
+		return &HistogramVec{name: name, labels: labels, bounds: bounds, limit: r.labelLimit(), kids: make(map[string]*Histogram)}
 	})
 }
 

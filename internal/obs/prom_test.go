@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("runs_total").Add(3)
+	reg.Help("runs_total", "Total runs.")
+	reg.GaugeVec("util", "node").With("0").Set(0.5)
+	h := reg.HistogramVec("lat_seconds", []float64{0.1, 1}, "route")
+	h.With("estimate").Observe(0.05)
+	h.With("estimate").Observe(2)
+
+	var b strings.Builder
+	if err := WritePrometheus(&b, reg); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP runs_total Total runs.",
+		"# TYPE runs_total counter",
+		"runs_total 3",
+		"# TYPE util gauge",
+		`util{node="0"} 0.5`,
+		"# TYPE lat_seconds histogram",
+		`lat_seconds_bucket{route="estimate",le="0.1"} 1`,
+		`lat_seconds_bucket{route="estimate",le="1"} 1`,
+		`lat_seconds_bucket{route="estimate",le="+Inf"} 2`,
+		`lat_seconds_sum{route="estimate"} 2.05`,
+		`lat_seconds_count{route="estimate"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+	// TYPE headers appear exactly once per family.
+	if n := strings.Count(out, "# TYPE lat_seconds "); n != 1 {
+		t.Errorf("lat_seconds TYPE header appears %d times", n)
+	}
+}
+
+func TestLabelCardinalityCap(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetMaxLabelSets(3)
+	vec := reg.CounterVec("reqs_total", "path")
+	for i := 0; i < 10; i++ {
+		vec.With(fmt.Sprintf("/p/%d", i)).Inc()
+	}
+	// The first 3 distinct label sets got their own series; the remaining
+	// 7 folded into one overflow series labeled OverflowLabel.
+	over := vec.With(OverflowLabel) // same child the fold-in used
+	if got := over.Value(); got != 7 {
+		t.Fatalf("overflow series = %d, want 7", got)
+	}
+	snap := reg.Snapshot()
+	var series int
+	var sum int64
+	for _, m := range snap.Metrics {
+		if m.Name != "reqs_total" {
+			continue
+		}
+		series++
+		sum += int64(m.Value)
+	}
+	// 3 real + 1 overflow; no observation was lost.
+	if series != 4 || sum != 10 {
+		t.Fatalf("series = %d (want 4), sum = %d (want 10)", series, sum)
+	}
+}
+
+func TestLabelCapUnlimited(t *testing.T) {
+	reg := NewRegistry()
+	reg.SetMaxLabelSets(-1)
+	vec := reg.CounterVec("c", "k")
+	for i := 0; i < DefaultMaxLabelSets+5; i++ {
+		vec.With(fmt.Sprintf("v%d", i)).Inc()
+	}
+	if got := vec.With(OverflowLabel).Value(); got != 0 {
+		t.Fatalf("overflow series used despite unlimited cap: %d", got)
+	}
+}
+
+func TestLabelCapDefaultApplied(t *testing.T) {
+	reg := NewRegistry()
+	vec := reg.HistogramVec("h", []float64{1}, "k")
+	for i := 0; i < DefaultMaxLabelSets+10; i++ {
+		vec.With(fmt.Sprintf("v%d", i)).Observe(0.5)
+	}
+	if got := vec.With(OverflowLabel).Count(); got != 10 {
+		t.Fatalf("overflow histogram count = %d, want 10", got)
+	}
+}

@@ -1,0 +1,83 @@
+package obs
+
+import "sync"
+
+// TraceRing keeps the most recent completed traces in bounded memory so
+// a trace can be fetched shortly after its request finished
+// (GET /v1/traces/{id}) without the server ever growing without bound.
+// When full, adding a trace evicts the oldest one (FIFO by insertion).
+type TraceRing struct {
+	mu   sync.Mutex
+	cap  int
+	byID map[string]*Trace
+	ids  []string // insertion order; ids[0] is evicted next
+}
+
+// NewTraceRing creates a ring retaining at most n traces (n <= 0 means
+// the default of 256).
+func NewTraceRing(n int) *TraceRing {
+	if n <= 0 {
+		n = 256
+	}
+	return &TraceRing{cap: n, byID: make(map[string]*Trace, n)}
+}
+
+// Add inserts a trace, evicting the oldest when the ring is full.
+// Re-adding a trace already in the ring refreshes nothing (first
+// insertion order is kept). Nil traces are ignored.
+func (r *TraceRing) Add(t *Trace) {
+	if r == nil || t == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	id := t.ID()
+	if _, ok := r.byID[id]; ok {
+		return
+	}
+	r.byID[id] = t
+	r.ids = append(r.ids, id)
+	for len(r.ids) > r.cap {
+		delete(r.byID, r.ids[0])
+		r.ids = r.ids[1:]
+	}
+}
+
+// Get returns the trace with the given id, if it is still retained.
+func (r *TraceRing) Get(id string) (*Trace, bool) {
+	if r == nil {
+		return nil, false
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.byID[id]
+	return t, ok
+}
+
+// Len returns the number of retained traces.
+func (r *TraceRing) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.ids)
+}
+
+// Recent returns up to n retained traces, newest first (n <= 0 means
+// all).
+func (r *TraceRing) Recent(n int) []*Trace {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n <= 0 || n > len(r.ids) {
+		n = len(r.ids)
+	}
+	out := make([]*Trace, 0, n)
+	for i := len(r.ids) - 1; i >= 0 && len(out) < n; i-- {
+		out = append(out, r.byID[r.ids[i]])
+	}
+	return out
+}

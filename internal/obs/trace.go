@@ -1,0 +1,254 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace is one request's end-to-end story: a tree of wall-clock spans,
+// each with a name, a duration and free-form string attributes, under a
+// single trace ID. Where SpanRecorder answers "how long did each stage
+// take, flat", a Trace answers "what happened inside THIS request, in
+// what order, nested how" — the unit the serving layer stores, exports
+// as JSON, and converts to Chrome trace format for traceview.
+//
+// Spans propagate through context.Context (ContextWithSpan / StartSpan),
+// so the server, the estimator, the batch runner and the simulation all
+// attach their spans to whichever request is running them without any
+// of those layers knowing about each other. Every method is safe for
+// concurrent use — parallel runner workers start children of the same
+// parent — and every method is a no-op on a nil *TraceSpan, so
+// instrumented code never checks whether tracing is on.
+type Trace struct {
+	id    string
+	clock func() time.Time // test seam; nil means time.Now
+
+	mu      sync.Mutex
+	root    *TraceSpan
+	spans   int // spans created, root included
+	dropped int // children refused by the maxSpans cap
+	max     int
+}
+
+// defaultMaxSpans bounds the spans retained per trace: a sweep that fans
+// out thousands of points must not grow one request's trace without
+// bound. Children beyond the cap are dropped (counted in the export).
+const defaultMaxSpans = 4096
+
+// TraceSpan is one node of a Trace: a named interval with attributes and
+// children. Create children with StartChild (or StartSpan via context),
+// close with End.
+type TraceSpan struct {
+	tr       *Trace
+	name     string
+	start    time.Time
+	end      time.Time // zero while the span is open
+	attrs    map[string]string
+	children []*TraceSpan
+}
+
+// NewTrace creates a trace whose root span (named name) starts now.
+func NewTrace(name string) (*Trace, *TraceSpan) {
+	return newTrace(name, nil)
+}
+
+func newTrace(name string, clock func() time.Time) (*Trace, *TraceSpan) {
+	t := &Trace{id: newTraceID(), clock: clock, max: defaultMaxSpans}
+	t.root = &TraceSpan{tr: t, name: name, start: t.now()}
+	t.spans = 1
+	return t, t.root
+}
+
+// traceSeq de-duplicates IDs if crypto/rand ever fails.
+var traceSeq atomic.Int64
+
+func newTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		n := traceSeq.Add(1)
+		for i := range b {
+			b[i] = byte(n >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}
+
+func (t *Trace) now() time.Time {
+	if t.clock != nil {
+		return t.clock()
+	}
+	return time.Now()
+}
+
+// ID returns the trace's identifier (hex, stable for its lifetime).
+// Safe on a nil trace (returns "").
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// Root returns the root span.
+func (t *Trace) Root() *TraceSpan {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Trace returns the trace a span belongs to; nil on a nil span.
+func (s *TraceSpan) Trace() *Trace {
+	if s == nil {
+		return nil
+	}
+	return s.tr
+}
+
+// StartChild opens a child span. It returns nil (a valid no-op span)
+// when the receiver is nil or the trace's span cap is reached.
+func (s *TraceSpan) StartChild(name string) *TraceSpan {
+	if s == nil {
+		return nil
+	}
+	t := s.tr
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.spans >= t.max {
+		t.dropped++
+		return nil
+	}
+	c := &TraceSpan{tr: t, name: name, start: t.now()}
+	s.children = append(s.children, c)
+	t.spans++
+	return c
+}
+
+// End closes the span. Ending an already-ended span is a no-op, so
+// `defer span.End()` composes with an explicit early End.
+func (s *TraceSpan) End() {
+	if s == nil {
+		return
+	}
+	t := s.tr
+	t.mu.Lock()
+	if s.end.IsZero() {
+		s.end = t.now()
+	}
+	t.mu.Unlock()
+}
+
+// Annotate attaches (or overwrites) one string attribute.
+func (s *TraceSpan) Annotate(key, value string) {
+	if s == nil {
+		return
+	}
+	t := s.tr
+	t.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string, 4)
+	}
+	s.attrs[key] = value
+	t.mu.Unlock()
+}
+
+// ctxKey is the context key type for span propagation.
+type ctxKey struct{}
+
+// ContextWithSpan returns a context carrying the span; subsequent
+// StartSpan calls create its children.
+func ContextWithSpan(ctx context.Context, s *TraceSpan) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, ctxKey{}, s)
+}
+
+// SpanFromContext returns the span carried by ctx, or nil (a no-op span)
+// when ctx is nil or carries none.
+func SpanFromContext(ctx context.Context) *TraceSpan {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(ctxKey{}).(*TraceSpan)
+	return s
+}
+
+// StartSpan opens a child of the span carried by ctx and returns a
+// derived context carrying the child. When ctx carries no span both
+// returns degrade gracefully: the original ctx and a nil (no-op) span.
+// The caller must End the returned span.
+func StartSpan(ctx context.Context, name string) (context.Context, *TraceSpan) {
+	parent := SpanFromContext(ctx)
+	if parent == nil {
+		return ctx, nil
+	}
+	child := parent.StartChild(name)
+	if child == nil {
+		return ctx, nil
+	}
+	return ContextWithSpan(ctx, child), child
+}
+
+// SpanNode is the exported form of one span: a JSON-friendly snapshot.
+type SpanNode struct {
+	Name  string    `json:"name"`
+	Start time.Time `json:"start"`
+	// Seconds is the span's wall-clock duration; for a span still open at
+	// export time it is the duration so far and Unfinished is true.
+	Seconds    float64           `json:"seconds"`
+	Unfinished bool              `json:"unfinished,omitempty"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Children   []*SpanNode       `json:"children,omitempty"`
+}
+
+// TraceTree is the exported form of a whole trace: what /v1/traces/{id}
+// serves and what trace.FromSpanTree converts for traceview.
+type TraceTree struct {
+	TraceID      string    `json:"trace_id"`
+	Spans        int       `json:"spans"`
+	DroppedSpans int       `json:"dropped_spans,omitempty"`
+	Root         *SpanNode `json:"root"`
+}
+
+// Tree snapshots the trace as an exportable span tree. Safe to call at
+// any time, including while spans are still being recorded.
+func (t *Trace) Tree() TraceTree {
+	if t == nil {
+		return TraceTree{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.now()
+	return TraceTree{
+		TraceID:      t.id,
+		Spans:        t.spans,
+		DroppedSpans: t.dropped,
+		Root:         t.root.export(now),
+	}
+}
+
+// export copies a span subtree; call with the trace mutex held.
+func (s *TraceSpan) export(now time.Time) *SpanNode {
+	n := &SpanNode{Name: s.name, Start: s.start}
+	if s.end.IsZero() {
+		n.Seconds = now.Sub(s.start).Seconds()
+		n.Unfinished = true
+	} else {
+		n.Seconds = s.end.Sub(s.start).Seconds()
+	}
+	if len(s.attrs) > 0 {
+		n.Attrs = make(map[string]string, len(s.attrs))
+		for k, v := range s.attrs {
+			n.Attrs[k] = v
+		}
+	}
+	for _, c := range s.children {
+		n.Children = append(n.Children, c.export(now))
+	}
+	return n
+}

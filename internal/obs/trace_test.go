@@ -1,0 +1,206 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock advances a fixed step per reading, so span durations are
+// deterministic.
+func fakeClock(step time.Duration) func() time.Time {
+	t := time.Unix(0, 0)
+	return func() time.Time {
+		t = t.Add(step)
+		return t
+	}
+}
+
+func TestTraceNesting(t *testing.T) {
+	tr, root := NewTrace("request")
+	if tr.ID() == "" {
+		t.Fatal("trace has empty ID")
+	}
+	root.Annotate("route", "estimate")
+	child := root.StartChild("simulate")
+	grand := child.StartChild("sim")
+	grand.Annotate("events", "42")
+	grand.End()
+	child.End()
+	root.End()
+
+	tt := tr.Tree()
+	if tt.TraceID != tr.ID() {
+		t.Fatalf("tree trace ID = %q, want %q", tt.TraceID, tr.ID())
+	}
+	if tt.Spans != 3 {
+		t.Fatalf("tree spans = %d, want 3", tt.Spans)
+	}
+	if tt.Root.Name != "request" || tt.Root.Attrs["route"] != "estimate" {
+		t.Fatalf("bad root: %+v", tt.Root)
+	}
+	if len(tt.Root.Children) != 1 || tt.Root.Children[0].Name != "simulate" {
+		t.Fatalf("bad children: %+v", tt.Root.Children)
+	}
+	g := tt.Root.Children[0].Children[0]
+	if g.Name != "sim" || g.Attrs["events"] != "42" {
+		t.Fatalf("bad grandchild: %+v", g)
+	}
+	if tt.Root.Unfinished || g.Unfinished {
+		t.Fatal("ended spans marked unfinished")
+	}
+}
+
+func TestTraceNilNoOp(t *testing.T) {
+	// Every operation on a nil span (and nil trace) must be a silent no-op:
+	// instrumented code never checks whether tracing is on.
+	var s *TraceSpan
+	s.Annotate("k", "v")
+	s.End()
+	if c := s.StartChild("x"); c != nil {
+		t.Fatalf("nil.StartChild = %v, want nil", c)
+	}
+	if s.Trace() != nil {
+		t.Fatal("nil span has a trace")
+	}
+	var tr *Trace
+	if tr.ID() != "" || tr.Root() != nil {
+		t.Fatal("nil trace not inert")
+	}
+	if tt := tr.Tree(); tt.Root != nil || tt.TraceID != "" {
+		t.Fatalf("nil trace tree = %+v", tt)
+	}
+}
+
+func TestStartSpanWithoutTrace(t *testing.T) {
+	ctx := context.Background()
+	got, span := StartSpan(ctx, "stage")
+	if span != nil {
+		t.Fatalf("span = %v, want nil", span)
+	}
+	if got != ctx {
+		t.Fatal("context was derived despite no trace")
+	}
+	// And nil contexts don't panic either.
+	if s := SpanFromContext(nil); s != nil {
+		t.Fatalf("SpanFromContext(nil) = %v", s)
+	}
+}
+
+func TestStartSpanPropagation(t *testing.T) {
+	tr, root := NewTrace("request")
+	ctx := ContextWithSpan(context.Background(), root)
+	ctx, s1 := StartSpan(ctx, "outer")
+	_, s2 := StartSpan(ctx, "inner")
+	s2.End()
+	s1.End()
+	root.End()
+	tt := tr.Tree()
+	if tt.Spans != 3 {
+		t.Fatalf("spans = %d, want 3", tt.Spans)
+	}
+	if tt.Root.Children[0].Name != "outer" || tt.Root.Children[0].Children[0].Name != "inner" {
+		t.Fatalf("wrong nesting: %+v", tt.Root)
+	}
+}
+
+func TestTraceSpanCap(t *testing.T) {
+	tr, root := NewTrace("request")
+	for i := 0; i < defaultMaxSpans+10; i++ {
+		c := root.StartChild("child")
+		c.End()
+	}
+	tt := tr.Tree()
+	if tt.Spans != defaultMaxSpans {
+		t.Fatalf("spans = %d, want cap %d", tt.Spans, defaultMaxSpans)
+	}
+	// root + 11 dropped: 10 over the cap plus the one that hit it.
+	if tt.DroppedSpans != 11 {
+		t.Fatalf("dropped = %d, want 11", tt.DroppedSpans)
+	}
+}
+
+func TestTraceTreeMidRecording(t *testing.T) {
+	tr, root := newTrace("request", fakeClock(time.Millisecond))
+	c := root.StartChild("open")
+	tt := tr.Tree()
+	if !tt.Root.Unfinished || !tt.Root.Children[0].Unfinished {
+		t.Fatalf("open spans not marked unfinished: %+v", tt.Root)
+	}
+	if tt.Root.Children[0].Seconds <= 0 {
+		t.Fatal("open span has no duration so far")
+	}
+	c.End()
+	root.End()
+	if tt := tr.Tree(); tt.Root.Unfinished {
+		t.Fatal("ended root still unfinished")
+	}
+}
+
+func TestTraceConcurrentChildren(t *testing.T) {
+	// Parallel runner workers start children of the same parent and
+	// annotate concurrently; run with -race to verify the locking.
+	tr, root := NewTrace("request")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c := root.StartChild("job")
+				c.Annotate("job", strconv.Itoa(w*50+i))
+				g := c.StartChild("sim")
+				g.End()
+				c.End()
+				if i%10 == 0 {
+					_ = tr.Tree() // snapshots race against recording
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	root.End()
+	tt := tr.Tree()
+	if want := 1 + 8*50*2; tt.Spans != want {
+		t.Fatalf("spans = %d, want %d", tt.Spans, want)
+	}
+}
+
+func TestTraceRingEviction(t *testing.T) {
+	ring := NewTraceRing(3)
+	var ids []string
+	for i := 0; i < 5; i++ {
+		tr, root := NewTrace(fmt.Sprintf("t%d", i))
+		root.End()
+		ring.Add(tr)
+		ids = append(ids, tr.ID())
+	}
+	if ring.Len() != 3 {
+		t.Fatalf("len = %d, want 3", ring.Len())
+	}
+	// FIFO: the two oldest are gone, the three newest retained.
+	for _, id := range ids[:2] {
+		if _, ok := ring.Get(id); ok {
+			t.Fatalf("trace %s should have been evicted", id)
+		}
+	}
+	for _, id := range ids[2:] {
+		if _, ok := ring.Get(id); !ok {
+			t.Fatalf("trace %s missing", id)
+		}
+	}
+	// Recent returns newest first.
+	recent := ring.Recent(2)
+	if len(recent) != 2 || recent[0].ID() != ids[4] || recent[1].ID() != ids[3] {
+		t.Fatalf("Recent(2) wrong order: %v", recent)
+	}
+	// Nil safety.
+	var nilRing *TraceRing
+	nilRing.Add(nil)
+	if _, ok := nilRing.Get("x"); ok || nilRing.Len() != 0 || nilRing.Recent(1) != nil {
+		t.Fatal("nil ring not inert")
+	}
+}

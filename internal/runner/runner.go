@@ -22,6 +22,7 @@ import (
 	"context"
 	"errors"
 	"runtime"
+	"strconv"
 	"sync"
 	"time"
 
@@ -117,10 +118,19 @@ func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 
 	out := make([]T, n)
 	runOne := func(ctx context.Context, i int) error {
+		// When the batch context carries a request trace, each job gets its
+		// own child span — workers start children of the same parent
+		// concurrently, which obs.Trace serializes internally.
+		jctx, ts := obs.StartSpan(ctx, label)
+		ts.Annotate("job", strconv.Itoa(i))
 		done := opts.Spans.Start(label) // nil-safe
 		start := time.Now()
-		v, err := fn(ctx, i)
+		v, err := fn(jctx, i)
 		done()
+		if err != nil {
+			ts.Annotate("error", err.Error())
+		}
+		ts.End()
 		if jobSeconds != nil {
 			jobSeconds.Observe(time.Since(start).Seconds())
 		}
@@ -160,38 +170,66 @@ func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
+	// first records the lowest-index failure. The guarantee that Map
+	// reports the SAME error a sequential loop would have needs more than
+	// picking the minimum of the errors that happened to occur: after a
+	// high-index job fails and cancels the batch, jobs with LOWER indices
+	// — which a sequential loop would have run before ever reaching the
+	// failure — must still run, against the parent context, so their own
+	// outcome can claim the batch error. Only jobs above the current
+	// lowest failure are skipped.
+	var errMu sync.Mutex
+	var first *jobError
+	fail := func(i int, err error) {
+		errMu.Lock()
+		if first == nil || i < first.index {
+			first = &jobError{index: i, err: err}
+		}
+		errMu.Unlock()
+		cancel()
+	}
+	skip := func(i int) bool {
+		errMu.Lock()
+		defer errMu.Unlock()
+		return first != nil && i > first.index
+	}
+
 	jobs := make(chan int)
-	errs := make(chan jobError, workers)
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				if ctx.Err() != nil {
-					// Batch already failed or was cancelled: drain without
-					// running so the feeder can finish.
+				if parent.Err() != nil || skip(i) {
+					// The caller cancelled, or the batch failed at a lower
+					// index: drain without running so the feeder can finish.
 					continue
 				}
-				if err := runOne(ctx, i); err != nil {
-					if casualty(ctx, err) {
+				jctx := ctx
+				if ctx.Err() != nil {
+					// The batch is tearing down after a higher-index
+					// failure, but sequential order would have run this job
+					// first — run it undisturbed by the teardown.
+					jctx = parent
+				}
+				if err := runOne(jctx, i); err != nil {
+					if casualty(jctx, err) {
 						// The batch is already being torn down; this
 						// job's error is cancellation echoing back, not
 						// a failure to report.
 						continue
 					}
-					select {
-					case errs <- jobError{index: i, err: err}:
-					default:
-					}
-					cancel()
+					fail(i, err)
 				}
 			}
 		}()
 	}
 
 	// Feed jobs in index order so low indices start first; stop feeding as
-	// soon as the batch is cancelled.
+	// soon as the batch is cancelled. Every job below a failing index has
+	// already been fed by then (sends happen in index order), which is what
+	// lets the workers above finish the lower-index work.
 feed:
 	for i := 0; i < n; i++ {
 		select {
@@ -202,15 +240,7 @@ feed:
 	}
 	close(jobs)
 	wg.Wait()
-	close(errs)
 
-	var first *jobError
-	for je := range errs {
-		je := je
-		if first == nil || je.index < first.index {
-			first = &je
-		}
-	}
 	if first != nil {
 		return nil, first.err
 	}

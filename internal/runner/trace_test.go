@@ -1,0 +1,91 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"prophet/internal/obs"
+)
+
+// TestMapTraceSpans verifies that a traced batch records one child span
+// per job under the request's span — with parallel workers attaching
+// children concurrently, which -race must find clean — and that the
+// derived per-job context reaches fn.
+func TestMapTraceSpans(t *testing.T) {
+	tr, root := obs.NewTrace("request")
+	ctx := obs.ContextWithSpan(context.Background(), root)
+	const n = 64
+	_, err := Map(ctx, n, Options{Workers: 8, Label: "point"},
+		func(ctx context.Context, i int) (int, error) {
+			// Each job's context must carry its own span, not the parent.
+			span := obs.SpanFromContext(ctx)
+			if span == root {
+				t.Error("job context carries the parent span, not a child")
+			}
+			_, inner := obs.StartSpan(ctx, "sim")
+			inner.End()
+			return i, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	root.End()
+	tt := tr.Tree()
+	if want := 1 + 2*n; tt.Spans != want {
+		t.Fatalf("spans = %d, want %d", tt.Spans, want)
+	}
+	if len(tt.Root.Children) != n {
+		t.Fatalf("root has %d children, want %d", len(tt.Root.Children), n)
+	}
+	seen := map[string]bool{}
+	for _, c := range tt.Root.Children {
+		if c.Name != "point" {
+			t.Fatalf("child named %q, want \"point\"", c.Name)
+		}
+		if len(c.Children) != 1 || c.Children[0].Name != "sim" {
+			t.Fatalf("job span children wrong: %+v", c.Children)
+		}
+		if c.Unfinished {
+			t.Fatal("job span not ended")
+		}
+		seen[c.Attrs["job"]] = true
+	}
+	if len(seen) != n {
+		t.Fatalf("distinct job annotations = %d, want %d", len(seen), n)
+	}
+}
+
+// TestMapTraceErrorAnnotated verifies a failing job's span records the
+// error.
+func TestMapTraceErrorAnnotated(t *testing.T) {
+	tr, root := obs.NewTrace("request")
+	ctx := obs.ContextWithSpan(context.Background(), root)
+	boom := errors.New("boom")
+	_, err := Map(ctx, 1, Options{Workers: 1, Label: "job"},
+		func(ctx context.Context, i int) (int, error) { return 0, boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	root.End()
+	c := tr.Tree().Root.Children[0]
+	if c.Attrs["error"] != "boom" {
+		t.Fatalf("error annotation = %q", c.Attrs["error"])
+	}
+}
+
+// TestMapUntracedNoSpans verifies the no-trace path stays a no-op: no
+// context derivation, no spans, no allocation of trace machinery.
+func TestMapUntracedNoSpans(t *testing.T) {
+	base := context.Background()
+	_, err := Map(base, 4, Options{Workers: 2},
+		func(ctx context.Context, i int) (int, error) {
+			if obs.SpanFromContext(ctx) != nil {
+				t.Error("untraced batch grew a span")
+			}
+			return i, nil
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

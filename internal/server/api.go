@@ -5,6 +5,7 @@ import (
 
 	"prophet/internal/estimator"
 	"prophet/internal/machine"
+	"prophet/internal/obs"
 	"prophet/internal/trace"
 )
 
@@ -80,6 +81,9 @@ type StageSpan struct {
 }
 
 // EstimateResponse is the body of a successful POST /v1/estimate.
+// TraceID names the request's span tree (also in the X-Trace-Id header),
+// fetchable from GET /v1/traces/{id}; Trace inlines a snapshot of it when
+// the request was made with ?trace=1.
 type EstimateResponse struct {
 	ModelID        string             `json:"model_id"`
 	Makespan       float64            `json:"makespan"`
@@ -88,6 +92,8 @@ type EstimateResponse struct {
 	Stages         []StageSpan        `json:"stages,omitempty"`
 	Summary        *trace.Summary     `json:"summary,omitempty"`
 	EventCounts    map[string]int64   `json:"event_counts,omitempty"`
+	TraceID        string             `json:"trace_id,omitempty"`
+	Trace          *obs.TraceTree     `json:"trace,omitempty"`
 }
 
 // GlobalSweep selects a global-variable sweep: evaluate the model once
@@ -123,9 +129,11 @@ type GlobalPoint struct {
 // SweepResponse is the body of a successful POST /v1/sweep; exactly one
 // of Points or GlobalPoints is populated, matching the request.
 type SweepResponse struct {
-	ModelID      string        `json:"model_id"`
-	Points       []SweepPoint  `json:"points,omitempty"`
-	GlobalPoints []GlobalPoint `json:"global_points,omitempty"`
+	ModelID      string         `json:"model_id"`
+	Points       []SweepPoint   `json:"points,omitempty"`
+	GlobalPoints []GlobalPoint  `json:"global_points,omitempty"`
+	TraceID      string         `json:"trace_id,omitempty"`
+	Trace        *obs.TraceTree `json:"trace,omitempty"`
 }
 
 // CompareRequest is the body of POST /v1/compare: evaluate two
@@ -157,6 +165,8 @@ type CompareResponse struct {
 	NameB      string         `json:"name_b"`
 	Points     []ComparePoint `json:"points"`
 	Crossovers []int          `json:"crossovers,omitempty"`
+	TraceID    string         `json:"trace_id,omitempty"`
+	Trace      *obs.TraceTree `json:"trace,omitempty"`
 }
 
 // ModelResponse is the body of a successful POST /v1/models.

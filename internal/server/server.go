@@ -30,6 +30,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"runtime"
 	"sync/atomic"
@@ -70,6 +71,12 @@ type Config struct {
 	Registry *obs.Registry
 	// Estimator evaluates requests (nil = estimator.New()).
 	Estimator *estimator.Estimator
+	// Logger receives one structured line per request, each carrying the
+	// request's trace ID (nil = discard).
+	Logger *slog.Logger
+	// TraceRingSize bounds the recent request traces retained for
+	// GET /v1/traces/{id} (0 = 256).
+	TraceRingSize int
 }
 
 func (c Config) withDefaults() Config {
@@ -103,6 +110,9 @@ func (c Config) withDefaults() Config {
 	if c.Estimator == nil {
 		c.Estimator = estimator.New()
 	}
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	return c
 }
 
@@ -114,6 +124,9 @@ type Server struct {
 	store    *modelStore
 	adm      *admission
 	mux      *http.ServeMux
+	log      *slog.Logger
+	traces   *obs.TraceRing
+	start    time.Time
 	draining atomic.Bool
 
 	// requests/latency instrument every route.
@@ -129,21 +142,32 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:   cfg,
-		est:   cfg.Estimator,
-		reg:   cfg.Registry,
-		store: newModelStore(cfg.MaxModels, cfg.Registry.Gauge("model_store_models")),
-		adm:   newAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait, cfg.Registry),
-		mux:   http.NewServeMux(),
+		cfg:    cfg,
+		est:    cfg.Estimator,
+		reg:    cfg.Registry,
+		store:  newModelStore(cfg.MaxModels, cfg.Registry.Gauge("model_store_models")),
+		adm:    newAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait, cfg.Registry),
+		mux:    http.NewServeMux(),
+		log:    cfg.Logger,
+		traces: obs.NewTraceRing(cfg.TraceRingSize),
+		start:  time.Now(),
 	}
 	s.est.SetMetrics(s.reg)
 	s.requests = s.reg.CounterVec("http_requests_total", "route", "code")
 	s.latency = s.reg.HistogramVec("http_request_seconds",
 		[]float64{1e-4, 1e-3, 1e-2, 0.1, 1, 10, 60}, "route")
+	// Materialize every shed-reason series at 0 so dashboards and the
+	// smoke harness see the counters before the first rejection.
+	for _, reason := range []string{"queue_full", "queue_timeout", "client_gone"} {
+		s.adm.rejected.With(reason)
+	}
+	s.registerHelp()
 	s.mux.HandleFunc("POST /v1/models", s.route("models", s.handleModels))
 	s.mux.HandleFunc("POST /v1/estimate", s.route("estimate", s.admitted(s.handleEstimate)))
 	s.mux.HandleFunc("POST /v1/sweep", s.route("sweep", s.admitted(s.handleSweep)))
 	s.mux.HandleFunc("POST /v1/compare", s.route("compare", s.admitted(s.handleCompare)))
+	s.mux.HandleFunc("GET /v1/traces", s.route("traces", s.handleTraces))
+	s.mux.HandleFunc("GET /v1/traces/{id}", s.route("trace", s.handleTrace))
 	s.mux.HandleFunc("GET /healthz", s.route("healthz", s.handleHealthz))
 	s.mux.HandleFunc("GET /metrics", s.route("metrics", s.handleMetrics))
 	return s
@@ -172,18 +196,23 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// route instruments a handler with the request counter and latency
-// histogram and applies the body-size bound.
+// route instruments a handler: the body-size bound, the request counter
+// and latency histogram, the per-request trace (on evaluation routes) and
+// one structured log line.
 func (s *Server) route(name string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Body != nil {
 			r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 		}
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		tr, r := s.startTrace(name, sw, r)
 		start := time.Now()
 		h(sw, r)
-		s.latency.With(name).Observe(time.Since(start).Seconds())
+		d := time.Since(start)
+		s.finishTrace(tr, sw.code)
+		s.latency.With(name).Observe(d.Seconds())
 		s.requests.With(name, fmt.Sprint(sw.code)).Inc()
+		s.logRequest(r, name, sw.code, d, tr.ID())
 	}
 }
 
@@ -197,7 +226,16 @@ func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
 			s.unavailable(w, "server is draining")
 			return
 		}
-		if err := s.adm.acquire(r.Context()); err != nil {
+		// The admission span measures slot wait; a request that never
+		// queues closes it in microseconds, a shed one records why.
+		qs := obs.SpanFromContext(r.Context()).StartChild("admission")
+		err := s.adm.acquire(r.Context())
+		if err != nil {
+			qs.Annotate("outcome", "shed")
+			qs.Annotate("error", err.Error())
+		}
+		qs.End()
+		if err != nil {
 			if errors.Is(err, errSaturated) {
 				s.unavailable(w, "server saturated: in-flight and queue limits reached")
 				return
@@ -248,15 +286,19 @@ func decodeJSON(r *http.Request, v any) error {
 	return nil
 }
 
-// resolveModel materializes a ModelRef: inline XMI is decoded, content-
-// addressed and stored; ids are looked up in the store. The returned
-// status is the HTTP code to report on error.
-func (s *Server) resolveModel(ref ModelRef) (*uml.Model, string, int, error) {
+// resolveModel materializes a ModelRef: inline XMI is decoded (under a
+// "parse" span on the request trace), content-addressed and stored; ids
+// are looked up in the store. The returned status is the HTTP code to
+// report on error.
+func (s *Server) resolveModel(ctx context.Context, ref ModelRef) (*uml.Model, string, int, error) {
 	switch {
 	case ref.ModelXMI != "" && ref.ModelID != "":
 		return nil, "", http.StatusBadRequest, errors.New("set model_id or model_xmi, not both")
 	case ref.ModelXMI != "":
+		_, sp := obs.StartSpan(ctx, "parse")
+		sp.Annotate("bytes", fmt.Sprint(len(ref.ModelXMI)))
 		m, err := xmi.DecodeString(ref.ModelXMI)
+		sp.End()
 		if err != nil {
 			return nil, "", http.StatusBadRequest, fmt.Errorf("model_xmi: %v", err)
 		}
@@ -267,13 +309,24 @@ func (s *Server) resolveModel(ref ModelRef) (*uml.Model, string, int, error) {
 		s.store.put(id, m)
 		return m, id, 0, nil
 	case ref.ModelID != "":
+		_, sp := obs.StartSpan(ctx, "parse")
 		m, ok := s.store.get(ref.ModelID)
+		sp.Annotate("cache", boolAttr(ok, "hit", "miss"))
+		sp.End()
 		if !ok {
 			return nil, "", http.StatusNotFound, fmt.Errorf("unknown model %q (upload it via POST /v1/models)", ref.ModelID)
 		}
 		return m, ref.ModelID, 0, nil
 	}
 	return nil, "", http.StatusBadRequest, errors.New("request needs model_id or model_xmi")
+}
+
+// boolAttr picks a span attribute value from a condition.
+func boolAttr(ok bool, yes, no string) string {
+	if ok {
+		return yes
+	}
+	return no
 }
 
 // evalContext derives the evaluation context: the client's connection
@@ -312,8 +365,9 @@ func writeEvalError(w http.ResponseWriter, err error) {
 }
 
 // buildRequest converts the wire request to an estimator.Request bound
-// to ctx.
-func buildRequest(ctx context.Context, m *uml.Model, er *EstimateRequest) (estimator.Request, error) {
+// to ctx and the server's metrics registry, so every evaluation feeds the
+// per-stage latency histograms /metrics serves.
+func (s *Server) buildRequest(ctx context.Context, m *uml.Model, er *EstimateRequest) (estimator.Request, error) {
 	pol, err := policyOf(er.Policy)
 	if err != nil {
 		return estimator.Request{}, err
@@ -331,6 +385,7 @@ func buildRequest(ctx context.Context, m *uml.Model, er *EstimateRequest) (estim
 		MaxSteps:  er.MaxSteps,
 		Telemetry: er.Telemetry,
 		Context:   ctx,
+		Metrics:   s.reg,
 	}, nil
 }
 
@@ -342,7 +397,10 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("read body: %v", err))
 		return
 	}
+	_, sp := obs.StartSpan(r.Context(), "parse")
+	sp.Annotate("bytes", fmt.Sprint(len(body)))
 	m, err := xmi.DecodeString(string(body))
+	sp.End()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("decode model: %v", err))
 		return
@@ -362,19 +420,19 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	m, id, code, err := s.resolveModel(er.ModelRef)
+	m, id, code, err := s.resolveModel(r.Context(), er.ModelRef)
 	if err != nil {
 		writeError(w, code, err.Error())
 		return
 	}
 	ctx, cancel := s.evalContext(r, er.TimeoutMS)
 	defer cancel()
-	req, err := buildRequest(ctx, m, &er)
+	req, err := s.buildRequest(ctx, m, &er)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	pr, err := s.est.CompileCached(m)
+	pr, err := s.est.CompileCachedCtx(ctx, m)
 	if err != nil {
 		writeEvalError(w, err)
 		return
@@ -400,6 +458,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if est.Telemetry != nil {
 		resp.EventCounts = est.Telemetry.EventCounts
 	}
+	s.attachTrace(r, &resp.TraceID, &resp.Trace)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -413,14 +472,14 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "set exactly one of processes or global")
 		return
 	}
-	m, id, code, err := s.resolveModel(sr.ModelRef)
+	m, id, code, err := s.resolveModel(r.Context(), sr.ModelRef)
 	if err != nil {
 		writeError(w, code, err.Error())
 		return
 	}
 	ctx, cancel := s.evalContext(r, sr.TimeoutMS)
 	defer cancel()
-	req, err := buildRequest(ctx, m, &sr.EstimateRequest)
+	req, err := s.buildRequest(ctx, m, &sr.EstimateRequest)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -452,6 +511,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			resp.GlobalPoints = append(resp.GlobalPoints, GlobalPoint(p))
 		}
 	}
+	s.attachTrace(r, &resp.TraceID, &resp.Trace)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -465,19 +525,19 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "compare needs a non-empty processes list")
 		return
 	}
-	ma, ida, code, err := s.resolveModel(cr.ModelA)
+	ma, ida, code, err := s.resolveModel(r.Context(), cr.ModelA)
 	if err != nil {
 		writeError(w, code, fmt.Sprintf("model_a: %v", err))
 		return
 	}
-	mb, idb, code, err := s.resolveModel(cr.ModelB)
+	mb, idb, code, err := s.resolveModel(r.Context(), cr.ModelB)
 	if err != nil {
 		writeError(w, code, fmt.Sprintf("model_b: %v", err))
 		return
 	}
 	ctx, cancel := s.evalContext(r, cr.TimeoutMS)
 	defer cancel()
-	req, err := buildRequest(ctx, ma, &EstimateRequest{
+	req, err := s.buildRequest(ctx, ma, &EstimateRequest{
 		Params: cr.Params, Globals: cr.Globals, Seed: cr.Seed, Policy: cr.Policy,
 	})
 	if err != nil {
@@ -502,6 +562,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 			Processes: p.Processes, MakespanA: p.MakespanA, MakespanB: p.MakespanB, Winner: p.Winner,
 		})
 	}
+	s.attachTrace(r, &resp.TraceID, &resp.Trace)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -513,7 +574,3 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	_ = obs.WriteText(w, s.reg.Snapshot())
-}

@@ -33,6 +33,9 @@ type Engine struct {
 	now    float64
 	events eventQueue
 	seq    uint64
+	// executed counts events dispatched by Run/RunUntil — the engine's
+	// unit of work, reported by EventsExecuted for request telemetry.
+	executed int64
 
 	yield chan struct{} // processes hand control back on this channel
 	alive []*Process
@@ -76,6 +79,11 @@ func New() *Engine {
 
 // Now returns the current simulated time.
 func (e *Engine) Now() float64 { return e.now }
+
+// EventsExecuted returns how many events Run/RunUntil have dispatched so
+// far — a cheap proxy for how much simulation work a run cost. Read it
+// after the run returns (the scheduler goroutine owns the counter).
+func (e *Engine) EventsExecuted() int64 { return e.executed }
 
 // SetTracer installs a callback observing process lifecycle transitions
 // ("spawn", "run", "hold", "block", "done"). Pass nil to remove it.
@@ -223,6 +231,7 @@ func (e *Engine) Run() (float64, error) {
 			return e.now, &InterruptError{Time: e.now, Cause: c.err}
 		}
 		ev := heap.Pop(&e.events).(*event)
+		e.executed++
 		e.now = ev.time
 		switch {
 		case ev.fn != nil:
@@ -260,6 +269,7 @@ func (e *Engine) RunUntil(limit float64) (float64, error) {
 			return e.now, &InterruptError{Time: e.now, Cause: c.err}
 		}
 		ev := heap.Pop(&e.events).(*event)
+		e.executed++
 		e.now = ev.time
 		switch {
 		case ev.fn != nil:

@@ -1,0 +1,75 @@
+package trace
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"prophet/internal/obs"
+)
+
+// FromSpanTree converts a request span tree (as exported by obs.Trace.Tree
+// and served by prophetd's GET /v1/traces/{id}) into a Trace, so the same
+// tooling that renders simulation runs — traceview's Gantt, summary and
+// Chrome export — can render a production request.
+//
+// Each span becomes one Enter/Leave pair on its own thread lane (PID 0,
+// TID = preorder index), which keeps overlapping sibling spans — parallel
+// runner jobs — from colliding on a single lane. Timestamps are seconds
+// relative to the root span's start, so the root enters at t=0.
+func FromSpanTree(tt obs.TraceTree) *Trace {
+	tr := &Trace{Model: "trace"}
+	if tt.Root != nil {
+		tr.Model = tt.Root.Name
+	}
+	if tt.TraceID != "" {
+		tr.SetMeta("trace_id", tt.TraceID)
+	}
+	tr.SetMeta("spans", strconv.Itoa(tt.Spans))
+	if tt.DroppedSpans > 0 {
+		tr.SetMeta("dropped_spans", strconv.Itoa(tt.DroppedSpans))
+	}
+	if tt.Root == nil {
+		return tr
+	}
+
+	var events []Event
+	tid := 0
+	var walk func(n *obs.SpanNode, t0 float64)
+	walk = func(n *obs.SpanNode, t0 float64) {
+		lane := tid
+		tid++
+		events = append(events,
+			Event{T: t0, PID: 0, TID: lane, Kind: Enter, Elem: attrString(n), Name: n.Name},
+			Event{T: t0 + n.Seconds, PID: 0, TID: lane, Kind: Leave, Elem: attrString(n), Name: n.Name},
+		)
+		for _, c := range n.Children {
+			walk(c, c.Start.Sub(tt.Root.Start).Seconds())
+		}
+	}
+	walk(tt.Root, 0)
+
+	// The trace format wants emission order to be non-decreasing in T.
+	// SliceStable keeps each span's Enter ahead of its zero-duration Leave.
+	sort.SliceStable(events, func(i, j int) bool { return events[i].T < events[j].T })
+	tr.Events = events
+	return tr
+}
+
+// attrString renders a span's attributes as "k=v" pairs in key order, the
+// form Chrome export surfaces as the event's args.
+func attrString(n *obs.SpanNode) string {
+	if len(n.Attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(n.Attrs))
+	for k := range n.Attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	parts := make([]string, len(keys))
+	for i, k := range keys {
+		parts[i] = k + "=" + n.Attrs[k]
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"prophet/internal/obs"
+)
+
+func spanTreeFixture() obs.TraceTree {
+	t0 := time.Unix(100, 0)
+	return obs.TraceTree{
+		TraceID: "abcd1234",
+		Spans:   4,
+		Root: &obs.SpanNode{
+			Name: "request", Start: t0, Seconds: 1.0,
+			Attrs: map[string]string{"route": "estimate"},
+			Children: []*obs.SpanNode{
+				{Name: "compile", Start: t0.Add(100 * time.Millisecond), Seconds: 0.2},
+				{
+					Name: "simulate", Start: t0.Add(300 * time.Millisecond), Seconds: 0.6,
+					Children: []*obs.SpanNode{
+						{Name: "sim", Start: t0.Add(350 * time.Millisecond), Seconds: 0.5,
+							Attrs: map[string]string{"events": "7"}},
+					},
+				},
+			},
+		},
+	}
+}
+
+func TestFromSpanTree(t *testing.T) {
+	tr := FromSpanTree(spanTreeFixture())
+	if tr.Model != "request" {
+		t.Fatalf("model = %q", tr.Model)
+	}
+	if id, _ := tr.GetMeta("trace_id"); id != "abcd1234" {
+		t.Fatalf("trace_id meta = %q", id)
+	}
+	// 4 spans → 4 enter + 4 leave.
+	if len(tr.Events) != 8 {
+		t.Fatalf("events = %d, want 8", len(tr.Events))
+	}
+	// Emission order is non-decreasing in T, root enters at 0.
+	last := -1.0
+	for _, ev := range tr.Events {
+		if ev.T < last {
+			t.Fatalf("events out of order at %v", ev)
+		}
+		last = ev.T
+	}
+	if tr.Events[0].Kind != Enter || tr.Events[0].Name != "request" || tr.Events[0].T != 0 {
+		t.Fatalf("first event = %+v", tr.Events[0])
+	}
+	// Each span has its own lane, so sibling overlap cannot collide.
+	lanes := map[int]string{}
+	for _, ev := range tr.Events {
+		if ev.Kind != Enter {
+			continue
+		}
+		if prev, ok := lanes[ev.TID]; ok {
+			t.Fatalf("lane %d reused by %q after %q", ev.TID, ev.Name, prev)
+		}
+		lanes[ev.TID] = ev.Name
+	}
+	// The whole request makespan survives the conversion.
+	if got := tr.Makespan(); got != 1.0 {
+		t.Fatalf("makespan = %g, want 1", got)
+	}
+	// And the converted trace summarizes + exports like any other.
+	sum, err := Summarize(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Elements["sim"].Total != 0.5 {
+		t.Fatalf("sim total = %g", sum.Elements["sim"].Total)
+	}
+	var b strings.Builder
+	if err := WriteChrome(&b, tr); err != nil {
+		t.Fatalf("chrome export: %v", err)
+	}
+	for _, want := range []string{`"request"`, `"sim"`, `events=7`} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("chrome export missing %s:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestFromSpanTreeEmpty(t *testing.T) {
+	tr := FromSpanTree(obs.TraceTree{})
+	if len(tr.Events) != 0 {
+		t.Fatalf("events = %d, want 0", len(tr.Events))
+	}
+	if _, err := Summarize(tr); err != nil {
+		t.Fatalf("empty span tree does not summarize: %v", err)
+	}
+}

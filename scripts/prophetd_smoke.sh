@@ -51,14 +51,28 @@ case "$id" in
     *) fail "unexpected model id in $reg" ;;
 esac
 
-# Estimate by id, twice: the second run must hit the compile cache.
+# Estimate by id, twice: the second run must hit the compile cache. Each
+# response carries the request's trace id (also in X-Trace-Id).
+trace_id=""
 for i in 1 2; do
     est="$(curl -fsS -X POST -H 'Content-Type: application/json' \
         -d "{\"model_id\": \"${id}\", \"globals\": {\"eps\": 0.5}}" \
         "$BASE/v1/estimate")"
     printf '%s' "$est" | grep -q '"makespan"' || fail "estimate $i has no makespan: $est"
+    if command -v jq >/dev/null 2>&1; then
+        trace_id="$(printf '%s' "$est" | jq -r .trace_id)"
+    else
+        trace_id="$(printf '%s' "$est" | sed -n 's/.*"trace_id": *"\([^"]*\)".*/\1/p')"
+    fi
 done
-echo "smoke: estimates ok"
+[ -n "$trace_id" ] || fail "estimate response has no trace_id"
+echo "smoke: estimates ok (trace $trace_id)"
+
+# The request's span tree is fetchable by id and shows the simulate stage.
+tree="$(curl -fsS "$BASE/v1/traces/${trace_id}")"
+printf '%s' "$tree" | grep -q '"simulate"' || fail "trace $trace_id has no simulate span: $tree"
+printf '%s' "$tree" | grep -q '"request"' || fail "trace $trace_id has no request root: $tree"
+echo "smoke: trace ok"
 
 metrics="$(curl -fsS "$BASE/metrics")"
 for want in estimator_cache_hits_total estimator_cache_misses_total \
@@ -67,6 +81,17 @@ for want in estimator_cache_hits_total estimator_cache_misses_total \
 done
 printf '%s\n' "$metrics" | grep -q '^estimator_cache_hits_total 1' \
     || fail "second estimate did not hit the compile cache"
+# Prometheus exposition: typed families, per-route request histogram with
+# observations, per-stage pipeline histogram, shed counters present at 0.
+printf '%s\n' "$metrics" | grep -q '^# TYPE http_request_seconds histogram' \
+    || fail "/metrics is not Prometheus exposition format"
+count="$(printf '%s\n' "$metrics" | sed -n 's/^http_request_seconds_count{route="estimate"} //p')"
+[ -n "$count" ] && [ "$count" -gt 0 ] || fail "request histogram has no observations: ${count:-missing}"
+printf '%s\n' "$metrics" | grep -q '^estimate_stage_seconds_bucket{stage="simulate"' \
+    || fail "/metrics missing per-stage latency histogram"
+printf '%s\n' "$metrics" | grep -q '^server_rejected_total{reason=' \
+    || fail "/metrics missing shed counter"
+printf '%s\n' "$metrics" | grep -q '^go_goroutines' || fail "/metrics missing runtime stats"
 echo "smoke: metrics ok"
 
 # SIGTERM must drain and exit 0.
