@@ -25,7 +25,7 @@ test:
 # (worker-pool fan-out) plus the estimator entry points built on it,
 # and the HTTP serving layer (admission control, drain, model store).
 race:
-	$(GO) test -race ./internal/sim/... ./internal/obs/... ./internal/runner/... ./internal/estimator/... ./internal/server/...
+	$(GO) test -race ./internal/sim/... ./internal/obs/... ./internal/runner/... ./internal/estimator/... ./internal/lower/... ./internal/server/...
 
 # Black-box smoke test of the prophetd binary: start it, register a
 # model, estimate, scrape /metrics, and check SIGTERM drains cleanly.
@@ -74,6 +74,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzEval -fuzztime=5s ./internal/expr/
 	$(GO) test -fuzz=FuzzRead -fuzztime=5s ./internal/trace/
 	$(GO) test -fuzz=FuzzPipeline -fuzztime=10s ./internal/core/
+	$(GO) test -fuzz=FuzzLoweredEquivalence -fuzztime=5s ./internal/lower/
 
 clean:
 	rm -f cover.out test_output.txt bench_output.txt conformance-report.json

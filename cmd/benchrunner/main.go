@@ -42,7 +42,11 @@ type doc struct {
 	GOMAXPROCS         int      `json:"gomaxprocs"`
 	Benchmarks         []result `json:"benchmarks"`
 	MonteCarloSpeedup4 float64  `json:"montecarlo_speedup_4_workers_vs_1"`
-	Note               string   `json:"note"`
+	// SpeedupLowered is the hold_loop_1000 interp ns/op divided by the
+	// lowered ns/op: how much faster the flat lowered program evaluates
+	// the same single-process model than the tree-walking interpreter.
+	SpeedupLowered float64 `json:"speedup_lowered_vs_interp"`
+	Note           string  `json:"note"`
 }
 
 func measure(name string, fn func(b *testing.B)) result {
@@ -82,8 +86,33 @@ func queryMixModel() (*uml.Model, error) {
 	return mb.Build()
 }
 
+// holdLoopModel is the model-driven counterpart of the raw engine bench:
+// one process executing a 1000-iteration loop whose body holds for one
+// time unit. On the interp backend every iteration walks the tree and
+// keys maps by name; on the lowered backend it executes flat ops over
+// slot frames (and, single-process, skips the engine entirely).
+func holdLoopModel() (*uml.Model, error) {
+	mb := builder.New("bench-hold-loop")
+	d := mb.Diagram("main")
+	d.Initial()
+	d.Loop("Holds", "1000", "one").Var("i")
+	d.Final()
+	d.Chain("initial", "Holds", "final")
+	one := mb.Diagram("one")
+	one.Initial()
+	one.Action("Hold").Cost("1")
+	one.Final()
+	one.Chain("initial", "Hold", "final")
+	return mb.Build()
+}
+
 func run(out string) error {
+	runtime.GOMAXPROCS(runtime.NumCPU())
 	m, err := queryMixModel()
+	if err != nil {
+		return err
+	}
+	hl, err := holdLoopModel()
 	if err != nil {
 		return err
 	}
@@ -92,14 +121,30 @@ func run(out string) error {
 	if _, err := e.CompileCached(m); err != nil {
 		return err
 	}
+	hlProg, err := e.CompileCached(hl)
+	if err != nil {
+		return err
+	}
 
-	mc := func(workers int) func(b *testing.B) {
+	mc := func(workers int, backend estimator.Backend) func(b *testing.B) {
 		return func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := e.MonteCarlo(estimator.Request{
-					Model: m, Globals: globals, Parallel: workers,
+					Model: m, Globals: globals, Parallel: workers, Backend: backend,
 				}, 64); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	holdLoop := func(backend estimator.Backend) func(b *testing.B) {
+		return func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := e.EstimateCompiledFast(hlProg, estimator.Request{
+					Model: hl, Backend: backend,
+				}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -111,9 +156,13 @@ func run(out string) error {
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Note: "montecarlo_64 benches run one 64-seed batch per op on the " +
-			"stochastic query-mix model; event_scheduling runs one engine " +
-			"with 1000 holds per op. Speedup is sequential ns/op divided " +
-			"by 4-worker ns/op and is bounded by gomaxprocs.",
+			"stochastic query-mix model (lowered backend unless suffixed " +
+			"_interp); event_scheduling runs one raw engine with 1000 holds " +
+			"per op; hold_loop_1000 evaluates the same workload as a model " +
+			"on each backend. montecarlo speedup is sequential ns/op " +
+			"divided by 4-worker ns/op and is bounded by gomaxprocs; " +
+			"speedup_lowered_vs_interp is hold_loop interp ns/op divided " +
+			"by lowered ns/op.",
 	}
 
 	d.Benchmarks = append(d.Benchmarks, measure("event_scheduling_1000_holds", func(b *testing.B) {
@@ -131,9 +180,18 @@ func run(out string) error {
 		}
 	}))
 
-	seq := measure("montecarlo_64_workers_1", mc(1))
-	par := measure("montecarlo_64_workers_4", mc(4))
-	d.Benchmarks = append(d.Benchmarks, seq, par)
+	hlInterp := measure("hold_loop_1000_interp", holdLoop(estimator.BackendInterp))
+	hlLowered := measure("hold_loop_1000_lowered", holdLoop(estimator.BackendLowered))
+	d.Benchmarks = append(d.Benchmarks, hlInterp, hlLowered)
+	if hlLowered.NsPerOp > 0 {
+		d.SpeedupLowered = hlInterp.NsPerOp / hlLowered.NsPerOp
+	}
+
+	seq := measure("montecarlo_64_workers_1", mc(1, estimator.BackendLowered))
+	par := measure("montecarlo_64_workers_4", mc(4, estimator.BackendLowered))
+	seqInterp := measure("montecarlo_64_workers_1_interp", mc(1, estimator.BackendInterp))
+	par4Interp := measure("montecarlo_64_workers_4_interp", mc(4, estimator.BackendInterp))
+	d.Benchmarks = append(d.Benchmarks, seq, par, seqInterp, par4Interp)
 	if par.NsPerOp > 0 {
 		d.MonteCarloSpeedup4 = seq.NsPerOp / par.NsPerOp
 	}
@@ -151,8 +209,8 @@ func run(out string) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (gomaxprocs=%d, 64-run Monte Carlo speedup at 4 workers: %.2fx)\n",
-		out, d.GOMAXPROCS, d.MonteCarloSpeedup4)
+	fmt.Printf("wrote %s (gomaxprocs=%d, 64-run Monte Carlo speedup at 4 workers: %.2fx, lowered vs interp: %.2fx)\n",
+		out, d.GOMAXPROCS, d.MonteCarloSpeedup4, d.SpeedupLowered)
 	return nil
 }
 

@@ -114,6 +114,7 @@ func run(args []string) (err error) {
 	width := fs.Int("width", 72, "gantt width in buckets")
 	sweep := fs.String("sweep", "", "comma-separated process counts for a scalability sweep")
 	policy := fs.String("policy", "fcfs", "processor contention policy: fcfs or ps")
+	backend := fs.String("backend", "lowered", "simulation backend: lowered, interp or auto")
 	sensitivity := fs.String("sensitivity", "", "comma-separated globals for a +-5% sensitivity analysis")
 	montecarlo := fs.Int("montecarlo", 0, "run N seeds and report the makespan distribution (stochastic models)")
 	parallel := fs.Int("parallel", 0, "worker pool size for batch evaluations: sweeps, -sensitivity, -montecarlo, -versus (0 = GOMAXPROCS)")
@@ -214,6 +215,9 @@ func run(args []string) (err error) {
 		req.Policy = machine.PolicyPS
 	default:
 		return fmt.Errorf("unknown policy %q (fcfs or ps)", *policy)
+	}
+	if req.Backend, err = estimator.ParseBackend(*backend); err != nil {
+		return err
 	}
 
 	// -spans records the same hierarchical trace a prophetd request gets:

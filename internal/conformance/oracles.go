@@ -3,11 +3,13 @@ package conformance
 import (
 	"fmt"
 	"math"
+	"reflect"
 	"strings"
 
 	"prophet/internal/core"
 	"prophet/internal/diff"
 	"prophet/internal/interp"
+	"prophet/internal/lower"
 	"prophet/internal/trace"
 	"prophet/internal/uml"
 	"prophet/internal/xmi"
@@ -36,6 +38,7 @@ func OracleNames() []string {
 		"parallel-identity",
 		"run-vs-rununtil",
 		"round-trip",
+		"lowered-equivalence",
 	}
 }
 
@@ -49,6 +52,7 @@ func RunOracles(e Entry) []OracleResult {
 		parallelIdentityOracle(e),
 		runUntilOracle(e),
 		roundTripOracle(e),
+		loweredEquivalenceOracle(e),
 	}
 }
 
@@ -172,6 +176,60 @@ func runUntilOracle(e Entry) OracleResult {
 		return fail(e, name, "traces differ:\n%s", firstDiffLine(at, bt))
 	}
 	return pass(e, name, "identical traces (%d events)", len(run.Trace.Events))
+}
+
+// loweredEquivalenceOracle runs the entry once on the tree-walking
+// interpreter and once on the flat lowered program (internal/lower): the
+// two backends must be bit-identical in every observable — makespan,
+// trace bytes, final globals, per-node CPU utilization, and the derived
+// summary. This is the contract that lets the estimator default to the
+// lowered backend while keeping the interpreter as the reference
+// semantics.
+func loweredEquivalenceOracle(e Entry) OracleResult {
+	const name = "lowered-equivalence"
+	prog, err := interp.Compile(e.Model, nil)
+	if err != nil {
+		return fail(e, name, "compile: %v", err)
+	}
+	cfg := interp.Config{
+		Params:   e.Config.Params,
+		Globals:  e.Config.Globals,
+		Seed:     e.Config.Seed,
+		MaxSteps: e.Config.MaxSteps,
+	}
+	want, err := prog.Run(cfg)
+	if err != nil {
+		return fail(e, name, "interp run: %v", err)
+	}
+	got, err := lower.Lower(prog).Run(cfg)
+	if err != nil {
+		return fail(e, name, "lowered run: %v", err)
+	}
+	if want.Makespan != got.Makespan {
+		return fail(e, name, "makespan %g (interp) != %g (lowered)", want.Makespan, got.Makespan)
+	}
+	at, bt := renderTrace(want.Trace), renderTrace(got.Trace)
+	if at != bt {
+		return fail(e, name, "traces differ:\n%s", firstDiffLine(at, bt))
+	}
+	if !reflect.DeepEqual(want.Globals, got.Globals) {
+		return fail(e, name, "globals %v (interp) != %v (lowered)", want.Globals, got.Globals)
+	}
+	if !reflect.DeepEqual(want.CPUUtilization, got.CPUUtilization) {
+		return fail(e, name, "cpu utilization %v (interp) != %v (lowered)", want.CPUUtilization, got.CPUUtilization)
+	}
+	ws, err := trace.Summarize(want.Trace)
+	if err != nil {
+		return fail(e, name, "summarize interp trace: %v", err)
+	}
+	gs, err := trace.Summarize(got.Trace)
+	if err != nil {
+		return fail(e, name, "summarize lowered trace: %v", err)
+	}
+	if !reflect.DeepEqual(ws, gs) {
+		return fail(e, name, "summaries differ")
+	}
+	return pass(e, name, "backends bit-identical (%d events)", len(want.Trace.Events))
 }
 
 // roundTripOracle serializes the model, parses it back, and serializes

@@ -1,0 +1,74 @@
+package estimator
+
+import (
+	"fmt"
+
+	"prophet/internal/interp"
+	"prophet/internal/lower"
+)
+
+// Backend selects the execution engine a simulation runs on.
+type Backend int
+
+const (
+	// BackendAuto picks the best available backend (currently lowered).
+	BackendAuto Backend = iota
+	// BackendInterp forces the tree-walking interpreter.
+	BackendInterp
+	// BackendLowered forces the flat lowered program (see internal/lower).
+	BackendLowered
+)
+
+// effective resolves Auto to the backend actually used.
+func (b Backend) effective() Backend {
+	if b == BackendAuto {
+		return BackendLowered
+	}
+	return b
+}
+
+func (b Backend) String() string {
+	switch b.effective() {
+	case BackendInterp:
+		return "interp"
+	default:
+		return "lowered"
+	}
+}
+
+// ParseBackend maps the external knob value to a Backend. The empty
+// string and "auto" select the default.
+func ParseBackend(s string) (Backend, error) {
+	switch s {
+	case "", "auto":
+		return BackendAuto, nil
+	case "interp":
+		return BackendInterp, nil
+	case "lowered":
+		return BackendLowered, nil
+	}
+	return BackendAuto, fmt.Errorf("estimator: unknown backend %q (want auto, interp or lowered)", s)
+}
+
+// loweredFor returns the lowered form of pr, lowering it on first use.
+// The cache is keyed by program identity: programs come out of the
+// content-hashed compile cache, so identity tracks content, and a
+// program compiled fresh (outside the cache) simply lowers again.
+func (e *Estimator) loweredFor(pr *interp.Program) (lp *lower.Program, cached bool) {
+	e.lowMu.Lock()
+	defer e.lowMu.Unlock()
+	if lp, ok := e.lowered[pr]; ok {
+		return lp, true
+	}
+	lp = lower.Lower(pr)
+	if e.lowered == nil {
+		e.lowered = map[*interp.Program]*lower.Program{}
+	}
+	e.lowered[pr] = lp
+	e.lowOrder = append(e.lowOrder, pr)
+	for len(e.lowOrder) > maxCachedPrograms {
+		delete(e.lowered, e.lowOrder[0])
+		e.lowOrder = e.lowOrder[1:]
+	}
+	return lp, false
+}

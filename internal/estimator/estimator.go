@@ -18,6 +18,7 @@ import (
 
 	"prophet/internal/checker"
 	"prophet/internal/interp"
+	"prophet/internal/lower"
 	"prophet/internal/machine"
 	"prophet/internal/obs"
 	"prophet/internal/profile"
@@ -50,6 +51,10 @@ type Request struct {
 	SkipCheck bool
 	// MaxSteps bounds element executions per process (0 = default).
 	MaxSteps int
+	// Backend selects the execution engine: the flat lowered program
+	// (default) or the tree-walking interpreter. Both produce
+	// bit-identical results; interp remains the differential oracle.
+	Backend Backend
 
 	// Telemetry enables simulated-time sampling during the run: the
 	// resulting Estimate carries facility utilization, queue length,
@@ -153,6 +158,13 @@ type Estimator struct {
 	progs     map[string]*interp.Program
 	progOrder []string // insertion order, for oldest-first eviction
 
+	// lowMu guards the lowered-program cache (see loweredFor), keyed by
+	// compiled-program identity: each cached interp.Program is lowered
+	// at most once, however many runs share it.
+	lowMu    sync.Mutex
+	lowered  map[*interp.Program]*lower.Program
+	lowOrder []*interp.Program
+
 	// cacheHits/cacheMisses count CompileCached outcomes; metrics, when
 	// set, mirrors them into estimator_cache_{hits,misses}_total.
 	cacheHits   int64
@@ -177,9 +189,10 @@ func NewWith(reg *profile.Registry, cfg checker.Config) *Estimator {
 // caller-provided recorder (when set), and — when a trace span rides the
 // request context — the request's trace tree. The returned context
 // carries the trace child (it is req.Context unchanged when no trace is
-// attached, nil when the request has none); the returned func closes
-// every span opened.
-func stage(req Request, rec *obs.SpanRecorder, name string) (context.Context, func()) {
+// attached, nil when the request has none); the returned span is the
+// trace child (nil without one, safe to Annotate either way); the
+// returned func closes every span opened.
+func stage(req Request, rec *obs.SpanRecorder, name string) (context.Context, *obs.TraceSpan, func()) {
 	d1 := rec.Start(name)
 	d2 := req.Spans.Start(name) // nil-safe
 	ctx := req.Context
@@ -187,7 +200,7 @@ func stage(req Request, rec *obs.SpanRecorder, name string) (context.Context, fu
 	if ctx != nil {
 		ctx, ts = obs.StartSpan(ctx, name)
 	}
-	return ctx, func() { d1(); d2(); ts.End() }
+	return ctx, ts, func() { d1(); d2(); ts.End() }
 }
 
 // Estimate runs one evaluation: check, compile, simulate, summarize.
@@ -202,15 +215,16 @@ func (e *Estimator) Estimate(req Request) (*Estimate, error) {
 	}
 	rec := obs.NewSpanRecorder()
 	if !req.SkipCheck {
-		_, done := stage(req, rec, "check")
+		_, _, done := stage(req, rec, "check")
 		rep := e.checker.Check(req.Model)
 		done()
 		if rep.HasErrors() {
 			return nil, &CheckError{Model: req.Model.Name(), Report: rep}
 		}
 	}
-	_, done := stage(req, rec, "compile")
+	_, ts, done := stage(req, rec, "compile")
 	pr, err := interp.Compile(req.Model, e.registry)
+	ts.Annotate("backend", req.Backend.String())
 	done()
 	if err != nil {
 		return nil, fmt.Errorf("estimator: %w", err)
@@ -407,12 +421,26 @@ func (e *Estimator) runMode(pr *interp.Program, req Request, fast bool, rec *obs
 		cfg.Observer = simRec
 		cfg.SampleInterval = req.SampleInterval
 	}
+	// Resolve the backend before the simulate stage so lowering (a cheap
+	// one-time transform, cached per program) is visible as its own stage.
+	run := pr.Run
+	if req.Backend.effective() == BackendLowered {
+		_, ts, done := stage(req, rec, "lower")
+		lp, cached := e.loweredFor(pr)
+		if cached {
+			ts.Annotate("cache", "hit")
+		} else {
+			ts.Annotate("cache", "miss")
+		}
+		done()
+		run = lp.Run
+	}
 	// The simulate stage's derived context carries the stage's trace span
-	// into the interpreter, which nests the engine-level "sim" span (with
+	// into the backend, which nests the engine-level "sim" span (with
 	// event counts) underneath it.
-	simCtx, done := stage(req, rec, "simulate")
+	simCtx, _, done := stage(req, rec, "simulate")
 	cfg.Context = simCtx
-	res, err := pr.Run(cfg)
+	res, err := run(cfg)
 	done()
 	if err != nil {
 		return nil, fmt.Errorf("estimator: %w", err)
@@ -432,14 +460,14 @@ func (e *Estimator) runMode(pr *interp.Program, req Request, fast bool, rec *obs
 		e.finish(req, est, rec, simRec)
 		return est, nil
 	}
-	_, done = stage(req, rec, "summarize")
+	_, _, done = stage(req, rec, "summarize")
 	sum, err := trace.Summarize(res.Trace)
 	done()
 	if err != nil {
 		return nil, fmt.Errorf("estimator: summarize: %w", err)
 	}
 	if req.TracePath != "" {
-		_, done = stage(req, rec, "trace-write")
+		_, _, done = stage(req, rec, "trace-write")
 		err := trace.Save(req.TracePath, res.Trace)
 		done()
 		if err != nil {

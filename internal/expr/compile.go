@@ -6,13 +6,14 @@ package expr
 // compiled form in its inner loop (ablation: BenchmarkExpr in bench_test.go
 // measures interpreted vs compiled evaluation).
 type Compiled struct {
-	fn  compiled
-	src string
+	fn   compiled
+	src  string
+	node Node
 }
 
 // Compile lowers a parsed expression to its closure form.
 func Compile(n Node) *Compiled {
-	return &Compiled{fn: n.compile(), src: n.String()}
+	return &Compiled{fn: n.compile(), src: n.String(), node: n}
 }
 
 // CompileString parses and lowers src.

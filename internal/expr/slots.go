@@ -1,0 +1,203 @@
+package expr
+
+// Slot-resolved evaluation: the lowered backend (internal/lower) assigns
+// every model variable a fixed slot index ahead of time, so the simulation
+// inner loop reads variables by integer indexing into a reusable frame
+// instead of chasing a chain of map lookups (locals -> globals -> system
+// parameters) per reference. Names the resolver cannot place in a slot
+// (and every function call) fall back to a regular Env, so slot-resolved
+// evaluation is a strict fast path, not a different semantics.
+
+// SlotKind classifies how a variable name resolves against a SlotEnv.
+type SlotKind int
+
+const (
+	// SlotDynamic leaves the name to SlotEnv.Fallback at eval time.
+	SlotDynamic SlotKind = iota
+	// SlotLocal reads Locals[Local]: a local slot that is always defined
+	// (pid/tid/uid and declared scope-local variables).
+	SlotLocal
+	// SlotLocalDyn reads Locals[Local] only while Defined[Local] is set
+	// (loop variables, code-fragment assignment targets); otherwise the
+	// name falls through to the Global slot if it has one, then to
+	// Fallback.
+	SlotLocalDyn
+	// SlotGlobal reads Globals[Global].
+	SlotGlobal
+)
+
+// SlotRule tells Resolve where one variable name lives.
+type SlotRule struct {
+	Kind   SlotKind
+	Local  int // index into Locals/Defined (SlotLocal, SlotLocalDyn)
+	Global int // index into Globals (SlotGlobal; shadow slot for SlotLocalDyn, -1 = none)
+}
+
+// SlotEnv is the reusable slot-backed frame a Slotted expression
+// evaluates against. Locals/Defined belong to one flow context; Globals
+// is shared by every context of a run. Fallback resolves names without a
+// slot rule (system parameters, config-injected globals) and all function
+// calls; it may be nil, in which case unresolved names are undefined.
+type SlotEnv struct {
+	Locals   []float64
+	Defined  []bool
+	Globals  []float64
+	Fallback Env
+}
+
+// slotted is the closure form produced by Resolve.
+type slotted func(se *SlotEnv) (float64, error)
+
+// Slotted is a compiled expression whose variable references have been
+// pre-resolved to slot indices. Produced by Compiled.Resolve.
+type Slotted struct {
+	fn  slotted
+	src string
+}
+
+// Resolve re-lowers the compiled expression against a slot layout: rule
+// maps each free variable name to its slot. The returned Slotted
+// evaluates with zero map lookups for slot-mapped names.
+func (c *Compiled) Resolve(rule func(name string) SlotRule) *Slotted {
+	return &Slotted{fn: resolveSlots(c.node, rule), src: c.src}
+}
+
+// Eval evaluates the slot-resolved expression against the frame.
+func (s *Slotted) Eval(se *SlotEnv) (float64, error) { return s.fn(se) }
+
+// String returns the normalized source of the expression.
+func (s *Slotted) String() string { return s.src }
+
+func fallbackVar(se *SlotEnv, name string) (float64, error) {
+	if se.Fallback != nil {
+		if v, ok := se.Fallback.Var(name); ok {
+			return v, nil
+		}
+	}
+	return 0, &UndefinedError{Kind: "variable", Name: name}
+}
+
+func resolveSlots(n Node, rule func(string) SlotRule) slotted {
+	switch x := n.(type) {
+	case *Num:
+		v := x.Value
+		return func(*SlotEnv) (float64, error) { return v, nil }
+	case *Var:
+		name := x.Name
+		r := rule(name)
+		switch r.Kind {
+		case SlotLocal:
+			i := r.Local
+			return func(se *SlotEnv) (float64, error) { return se.Locals[i], nil }
+		case SlotGlobal:
+			i := r.Global
+			return func(se *SlotEnv) (float64, error) { return se.Globals[i], nil }
+		case SlotLocalDyn:
+			li, gi := r.Local, r.Global
+			return func(se *SlotEnv) (float64, error) {
+				if se.Defined[li] {
+					return se.Locals[li], nil
+				}
+				if gi >= 0 {
+					return se.Globals[gi], nil
+				}
+				return fallbackVar(se, name)
+			}
+		}
+		return func(se *SlotEnv) (float64, error) { return fallbackVar(se, name) }
+	case *Call:
+		name := x.Name
+		args := make([]slotted, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = resolveSlots(a, rule)
+		}
+		return func(se *SlotEnv) (float64, error) {
+			if se.Fallback == nil {
+				return 0, &UndefinedError{Kind: "function", Name: name}
+			}
+			f, ok := se.Fallback.Func(name)
+			if !ok {
+				return 0, &UndefinedError{Kind: "function", Name: name}
+			}
+			vals := make([]float64, len(args))
+			for i, a := range args {
+				v, err := a(se)
+				if err != nil {
+					return 0, err
+				}
+				vals[i] = v
+			}
+			return f(vals)
+		}
+	case *Unary:
+		sub := resolveSlots(x.X, rule)
+		op := x.Op
+		return func(se *SlotEnv) (float64, error) {
+			v, err := sub(se)
+			if err != nil {
+				return 0, err
+			}
+			return applyUnary(op, v)
+		}
+	case *Binary:
+		l, r := resolveSlots(x.L, rule), resolveSlots(x.R, rule)
+		switch x.Op {
+		case "&&":
+			return func(se *SlotEnv) (float64, error) {
+				lv, err := l(se)
+				if err != nil || !Truthy(lv) {
+					return 0, err
+				}
+				rv, err := r(se)
+				if err != nil {
+					return 0, err
+				}
+				return boolVal(Truthy(rv)), nil
+			}
+		case "||":
+			return func(se *SlotEnv) (float64, error) {
+				lv, err := l(se)
+				if err != nil {
+					return 0, err
+				}
+				if Truthy(lv) {
+					return 1, nil
+				}
+				rv, err := r(se)
+				if err != nil {
+					return 0, err
+				}
+				return boolVal(Truthy(rv)), nil
+			}
+		}
+		op := x.Op
+		return func(se *SlotEnv) (float64, error) {
+			lv, err := l(se)
+			if err != nil {
+				return 0, err
+			}
+			rv, err := r(se)
+			if err != nil {
+				return 0, err
+			}
+			return applyBinary(op, lv, rv)
+		}
+	case *Cond:
+		c, a, b := resolveSlots(x.C, rule), resolveSlots(x.A, rule), resolveSlots(x.B, rule)
+		return func(se *SlotEnv) (float64, error) {
+			cv, err := c(se)
+			if err != nil {
+				return 0, err
+			}
+			if Truthy(cv) {
+				return a(se)
+			}
+			return b(se)
+		}
+	}
+	// Unreachable with the parser's node set; fail closed if a new node
+	// type forgets to extend this switch.
+	return func(*SlotEnv) (float64, error) {
+		return 0, &UndefinedError{Kind: "variable", Name: "<unresolvable node>"}
+	}
+}

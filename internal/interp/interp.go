@@ -204,6 +204,50 @@ func Compile(m *uml.Model, reg *profile.Registry) (*Program, error) {
 // Model returns the model the program was compiled from.
 func (pr *Program) Model() *uml.Model { return pr.model }
 
+// Assignment is one parsed statement of an element's code fragment, as
+// exposed through Parts.
+type Assignment struct {
+	Name  string
+	Value *expr.Compiled
+}
+
+// Parts exposes the compiled program's pre-compiled expression tables so
+// alternative execution backends (internal/lower) can re-lower them
+// without re-parsing the model. The maps are shared, not copied: treat
+// them as read-only.
+type Parts struct {
+	Model  *uml.Model
+	Lib    *expr.Library
+	Guards map[string]*expr.Compiled            // edge ID -> guard
+	Costs  map[string]*expr.Compiled            // node ID -> cost expression
+	Counts map[string]*expr.Compiled            // loop node ID -> count
+	Tags   map[string]map[string]*expr.Compiled // node ID -> tag -> expr
+	Code   map[string][]Assignment              // node ID -> effective statements
+	Inits  map[string]*expr.Compiled            // variable name -> initializer
+}
+
+// Parts returns the program's compiled constituents.
+func (pr *Program) Parts() Parts {
+	code := make(map[string][]Assignment, len(pr.code))
+	for id, as := range pr.code {
+		out := make([]Assignment, len(as))
+		for i, a := range as {
+			out[i] = Assignment{Name: a.name, Value: a.value}
+		}
+		code[id] = out
+	}
+	return Parts{
+		Model:  pr.model,
+		Lib:    pr.lib,
+		Guards: pr.guards,
+		Costs:  pr.costs,
+		Counts: pr.counts,
+		Tags:   pr.tags,
+		Code:   code,
+		Inits:  pr.inits,
+	}
+}
+
 // costSource picks the expression that models an element's execution
 // time: an attached cost function wins; otherwise the `time` tagged value
 // (paper, Figure 1b: `time = 10` carries "the estimated or the measured

@@ -132,6 +132,7 @@ func (pr *Program) Run(cfg Config) (*Result, error) {
 		span.Annotate("events", strconv.FormatInt(eng.EventsExecuted(), 10))
 		span.Annotate("sim_time", strconv.FormatFloat(eng.Now(), 'g', -1, 64))
 		span.Annotate("processes", strconv.Itoa(sp.Processes))
+		span.Annotate("backend", "interp")
 		span.End()
 	}
 	if cfg.RunLimit > 0 {

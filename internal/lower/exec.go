@@ -1,0 +1,867 @@
+package lower
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+
+	"prophet/internal/expr"
+	"prophet/internal/interp"
+	"prophet/internal/machine"
+	"prophet/internal/obs"
+	"prophet/internal/sim"
+	"prophet/internal/trace"
+	"prophet/internal/uml"
+)
+
+// Run executes the flat program under the interpreter's configuration and
+// produces a Result bit-identical to interp.Program.Run on the same model
+// and config. Single-process models with no engine-dependent ops run in
+// direct mode — a plain loop over the op array with a local clock, no
+// event queue at all; everything else replays the interpreter's engine
+// choreography (same process names, counters and facilities, so the event
+// order and therefore the trace are identical).
+func (pr *Program) Run(cfg interp.Config) (*interp.Result, error) {
+	sp := cfg.Params
+	if sp == (machine.SystemParams{}) {
+		sp = machine.DefaultParams()
+	}
+	maxSteps := cfg.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 50_000_000
+	}
+	if pr.direct(cfg, sp) {
+		return pr.runDirect(cfg, sp, maxSteps)
+	}
+	return pr.runEngine(cfg, sp, maxSteps)
+}
+
+// direct reports whether the run can skip the event engine entirely: one
+// process, FCFS, no engine-only ops, and no feature that observes engine
+// internals (telemetry, run limits).
+func (pr *Program) direct(cfg interp.Config, sp machine.SystemParams) bool {
+	return !pr.engineOnly &&
+		sp.Processes == 1 &&
+		cfg.Observer == nil &&
+		cfg.RunLimit <= 0 &&
+		cfg.Policy == machine.PolicyFCFS
+}
+
+// runtimeState is the state shared by all frames of one run.
+type runtimeState struct {
+	prog     *Program
+	eng      *sim.Engine      // nil in direct mode
+	mach     *machine.Machine // nil in direct mode
+	sp       map[string]float64
+	globals  []float64
+	extras   map[string]float64 // config globals with no declaration
+	trace    *trace.Trace
+	uid      int
+	maxSteps int
+	crits    map[string]*sim.Facility
+	rng      *sim.Stream
+	noTrace  bool
+	finished float64
+
+	// Direct mode: the event queue degenerates to a clock accumulator and
+	// a CPU busy integral (the single process is the only facility user,
+	// so utilization is busy time over total time).
+	direct   bool
+	clock    float64
+	cpuBusy  float64
+	ops      int64
+	ctx      context.Context
+	ctxCheck int
+}
+
+func (rt *runtimeState) now() float64 {
+	if rt.direct {
+		return rt.clock
+	}
+	return rt.eng.Now()
+}
+
+// critical returns (creating on first use) the 1-server facility guarding
+// an omp_critical element within one process.
+func (rt *runtimeState) critical(pid int, elemID string) *sim.Facility {
+	key := fmt.Sprintf("%d/%s", pid, elemID)
+	if f, ok := rt.crits[key]; ok {
+		return f
+	}
+	f := rt.eng.NewFacility("critical:"+key, 1)
+	rt.crits[key] = f
+	return f
+}
+
+// frame is the per-(process, thread) execution context: the slot-backed
+// variable frame plus the step counter.
+type frame struct {
+	rt    *runtimeState
+	p     *sim.Process
+	pid   int
+	tid   int
+	env   expr.SlotEnv
+	steps int
+}
+
+// dynEnv is a frame's fallback environment: it resolves slot-mapped names
+// for the benefit of user-function bodies (which evaluate free variables
+// through the Env chain), then config-injected globals, then system
+// parameters — the exact varsEnv shadowing order.
+type dynEnv struct{ fr *frame }
+
+func (d *dynEnv) Var(name string) (float64, bool) {
+	fr := d.fr
+	rt := fr.rt
+	if r, ok := rt.prog.lay.rules[name]; ok {
+		switch r.Kind {
+		case expr.SlotLocal:
+			return fr.env.Locals[r.Local], true
+		case expr.SlotLocalDyn:
+			if fr.env.Defined[r.Local] {
+				return fr.env.Locals[r.Local], true
+			}
+			if r.Global >= 0 {
+				return rt.globals[r.Global], true
+			}
+		case expr.SlotGlobal:
+			return rt.globals[r.Global], true
+		}
+	}
+	if v, ok := rt.extras[name]; ok {
+		return v, true
+	}
+	v, ok := rt.sp[name]
+	return v, ok
+}
+
+func (d *dynEnv) Func(string) (expr.Func, bool) { return nil, false }
+
+// newFrame builds a process's root frame, replicating newFlowCtx: pid/tid
+// seeded, uid 0, then scope-local initializers evaluated in declaration
+// order with progressively visible earlier locals; initializer errors are
+// ignored (the variable stays 0), as in the interpreter.
+func (rt *runtimeState) newFrame(p *sim.Process, pid, tid int) *frame {
+	lay := rt.prog.lay
+	fr := &frame{rt: rt, p: p, pid: pid, tid: tid}
+	fr.env = expr.SlotEnv{
+		Locals:  make([]float64, len(lay.localNames)),
+		Defined: make([]bool, len(lay.localNames)),
+		Globals: rt.globals,
+	}
+	fr.env.Fallback = rt.prog.parts.Lib.Bind(&dynEnv{fr: fr})
+
+	vis := map[string]float64{"pid": float64(pid), "tid": float64(tid), "uid": 0}
+	fr.env.Locals[lay.pidSlot] = float64(pid)
+	fr.env.Locals[lay.tidSlot] = float64(tid)
+	initEnv := rt.prog.parts.Lib.Bind(&localInitEnv{rt: rt, vis: vis})
+	for _, v := range rt.prog.parts.Model.VariablesIn(uml.ScopeLocal) {
+		slot := lay.localIdx[v.Name]
+		fr.env.Locals[slot] = 0
+		vis[v.Name] = 0
+		if init, ok := rt.prog.parts.Inits[v.Name]; ok {
+			if val, err := init.Eval(initEnv); err == nil {
+				fr.env.Locals[slot] = val
+				vis[v.Name] = val
+			}
+		}
+	}
+	return fr
+}
+
+// localInitEnv is the environment scope-local initializers see: the
+// already-initialized locals, then globals (declared and extras), then
+// system parameters.
+type localInitEnv struct {
+	rt  *runtimeState
+	vis map[string]float64
+}
+
+func (e *localInitEnv) Var(name string) (float64, bool) {
+	if v, ok := e.vis[name]; ok {
+		return v, true
+	}
+	if gi, ok := e.rt.prog.lay.globalIdx[name]; ok {
+		return e.rt.globals[gi], true
+	}
+	if v, ok := e.rt.extras[name]; ok {
+		return v, true
+	}
+	v, ok := e.rt.sp[name]
+	return v, ok
+}
+
+func (e *localInitEnv) Func(string) (expr.Func, bool) { return nil, false }
+
+// globalInitEnv is what global initializers see: the globals declared
+// before them (the interpreter zero-fills and fills the map as it walks
+// the declarations), then system parameters.
+type globalInitEnv struct {
+	rt      *runtimeState
+	visible int
+}
+
+func (e *globalInitEnv) Var(name string) (float64, bool) {
+	if gi, ok := e.rt.prog.lay.globalIdx[name]; ok && gi < e.visible {
+		return e.rt.globals[gi], true
+	}
+	v, ok := e.rt.sp[name]
+	return v, ok
+}
+
+func (e *globalInitEnv) Func(string) (expr.Func, bool) { return nil, false }
+
+// initGlobals runs declared initializers in order, then config overrides.
+func (rt *runtimeState) initGlobals(cfg interp.Config) error {
+	prog := rt.prog
+	gie := &globalInitEnv{rt: rt}
+	env := prog.parts.Lib.Bind(gie)
+	for i, init := range prog.globalInits {
+		gie.visible = i + 1 // the variable itself is visible as 0
+		if init == nil {
+			continue
+		}
+		val, err := init.Eval(env)
+		if err != nil {
+			return fmt.Errorf("lower: initialize %s: %w", prog.lay.globalNames[i], err)
+		}
+		rt.globals[i] = val
+	}
+	for k, v := range cfg.Globals {
+		if gi, ok := prog.lay.globalIdx[k]; ok {
+			rt.globals[gi] = v
+			continue
+		}
+		rt.extras[k] = v
+	}
+	return nil
+}
+
+// child clones the frame for a forked branch or parallel-region thread.
+func (fr *frame) child(tid int) *frame {
+	nc := &frame{rt: fr.rt, pid: fr.pid, tid: tid}
+	nc.env = expr.SlotEnv{
+		Locals:  append([]float64(nil), fr.env.Locals...),
+		Defined: append([]bool(nil), fr.env.Defined...),
+		Globals: fr.rt.globals,
+	}
+	nc.env.Fallback = fr.rt.prog.parts.Lib.Bind(&dynEnv{fr: nc})
+	nc.env.Locals[fr.rt.prog.lay.tidSlot] = float64(tid)
+	return nc
+}
+
+// runAssign applies one pre-resolved code statement. Non-global targets
+// still check the extras map first: the interpreter writes any name
+// present in its globals map, which includes config-injected globals that
+// were never declared.
+func (fr *frame) runAssign(a *assign, v float64) {
+	rt := fr.rt
+	switch a.kind {
+	case asgGlobal:
+		rt.globals[a.slot] = v
+	case asgLocal:
+		if _, ok := rt.extras[a.name]; ok {
+			rt.extras[a.name] = v
+			return
+		}
+		fr.env.Locals[a.slot] = v
+	case asgLocalDyn:
+		if _, ok := rt.extras[a.name]; ok {
+			rt.extras[a.name] = v
+			return
+		}
+		fr.env.Locals[a.slot] = v
+		fr.env.Defined[a.slot] = true
+	}
+}
+
+func (fr *frame) runCode(o *op) error {
+	for i := range o.code {
+		a := &o.code[i]
+		v, err := a.value.Eval(&fr.env)
+		if err != nil {
+			return fmt.Errorf("lower: code of %q: %w", o.name, err)
+		}
+		fr.runAssign(a, v)
+	}
+	return nil
+}
+
+func (fr *frame) nextUID() {
+	fr.rt.uid++
+	fr.env.Locals[fr.rt.prog.lay.uidSlot] = float64(fr.rt.uid)
+}
+
+func (fr *frame) emit(kind trace.Kind, o *op) {
+	if fr.rt.noTrace {
+		return
+	}
+	fr.rt.trace.Append(trace.Event{
+		T: fr.rt.now(), PID: fr.pid, TID: fr.tid,
+		Kind: kind, Elem: o.id, Name: o.name,
+	})
+}
+
+// step counts an element execution against the runaway guard.
+func (fr *frame) step(name string) error {
+	fr.steps++
+	if fr.steps > fr.rt.maxSteps {
+		return fmt.Errorf("lower: process %d exceeded %d element executions at %q (unbounded loop?)",
+			fr.pid, fr.rt.maxSteps, name)
+	}
+	return nil
+}
+
+// hold advances time by dt with sim.Process.Hold semantics (negative
+// clamps to zero; the engine's schedule clamp keeps NaN sticky).
+func (fr *frame) hold(dt float64) {
+	rt := fr.rt
+	if !rt.direct {
+		fr.p.Hold(dt)
+		return
+	}
+	if dt < 0 {
+		dt = 0
+	}
+	t := rt.clock + dt
+	if t < rt.clock {
+		t = rt.clock
+	}
+	rt.clock = t
+}
+
+// compute charges dt to the process's CPU. In direct mode the single
+// process owns the facility, so service time is the hold and the busy
+// integral grows by exactly the time advanced — the same float ops the
+// facility's account() performs.
+func (fr *frame) compute(dt float64) {
+	rt := fr.rt
+	if !rt.direct {
+		rt.mach.Compute(fr.p, fr.pid, dt)
+		return
+	}
+	if dt <= 0 {
+		return
+	}
+	start := rt.clock
+	end := start + dt
+	if end < start {
+		end = start
+	}
+	rt.cpuBusy += end - start
+	rt.clock = end
+}
+
+// evalTag evaluates an optional stereotype tag expression.
+func (fr *frame) evalTag(c *expr.Slotted, dflt float64) (float64, error) {
+	if c == nil {
+		return dflt, nil
+	}
+	return c.Eval(&fr.env)
+}
+
+// run executes one segment to completion.
+func (fr *frame) run(segIdx int) error {
+	rt := fr.rt
+	if segIdx < 0 {
+		return nil
+	}
+	seg := &rt.prog.segs[segIdx]
+	pc := seg.entry
+	for pc >= 0 {
+		rt.ops++
+		if rt.direct && rt.ctx != nil {
+			// The engine checks for interruption between events; direct
+			// mode has no events, so poll the context every few ops.
+			if rt.ctxCheck++; rt.ctxCheck&63 == 0 && rt.ctx.Err() != nil {
+				return &sim.InterruptError{Time: rt.clock, Cause: context.Cause(rt.ctx)}
+			}
+		}
+		o := &seg.ops[pc]
+		switch o.kind {
+		case opError:
+			return o.err
+
+		case opAction:
+			if err := fr.step(o.name); err != nil {
+				return err
+			}
+			if o.act == actPlain {
+				pc = o.next
+				continue
+			}
+			// Code runs before execute(), as in the generated C++.
+			if err := fr.runCode(o); err != nil {
+				return err
+			}
+			fr.nextUID()
+			fr.emit(trace.Enter, o)
+			err := fr.execAct(o)
+			fr.emit(trace.Leave, o)
+			if err != nil {
+				return err
+			}
+			pc = o.next
+
+		case opActivity, opParallel:
+			if err := fr.step(o.name); err != nil {
+				return err
+			}
+			fr.nextUID()
+			fr.emit(trace.Enter, o)
+			err := fr.execActivity(o)
+			fr.emit(trace.Leave, o)
+			if err != nil {
+				return err
+			}
+			pc = o.next
+
+		case opLoop:
+			if err := fr.step(o.name); err != nil {
+				return err
+			}
+			if err := fr.execLoop(o); err != nil {
+				return err
+			}
+			pc = o.next
+
+		case opBranch:
+			next, err := fr.execBranch(o)
+			if err != nil {
+				return err
+			}
+			pc = next
+
+		case opWeighted:
+			r := rt.rng.Float64() * o.total
+			var acc float64
+			next := o.targets[len(o.targets)-1]
+			for i, w := range o.weights {
+				acc += w
+				if r < acc {
+					next = o.targets[i]
+					break
+				}
+			}
+			pc = next
+
+		case opFork:
+			next, err := fr.execFork(o)
+			if err != nil {
+				return err
+			}
+			pc = next
+
+		case opNop:
+			pc = o.next
+		}
+	}
+	return nil
+}
+
+func (fr *frame) execBranch(o *op) (int, error) {
+	for i := range o.arms {
+		arm := &o.arms[i]
+		if arm.err != nil {
+			return 0, arm.err
+		}
+		v, err := arm.guard.Eval(&fr.env)
+		if err != nil {
+			return 0, fmt.Errorf("lower: guard %q: %w", arm.src, err)
+		}
+		if expr.Truthy(v) {
+			return arm.target, nil
+		}
+	}
+	if o.hasElse {
+		return o.elsePC, nil
+	}
+	return 0, o.noMatch
+}
+
+func (fr *frame) execAct(o *op) error {
+	rt := fr.rt
+	switch o.act {
+	case actCompute:
+		cost := 0.0
+		if o.cost != nil {
+			v, err := o.cost.Eval(&fr.env)
+			if err != nil {
+				return fmt.Errorf("lower: cost of %q: %w", o.name, err)
+			}
+			cost = v
+		}
+		fr.compute(cost)
+	case actCritical:
+		cost := 0.0
+		if o.cost != nil {
+			v, err := o.cost.Eval(&fr.env)
+			if err != nil {
+				return fmt.Errorf("lower: cost of %q: %w", o.name, err)
+			}
+			cost = v
+		}
+		if rt.direct {
+			// One process, one thread: the facility is always free, so
+			// Use degenerates to the hold.
+			fr.hold(cost)
+		} else {
+			rt.critical(fr.pid, o.id).Use(fr.p, cost)
+		}
+	case actSend:
+		dest, err := fr.evalTag(o.dest, 0)
+		if err != nil {
+			return fmt.Errorf("lower: %q dest: %w", o.name, err)
+		}
+		size, err := fr.evalTag(o.size, 0)
+		if err != nil {
+			return fmt.Errorf("lower: %q size: %w", o.name, err)
+		}
+		if err := rt.mach.Send(fr.p, fr.pid, int(dest), size); err != nil {
+			return fmt.Errorf("lower: %q: %w", o.name, err)
+		}
+		fr.emit(trace.Send, o)
+	case actRecv:
+		src, err := fr.evalTag(o.src, -1)
+		if err != nil {
+			return fmt.Errorf("lower: %q src: %w", o.name, err)
+		}
+		if _, err := rt.mach.Recv(fr.p, fr.pid, int(src)); err != nil {
+			return fmt.Errorf("lower: %q: %w", o.name, err)
+		}
+		fr.emit(trace.Recv, o)
+	case actSendrecv:
+		dest, err := fr.evalTag(o.dest, 0)
+		if err != nil {
+			return fmt.Errorf("lower: %q dest: %w", o.name, err)
+		}
+		src, err := fr.evalTag(o.src, -1)
+		if err != nil {
+			return fmt.Errorf("lower: %q src: %w", o.name, err)
+		}
+		size, err := fr.evalTag(o.size, 0)
+		if err != nil {
+			return fmt.Errorf("lower: %q size: %w", o.name, err)
+		}
+		if err := rt.mach.Send(fr.p, fr.pid, int(dest), size); err != nil {
+			return fmt.Errorf("lower: %q: %w", o.name, err)
+		}
+		if _, err := rt.mach.Recv(fr.p, fr.pid, int(src)); err != nil {
+			return fmt.Errorf("lower: %q: %w", o.name, err)
+		}
+	case actBarrier:
+		if !rt.direct {
+			rt.mach.Barrier(fr.p)
+		}
+		// One process: Barrier is a no-op.
+	case actBroadcast:
+		size, err := fr.evalTag(o.size, 0)
+		if err != nil {
+			return fmt.Errorf("lower: %q size: %w", o.name, err)
+		}
+		if rt.direct {
+			fr.hold(0) // collectiveTime is 0 with one process
+		} else {
+			rt.mach.Broadcast(fr.p, size)
+		}
+	case actReduce:
+		size, err := fr.evalTag(o.size, 0)
+		if err != nil {
+			return fmt.Errorf("lower: %q size: %w", o.name, err)
+		}
+		if rt.direct {
+			fr.hold(0)
+		} else {
+			rt.mach.Reduce(fr.p, size)
+		}
+	}
+	return nil
+}
+
+func (fr *frame) execActivity(o *op) error {
+	if err := fr.runCode(o); err != nil {
+		return err
+	}
+	if o.cost != nil {
+		v, err := o.cost.Eval(&fr.env)
+		if err != nil {
+			return fmt.Errorf("lower: cost of %q: %w", o.name, err)
+		}
+		fr.compute(v)
+	}
+	if o.kind == opParallel {
+		return fr.execParallel(o)
+	}
+	if o.body < 0 {
+		return o.bodyErr
+	}
+	return fr.run(o.body)
+}
+
+func (fr *frame) execParallel(o *op) error {
+	rt := fr.rt
+	team := rt.sp["threads"]
+	if o.count != nil {
+		v, err := o.count.Eval(&fr.env)
+		if err != nil {
+			return fmt.Errorf("lower: parallel region %q count: %w", o.name, err)
+		}
+		team = v
+	}
+	t := int(team)
+	if t < 1 {
+		t = 1
+	}
+	if o.body < 0 {
+		return o.bodyErr
+	}
+	join := rt.eng.NewCounter("omp:"+o.id, t)
+	var firstErr error
+	for tid := 0; tid < t; tid++ {
+		worker := fr.child(tid)
+		rt.eng.Spawn(fmt.Sprintf("p%d.omp%s.t%d", fr.pid, o.id, tid), func(p *sim.Process) {
+			worker.p = p
+			defer join.Done()
+			if err := worker.run(o.body); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		})
+	}
+	join.Wait(fr.p)
+	return firstErr
+}
+
+func (fr *frame) execFork(o *op) (int, error) {
+	rt := fr.rt
+	join := rt.eng.NewCounter("join:"+o.id, o.forkTotal)
+	var firstErr error
+	for i, br := range o.branches {
+		branch := fr.child(fr.tid)
+		br := br
+		rt.eng.Spawn(fmt.Sprintf("p%d.fork%s.%d", fr.pid, o.id, i), func(p *sim.Process) {
+			branch.p = p
+			defer join.Done()
+			if err := branch.run(br); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		})
+	}
+	if o.err != nil {
+		// Dangling fork edge: fail after spawning the earlier branches,
+		// without waiting on the join — execution order matches fork().
+		return 0, o.err
+	}
+	join.Wait(fr.p)
+	if firstErr != nil {
+		return 0, firstErr
+	}
+	return o.next, nil
+}
+
+func (fr *frame) execLoop(o *op) error {
+	count := 0
+	v, err := o.count.Eval(&fr.env)
+	if err != nil {
+		return fmt.Errorf("lower: loop %q count: %w", o.name, err)
+	}
+	count = int(v)
+	if o.body < 0 {
+		return o.bodyErr
+	}
+	lv := o.loopVar
+	var saved float64
+	var hadSaved bool
+	if lv.name != "" {
+		saved = fr.env.Locals[lv.slot]
+		hadSaved = !lv.dyn || fr.env.Defined[lv.slot]
+	}
+	for i := 0; i < count; i++ {
+		if err := fr.step(o.name); err != nil {
+			return err
+		}
+		if lv.name != "" {
+			fr.env.Locals[lv.slot] = float64(i)
+			if lv.dyn {
+				fr.env.Defined[lv.slot] = true
+			}
+		}
+		if err := fr.run(o.body); err != nil {
+			return err
+		}
+	}
+	if lv.name != "" {
+		if hadSaved {
+			fr.env.Locals[lv.slot] = saved
+		} else {
+			fr.env.Defined[lv.slot] = false
+		}
+	}
+	return nil
+}
+
+// newRuntime builds run state common to both modes.
+func (pr *Program) newRuntime(cfg interp.Config, sp machine.SystemParams, maxSteps int, direct bool) *runtimeState {
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	rt := &runtimeState{
+		prog:     pr,
+		sp:       sp.Env(),
+		globals:  make([]float64, len(pr.lay.globalNames)),
+		extras:   map[string]float64{},
+		trace:    &trace.Trace{Model: pr.parts.Model.Name()},
+		noTrace:  cfg.NoTrace,
+		maxSteps: maxSteps,
+		crits:    map[string]*sim.Facility{},
+		rng:      sim.NewStream(seed),
+		direct:   direct,
+		ctx:      cfg.Context,
+	}
+	rt.trace.SetMeta("nodes", fmt.Sprint(sp.Nodes))
+	rt.trace.SetMeta("processors", fmt.Sprint(sp.ProcessorsPerNode))
+	rt.trace.SetMeta("processes", fmt.Sprint(sp.Processes))
+	rt.trace.SetMeta("threads", fmt.Sprint(sp.Threads))
+	return rt
+}
+
+// result assembles the run outcome; utilization is supplied per mode.
+func (rt *runtimeState) result(sp machine.SystemParams, util func(node int) float64) *interp.Result {
+	globals := make(map[string]float64, len(rt.globals)+len(rt.extras))
+	for i, name := range rt.prog.lay.globalNames {
+		globals[name] = rt.globals[i]
+	}
+	for k, v := range rt.extras {
+		globals[k] = v
+	}
+	res := &interp.Result{
+		Trace:    rt.trace,
+		Makespan: rt.finished,
+		Globals:  globals,
+	}
+	for n := 0; n < sp.Nodes; n++ {
+		res.CPUUtilization = append(res.CPUUtilization, util(n))
+	}
+	return res
+}
+
+// runDirect executes a single-process program without the event engine.
+func (pr *Program) runDirect(cfg interp.Config, sp machine.SystemParams, maxSteps int) (*interp.Result, error) {
+	if ctx := cfg.Context; ctx != nil && ctx.Err() != nil {
+		return nil, fmt.Errorf("lower: %w", context.Cause(ctx))
+	}
+	if err := sp.Validate(); err != nil {
+		return nil, fmt.Errorf("lower: %w", err)
+	}
+	rt := pr.newRuntime(cfg, sp, maxSteps, true)
+	if err := rt.initGlobals(cfg); err != nil {
+		return nil, err
+	}
+	if pr.mainSeg < 0 {
+		return nil, pr.mainErr
+	}
+
+	_, span := obs.StartSpan(cfg.Context, "sim")
+	fr := rt.newFrame(nil, 0, 0)
+	err := fr.run(pr.mainSeg)
+	span.Annotate("events", strconv.FormatInt(rt.ops, 10))
+	span.Annotate("sim_time", strconv.FormatFloat(rt.clock, 'g', -1, 64))
+	span.Annotate("processes", strconv.Itoa(sp.Processes))
+	span.Annotate("backend", "lowered")
+	span.Annotate("mode", "direct")
+	span.End()
+	if err != nil {
+		if _, ok := err.(*sim.InterruptError); !ok {
+			err = &sim.ProcessError{Process: "p0", Err: err}
+		}
+		return nil, fmt.Errorf("lower: %w", err)
+	}
+	if rt.clock > rt.finished {
+		rt.finished = rt.clock
+	}
+	return rt.result(sp, func(n int) float64 {
+		if n != 0 || rt.clock == 0 {
+			return 0
+		}
+		return rt.cpuBusy / (rt.clock * float64(sp.ProcessorsPerNode))
+	}), nil
+}
+
+// runEngine replays the interpreter's engine choreography for the flat
+// program: identical process names, counters and facilities yield an
+// identical (time, seq) event order, and therefore an identical trace.
+func (pr *Program) runEngine(cfg interp.Config, sp machine.SystemParams, maxSteps int) (*interp.Result, error) {
+	eng := sim.New()
+	if cfg.Observer != nil {
+		eng.SetObserver(cfg.Observer, cfg.SampleInterval)
+	}
+	if ctx := cfg.Context; ctx != nil {
+		if ctx.Err() != nil {
+			return nil, fmt.Errorf("lower: %w", context.Cause(ctx))
+		}
+		stop := make(chan struct{})
+		watched := make(chan struct{})
+		go func() {
+			defer close(watched)
+			select {
+			case <-ctx.Done():
+				eng.Interrupt(context.Cause(ctx))
+			case <-stop:
+			}
+		}()
+		defer func() { close(stop); <-watched }()
+	}
+	net := machine.DefaultNet()
+	if cfg.Net != nil {
+		net = *cfg.Net
+	}
+	mach, err := machine.NewWithPolicy(eng, sp, net, cfg.Policy)
+	if err != nil {
+		return nil, fmt.Errorf("lower: %w", err)
+	}
+
+	rt := pr.newRuntime(cfg, sp, maxSteps, false)
+	rt.eng = eng
+	rt.mach = mach
+	if err := rt.initGlobals(cfg); err != nil {
+		return nil, err
+	}
+	if pr.mainSeg < 0 {
+		return nil, pr.mainErr
+	}
+
+	for pid := 0; pid < sp.Processes; pid++ {
+		pid := pid
+		eng.Spawn(fmt.Sprintf("p%d", pid), func(p *sim.Process) {
+			fr := rt.newFrame(p, pid, 0)
+			if err := fr.run(pr.mainSeg); err != nil {
+				p.Fail(err)
+			}
+			if now := eng.Now(); now > rt.finished {
+				rt.finished = now
+			}
+		})
+	}
+
+	_, span := obs.StartSpan(cfg.Context, "sim")
+	annotate := func() {
+		span.Annotate("events", strconv.FormatInt(eng.EventsExecuted(), 10))
+		span.Annotate("sim_time", strconv.FormatFloat(eng.Now(), 'g', -1, 64))
+		span.Annotate("processes", strconv.Itoa(sp.Processes))
+		span.Annotate("backend", "lowered")
+		span.Annotate("mode", "engine")
+		span.End()
+	}
+	if cfg.RunLimit > 0 {
+		if _, err := eng.RunUntil(cfg.RunLimit); err != nil {
+			annotate()
+			return nil, fmt.Errorf("lower: %w", err)
+		}
+	} else if _, err := eng.Run(); err != nil {
+		annotate()
+		return nil, fmt.Errorf("lower: %w", err)
+	}
+	annotate()
+
+	return rt.result(sp, mach.CPUUtilization), nil
+}

@@ -61,6 +61,9 @@ type EstimateRequest struct {
 	Policy string `json:"policy,omitempty"`
 	// MaxSteps bounds element executions per process (0 = default).
 	MaxSteps int `json:"max_steps,omitempty"`
+	// Backend is "auto" (default), "lowered" (flat lowered program) or
+	// "interp" (tree-walking interpreter). Results are bit-identical.
+	Backend string `json:"backend,omitempty"`
 	// TimeoutMS is the per-request deadline in milliseconds. 0 means the
 	// server's default; values above the server's maximum are clamped.
 	// The deadline covers the whole evaluation and is enforced

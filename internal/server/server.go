@@ -372,6 +372,10 @@ func (s *Server) buildRequest(ctx context.Context, m *uml.Model, er *EstimateReq
 	if err != nil {
 		return estimator.Request{}, err
 	}
+	backend, err := estimator.ParseBackend(er.Backend)
+	if err != nil {
+		return estimator.Request{}, err
+	}
 	sp := er.Params.toMachine()
 	if err := sp.Validate(); err != nil {
 		return estimator.Request{}, err
@@ -383,6 +387,7 @@ func (s *Server) buildRequest(ctx context.Context, m *uml.Model, er *EstimateReq
 		Seed:      er.Seed,
 		Policy:    pol,
 		MaxSteps:  er.MaxSteps,
+		Backend:   backend,
 		Telemetry: er.Telemetry,
 		Context:   ctx,
 		Metrics:   s.reg,
