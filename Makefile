@@ -2,8 +2,8 @@
 
 GO ?= go
 
-.PHONY: all check build test vet race smoke bench cover examples experiments \
-	conformance conformance-update fuzz-smoke clean
+.PHONY: all check build test vet race smoke loadtest bench cover examples \
+	experiments conformance conformance-update fuzz-smoke clean
 
 all: check
 
@@ -31,6 +31,13 @@ race:
 # model, estimate, scrape /metrics, and check SIGTERM drains cleanly.
 smoke:
 	./scripts/prophetd_smoke.sh
+
+# Serving-layer load test: drive cold / hot / concurrent-identical
+# traffic through a live prophetd with cmd/loadgen, write the
+# BENCH_serving.json latency/throughput report, and enforce the
+# hot-path req/s, cache-hit-rate, and hot-vs-cold speedup floors.
+loadtest:
+	./scripts/prophetd_loadtest.sh
 
 # Full benchmark pass (the per-table/figure harness of EXPERIMENTS.md),
 # plus the runner/sim hot-path benchmarks and the BENCH_runner.json

@@ -1,0 +1,344 @@
+// Command loadgen drives a running prophetd through the serving-layer
+// scenarios that matter at scale and reports latency/throughput, in the
+// spirit of a tiny wrk with built-in assertions:
+//
+//	loadgen -addr http://127.0.0.1:8080 -o BENCH_serving.json
+//
+// Scenarios:
+//
+//	cold                 every request has a distinct canonical key (the
+//	                     seed varies), so each one runs a full simulation
+//	hot                  one key requested repeatedly after a warm-up:
+//	                     every response must come from the result cache
+//	concurrent-identical rounds of -concurrency simultaneous identical
+//	                     requests on a fresh key: singleflight must
+//	                     collapse each round to one simulation
+//
+// The report (written to -o as JSON) carries per-scenario request
+// counts, req/s, p50/p99 latency, and X-Result-Cache outcome counts,
+// plus the hot-vs-cold p50 speedup and the hot-path hit rate. The
+// -min-rps, -min-hit-rate and -min-speedup floors turn the run into a
+// CI gate: any floor violation exits non-zero.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"prophet/internal/builder"
+	"prophet/internal/xmi"
+)
+
+// loadModelXMI builds the benchmark workload: a loop of `iters` cheap
+// actions. At ~20k iterations a cold evaluation costs milliseconds —
+// enough that the cache's sub-millisecond hit path is visibly faster,
+// small enough that a load test stays quick.
+func loadModelXMI(iters int) (string, error) {
+	b := builder.New("loadgen")
+	b.Function("F", nil, "0.001")
+	d := b.Diagram("main")
+	d.Initial()
+	d.Loop("L", strconv.Itoa(iters), "body")
+	d.Final()
+	d.Chain("initial", "L", "final")
+	body := b.Diagram("body")
+	body.Initial()
+	body.Action("W").Cost("F()")
+	body.Final()
+	body.Chain("initial", "W", "final")
+	m, err := b.Build()
+	if err != nil {
+		return "", err
+	}
+	return xmi.EncodeString(m)
+}
+
+type sample struct {
+	d       time.Duration
+	code    int
+	outcome string
+}
+
+// scenarioStats is one scenario's row in the report. Retries counts 503
+// shed-and-retry round trips; they are backpressure, not failures, and
+// do not enter the latency distribution.
+type scenarioStats struct {
+	Requests int            `json:"requests"`
+	Errors   int            `json:"errors"`
+	Retries  int            `json:"retries,omitempty"`
+	RPS      float64        `json:"rps"`
+	P50MS    float64        `json:"p50_ms"`
+	P99MS    float64        `json:"p99_ms"`
+	Outcomes map[string]int `json:"outcomes"`
+}
+
+// report is the BENCH_serving.json schema.
+type report struct {
+	GeneratedUnix int64                    `json:"generated_unix"`
+	Addr          string                   `json:"addr"`
+	ModelIters    int                      `json:"model_iters"`
+	Concurrency   int                      `json:"concurrency"`
+	Scenarios     map[string]scenarioStats `json:"scenarios"`
+	HotSpeedupP50 float64                  `json:"hot_speedup_p50"`
+	HotHitRate    float64                  `json:"hot_hit_rate"`
+}
+
+func percentile(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func summarize(samples []sample, elapsed time.Duration) scenarioStats {
+	st := scenarioStats{Requests: len(samples), Outcomes: map[string]int{}}
+	var ok []time.Duration
+	for _, s := range samples {
+		if s.code != http.StatusOK {
+			st.Errors++
+			continue
+		}
+		ok = append(ok, s.d)
+		if s.outcome != "" {
+			st.Outcomes[s.outcome]++
+		}
+	}
+	if elapsed > 0 {
+		st.RPS = float64(len(samples)) / elapsed.Seconds()
+	}
+	st.P50MS = float64(percentile(ok, 0.50)) / float64(time.Millisecond)
+	st.P99MS = float64(percentile(ok, 0.99)) / float64(time.Millisecond)
+	return st
+}
+
+type client struct {
+	base string
+	http *http.Client
+}
+
+func (c *client) post(path string, body []byte) (sample, error) {
+	s, _, err := c.postRetry(path, body, 0)
+	return s, err
+}
+
+// postRetry issues one logical request, treating 503 (admission control
+// shedding under load) as backpressure: honor Retry-After and try again,
+// up to maxRetries attempts. Returns the final sample and the number of
+// sheds absorbed along the way.
+func (c *client) postRetry(path string, body []byte, maxRetries int) (sample, int, error) {
+	retries := 0
+	for {
+		start := time.Now()
+		resp, err := c.http.Post(c.base+path, "application/json", bytes.NewReader(body))
+		if err != nil {
+			return sample{}, retries, err
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusServiceUnavailable && retries < maxRetries {
+			retries++
+			wait := 50 * time.Millisecond
+			if ra, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && ra > 0 {
+				wait = time.Duration(ra) * time.Second
+			}
+			time.Sleep(wait)
+			continue
+		}
+		return sample{
+			d:       time.Since(start),
+			code:    resp.StatusCode,
+			outcome: resp.Header.Get("X-Result-Cache"),
+		}, retries, nil
+	}
+}
+
+// estimateBody marshals an estimate request against the stored model.
+func estimateBody(modelID string, seed int64) []byte {
+	buf, _ := json.Marshal(map[string]any{"model_id": modelID, "seed": seed})
+	return buf
+}
+
+// fanOut runs total requests across workers goroutines, each request's
+// body chosen by its global index. 503 sheds are retried (they mean the
+// load exceeds the server's admission bounds, which a load test does by
+// design); the retry count is reported alongside the samples.
+func fanOut(c *client, total, workers int, bodyFor func(i int) []byte) ([]sample, int, time.Duration, error) {
+	samples := make([]sample, total)
+	var next, retries atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= total {
+					return
+				}
+				s, r, err := c.postRetry("/v1/estimate", bodyFor(i), 1_000)
+				retries.Add(int64(r))
+				if err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				samples[i] = s
+			}
+		}()
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return nil, 0, 0, err
+	}
+	return samples, int(retries.Load()), time.Since(start), nil
+}
+
+func run() error {
+	var (
+		addr        = flag.String("addr", "http://127.0.0.1:8080", "prophetd base URL")
+		out         = flag.String("o", "BENCH_serving.json", "report output path")
+		iters       = flag.Int("iters", 20_000, "loop iterations in the benchmark model")
+		cold        = flag.Int("cold", 30, "cold-scenario requests (each a distinct key)")
+		hot         = flag.Int("hot", 300, "hot-scenario requests (one shared key)")
+		rounds      = flag.Int("rounds", 10, "concurrent-identical rounds (each a fresh key)")
+		concurrency = flag.Int("concurrency", 8, "concurrent workers / requests per round")
+		minRPS      = flag.Float64("min-rps", 0, "fail unless hot-scenario req/s reaches this floor (0 = no floor)")
+		minHitRate  = flag.Float64("min-hit-rate", 0, "fail unless the hot-scenario hit rate reaches this floor (0 = no floor)")
+		minSpeedup  = flag.Float64("min-speedup", 0, "fail unless cold-p50 / hot-p50 reaches this floor (0 = no floor)")
+	)
+	flag.Parse()
+
+	xml, err := loadModelXMI(*iters)
+	if err != nil {
+		return fmt.Errorf("build model: %w", err)
+	}
+	c := &client{base: *addr, http: &http.Client{Timeout: 2 * time.Minute}}
+
+	resp, err := c.http.Post(*addr+"/v1/models", "application/xml", bytes.NewReader([]byte(xml)))
+	if err != nil {
+		return fmt.Errorf("register model: %w", err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("register model: status %d: %s", resp.StatusCode, raw)
+	}
+	var mr struct {
+		ID string `json:"id"`
+	}
+	if err := json.Unmarshal(raw, &mr); err != nil {
+		return fmt.Errorf("register model: bad response %q: %v", raw, err)
+	}
+
+	rep := report{
+		GeneratedUnix: time.Now().Unix(),
+		Addr:          *addr,
+		ModelIters:    *iters,
+		Concurrency:   *concurrency,
+		Scenarios:     map[string]scenarioStats{},
+	}
+
+	// Cold: every request keys differently, so every one simulates.
+	samples, retries, elapsed, err := fanOut(c, *cold, *concurrency, func(i int) []byte {
+		return estimateBody(mr.ID, int64(1_000+i))
+	})
+	if err != nil {
+		return fmt.Errorf("cold scenario: %w", err)
+	}
+	coldStats := summarize(samples, elapsed)
+	coldStats.Retries = retries
+	rep.Scenarios["cold"] = coldStats
+
+	// Hot: warm one key, then hammer it; every response must be a hit.
+	warmBody := estimateBody(mr.ID, 1)
+	if s, err := c.post("/v1/estimate", warmBody); err != nil || s.code != http.StatusOK {
+		return fmt.Errorf("hot warm-up failed (err %v, code %d)", err, s.code)
+	}
+	samples, retries, elapsed, err = fanOut(c, *hot, *concurrency, func(int) []byte { return warmBody })
+	if err != nil {
+		return fmt.Errorf("hot scenario: %w", err)
+	}
+	hotStats := summarize(samples, elapsed)
+	hotStats.Retries = retries
+	rep.Scenarios["hot"] = hotStats
+
+	// Concurrent-identical: each round fires `concurrency` simultaneous
+	// requests for one fresh key; singleflight must collapse every round
+	// to a single miss with the rest coalesced.
+	var ciSamples []sample
+	ciRetries := 0
+	ciStart := time.Now()
+	for round := 0; round < *rounds; round++ {
+		body := estimateBody(mr.ID, int64(5_000+round))
+		rs, r, _, err := fanOut(c, *concurrency, *concurrency, func(int) []byte { return body })
+		if err != nil {
+			return fmt.Errorf("concurrent-identical round %d: %w", round, err)
+		}
+		ciSamples = append(ciSamples, rs...)
+		ciRetries += r
+	}
+	ciStats := summarize(ciSamples, time.Since(ciStart))
+	ciStats.Retries = ciRetries
+	rep.Scenarios["concurrent_identical"] = ciStats
+
+	if hotStats.P50MS > 0 {
+		rep.HotSpeedupP50 = coldStats.P50MS / hotStats.P50MS
+	}
+	if n := hotStats.Requests - hotStats.Errors; n > 0 {
+		rep.HotHitRate = float64(hotStats.Outcomes["hit"]) / float64(n)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("loadgen: cold p50 %.2fms p99 %.2fms | hot p50 %.3fms p99 %.3fms (%.0f req/s, hit rate %.2f) | hot speedup %.1fx\n",
+		coldStats.P50MS, coldStats.P99MS, hotStats.P50MS, hotStats.P99MS, hotStats.RPS, rep.HotHitRate, rep.HotSpeedupP50)
+
+	var violations []string
+	if *minRPS > 0 && hotStats.RPS < *minRPS {
+		violations = append(violations, fmt.Sprintf("hot req/s %.0f below floor %.0f", hotStats.RPS, *minRPS))
+	}
+	if *minHitRate > 0 && rep.HotHitRate < *minHitRate {
+		violations = append(violations, fmt.Sprintf("hot hit rate %.2f below floor %.2f", rep.HotHitRate, *minHitRate))
+	}
+	if *minSpeedup > 0 && rep.HotSpeedupP50 < *minSpeedup {
+		violations = append(violations, fmt.Sprintf("hot speedup %.1fx below floor %.1fx", rep.HotSpeedupP50, *minSpeedup))
+	}
+	for name, st := range rep.Scenarios {
+		if st.Errors > 0 {
+			violations = append(violations, fmt.Sprintf("%s scenario saw %d non-200 responses", name, st.Errors))
+		}
+	}
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "loadgen: FLOOR VIOLATION:", v)
+		}
+		return fmt.Errorf("%d floor violation(s)", len(violations))
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}

@@ -8,6 +8,7 @@
 //	POST /v1/models        register an XMI model, returns its content address
 //	POST /v1/estimate      one evaluation (inline XMI or a stored model id)
 //	POST /v1/sweep         process-count or global-variable sweep
+//	POST /v1/montecarlo    Monte Carlo makespan distribution
 //	POST /v1/compare       two-design comparison across process counts
 //	GET  /v1/traces        recent request traces, newest first
 //	GET  /v1/traces/{id}   one request's span tree (?format=chrome for Perfetto)
@@ -24,6 +25,15 @@
 // simulation, and drains gracefully on SIGTERM/SIGINT: /healthz flips to
 // 503, new evaluations are rejected, in-flight requests complete (up to
 // -drain-timeout), then the process exits 0.
+//
+// Identical evaluation requests share work twice over: a bounded LRU
+// result cache (-result-cache, keyed by the canonical request key) answers
+// repeats without re-simulating, and in-flight duplicates coalesce onto
+// one evaluation (singleflight). The X-Result-Cache response header
+// reports hit, miss, inflight or bypass per request. With -workers,
+// prophetd becomes a coordinator: sweeps and Monte Carlo runs are split
+// into sub-ranges fanned across the worker pool and merged bit-identically
+// to a single-node run. docs/SERVING.md covers both in detail.
 package main
 
 import (
@@ -106,6 +116,8 @@ func run(args []string) error {
 		maxBody      = fs.Int64("max-body", 8<<20, "max request body bytes")
 		maxModels    = fs.Int("max-models", 1024, "max models kept in the content-addressed store")
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "max time to wait for in-flight requests on shutdown")
+		resultCache  = fs.Int("result-cache", 1024, "max entries in the evaluation result cache (0 = disabled)")
+		workers      = fs.String("workers", "", "comma-separated worker base URLs to shard sweeps and Monte Carlo runs across (empty = evaluate locally)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -114,6 +126,13 @@ func run(args []string) error {
 	logger, err := newLogger(*logFormat, *logLevel)
 	if err != nil {
 		return err
+	}
+
+	var pool []string
+	for _, w := range strings.Split(*workers, ",") {
+		if w = strings.TrimSpace(w); w != "" {
+			pool = append(pool, strings.TrimRight(w, "/"))
+		}
 	}
 
 	srv := server.New(server.Config{
@@ -126,6 +145,8 @@ func run(args []string) error {
 		MaxModels:      *maxModels,
 		Logger:         logger,
 		TraceRingSize:  *traceRing,
+		ResultCache:    *resultCache,
+		Workers:        pool,
 	})
 	hs := &http.Server{
 		Addr:              *addr,

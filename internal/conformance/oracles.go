@@ -8,8 +8,10 @@ import (
 
 	"prophet/internal/core"
 	"prophet/internal/diff"
+	"prophet/internal/estimator"
 	"prophet/internal/interp"
 	"prophet/internal/lower"
+	"prophet/internal/runner"
 	"prophet/internal/trace"
 	"prophet/internal/uml"
 	"prophet/internal/xmi"
@@ -39,6 +41,7 @@ func OracleNames() []string {
 		"run-vs-rununtil",
 		"round-trip",
 		"lowered-equivalence",
+		"sharded-determinism",
 	}
 }
 
@@ -53,6 +56,7 @@ func RunOracles(e Entry) []OracleResult {
 		runUntilOracle(e),
 		roundTripOracle(e),
 		loweredEquivalenceOracle(e),
+		shardedDeterminismOracle(e),
 	}
 }
 
@@ -261,6 +265,64 @@ func roundTripOracle(e Entry) OracleResult {
 		return fail(e, name, "clone differs structurally:\n%s", diff.Format(changes))
 	}
 	return pass(e, name, "fixed point after one encode/decode cycle")
+}
+
+// shardedDeterminismOracle checks the decomposition contract a sharded
+// prophetd deployment rests on: a Monte Carlo batch or a process sweep
+// split into sub-ranges (runner.Split), evaluated with per-sub-range seed
+// bases (runner.SubSeed), merged in range order, and folded once by the
+// shared derivation must be bit-identical to the single-node evaluation —
+// at shard counts 1, 2, and 4.
+func shardedDeterminismOracle(e Entry) OracleResult {
+	const name = "sharded-determinism"
+	const runs = 6
+	sweepCounts := []int{1, 2, 3, 4}
+	est := estimator.New()
+
+	req := e.Request()
+	req.Parallel = 1
+	wantMS, err := est.MonteCarloMakespans(req, runs)
+	if err != nil {
+		return fail(e, name, "single-node monte carlo: %v", err)
+	}
+	wantSum := estimator.SummarizeMakespans(wantMS)
+	wantPts, err := est.SweepProcesses(req, sweepCounts)
+	if err != nil {
+		return fail(e, name, "single-node sweep: %v", err)
+	}
+
+	for _, shards := range []int{1, 2, 4} {
+		merged := make([]float64, 0, runs)
+		for _, rg := range runner.Split(runs, shards) {
+			sub := req
+			sub.Seed = runner.SubSeed(req.Seed, rg.Lo)
+			ms, err := est.MonteCarloMakespans(sub, rg.Len())
+			if err != nil {
+				return fail(e, name, "%d-shard monte carlo range [%d,%d): %v", shards, rg.Lo, rg.Hi, err)
+			}
+			merged = append(merged, ms...)
+		}
+		if !reflect.DeepEqual(wantMS, merged) {
+			return fail(e, name, "%d-shard makespans %v != single-node %v", shards, merged, wantMS)
+		}
+		if got := estimator.SummarizeMakespans(merged); *got != *wantSum {
+			return fail(e, name, "%d-shard summary %+v != single-node %+v", shards, *got, *wantSum)
+		}
+
+		mergedPts := make([]estimator.SweepPoint, 0, len(sweepCounts))
+		for _, rg := range runner.Split(len(sweepCounts), shards) {
+			pts, err := est.SweepProcesses(req, sweepCounts[rg.Lo:rg.Hi])
+			if err != nil {
+				return fail(e, name, "%d-shard sweep range [%d,%d): %v", shards, rg.Lo, rg.Hi, err)
+			}
+			mergedPts = append(mergedPts, pts...)
+		}
+		estimator.DeriveSweepStats(mergedPts)
+		if !reflect.DeepEqual(wantPts, mergedPts) {
+			return fail(e, name, "%d-shard sweep %+v != single-node %+v", shards, mergedPts, wantPts)
+		}
+	}
+	return pass(e, name, "%d MC runs and %d-point sweep bit-identical at 1/2/4 shards", runs, len(sweepCounts))
 }
 
 // renderTrace renders a trace to its file format, the exact representation

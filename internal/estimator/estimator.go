@@ -607,16 +607,29 @@ func (e *Estimator) SweepProcesses(req Request, counts []int) ([]SweepPoint, err
 	// Speedup and efficiency are relative to the first point; derive them
 	// after the fan-out so the derivation order is independent of worker
 	// scheduling.
-	for i := range out {
+	DeriveSweepStats(out)
+	return out, nil
+}
+
+// DeriveSweepStats fills the Speedup and Efficiency of every point
+// relative to the first point of the slice, overwriting whatever was
+// there. It is the derivation SweepProcesses applies after its fan-out,
+// exported so a sharded coordinator that merges sub-range points — whose
+// shard-local derivations were relative to the wrong first point — can
+// re-derive over the merged slice with the exact same float operations
+// and stay bit-identical to a single-node sweep.
+func DeriveSweepStats(points []SweepPoint) {
+	for i := range points {
+		points[i].Speedup = 0
+		points[i].Efficiency = 0
 		if i == 0 {
-			out[i].Speedup = 1
-			out[i].Efficiency = 1
-		} else if out[i].Makespan > 0 {
-			out[i].Speedup = out[0].Makespan / out[i].Makespan
-			out[i].Efficiency = out[i].Speedup / (float64(out[i].Processes) / float64(out[0].Processes))
+			points[i].Speedup = 1
+			points[i].Efficiency = 1
+		} else if points[i].Makespan > 0 {
+			points[i].Speedup = points[0].Makespan / points[i].Makespan
+			points[i].Efficiency = points[i].Speedup / (float64(points[i].Processes) / float64(points[0].Processes))
 		}
 	}
-	return out, nil
 }
 
 // GlobalPoint is one sample of a global-variable sweep.

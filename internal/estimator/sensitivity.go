@@ -29,6 +29,22 @@ type MonteCarloResult struct {
 // …, with seed 0 meaning 1), and the distribution is aggregated in run
 // order, so the result is bit-identical at every worker count.
 func (e *Estimator) MonteCarlo(req Request, runs int) (*MonteCarloResult, error) {
+	makespans, err := e.MonteCarloMakespans(req, runs)
+	if err != nil {
+		return nil, err
+	}
+	return SummarizeMakespans(makespans), nil
+}
+
+// MonteCarloMakespans is the fan-out half of MonteCarlo: it returns the
+// raw per-run makespans in run order (run i uses seed runner.Seeds(
+// req.Seed, runs)[i]) without folding them into a distribution. This is
+// the unit a sharded deployment ships around: a coordinator that
+// decomposes a batch into sub-ranges (runner.Split), evaluates each with
+// the sub-range's seed base (runner.SubSeed), concatenates the slices in
+// range order, and folds once with SummarizeMakespans reproduces the
+// single-node MonteCarlo result bit for bit.
+func (e *Estimator) MonteCarloMakespans(req Request, runs int) ([]float64, error) {
 	if runs < 1 {
 		return nil, fmt.Errorf("estimator: monte carlo needs runs >= 1, got %d", runs)
 	}
@@ -37,7 +53,7 @@ func (e *Estimator) MonteCarlo(req Request, runs int) (*MonteCarloResult, error)
 		return nil, err
 	}
 	seeds := runner.Seeds(req.Seed, runs)
-	makespans, err := runner.Map(req.ctx(), runs, req.pool("mc-run"),
+	return runner.Map(req.ctx(), runs, req.pool("mc-run"),
 		func(ctx context.Context, i int) (float64, error) {
 			r := req
 			r.Seed = seeds[i]
@@ -48,10 +64,19 @@ func (e *Estimator) MonteCarlo(req Request, runs int) (*MonteCarloResult, error)
 			}
 			return est.Makespan, nil
 		})
-	if err != nil {
-		return nil, err
-	}
+}
+
+// SummarizeMakespans folds a makespan series into the Monte Carlo
+// distribution summary. The fold runs in slice order with a fixed
+// operation sequence, so every caller that presents the same series —
+// single-node batches and sharded coordinators alike — produces the same
+// floats bit for bit.
+func SummarizeMakespans(makespans []float64) *MonteCarloResult {
+	runs := len(makespans)
 	res := &MonteCarloResult{Runs: runs}
+	if runs == 0 {
+		return res
+	}
 	var sum, sumSq float64
 	for i, m := range makespans {
 		sum += m
@@ -70,7 +95,7 @@ func (e *Estimator) MonteCarlo(req Request, runs int) (*MonteCarloResult, error)
 			res.Std = math.Sqrt(variance)
 		}
 	}
-	return res, nil
+	return res
 }
 
 // SensitivityPoint reports how strongly the predicted makespan reacts to

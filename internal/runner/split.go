@@ -1,0 +1,54 @@
+package runner
+
+// Range is one contiguous, half-open sub-range [Lo, Hi) of a batch of
+// jobs. Ranges are how the serving layer decomposes a sweep or Monte
+// Carlo batch into shard jobs: each shard evaluates its sub-range
+// independently, and the coordinator concatenates results in range order,
+// which reproduces the single-node job order exactly.
+type Range struct {
+	Lo, Hi int
+}
+
+// Len returns the number of jobs in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Split partitions n jobs into at most parts contiguous ranges covering
+// [0, n) in order, each non-empty, sized as evenly as possible (the first
+// n%parts ranges get the extra job). parts < 1 is treated as 1; parts > n
+// yields n single-job ranges. The partition is a pure function of (n,
+// parts), so every node of a sharded deployment computes the same plan.
+func Split(n, parts int) []Range {
+	if n <= 0 {
+		return nil
+	}
+	if parts < 1 {
+		parts = 1
+	}
+	if parts > n {
+		parts = n
+	}
+	out := make([]Range, 0, parts)
+	base, extra := n/parts, n%parts
+	lo := 0
+	for i := 0; i < parts; i++ {
+		hi := lo + base
+		if i < extra {
+			hi++
+		}
+		out = append(out, Range{Lo: lo, Hi: hi})
+		lo = hi
+	}
+	return out
+}
+
+// SubSeed returns the seed base of the sub-range starting at job lo, such
+// that Seeds(SubSeed(base, lo), k) == Seeds(base, n)[lo : lo+k]. The base
+// is normalized the way Seeds normalizes it (0 means 1), so decomposing a
+// batch whose request carried seed 0 still reproduces the single-node
+// seed sequence.
+func SubSeed(base int64, lo int) int64 {
+	if base == 0 {
+		base = 1
+	}
+	return base + int64(lo)
+}

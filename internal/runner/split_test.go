@@ -1,0 +1,78 @@
+package runner
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestSplitCoversInOrder(t *testing.T) {
+	for n := 0; n <= 40; n++ {
+		for parts := -1; parts <= 8; parts++ {
+			ranges := Split(n, parts)
+			if n == 0 {
+				if ranges != nil {
+					t.Fatalf("Split(0,%d) = %v, want nil", parts, ranges)
+				}
+				continue
+			}
+			want := parts
+			if want < 1 {
+				want = 1
+			}
+			if want > n {
+				want = n
+			}
+			if len(ranges) != want {
+				t.Fatalf("Split(%d,%d) has %d ranges, want %d", n, parts, len(ranges), want)
+			}
+			lo := 0
+			for i, r := range ranges {
+				if r.Lo != lo {
+					t.Fatalf("Split(%d,%d)[%d] starts at %d, want %d", n, parts, i, r.Lo, lo)
+				}
+				if r.Len() < 1 {
+					t.Fatalf("Split(%d,%d)[%d] is empty", n, parts, i)
+				}
+				lo = r.Hi
+			}
+			if lo != n {
+				t.Fatalf("Split(%d,%d) covers [0,%d), want [0,%d)", n, parts, lo, n)
+			}
+			// Even sizing: no range more than one job bigger than another.
+			min, max := n, 0
+			for _, r := range ranges {
+				if r.Len() < min {
+					min = r.Len()
+				}
+				if r.Len() > max {
+					max = r.Len()
+				}
+			}
+			if max-min > 1 {
+				t.Fatalf("Split(%d,%d) uneven: sizes range %d..%d", n, parts, min, max)
+			}
+		}
+	}
+}
+
+// The decomposition contract: splitting a seed sequence at any range
+// boundary and re-deriving each sub-range from SubSeed reproduces the
+// original sequence exactly — including the seed-0-means-1 normalization.
+func TestSubSeedReproducesSeeds(t *testing.T) {
+	for _, base := range []int64{0, 1, 7, 1 << 40} {
+		const n = 11
+		want := Seeds(base, n)
+		for _, parts := range []int{1, 2, 3, 4, 11} {
+			var got []int64
+			for _, r := range Split(n, parts) {
+				got = append(got, Seeds(SubSeed(base, r.Lo), r.Len())...)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("base %d parts %d: sharded seeds %v != %v", base, parts, got, want)
+			}
+		}
+	}
+	if SubSeed(0, 3) != SubSeed(1, 3) {
+		t.Error("SubSeed must normalize base 0 to 1")
+	}
+}

@@ -139,6 +139,44 @@ type SweepResponse struct {
 	Trace        *obs.TraceTree `json:"trace,omitempty"`
 }
 
+// MonteCarloRequest is the body of POST /v1/montecarlo: evaluate the
+// model across `runs` seeds (derived from seed, seed+1, …, seed 0
+// meaning 1) and summarize the makespan distribution.
+type MonteCarloRequest struct {
+	ModelRef
+	Runs    int                `json:"runs"`
+	Params  *Params            `json:"params,omitempty"`
+	Globals map[string]float64 `json:"globals,omitempty"`
+	// Seed is the base of the per-run seed sequence (0 = 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Policy is "fcfs" (default) or "ps" (processor sharing).
+	Policy string `json:"policy,omitempty"`
+	// MaxSteps bounds element executions per process (0 = default).
+	MaxSteps int `json:"max_steps,omitempty"`
+	// Backend is "auto" (default), "lowered" or "interp".
+	Backend string `json:"backend,omitempty"`
+	// TimeoutMS is the per-request deadline in milliseconds (0 = server
+	// default, clamped to the server maximum).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// IncludeMakespans additionally returns the raw per-run makespans in
+	// run order. This is what the shard fan-out uses to merge sub-ranges
+	// deterministically; it is also useful for client-side histograms.
+	IncludeMakespans bool `json:"include_makespans,omitempty"`
+}
+
+// MonteCarloResponse is the body of a successful POST /v1/montecarlo.
+type MonteCarloResponse struct {
+	ModelID   string         `json:"model_id"`
+	Runs      int            `json:"runs"`
+	Mean      float64        `json:"mean"`
+	Std       float64        `json:"std"`
+	Min       float64        `json:"min"`
+	Max       float64        `json:"max"`
+	Makespans []float64      `json:"makespans,omitempty"`
+	TraceID   string         `json:"trace_id,omitempty"`
+	Trace     *obs.TraceTree `json:"trace,omitempty"`
+}
+
 // CompareRequest is the body of POST /v1/compare: evaluate two
 // alternative designs across process counts and report who wins where.
 type CompareRequest struct {
@@ -182,6 +220,14 @@ type ModelResponse struct {
 type ErrorResponse struct {
 	Error string `json:"error"`
 }
+
+// traceFields implements evalResponse for the evaluation response
+// bodies; the pointers let the bypass path attach trace_id/trace in
+// place while cached paths leave both empty.
+func (r *EstimateResponse) traceFields() (*string, **obs.TraceTree)   { return &r.TraceID, &r.Trace }
+func (r *SweepResponse) traceFields() (*string, **obs.TraceTree)      { return &r.TraceID, &r.Trace }
+func (r *MonteCarloResponse) traceFields() (*string, **obs.TraceTree) { return &r.TraceID, &r.Trace }
+func (r *CompareResponse) traceFields() (*string, **obs.TraceTree)    { return &r.TraceID, &r.Trace }
 
 // policyOf parses the wire policy name.
 func policyOf(s string) (machine.Policy, error) {

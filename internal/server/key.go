@@ -1,0 +1,183 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"prophet/internal/estimator"
+)
+
+// Canonical request keys.
+//
+// prophetd's evaluations are deterministic functions of (model content,
+// normalized request parameters): two requests that mean the same thing
+// produce bit-identical responses. The request key makes that identity
+// explicit — a stable hash over the model's content address (xmi.Hash)
+// and the request's semantic fields, normalized so syntactic variation
+// disappears:
+//
+//   - JSON field order never matters (keys are computed from the decoded
+//     struct, field by field, in a fixed order)
+//   - omitted fields hash like their defaults (params fill to 1s, policy
+//     "" ≡ "fcfs", backend "" ≡ "auto" ≡ its effective backend, seed 0 ≡
+//     seed 1 — the normalization the sim engine and runner.Seeds apply)
+//   - fields that cannot change the result body are excluded (timeout_ms
+//     bounds the evaluation, it does not parameterize it)
+//
+// Anything semantic — model hash, params, globals, policy, the effective
+// backend, seed, sweep ranges, run counts, response-shaping flags — feeds
+// the hash, so any difference that could change a single response byte
+// yields a different key. The key is what the result cache, the
+// singleflight table, and the shard router all index on.
+
+// keyWriter accumulates canonical (field, value) pairs into a hash. Field
+// names are written alongside values, with unambiguous separators, so
+// adjacent fields can never collude ("ab"+"c" vs "a"+"bc").
+type keyWriter struct {
+	h interface{ Write(p []byte) (int, error) }
+}
+
+func newKeyWriter(kind string) (*keyWriter, func() string) {
+	h := sha256.New()
+	k := &keyWriter{h: h}
+	k.field("kind", kind)
+	return k, func() string { return "rk:" + hex.EncodeToString(h.Sum(nil)) }
+}
+
+func (k *keyWriter) field(name, value string) {
+	fmt.Fprintf(k.h, "%d:%s=%d:%s;", len(name), name, len(value), value)
+}
+
+func (k *keyWriter) intField(name string, v int64) {
+	k.field(name, strconv.FormatInt(v, 10))
+}
+
+func (k *keyWriter) floatField(name string, v float64) {
+	k.field(name, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+func (k *keyWriter) boolField(name string, v bool) {
+	if v {
+		k.field(name, "1")
+	} else {
+		k.field(name, "0")
+	}
+}
+
+// normalizeSeed applies the seed convention shared by the sim engine and
+// runner.Seeds: seed 0 selects the default stream, which is seed 1.
+func normalizeSeed(seed int64) int64 {
+	if seed == 0 {
+		return 1
+	}
+	return seed
+}
+
+// commonFields writes the fields every evaluation kind shares: the system
+// parameters (defaults filled via the same toMachine conversion the
+// evaluation uses), globals in sorted key order, the normalized seed and
+// policy. Callers must have validated policy already; an unknown policy
+// never reaches keying because handlers reject it with 400 first.
+func (k *keyWriter) commonFields(params *Params, globals map[string]float64, seed int64, policy string) {
+	sp := params.toMachine()
+	k.intField("nodes", int64(sp.Nodes))
+	k.intField("ppn", int64(sp.ProcessorsPerNode))
+	k.intField("procs", int64(sp.Processes))
+	k.intField("threads", int64(sp.Threads))
+	names := make([]string, 0, len(globals))
+	for name := range globals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		k.field("g:"+name, strconv.FormatFloat(globals[name], 'g', -1, 64))
+	}
+	k.intField("seed", normalizeSeed(seed))
+	if policy == "" {
+		policy = "fcfs"
+	}
+	k.field("policy", policy)
+}
+
+// backendField writes the effective backend: "" and "auto" resolve to the
+// backend actually used (estimator.Backend.String resolves Auto), so a
+// request that says nothing, one that says "auto", and one that names the
+// default backend explicitly all share a key — they run the same engine
+// on the same inputs.
+func (k *keyWriter) backendField(backend string) {
+	b, err := estimator.ParseBackend(backend)
+	if err != nil {
+		// Handlers validate before keying; key the raw string defensively.
+		k.field("backend", backend)
+		return
+	}
+	k.field("backend", b.String())
+}
+
+// estimateKey is the canonical key of a POST /v1/estimate request
+// evaluating the model stored under modelID.
+func estimateKey(modelID string, er *EstimateRequest) string {
+	k, sum := newKeyWriter("estimate")
+	k.field("model", modelID)
+	k.commonFields(er.Params, er.Globals, er.Seed, er.Policy)
+	k.intField("max_steps", int64(er.MaxSteps))
+	k.backendField(er.Backend)
+	k.boolField("summary", er.Summary)
+	k.boolField("telemetry", er.Telemetry)
+	return sum()
+}
+
+// sweepKey is the canonical key of a POST /v1/sweep request. The sweep
+// range — the process counts or the global's (name, values) — is part of
+// the key; summary/telemetry are not, because sweep responses carry
+// neither.
+func sweepKey(modelID string, sr *SweepRequest) string {
+	k, sum := newKeyWriter("sweep")
+	k.field("model", modelID)
+	k.commonFields(sr.Params, sr.Globals, sr.Seed, sr.Policy)
+	k.intField("max_steps", int64(sr.MaxSteps))
+	k.backendField(sr.Backend)
+	if len(sr.Processes) > 0 {
+		k.intField("points", int64(len(sr.Processes)))
+		for _, p := range sr.Processes {
+			k.intField("p", int64(p))
+		}
+	} else if sr.Global != nil {
+		k.field("global", sr.Global.Name)
+		k.intField("points", int64(len(sr.Global.Values)))
+		for _, v := range sr.Global.Values {
+			k.floatField("v", v)
+		}
+	}
+	return sum()
+}
+
+// monteCarloKey is the canonical key of a POST /v1/montecarlo request.
+func monteCarloKey(modelID string, mr *MonteCarloRequest) string {
+	k, sum := newKeyWriter("montecarlo")
+	k.field("model", modelID)
+	k.commonFields(mr.Params, mr.Globals, mr.Seed, mr.Policy)
+	k.intField("max_steps", int64(mr.MaxSteps))
+	k.backendField(mr.Backend)
+	k.intField("runs", int64(mr.Runs))
+	k.boolField("makespans", mr.IncludeMakespans)
+	return sum()
+}
+
+// compareKey is the canonical key of a POST /v1/compare request. The two
+// model ids are written to distinct fields, so comparing (A, B) and
+// comparing (B, A) — different responses — key differently.
+func compareKey(idA, idB string, cr *CompareRequest) string {
+	k, sum := newKeyWriter("compare")
+	k.field("model_a", idA)
+	k.field("model_b", idB)
+	k.commonFields(cr.Params, cr.Globals, cr.Seed, cr.Policy)
+	k.intField("points", int64(len(cr.Processes)))
+	for _, p := range cr.Processes {
+		k.intField("p", int64(p))
+	}
+	return sum()
+}

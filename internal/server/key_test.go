@@ -1,0 +1,167 @@
+package server
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// keyOf decodes a JSON request body of the given kind and computes its
+// canonical key, exactly the way the handlers do (decode, then key the
+// struct). Going through JSON is deliberate: it proves field order in the
+// wire document cannot influence the key.
+func keyOf(t *testing.T, kind, body string) string {
+	t.Helper()
+	const modelA = "sha256:aaaa"
+	const modelB = "sha256:bbbb"
+	switch kind {
+	case "estimate":
+		var er EstimateRequest
+		if err := json.Unmarshal([]byte(body), &er); err != nil {
+			t.Fatalf("bad %s body %q: %v", kind, body, err)
+		}
+		return estimateKey(modelA, &er)
+	case "sweep":
+		var sr SweepRequest
+		if err := json.Unmarshal([]byte(body), &sr); err != nil {
+			t.Fatalf("bad %s body %q: %v", kind, body, err)
+		}
+		return sweepKey(modelA, &sr)
+	case "montecarlo":
+		var mr MonteCarloRequest
+		if err := json.Unmarshal([]byte(body), &mr); err != nil {
+			t.Fatalf("bad %s body %q: %v", kind, body, err)
+		}
+		return monteCarloKey(modelA, &mr)
+	case "compare":
+		var cr CompareRequest
+		if err := json.Unmarshal([]byte(body), &cr); err != nil {
+			t.Fatalf("bad %s body %q: %v", kind, body, err)
+		}
+		return compareKey(modelA, modelB, &cr)
+	}
+	t.Fatalf("unknown kind %q", kind)
+	return ""
+}
+
+// The canonical-key property, table-driven over all four request kinds:
+// requests that differ only syntactically — field order, default-filled
+// values, semantically-identical seed specs, backend spelled "" vs "auto"
+// vs the default's explicit name — hash identically; any semantic
+// difference hashes differently.
+func TestCanonicalRequestKeys(t *testing.T) {
+	equal := []struct {
+		name string
+		kind string
+		a, b string
+	}{
+		{"field order", "estimate",
+			`{"seed": 7, "globals": {"n": 64}, "params": {"processes": 4}}`,
+			`{"params": {"processes": 4}, "globals": {"n": 64}, "seed": 7}`},
+		{"default params filled", "estimate",
+			`{}`,
+			`{"params": {"nodes": 1, "processors_per_node": 1, "processes": 1, "threads": 1}}`},
+		{"partial params filled", "estimate",
+			`{"params": {"processes": 4}}`,
+			`{"params": {"nodes": 1, "processors_per_node": 1, "processes": 4, "threads": 1}}`},
+		{"seed zero means one", "estimate", `{}`, `{"seed": 1}`},
+		{"default policy named", "estimate", `{}`, `{"policy": "fcfs"}`},
+		{"backend auto resolves", "estimate", `{}`, `{"backend": "auto"}`},
+		{"backend default named", "estimate", `{"backend": "auto"}`, `{"backend": "lowered"}`},
+		{"timeout is not semantic", "estimate", `{}`, `{"timeout_ms": 5000}`},
+		{"empty globals map", "estimate", `{}`, `{"globals": {}}`},
+		{"sweep field order", "sweep",
+			`{"processes": [1, 2, 4], "seed": 3}`,
+			`{"seed": 3, "processes": [1, 2, 4]}`},
+		{"sweep seed zero means one", "sweep",
+			`{"processes": [1, 2]}`, `{"processes": [1, 2], "seed": 1}`},
+		{"sweep timeout is not semantic", "sweep",
+			`{"global": {"name": "n", "values": [1, 2]}}`,
+			`{"global": {"name": "n", "values": [1, 2]}, "timeout_ms": 99}`},
+		{"mc seed zero means one", "montecarlo", `{"runs": 8}`, `{"runs": 8, "seed": 1}`},
+		{"mc field order", "montecarlo",
+			`{"runs": 8, "globals": {"x": 0.5}}`, `{"globals": {"x": 0.5}, "runs": 8}`},
+		{"compare default params", "compare",
+			`{"processes": [1, 2]}`,
+			`{"processes": [1, 2], "params": {"nodes": 1, "processors_per_node": 1, "processes": 1, "threads": 1}, "policy": "fcfs", "seed": 1}`},
+	}
+	for _, tc := range equal {
+		t.Run("equal/"+tc.name, func(t *testing.T) {
+			ka, kb := keyOf(t, tc.kind, tc.a), keyOf(t, tc.kind, tc.b)
+			if ka != kb {
+				t.Errorf("%s keys differ:\n  %s -> %s\n  %s -> %s", tc.kind, tc.a, ka, tc.b, kb)
+			}
+		})
+	}
+
+	differ := []struct {
+		name string
+		kind string
+		a, b string
+	}{
+		{"different seed", "estimate", `{"seed": 7}`, `{"seed": 8}`},
+		{"different processes", "estimate",
+			`{"params": {"processes": 4}}`, `{"params": {"processes": 8}}`},
+		{"different global value", "estimate",
+			`{"globals": {"n": 64}}`, `{"globals": {"n": 128}}`},
+		{"different global name", "estimate",
+			`{"globals": {"n": 64}}`, `{"globals": {"m": 64}}`},
+		{"different policy", "estimate", `{}`, `{"policy": "ps"}`},
+		{"different backend", "estimate", `{}`, `{"backend": "interp"}`},
+		{"different max_steps", "estimate", `{}`, `{"max_steps": 100}`},
+		{"summary shapes the body", "estimate", `{}`, `{"summary": true}`},
+		{"telemetry shapes the body", "estimate", `{}`, `{"telemetry": true}`},
+		{"sweep range differs", "sweep",
+			`{"processes": [1, 2, 4]}`, `{"processes": [1, 2, 8]}`},
+		{"sweep range order differs", "sweep",
+			`{"processes": [1, 2]}`, `{"processes": [2, 1]}`},
+		{"sweep kind differs", "sweep",
+			`{"processes": [1, 2]}`, `{"global": {"name": "p", "values": [1, 2]}}`},
+		{"sweep global name differs", "sweep",
+			`{"global": {"name": "n", "values": [1]}}`, `{"global": {"name": "m", "values": [1]}}`},
+		{"mc runs differ", "montecarlo", `{"runs": 8}`, `{"runs": 16}`},
+		{"mc makespans shape the body", "montecarlo",
+			`{"runs": 8}`, `{"runs": 8, "include_makespans": true}`},
+		{"compare processes differ", "compare",
+			`{"processes": [1, 2]}`, `{"processes": [1, 4]}`},
+		{"compare seed differs", "compare",
+			`{"processes": [1]}`, `{"processes": [1], "seed": 9}`},
+	}
+	for _, tc := range differ {
+		t.Run("differ/"+tc.name, func(t *testing.T) {
+			ka, kb := keyOf(t, tc.kind, tc.a), keyOf(t, tc.kind, tc.b)
+			if ka == kb {
+				t.Errorf("%s keys collide for %s vs %s: %s", tc.kind, tc.a, tc.b, ka)
+			}
+		})
+	}
+}
+
+// Keys are namespaced by kind and by model: the same parameters under a
+// different kind or model content must never collide, and the compare
+// kind must distinguish (A, B) from (B, A).
+func TestKeyNamespaces(t *testing.T) {
+	var er EstimateRequest
+	var mr MonteCarloRequest
+	if estimateKey("sha256:aaaa", &er) == estimateKey("sha256:bbbb", &er) {
+		t.Error("different model hashes collide")
+	}
+	if estimateKey("sha256:aaaa", &er) == monteCarloKey("sha256:aaaa", &mr) {
+		t.Error("estimate and montecarlo kinds collide")
+	}
+	var cr CompareRequest
+	if compareKey("sha256:aaaa", "sha256:bbbb", &cr) == compareKey("sha256:bbbb", "sha256:aaaa", &cr) {
+		t.Error("compare (A,B) and (B,A) collide")
+	}
+	// Adjacent fields must not collude through concatenation.
+	a := EstimateRequest{Globals: map[string]float64{"ab": 1, "c": 2}}
+	b := EstimateRequest{Globals: map[string]float64{"a": 1, "bc": 2}}
+	if estimateKey("sha256:aaaa", &a) == estimateKey("sha256:aaaa", &b) {
+		t.Error("global name boundaries collide")
+	}
+	for _, k := range []string{estimateKey("sha256:aaaa", &er), monteCarloKey("sha256:aaaa", &mr)} {
+		if !strings.HasPrefix(k, "rk:") || len(k) != len("rk:")+64 {
+			t.Errorf("malformed key %q", k)
+		}
+	}
+}

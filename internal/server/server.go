@@ -25,6 +25,7 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -77,6 +78,14 @@ type Config struct {
 	// TraceRingSize bounds the recent request traces retained for
 	// GET /v1/traces/{id} (0 = 256).
 	TraceRingSize int
+	// ResultCache bounds the canonical-request-key result cache, in
+	// entries. 0 (the zero value) disables the cache and the singleflight
+	// dedup with it; cmd/prophetd enables it by default (-result-cache).
+	ResultCache int
+	// Workers lists prophetd base URLs ("http://host:port") to fan sweep
+	// and Monte Carlo sub-ranges across. Empty means every evaluation
+	// runs in-process.
+	Workers []string
 }
 
 func (c Config) withDefaults() Config {
@@ -123,6 +132,8 @@ type Server struct {
 	reg      *obs.Registry
 	store    *modelStore
 	adm      *admission
+	cache    *resultCache // nil when Config.ResultCache is 0
+	pool     *shardPool   // nil when Config.Workers is empty
 	mux      *http.ServeMux
 	log      *slog.Logger
 	traces   *obs.TraceRing
@@ -152,6 +163,12 @@ func New(cfg Config) *Server {
 		traces: obs.NewTraceRing(cfg.TraceRingSize),
 		start:  time.Now(),
 	}
+	if cfg.ResultCache > 0 {
+		s.cache = newResultCache(cfg.ResultCache, cfg.Registry)
+	}
+	if len(cfg.Workers) > 0 {
+		s.pool = newShardPool(cfg.Workers, cfg.Registry)
+	}
 	s.est.SetMetrics(s.reg)
 	s.requests = s.reg.CounterVec("http_requests_total", "route", "code")
 	s.latency = s.reg.HistogramVec("http_request_seconds",
@@ -163,9 +180,10 @@ func New(cfg Config) *Server {
 	}
 	s.registerHelp()
 	s.mux.HandleFunc("POST /v1/models", s.route("models", s.handleModels))
-	s.mux.HandleFunc("POST /v1/estimate", s.route("estimate", s.admitted(s.handleEstimate)))
-	s.mux.HandleFunc("POST /v1/sweep", s.route("sweep", s.admitted(s.handleSweep)))
-	s.mux.HandleFunc("POST /v1/compare", s.route("compare", s.admitted(s.handleCompare)))
+	s.mux.HandleFunc("POST /v1/estimate", s.route("estimate", s.handleEstimate))
+	s.mux.HandleFunc("POST /v1/sweep", s.route("sweep", s.handleSweep))
+	s.mux.HandleFunc("POST /v1/montecarlo", s.route("montecarlo", s.handleMonteCarlo))
+	s.mux.HandleFunc("POST /v1/compare", s.route("compare", s.handleCompare))
 	s.mux.HandleFunc("GET /v1/traces", s.route("traces", s.handleTraces))
 	s.mux.HandleFunc("GET /v1/traces/{id}", s.route("trace", s.handleTrace))
 	s.mux.HandleFunc("GET /healthz", s.route("healthz", s.handleHealthz))
@@ -216,40 +234,136 @@ func (s *Server) route(name string, h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// admitted applies admission control: evaluations run only while holding
-// one of the bounded slots, wait at most QueueWait in a bounded queue,
-// and are shed with 503 + Retry-After beyond that. Draining servers shed
-// immediately.
-func (s *Server) admitted(h http.HandlerFunc) http.HandlerFunc {
-	return func(w http.ResponseWriter, r *http.Request) {
-		if s.draining.Load() {
-			s.unavailable(w, "server is draining")
+// resultCacheHeader annotates every evaluation response with how the
+// result cache handled it: hit, miss, inflight, or bypass.
+const resultCacheHeader = "X-Result-Cache"
+
+// evalResponse is implemented by every evaluation response body. The
+// trace fields are attached only on bypass paths: cached bodies must be
+// bit-identical regardless of which request produced them, so they omit
+// trace_id/trace and clients use the per-request X-Trace-Id header.
+type evalResponse interface {
+	traceFields() (*string, **obs.TraceTree)
+}
+
+// runAdmitted runs one evaluation under admission control and the
+// request deadline: it waits (boundedly) for an evaluation slot, applies
+// the request's clamped deadline, and calls run. It writes nothing to
+// the response — every failure, from saturation to cancellation while
+// queued to evaluation errors, comes back as an error for the caller (or
+// the singleflight leader) to map.
+func (s *Server) runAdmitted(r *http.Request, timeoutMS int64, run func(ctx context.Context) (evalResponse, error)) (evalResponse, error) {
+	// The admission span measures slot wait; a request that never queues
+	// closes it in microseconds, a shed one records why.
+	qs := obs.SpanFromContext(r.Context()).StartChild("admission")
+	err := s.adm.acquire(r.Context())
+	if err != nil {
+		qs.Annotate("outcome", "shed")
+		qs.Annotate("error", err.Error())
+	}
+	qs.End()
+	if err != nil {
+		return nil, err
+	}
+	defer s.adm.release()
+	if s.hookAdmitted != nil {
+		s.hookAdmitted()
+	}
+	ctx, cancel := s.evalContext(r, timeoutMS)
+	defer cancel()
+	return run(ctx)
+}
+
+// writeRunError maps an evaluation-path failure to its response:
+// saturation to 503 + Retry-After (shedding, not failing), everything
+// else through the evaluation-error table. A 499 for a client that went
+// away while queued falls out of the context-cancellation case.
+func (s *Server) writeRunError(w http.ResponseWriter, err error) {
+	if errors.Is(err, errSaturated) {
+		s.unavailable(w, "server saturated: in-flight and queue limits reached")
+		return
+	}
+	writeEvalError(w, err)
+}
+
+// serveEval is the execution phase shared by every evaluation route:
+// through the result cache and singleflight when enabled, always under
+// admission control and the request deadline. key is the request's
+// canonical key; run performs the evaluation and returns the response
+// body value.
+//
+// Cache hits are served without touching admission — they are a map
+// lookup and two writes, and shedding them would protect nothing. A
+// singleflight leader holds one slot on behalf of every coalesced
+// waiter, so N concurrent identical requests cost one slot and one
+// simulation.
+func (s *Server) serveEval(w http.ResponseWriter, r *http.Request, key string, timeoutMS int64, run func(ctx context.Context) (evalResponse, error)) {
+	// Bypass path: cache disabled, or the client asked for an inline span
+	// tree (?trace=1) — a per-request body that must never be shared.
+	if s.cache == nil || wantTrace(r) {
+		if s.cache != nil {
+			s.cache.bypass()
+			w.Header().Set(resultCacheHeader, outcomeBypass)
+		}
+		resp, err := s.runAdmitted(r, timeoutMS, run)
+		if err != nil {
+			s.writeRunError(w, err)
 			return
 		}
-		// The admission span measures slot wait; a request that never
-		// queues closes it in microseconds, a shed one records why.
-		qs := obs.SpanFromContext(r.Context()).StartChild("admission")
-		err := s.adm.acquire(r.Context())
+		id, tree := resp.traceFields()
+		s.attachTrace(r, id, tree)
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	res, outcome, err := s.cache.do(r.Context(), key, func() (*cachedResult, bool, error) {
+		resp, err := s.runAdmitted(r, timeoutMS, run)
 		if err != nil {
-			qs.Annotate("outcome", "shed")
-			qs.Annotate("error", err.Error())
-		}
-		qs.End()
-		if err != nil {
-			if errors.Is(err, errSaturated) {
-				s.unavailable(w, "server saturated: in-flight and queue limits reached")
-				return
+			if st := evalStatus(err); st == http.StatusUnprocessableEntity || st == http.StatusNotFound {
+				// A model error is deterministic — every identical request
+				// fails identically — so concurrent waiters share it. It is
+				// still not stored: a fixed model uploads under a new
+				// content hash anyway, and the failure is cheap to redo.
+				return &cachedResult{status: st, body: marshalBody(ErrorResponse{Error: err.Error()})}, false, nil
 			}
-			// The client went away while queued; 499 is the de-facto
-			// "client closed request" status.
-			writeError(w, 499, "client cancelled while queued")
-			return
+			// Saturation, cancellation, deadline expiry: the leader's
+			// private outcome. Waiters wake and retry rather than inherit
+			// a failure that says nothing about their own request.
+			return nil, false, err
 		}
-		defer s.adm.release()
-		if s.hookAdmitted != nil {
-			s.hookAdmitted()
-		}
-		h(w, r)
+		// Cached bodies omit trace_id/trace so every request served from
+		// this key — leader, coalesced waiter, later hit — reads identical
+		// bytes. X-Trace-Id stays per-request in the response header.
+		return &cachedResult{status: http.StatusOK, body: marshalBody(resp)}, true, nil
+	})
+	obs.SpanFromContext(r.Context()).Annotate("result_cache", outcome)
+	w.Header().Set(resultCacheHeader, outcome)
+	if err != nil {
+		s.writeRunError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(res.status)
+	_, _ = w.Write(res.body)
+}
+
+// marshalBody encodes v exactly as writeJSON does (two-space indent,
+// trailing newline), so cached bytes and directly-written bytes are
+// byte-for-byte interchangeable.
+func marshalBody(v any) []byte {
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+	return buf.Bytes()
+}
+
+// InvalidateCache drops every stored result-cache entry (a no-op when
+// caching is disabled). In-flight singleflight evaluations are
+// unaffected: they complete, publish to their coalesced waiters, and —
+// if storable — repopulate the cache.
+func (s *Server) InvalidateCache() {
+	if s.cache != nil {
+		s.cache.invalidate()
 	}
 }
 
@@ -343,25 +457,35 @@ func (s *Server) evalContext(r *http.Request, timeoutMS int64) (context.Context,
 	return context.WithTimeout(r.Context(), d)
 }
 
-// writeEvalError maps an evaluation failure to an HTTP status: model
-// errors are the client's (422), deadline expiry is 504, client
-// cancellation 499, and anything else 500.
-func writeEvalError(w http.ResponseWriter, err error) {
+// evalStatus maps an evaluation failure to its HTTP status: model errors
+// are the client's (422 — the model failed checking, a flow error
+// surfaced at runtime, or the simulated program deadlocked), deadline
+// expiry is 504, client cancellation 499, shard sub-job failures
+// reproduce the worker's client errors and turn worker/transport
+// failures into 502, and anything else is 500.
+func evalStatus(err error) int {
 	var ce *estimator.CheckError
 	var pe *sim.ProcessError
 	var de *sim.DeadlockError
+	var ue *upstreamError
 	switch {
 	case errors.Is(err, context.DeadlineExceeded):
-		writeError(w, http.StatusGatewayTimeout, err.Error())
+		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
-		writeError(w, 499, err.Error())
+		return 499
 	case errors.As(err, &ce), errors.As(err, &pe), errors.As(err, &de):
-		// The model failed checking, a flow error surfaced at runtime, or
-		// the simulated program deadlocked: an unprocessable model.
-		writeError(w, http.StatusUnprocessableEntity, err.Error())
-	default:
-		writeError(w, http.StatusInternalServerError, err.Error())
+		return http.StatusUnprocessableEntity
+	case errors.As(err, &ue):
+		if ue.Status >= 400 && ue.Status < 500 {
+			return ue.Status
+		}
+		return http.StatusBadGateway
 	}
+	return http.StatusInternalServerError
+}
+
+func writeEvalError(w http.ResponseWriter, err error) {
+	writeError(w, evalStatus(err), err.Error())
 }
 
 // buildRequest converts the wire request to an estimator.Request bound
@@ -419,7 +543,25 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, ModelResponse{ID: id, Name: m.Name()})
 }
 
+// validateEval rejects the statically-invalid parts of an evaluation
+// request — unknown policy, unknown backend, bad machine params — before
+// the request is keyed or admitted, so 400s never consume an admission
+// slot or a singleflight flight.
+func validateEval(policy, backend string, params *Params) error {
+	if _, err := policyOf(policy); err != nil {
+		return err
+	}
+	if _, err := estimator.ParseBackend(backend); err != nil {
+		return err
+	}
+	return params.toMachine().Validate()
+}
+
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.unavailable(w, "server is draining")
+		return
+	}
 	var er EstimateRequest
 	if err := decodeJSON(r, &er); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -430,44 +572,48 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, code, err.Error())
 		return
 	}
-	ctx, cancel := s.evalContext(r, er.TimeoutMS)
-	defer cancel()
-	req, err := s.buildRequest(ctx, m, &er)
-	if err != nil {
+	if err := validateEval(er.Policy, er.Backend, er.Params); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	pr, err := s.est.CompileCachedCtx(ctx, m)
-	if err != nil {
-		writeEvalError(w, err)
-		return
-	}
-	var est *estimator.Estimate
-	if er.Summary {
-		est, err = s.est.EstimateCompiled(pr, req)
-	} else {
-		est, err = s.est.EstimateCompiledFast(pr, req)
-	}
-	if err != nil {
-		writeEvalError(w, err)
-		return
-	}
-	resp := EstimateResponse{
-		ModelID:        id,
-		Makespan:       est.Makespan,
-		CPUUtilization: est.CPUUtilization,
-		Globals:        est.Globals,
-		Stages:         stagesOf(est),
-		Summary:        est.Summary,
-	}
-	if est.Telemetry != nil {
-		resp.EventCounts = est.Telemetry.EventCounts
-	}
-	s.attachTrace(r, &resp.TraceID, &resp.Trace)
-	writeJSON(w, http.StatusOK, resp)
+	s.serveEval(w, r, estimateKey(id, &er), er.TimeoutMS, func(ctx context.Context) (evalResponse, error) {
+		req, err := s.buildRequest(ctx, m, &er)
+		if err != nil {
+			return nil, err
+		}
+		pr, err := s.est.CompileCachedCtx(ctx, m)
+		if err != nil {
+			return nil, err
+		}
+		var est *estimator.Estimate
+		if er.Summary {
+			est, err = s.est.EstimateCompiled(pr, req)
+		} else {
+			est, err = s.est.EstimateCompiledFast(pr, req)
+		}
+		if err != nil {
+			return nil, err
+		}
+		resp := &EstimateResponse{
+			ModelID:        id,
+			Makespan:       est.Makespan,
+			CPUUtilization: est.CPUUtilization,
+			Globals:        est.Globals,
+			Stages:         stagesOf(est),
+			Summary:        est.Summary,
+		}
+		if est.Telemetry != nil {
+			resp.EventCounts = est.Telemetry.EventCounts
+		}
+		return resp, nil
+	})
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.unavailable(w, "server is draining")
+		return
+	}
 	var sr SweepRequest
 	if err := decodeJSON(r, &sr); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -477,50 +623,112 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "set exactly one of processes or global")
 		return
 	}
+	if sr.Global != nil && (sr.Global.Name == "" || len(sr.Global.Values) == 0) {
+		writeError(w, http.StatusBadRequest, "global sweep needs name and values")
+		return
+	}
 	m, id, code, err := s.resolveModel(r.Context(), sr.ModelRef)
 	if err != nil {
 		writeError(w, code, err.Error())
 		return
 	}
-	ctx, cancel := s.evalContext(r, sr.TimeoutMS)
-	defer cancel()
-	req, err := s.buildRequest(ctx, m, &sr.EstimateRequest)
-	if err != nil {
+	if err := validateEval(sr.Policy, sr.Backend, sr.Params); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	// The sweep fans out on the runner inside one admission slot; keep it
-	// sequential so a single sweep cannot monopolize every core.
-	req.Parallel = 1
-	resp := SweepResponse{ModelID: id}
-	if len(sr.Processes) > 0 {
-		pts, err := s.est.SweepProcesses(req, sr.Processes)
+	sharded := s.pool != nil && !isShardJob(r)
+	s.serveEval(w, r, sweepKey(id, &sr), sr.TimeoutMS, func(ctx context.Context) (evalResponse, error) {
+		if sharded {
+			return s.shardSweep(ctx, id, m, &sr)
+		}
+		req, err := s.buildRequest(ctx, m, &sr.EstimateRequest)
 		if err != nil {
-			writeEvalError(w, err)
-			return
+			return nil, err
 		}
-		for _, p := range pts {
-			resp.Points = append(resp.Points, SweepPoint(p))
+		// The sweep fans out on the runner inside one admission slot; keep
+		// it sequential so a single sweep cannot monopolize every core.
+		req.Parallel = 1
+		resp := &SweepResponse{ModelID: id}
+		if len(sr.Processes) > 0 {
+			pts, err := s.est.SweepProcesses(req, sr.Processes)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range pts {
+				resp.Points = append(resp.Points, SweepPoint(p))
+			}
+		} else {
+			pts, err := s.est.SweepGlobal(req, sr.Global.Name, sr.Global.Values)
+			if err != nil {
+				return nil, err
+			}
+			for _, p := range pts {
+				resp.GlobalPoints = append(resp.GlobalPoints, GlobalPoint(p))
+			}
 		}
-	} else {
-		if sr.Global.Name == "" || len(sr.Global.Values) == 0 {
-			writeError(w, http.StatusBadRequest, "global sweep needs name and values")
-			return
-		}
-		pts, err := s.est.SweepGlobal(req, sr.Global.Name, sr.Global.Values)
-		if err != nil {
-			writeEvalError(w, err)
-			return
-		}
-		for _, p := range pts {
-			resp.GlobalPoints = append(resp.GlobalPoints, GlobalPoint(p))
-		}
+		return resp, nil
+	})
+}
+
+func (s *Server) handleMonteCarlo(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.unavailable(w, "server is draining")
+		return
 	}
-	s.attachTrace(r, &resp.TraceID, &resp.Trace)
-	writeJSON(w, http.StatusOK, resp)
+	var mr MonteCarloRequest
+	if err := decodeJSON(r, &mr); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if mr.Runs < 1 {
+		writeError(w, http.StatusBadRequest, "monte carlo needs runs >= 1")
+		return
+	}
+	m, id, code, err := s.resolveModel(r.Context(), mr.ModelRef)
+	if err != nil {
+		writeError(w, code, err.Error())
+		return
+	}
+	if err := validateEval(mr.Policy, mr.Backend, mr.Params); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	sharded := s.pool != nil && !isShardJob(r)
+	s.serveEval(w, r, monteCarloKey(id, &mr), mr.TimeoutMS, func(ctx context.Context) (evalResponse, error) {
+		var makespans []float64
+		if sharded {
+			makespans, err = s.shardMonteCarlo(ctx, id, m, &mr)
+		} else {
+			req, err2 := s.buildRequest(ctx, m, &EstimateRequest{
+				Params: mr.Params, Globals: mr.Globals, Seed: mr.Seed,
+				Policy: mr.Policy, MaxSteps: mr.MaxSteps, Backend: mr.Backend,
+			})
+			if err2 != nil {
+				return nil, err2
+			}
+			req.Parallel = 1
+			makespans, err = s.est.MonteCarloMakespans(req, mr.Runs)
+		}
+		if err != nil {
+			return nil, err
+		}
+		sum := estimator.SummarizeMakespans(makespans)
+		resp := &MonteCarloResponse{
+			ModelID: id, Runs: sum.Runs,
+			Mean: sum.Mean, Std: sum.Std, Min: sum.Min, Max: sum.Max,
+		}
+		if mr.IncludeMakespans {
+			resp.Makespans = makespans
+		}
+		return resp, nil
+	})
 }
 
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.unavailable(w, "server is draining")
+		return
+	}
 	var cr CompareRequest
 	if err := decodeJSON(r, &cr); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
@@ -540,35 +748,36 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		writeError(w, code, fmt.Sprintf("model_b: %v", err))
 		return
 	}
-	ctx, cancel := s.evalContext(r, cr.TimeoutMS)
-	defer cancel()
-	req, err := s.buildRequest(ctx, ma, &EstimateRequest{
-		Params: cr.Params, Globals: cr.Globals, Seed: cr.Seed, Policy: cr.Policy,
-	})
-	if err != nil {
+	if err := validateEval(cr.Policy, "", cr.Params); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	req.Parallel = 1
-	cmp, err := s.est.CompareModels(ma, mb, req, cr.Processes)
-	if err != nil {
-		writeEvalError(w, err)
-		return
-	}
-	resp := CompareResponse{
-		ModelAID:   ida,
-		ModelBID:   idb,
-		NameA:      cmp.NameA,
-		NameB:      cmp.NameB,
-		Crossovers: cmp.Crossovers,
-	}
-	for _, p := range cmp.Points {
-		resp.Points = append(resp.Points, ComparePoint{
-			Processes: p.Processes, MakespanA: p.MakespanA, MakespanB: p.MakespanB, Winner: p.Winner,
+	s.serveEval(w, r, compareKey(ida, idb, &cr), cr.TimeoutMS, func(ctx context.Context) (evalResponse, error) {
+		req, err := s.buildRequest(ctx, ma, &EstimateRequest{
+			Params: cr.Params, Globals: cr.Globals, Seed: cr.Seed, Policy: cr.Policy,
 		})
-	}
-	s.attachTrace(r, &resp.TraceID, &resp.Trace)
-	writeJSON(w, http.StatusOK, resp)
+		if err != nil {
+			return nil, err
+		}
+		req.Parallel = 1
+		cmp, err := s.est.CompareModels(ma, mb, req, cr.Processes)
+		if err != nil {
+			return nil, err
+		}
+		resp := &CompareResponse{
+			ModelAID:   ida,
+			ModelBID:   idb,
+			NameA:      cmp.NameA,
+			NameB:      cmp.NameB,
+			Crossovers: cmp.Crossovers,
+		}
+		for _, p := range cmp.Points {
+			resp.Points = append(resp.Points, ComparePoint{
+				Processes: p.Processes, MakespanA: p.MakespanA, MakespanB: p.MakespanB, Winner: p.Winner,
+			})
+		}
+		return resp, nil
+	})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

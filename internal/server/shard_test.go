@@ -1,0 +1,160 @@
+package server
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"prophet/internal/obs"
+)
+
+// startWorkers spins up n independent prophetd workers (each with its
+// own estimator, model store, and result cache — exactly what a separate
+// process would have) and returns their base URLs.
+func startWorkers(t *testing.T, n int) []string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := range urls {
+		ts := httptest.NewServer(New(Config{ResultCache: 64}).Handler())
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	return urls
+}
+
+// startCoordinator spins up a prophetd fronting the given workers.
+func startCoordinator(t *testing.T, workers []string) *httptest.Server {
+	t.Helper()
+	ts := httptest.NewServer(New(Config{ResultCache: 64, Workers: workers}).Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// A process sweep fanned across 1, 2, and 4 workers returns the exact
+// bytes a single node produces: same points, same speedup/efficiency
+// derivation, same JSON. The workers start empty, so this also exercises
+// the 404 → model re-upload → retry path.
+func TestShardedProcessSweepBitIdentical(t *testing.T) {
+	req := SweepRequest{
+		EstimateRequest: EstimateRequest{ModelRef: ModelRef{ModelXMI: sampleXMI(t)}, Seed: 5},
+		Processes:       []int{1, 2, 3, 4, 6, 8},
+	}
+	single := httptest.NewServer(New(Config{ResultCache: 64}).Handler())
+	defer single.Close()
+	code, _, want := postJSON(t, single.URL+"/v1/sweep", req)
+	if code != http.StatusOK {
+		t.Fatalf("single-node sweep: status %d: %s", code, want)
+	}
+	for _, shards := range []int{1, 2, 4} {
+		coord := startCoordinator(t, startWorkers(t, shards))
+		code, _, got := postJSON(t, coord.URL+"/v1/sweep", req)
+		if code != http.StatusOK {
+			t.Fatalf("%d-shard sweep: status %d: %s", shards, code, got)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%d-shard sweep differs from single node:\n%s\nvs\n%s", shards, got, want)
+		}
+	}
+}
+
+// A global-variable sweep shards bit-identically too.
+func TestShardedGlobalSweepBitIdentical(t *testing.T) {
+	req := SweepRequest{
+		EstimateRequest: EstimateRequest{ModelRef: ModelRef{ModelXMI: sampleXMI(t)}},
+		Global:          &GlobalSweep{Name: "N", Values: []float64{1, 2, 4, 8, 16}},
+	}
+	single := httptest.NewServer(New(Config{ResultCache: 64}).Handler())
+	defer single.Close()
+	code, _, want := postJSON(t, single.URL+"/v1/sweep", req)
+	if code != http.StatusOK {
+		t.Fatalf("single-node sweep: status %d: %s", code, want)
+	}
+	for _, shards := range []int{1, 2, 4} {
+		coord := startCoordinator(t, startWorkers(t, shards))
+		code, _, got := postJSON(t, coord.URL+"/v1/sweep", req)
+		if code != http.StatusOK {
+			t.Fatalf("%d-shard sweep: status %d: %s", shards, code, got)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%d-shard global sweep differs from single node:\n%s\nvs\n%s", shards, got, want)
+		}
+	}
+}
+
+// Monte Carlo decomposition reproduces the single-node seed sequence:
+// shard i runs seeds SubSeed(base, lo)…, the coordinator concatenates in
+// range order and folds once, so mean/std/min/max and the raw makespans
+// are bit-identical at every shard count.
+func TestShardedMonteCarloBitIdentical(t *testing.T) {
+	req := MonteCarloRequest{
+		ModelRef:         ModelRef{ModelXMI: sampleXMI(t)},
+		Runs:             10,
+		Seed:             3,
+		IncludeMakespans: true,
+	}
+	single := httptest.NewServer(New(Config{ResultCache: 64}).Handler())
+	defer single.Close()
+	code, _, want := postJSON(t, single.URL+"/v1/montecarlo", req)
+	if code != http.StatusOK {
+		t.Fatalf("single-node montecarlo: status %d: %s", code, want)
+	}
+	for _, shards := range []int{1, 2, 4} {
+		coord := startCoordinator(t, startWorkers(t, shards))
+		code, _, got := postJSON(t, coord.URL+"/v1/montecarlo", req)
+		if code != http.StatusOK {
+			t.Fatalf("%d-shard montecarlo: status %d: %s", shards, code, got)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%d-shard montecarlo differs from single node:\n%s\nvs\n%s", shards, got, want)
+		}
+	}
+}
+
+// A worker that fails its shard surfaces as 502 at the coordinator;
+// a model the workers reject deterministically keeps its client status.
+func TestShardWorkerFailureMapsTo502(t *testing.T) {
+	// The only worker answers 500 to everything, so every sub-range fails.
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer dead.Close()
+	coord := startCoordinator(t, []string{dead.URL})
+
+	req := SweepRequest{
+		EstimateRequest: EstimateRequest{ModelRef: ModelRef{ModelXMI: sampleXMI(t)}},
+		Processes:       []int{1, 2, 3, 4},
+	}
+	code, _, body := postJSON(t, coord.URL+"/v1/sweep", req)
+	if code != http.StatusBadGateway {
+		t.Fatalf("status %d, want 502: %s", code, body)
+	}
+}
+
+// Shard sub-jobs carry the X-Prophet-Local header and therefore always
+// evaluate in-process on the worker: a coordinator whose workers are
+// themselves coordinators cannot recurse.
+func TestShardJobsExecuteLocally(t *testing.T) {
+	reg := obs.NewRegistry()
+	// "Worker" is itself configured with a (bogus) pool; if the shard
+	// header were ignored it would try to fan out to the unreachable
+	// address and fail.
+	worker := httptest.NewServer(New(Config{
+		Registry: reg,
+		Workers:  []string{"http://127.0.0.1:1"},
+	}).Handler())
+	defer worker.Close()
+	coord := startCoordinator(t, []string{worker.URL})
+
+	req := SweepRequest{
+		EstimateRequest: EstimateRequest{ModelRef: ModelRef{ModelXMI: sampleXMI(t)}},
+		Processes:       []int{1, 2, 4},
+	}
+	code, _, body := postJSON(t, coord.URL+"/v1/sweep", req)
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	if got := reg.CounterVec("server_shard_jobs_total", "worker").With("http://127.0.0.1:1").Value(); got != 0 {
+		t.Errorf("worker re-sharded a shard sub-job %d times", got)
+	}
+}

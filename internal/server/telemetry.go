@@ -15,10 +15,11 @@ import (
 // evaluation pipeline. Read-only routes (healthz, metrics, trace fetches)
 // produce no spans of their own and would only churn the ring.
 var tracedRoutes = map[string]bool{
-	"estimate": true,
-	"sweep":    true,
-	"compare":  true,
-	"models":   true,
+	"estimate":   true,
+	"sweep":      true,
+	"montecarlo": true,
+	"compare":    true,
+	"models":     true,
 }
 
 // quietRoutes log at Debug instead of Info: load balancers poll healthz
@@ -195,6 +196,11 @@ func (s *Server) registerHelp() {
 		"server_inflight":              "Evaluations currently holding an admission slot.",
 		"server_queue_depth":           "Requests currently waiting for an admission slot.",
 		"server_rejected_total":        "Requests shed by admission control, by reason.",
+		"server_result_cache_total":    "Evaluation requests by result-cache outcome (hit, miss, inflight, bypass).",
+		"server_result_cache_entries":  "Results currently stored in the result cache.",
+		"server_shard_jobs_total":      "Shard sub-jobs dispatched to pool workers, by worker.",
+		"server_shard_errors_total":    "Shard sub-jobs that failed, by worker.",
+		"server_shard_workers":         "Workers configured in the shard pool.",
 		"server_uptime_seconds":        "Seconds since the server was constructed.",
 		"server_traces_stored":         "Request traces currently held in the ring buffer.",
 		"model_store_models":           "Models resident in the content-addressed store.",

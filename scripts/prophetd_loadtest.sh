@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Load test for the prophetd serving layer: build prophetd and loadgen,
+# start a cache-enabled server, and drive the cold / hot / concurrent-
+# identical scenarios. loadgen writes BENCH_serving.json to the repo root
+# and enforces the serving floors:
+#
+#   - hot-path throughput (-min-rps)
+#   - hot-path result-cache hit rate (-min-hit-rate)
+#   - hot-vs-cold p50 speedup (-min-speedup, the >=10x cache win)
+#
+# Tunables: PROPHETD_LOADTEST_PORT, LOADGEN_FLAGS (extra loadgen args).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PORT="${PROPHETD_LOADTEST_PORT:-18090}"
+BASE="http://127.0.0.1:${PORT}"
+TMP="$(mktemp -d)"
+PID=""
+
+cleanup() {
+    [ -n "$PID" ] && kill -9 "$PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() { echo "loadtest: FAIL: $*" >&2; exit 1; }
+
+echo "loadtest: building prophetd and loadgen"
+go build -o "$TMP/prophetd" ./cmd/prophetd
+go build -o "$TMP/loadgen" ./cmd/loadgen
+
+echo "loadtest: starting prophetd on $BASE"
+"$TMP/prophetd" -addr "127.0.0.1:${PORT}" -log-level warn &
+PID=$!
+
+up=""
+for _ in $(seq 1 100); do
+    if curl -fsS "$BASE/healthz" >/dev/null 2>&1; then up=1; break; fi
+    kill -0 "$PID" 2>/dev/null || fail "prophetd exited before becoming healthy"
+    sleep 0.1
+done
+[ -n "$up" ] || fail "/healthz never became ready"
+
+# shellcheck disable=SC2086  # LOADGEN_FLAGS is intentionally word-split
+"$TMP/loadgen" -addr "$BASE" -o BENCH_serving.json \
+    -min-rps 200 -min-hit-rate 0.95 -min-speedup 10 \
+    ${LOADGEN_FLAGS:-} || fail "loadgen reported floor violations"
+
+kill -TERM "$PID"
+wait "$PID" || fail "prophetd did not drain cleanly"
+PID=""
+echo "loadtest: PASS (report in BENCH_serving.json)"

@@ -51,22 +51,29 @@ case "$id" in
     *) fail "unexpected model id in $reg" ;;
 esac
 
-# Estimate by id, twice: the second run must hit the compile cache. Each
-# response carries the request's trace id (also in X-Trace-Id).
+# Estimate by id three times: two distinct seeds (the second must hit the
+# compile cache), then a repeat of the second (which must hit the result
+# cache and skip the estimator entirely). Cacheable bodies are canonical —
+# no trace_id — so the trace id comes from the X-Trace-Id header.
+hdrs="$(mktemp)"
+estimate() {
+    curl -fsS -D "$hdrs" -X POST -H 'Content-Type: application/json' \
+        -d "{\"model_id\": \"${id}\", \"globals\": {\"eps\": 0.5}, \"seed\": $1}" \
+        "$BASE/v1/estimate"
+}
 trace_id=""
-for i in 1 2; do
-    est="$(curl -fsS -X POST -H 'Content-Type: application/json' \
-        -d "{\"model_id\": \"${id}\", \"globals\": {\"eps\": 0.5}}" \
-        "$BASE/v1/estimate")"
-    printf '%s' "$est" | grep -q '"makespan"' || fail "estimate $i has no makespan: $est"
-    if command -v jq >/dev/null 2>&1; then
-        trace_id="$(printf '%s' "$est" | jq -r .trace_id)"
-    else
-        trace_id="$(printf '%s' "$est" | sed -n 's/.*"trace_id": *"\([^"]*\)".*/\1/p')"
-    fi
+for seed in 1 2; do
+    est="$(estimate "$seed")"
+    printf '%s' "$est" | grep -q '"makespan"' || fail "estimate (seed $seed) has no makespan: $est"
+    trace_id="$(tr -d '\r' <"$hdrs" | sed -n 's/^[Xx]-[Tt]race-[Ii]d: *//p')"
 done
-[ -n "$trace_id" ] || fail "estimate response has no trace_id"
-echo "smoke: estimates ok (trace $trace_id)"
+est="$(estimate 2)"
+printf '%s' "$est" | grep -q '"makespan"' || fail "repeated estimate has no makespan: $est"
+cache_outcome="$(tr -d '\r' <"$hdrs" | sed -n 's/^[Xx]-[Rr]esult-[Cc]ache: *//p')"
+rm -f "$hdrs"
+[ -n "$trace_id" ] || fail "estimate response has no X-Trace-Id header"
+[ "$cache_outcome" = "hit" ] || fail "repeated estimate was not a result-cache hit (got '${cache_outcome}')"
+echo "smoke: estimates ok (trace $trace_id, repeat was a result-cache $cache_outcome)"
 
 # The request's span tree is fetchable by id and shows the simulate stage.
 tree="$(curl -fsS "$BASE/v1/traces/${trace_id}")"
@@ -81,6 +88,10 @@ for want in estimator_cache_hits_total estimator_cache_misses_total \
 done
 printf '%s\n' "$metrics" | grep -q '^estimator_cache_hits_total 1' \
     || fail "second estimate did not hit the compile cache"
+printf '%s\n' "$metrics" | grep -q '^server_result_cache_total{outcome="hit"} 1' \
+    || fail "repeated estimate did not count as a result-cache hit"
+printf '%s\n' "$metrics" | grep -q '^server_result_cache_entries 2' \
+    || fail "result cache does not hold the two distinct results"
 # Prometheus exposition: typed families, per-route request histogram with
 # observations, per-stage pipeline histogram, shed counters present at 0.
 printf '%s\n' "$metrics" | grep -q '^# TYPE http_request_seconds histogram' \
