@@ -2,7 +2,8 @@
 
 GO ?= go
 
-.PHONY: all check build test vet race smoke loadtest bench cover examples \
+.PHONY: all check build test vet race smoke loadtest bench bench-pipeline \
+	bench-pipeline-check cover examples \
 	experiments conformance conformance-update fuzz-smoke clean
 
 all: check
@@ -46,6 +47,19 @@ bench:
 	$(GO) test -bench=. -benchmem .
 	$(GO) test -bench=. -benchmem ./internal/sim/ ./internal/estimator/
 	$(GO) run ./cmd/benchrunner -o BENCH_runner.json
+
+# Per-stage pipeline scalability trajectory: every transformation stage
+# (parse, encode, hash, check, traverse, compile, lower, codegen,
+# simulate) measured over generated models at 10^3..10^5 nodes and
+# written to BENCH_pipeline.json. See docs/PERFORMANCE.md.
+bench-pipeline:
+	$(GO) run ./cmd/benchpipeline -o BENCH_pipeline.json
+
+# Regression gate: measure fresh and compare against the committed
+# BENCH_pipeline.json; any stage slower than 2x baseline fails (the
+# CI bench-pipeline job runs this).
+bench-pipeline-check:
+	$(GO) run ./cmd/benchpipeline -o BENCH_pipeline_fresh.json -baseline BENCH_pipeline.json
 
 cover:
 	$(GO) test -coverprofile=cover.out ./...

@@ -37,9 +37,14 @@ type result struct {
 
 // doc is the BENCH_runner.json schema.
 type doc struct {
-	GeneratedAt        string   `json:"generated_at"`
-	GoVersion          string   `json:"go_version"`
+	GeneratedAt string `json:"generated_at"`
+	GoVersion   string `json:"go_version"`
+	// GOMAXPROCS is read back after the NumCPU configuration call, so
+	// the file records what the benchmarks actually ran under; NumCPU
+	// records the host's core count so trajectories measured on
+	// different machines stay interpretable.
 	GOMAXPROCS         int      `json:"gomaxprocs"`
+	NumCPU             int      `json:"num_cpu"`
 	Benchmarks         []result `json:"benchmarks"`
 	MonteCarloSpeedup4 float64  `json:"montecarlo_speedup_4_workers_vs_1"`
 	// SpeedupLowered is the hold_loop_1000 interp ns/op divided by the
@@ -155,6 +160,7 @@ func run(out string) error {
 		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		NumCPU:      runtime.NumCPU(),
 		Note: "montecarlo_64 benches run one 64-seed batch per op on the " +
 			"stochastic query-mix model (lowered backend unless suffixed " +
 			"_interp); event_scheduling runs one raw engine with 1000 holds " +
@@ -209,8 +215,8 @@ func run(out string) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (gomaxprocs=%d, 64-run Monte Carlo speedup at 4 workers: %.2fx, lowered vs interp: %.2fx)\n",
-		out, d.GOMAXPROCS, d.MonteCarloSpeedup4, d.SpeedupLowered)
+	fmt.Printf("wrote %s (gomaxprocs=%d, num_cpu=%d, 64-run Monte Carlo speedup at 4 workers: %.2fx, lowered vs interp: %.2fx)\n",
+		out, d.GOMAXPROCS, d.NumCPU, d.MonteCarloSpeedup4, d.SpeedupLowered)
 	return nil
 }
 

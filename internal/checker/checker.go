@@ -164,7 +164,39 @@ func RuleDoc(name string) (string, bool) {
 // Check runs every enabled rule over the model and returns the combined
 // report. Diagnostics appear grouped by rule, in rule registration order.
 func (c *Checker) Check(m *uml.Model) *Report {
-	rep := &Report{}
+	rep, _ := c.check(m)
+	return rep
+}
+
+// CheckCounted is Check plus the number of full model traversals the
+// checker performed. The fused rule engine dispatches all rules from one
+// walk, so the count is 1 regardless of how many rules are enabled; the
+// walk-count test pins that property against regressions back to
+// rule-at-a-time re-walking.
+func (c *Checker) CheckCounted(m *uml.Model) (*Report, int) {
+	return c.check(m)
+}
+
+// check is the single-walk rule engine. Every enabled rule contributes a
+// ruleVisitor; the engine traverses the model exactly once — model, then
+// per diagram: diagram, nodes, edges — dispatching each element to every
+// interested rule, and finally concatenates the per-rule diagnostic
+// buffers in registration order (so reports are byte-identical to the
+// historical engine that ran each rule as its own model walk).
+func (c *Checker) check(m *uml.Model) (*Report, int) {
+	shared := &walkShared{known: make(map[string]bool, len(wellKnownVars)+len(m.Variables()))}
+	for v := range wellKnownVars {
+		shared.known[v] = true
+	}
+	for _, v := range m.Variables() {
+		shared.known[v.Name] = true
+	}
+
+	ctxs := make([]*ruleContext, 0, len(allRules))
+	var onModel, onFinish []func()
+	var onEnter, onLeave []func(*uml.Diagram)
+	var onNode []func(*uml.Diagram, uml.Node)
+	var onEdge []func(*uml.Diagram, *uml.Edge)
 	for _, r := range allRules {
 		if c.config.Disabled[r.name] {
 			continue
@@ -178,11 +210,80 @@ func (c *Checker) Check(m *uml.Model) *Report {
 			registry: c.registry,
 			rule:     r.name,
 			severity: sev,
-			report:   rep,
+			shared:   shared,
 		}
-		r.check(ctx)
+		ctxs = append(ctxs, ctx)
+		v := r.visit(ctx)
+		if v.model != nil {
+			mcb := v.model
+			onModel = append(onModel, func() { mcb(m) })
+		}
+		if v.enterDiagram != nil {
+			onEnter = append(onEnter, v.enterDiagram)
+		}
+		if v.node != nil {
+			onNode = append(onNode, v.node)
+		}
+		if v.edge != nil {
+			onEdge = append(onEdge, v.edge)
+		}
+		if v.leaveDiagram != nil {
+			onLeave = append(onLeave, v.leaveDiagram)
+		}
+		if v.finish != nil {
+			onFinish = append(onFinish, v.finish)
+		}
 	}
-	return rep
+
+	walks := 1 // the one traversal below; per-rule re-walks would add here
+	for _, cb := range onModel {
+		cb()
+	}
+	for _, d := range m.Diagrams() {
+		for _, cb := range onEnter {
+			cb(d)
+		}
+		for _, n := range d.Nodes() {
+			if lp, ok := n.(*uml.LoopNode); ok && lp.Var != "" {
+				shared.known[lp.Var] = true
+			}
+			for _, cb := range onNode {
+				cb(d, n)
+			}
+		}
+		for _, e := range d.Edges() {
+			for _, cb := range onEdge {
+				cb(d, e)
+			}
+		}
+		for _, cb := range onLeave {
+			cb(d)
+		}
+	}
+	for _, cb := range onFinish {
+		cb()
+	}
+
+	rep := &Report{}
+	total := 0
+	for _, ctx := range ctxs {
+		total += len(ctx.diags)
+	}
+	if total > 0 {
+		rep.Diagnostics = make([]Diagnostic, 0, total)
+		for _, ctx := range ctxs {
+			rep.Diagnostics = append(rep.Diagnostics, ctx.diags...)
+		}
+	}
+	return rep, walks
+}
+
+// walkShared is state the engine accumulates once per walk on behalf of
+// every rule. known is the legal-variable-name set (declared variables,
+// well-known names, and loop variables, which become complete only after
+// every node has been visited — rules that need it read it in finish).
+type walkShared struct {
+	known map[string]bool
 }
 
 // ruleContext is handed to each rule implementation.
@@ -191,7 +292,8 @@ type ruleContext struct {
 	registry *profile.Registry
 	rule     string
 	severity Severity
-	report   *Report
+	shared   *walkShared
+	diags    []Diagnostic
 }
 
 // add records a diagnostic against an element (which may be nil).
@@ -200,7 +302,7 @@ func (ctx *ruleContext) add(e uml.Element, format string, args ...interface{}) {
 	if e != nil {
 		id = e.ID()
 	}
-	ctx.report.Diagnostics = append(ctx.report.Diagnostics, Diagnostic{
+	ctx.diags = append(ctx.diags, Diagnostic{
 		Rule:      ctx.rule,
 		Severity:  ctx.severity,
 		ElementID: id,
@@ -208,10 +310,12 @@ func (ctx *ruleContext) add(e uml.Element, format string, args ...interface{}) {
 	})
 }
 
-// rule couples a name with its implementation and default severity.
+// rule couples a name with its fused-visitor factory and default severity.
+// visit is called once per Check with the rule's private context and
+// returns the callbacks the single-walk engine should dispatch to.
 type rule struct {
 	name            string
 	doc             string
 	defaultSeverity Severity
-	check           func(*ruleContext)
+	visit           func(*ruleContext) ruleVisitor
 }

@@ -15,26 +15,49 @@ var wellKnownVars = map[string]bool{
 	"nodes": true, "processors": true, "processes": true, "threads": true,
 }
 
-// allRules is the rule registry, in execution order.
+// ruleVisitor is the per-element interface of a fused rule: the checker
+// performs a single walk of the model (model, then per diagram: the
+// diagram, its nodes, its edges) and dispatches each element to every
+// enabled rule's callbacks. Any callback may be nil. finish runs after the
+// walk completes, when shared state (e.g. the known-variable set, which
+// accumulates loop variables during the walk) is final; rules whose
+// diagnostics depend on it buffer elements during the walk and emit there.
+type ruleVisitor struct {
+	model        func(m *uml.Model)
+	enterDiagram func(d *uml.Diagram)
+	node         func(d *uml.Diagram, n uml.Node)
+	edge         func(d *uml.Diagram, e *uml.Edge)
+	leaveDiagram func(d *uml.Diagram)
+	finish       func()
+}
+
+// allRules is the rule registry, in execution order. Diagnostics are
+// buffered per rule and concatenated in this order, so the fused
+// single-walk engine reports byte-identically to the historical
+// rule-at-a-time engine.
 var allRules = []rule{
 	{
 		name:            "single-initial",
 		doc:             "every diagram has exactly one initial node",
 		defaultSeverity: Error,
-		check: func(ctx *ruleContext) {
-			for _, d := range ctx.model.Diagrams() {
-				n := 0
-				for _, node := range d.Nodes() {
-					if node.Kind() == uml.KindInitial {
-						n++
+		visit: func(ctx *ruleContext) ruleVisitor {
+			initials, nodes := 0, 0
+			return ruleVisitor{
+				enterDiagram: func(d *uml.Diagram) { initials, nodes = 0, 0 },
+				node: func(d *uml.Diagram, n uml.Node) {
+					nodes++
+					if n.Kind() == uml.KindInitial {
+						initials++
 					}
-				}
-				switch {
-				case n == 0 && len(d.Nodes()) > 0:
-					ctx.add(d, "diagram %q has no initial node", d.Name())
-				case n > 1:
-					ctx.add(d, "diagram %q has %d initial nodes", d.Name(), n)
-				}
+				},
+				leaveDiagram: func(d *uml.Diagram) {
+					switch {
+					case initials == 0 && nodes > 0:
+						ctx.add(d, "diagram %q has no initial node", d.Name())
+					case initials > 1:
+						ctx.add(d, "diagram %q has %d initial nodes", d.Name(), initials)
+					}
+				},
 			}
 		},
 	},
@@ -42,11 +65,21 @@ var allRules = []rule{
 		name:            "has-final",
 		doc:             "every non-empty diagram has at least one final node",
 		defaultSeverity: Error,
-		check: func(ctx *ruleContext) {
-			for _, d := range ctx.model.Diagrams() {
-				if len(d.Nodes()) > 0 && len(d.Finals()) == 0 {
-					ctx.add(d, "diagram %q has no final node", d.Name())
-				}
+		visit: func(ctx *ruleContext) ruleVisitor {
+			finals, nodes := 0, 0
+			return ruleVisitor{
+				enterDiagram: func(d *uml.Diagram) { finals, nodes = 0, 0 },
+				node: func(d *uml.Diagram, n uml.Node) {
+					nodes++
+					if n.Kind() == uml.KindFinal {
+						finals++
+					}
+				},
+				leaveDiagram: func(d *uml.Diagram) {
+					if nodes > 0 && finals == 0 {
+						ctx.add(d, "diagram %q has no final node", d.Name())
+					}
+				},
 			}
 		},
 	},
@@ -54,11 +87,11 @@ var allRules = []rule{
 		name:            "initial-edges",
 		doc:             "initial nodes have no incoming and exactly one outgoing edge",
 		defaultSeverity: Error,
-		check: func(ctx *ruleContext) {
-			for _, d := range ctx.model.Diagrams() {
-				for _, n := range d.Nodes() {
+		visit: func(ctx *ruleContext) ruleVisitor {
+			return ruleVisitor{
+				node: func(d *uml.Diagram, n uml.Node) {
 					if n.Kind() != uml.KindInitial {
-						continue
+						return
 					}
 					if in := len(d.Incoming(n.ID())); in > 0 {
 						ctx.add(n, "initial node has %d incoming edge(s)", in)
@@ -66,7 +99,7 @@ var allRules = []rule{
 					if out := len(d.Outgoing(n.ID())); out != 1 {
 						ctx.add(n, "initial node has %d outgoing edge(s), want 1", out)
 					}
-				}
+				},
 			}
 		},
 	},
@@ -74,16 +107,16 @@ var allRules = []rule{
 		name:            "final-edges",
 		doc:             "final nodes have no outgoing edges",
 		defaultSeverity: Error,
-		check: func(ctx *ruleContext) {
-			for _, d := range ctx.model.Diagrams() {
-				for _, n := range d.Nodes() {
+		visit: func(ctx *ruleContext) ruleVisitor {
+			return ruleVisitor{
+				node: func(d *uml.Diagram, n uml.Node) {
 					if n.Kind() != uml.KindFinal {
-						continue
+						return
 					}
 					if out := len(d.Outgoing(n.ID())); out > 0 {
 						ctx.add(n, "final node has %d outgoing edge(s)", out)
 					}
-				}
+				},
 			}
 		},
 	},
@@ -91,11 +124,11 @@ var allRules = []rule{
 		name:            "decision-guards",
 		doc:             "decision branches are either all guarded (<=1 'else') or all weighted (probabilistic)",
 		defaultSeverity: Error,
-		check: func(ctx *ruleContext) {
-			for _, d := range ctx.model.Diagrams() {
-				for _, n := range d.Nodes() {
+		visit: func(ctx *ruleContext) ruleVisitor {
+			return ruleVisitor{
+				node: func(d *uml.Diagram, n uml.Node) {
 					if n.Kind() != uml.KindDecision {
-						continue
+						return
 					}
 					out := d.Outgoing(n.ID())
 					if len(out) < 2 {
@@ -122,7 +155,7 @@ var allRules = []rule{
 					if elses > 1 {
 						ctx.add(n, "decision node has %d 'else' branches, want at most 1", elses)
 					}
-				}
+				},
 			}
 		},
 	},
@@ -130,15 +163,15 @@ var allRules = []rule{
 		name:            "weights-sum",
 		doc:             "branch weights of a probabilistic decision should sum to 1 (they are normalized, but a different sum usually signals a typo)",
 		defaultSeverity: Info,
-		check: func(ctx *ruleContext) {
-			for _, d := range ctx.model.Diagrams() {
-				for _, n := range d.Nodes() {
+		visit: func(ctx *ruleContext) ruleVisitor {
+			return ruleVisitor{
+				node: func(d *uml.Diagram, n uml.Node) {
 					if n.Kind() != uml.KindDecision {
-						continue
+						return
 					}
 					out := d.Outgoing(n.ID())
 					if len(out) == 0 || out[0].Guard != "" || out[0].Weight <= 0 {
-						continue // guarded decision; decision-guards covers it
+						return // guarded decision; decision-guards covers it
 					}
 					sum := 0.0
 					allWeighted := true
@@ -152,7 +185,7 @@ var allRules = []rule{
 					if allWeighted && (sum < 0.999 || sum > 1.001) {
 						ctx.add(n, "branch weights sum to %g, not 1 (they will be normalized)", sum)
 					}
-				}
+				},
 			}
 		},
 	},
@@ -160,18 +193,18 @@ var allRules = []rule{
 		name:            "single-successor",
 		doc:             "non-branching nodes have at most one outgoing edge",
 		defaultSeverity: Error,
-		check: func(ctx *ruleContext) {
-			for _, d := range ctx.model.Diagrams() {
-				for _, n := range d.Nodes() {
+		visit: func(ctx *ruleContext) ruleVisitor {
+			return ruleVisitor{
+				node: func(d *uml.Diagram, n uml.Node) {
 					switch n.Kind() {
 					case uml.KindDecision, uml.KindFork, uml.KindFinal:
-						continue
+						return
 					}
 					if out := len(d.Outgoing(n.ID())); out > 1 {
 						ctx.add(n, "%s %q has %d outgoing edges; only decision and fork nodes may branch",
 							n.Kind(), n.Name(), out)
 					}
-				}
+				},
 			}
 		},
 	},
@@ -179,9 +212,9 @@ var allRules = []rule{
 		name:            "fork-join-arity",
 		doc:             "fork nodes have >=2 outgoing edges and join nodes >=2 incoming",
 		defaultSeverity: Error,
-		check: func(ctx *ruleContext) {
-			for _, d := range ctx.model.Diagrams() {
-				for _, n := range d.Nodes() {
+		visit: func(ctx *ruleContext) ruleVisitor {
+			return ruleVisitor{
+				node: func(d *uml.Diagram, n uml.Node) {
 					switch n.Kind() {
 					case uml.KindFork:
 						if out := len(d.Outgoing(n.ID())); out < 2 {
@@ -192,7 +225,7 @@ var allRules = []rule{
 							ctx.add(n, "join node has %d incoming edge(s), want >=2", in)
 						}
 					}
-				}
+				},
 			}
 		},
 	},
@@ -200,30 +233,32 @@ var allRules = []rule{
 		name:            "reachable",
 		doc:             "every node is reachable from its diagram's initial node",
 		defaultSeverity: Warning,
-		check: func(ctx *ruleContext) {
-			for _, d := range ctx.model.Diagrams() {
-				ini := d.Initial()
-				if ini == nil {
-					continue // single-initial already reports this
-				}
-				seen := map[string]bool{}
-				stack := []string{ini.ID()}
-				for len(stack) > 0 {
-					id := stack[len(stack)-1]
-					stack = stack[:len(stack)-1]
-					if seen[id] {
-						continue
+		visit: func(ctx *ruleContext) ruleVisitor {
+			return ruleVisitor{
+				leaveDiagram: func(d *uml.Diagram) {
+					ini := d.Initial()
+					if ini == nil {
+						return // single-initial already reports this
 					}
-					seen[id] = true
-					for _, e := range d.Outgoing(id) {
-						stack = append(stack, e.To())
+					seen := make(map[string]bool, len(d.Nodes()))
+					stack := []string{ini.ID()}
+					for len(stack) > 0 {
+						id := stack[len(stack)-1]
+						stack = stack[:len(stack)-1]
+						if seen[id] {
+							continue
+						}
+						seen[id] = true
+						for _, e := range d.Outgoing(id) {
+							stack = append(stack, e.To())
+						}
 					}
-				}
-				for _, n := range d.Nodes() {
-					if !seen[n.ID()] {
-						ctx.add(n, "node %q is unreachable from the initial node", n.Name())
+					for _, n := range d.Nodes() {
+						if !seen[n.ID()] {
+							ctx.add(n, "node %q is unreachable from the initial node", n.Name())
+						}
 					}
-				}
+				},
 			}
 		},
 	},
@@ -231,9 +266,9 @@ var allRules = []rule{
 		name:            "body-exists",
 		doc:             "activity and loop bodies reference existing diagrams",
 		defaultSeverity: Error,
-		check: func(ctx *ruleContext) {
-			for _, d := range ctx.model.Diagrams() {
-				for _, n := range d.Nodes() {
+		visit: func(ctx *ruleContext) ruleVisitor {
+			return ruleVisitor{
+				node: func(d *uml.Diagram, n uml.Node) {
 					switch x := n.(type) {
 					case *uml.ActivityNode:
 						if x.Body == "" {
@@ -248,7 +283,7 @@ var allRules = []rule{
 							ctx.add(n, "loop %q references unknown diagram %q", x.Name(), x.Body)
 						}
 					}
-				}
+				},
 			}
 		},
 	},
@@ -256,11 +291,11 @@ var allRules = []rule{
 		name:            "no-activity-cycles",
 		doc:             "activity/loop nesting is acyclic (an activity may not, transitively, contain itself)",
 		defaultSeverity: Error,
-		check: func(ctx *ruleContext) {
-			// Build diagram -> referenced-diagram edges.
+		visit: func(ctx *ruleContext) ruleVisitor {
+			// Diagram -> referenced-diagram edges, collected during the walk.
 			refs := map[string][]string{}
-			for _, d := range ctx.model.Diagrams() {
-				for _, n := range d.Nodes() {
+			return ruleVisitor{
+				node: func(d *uml.Diagram, n uml.Node) {
 					switch x := n.(type) {
 					case *uml.ActivityNode:
 						if x.Body != "" {
@@ -271,37 +306,39 @@ var allRules = []rule{
 							refs[d.Name()] = append(refs[d.Name()], x.Body)
 						}
 					}
-				}
-			}
-			const (
-				white = 0
-				gray  = 1
-				black = 2
-			)
-			color := map[string]int{}
-			var visit func(name string) bool // returns true when a cycle is found
-			visit = func(name string) bool {
-				switch color[name] {
-				case gray:
-					return true
-				case black:
-					return false
-				}
-				color[name] = gray
-				for _, next := range refs[name] {
-					if visit(next) {
+				},
+				finish: func() {
+					const (
+						white = 0
+						gray  = 1
+						black = 2
+					)
+					var color map[string]int
+					var visit func(name string) bool // returns true when a cycle is found
+					visit = func(name string) bool {
+						switch color[name] {
+						case gray:
+							return true
+						case black:
+							return false
+						}
+						color[name] = gray
+						for _, next := range refs[name] {
+							if visit(next) {
+								color[name] = black
+								return true
+							}
+						}
 						color[name] = black
-						return true
+						return false
 					}
-				}
-				color[name] = black
-				return false
-			}
-			for _, d := range ctx.model.Diagrams() {
-				color = map[string]int{}
-				if visit(d.Name()) {
-					ctx.add(d, "diagram %q participates in a cyclic activity nesting", d.Name())
-				}
+					for _, d := range ctx.model.Diagrams() {
+						color = map[string]int{}
+						if visit(d.Name()) {
+							ctx.add(d, "diagram %q participates in a cyclic activity nesting", d.Name())
+						}
+					}
+				},
 			}
 		},
 	},
@@ -309,24 +346,31 @@ var allRules = []rule{
 		name:            "guards-parse",
 		doc:             "edge guards are valid expressions over declared names",
 		defaultSeverity: Error,
-		check: func(ctx *ruleContext) {
-			known := knownVars(ctx.model)
-			for _, d := range ctx.model.Diagrams() {
-				for _, e := range d.Edges() {
-					if e.Guard == "" || e.IsElse() {
-						continue
+		visit: func(ctx *ruleContext) ruleVisitor {
+			// Guarded edges are buffered and checked at finish, once the
+			// known-variable set has absorbed every loop variable.
+			var guarded []*uml.Edge
+			return ruleVisitor{
+				edge: func(d *uml.Diagram, e *uml.Edge) {
+					if e.Guard != "" && !e.IsElse() {
+						guarded = append(guarded, e)
 					}
-					n, err := expr.Parse(e.Guard)
-					if err != nil {
-						ctx.add(e, "guard %q does not parse: %v", e.Guard, err)
-						continue
-					}
-					for _, v := range expr.Vars(n) {
-						if !known[v] {
-							ctx.add(e, "guard %q references undeclared variable %q", e.Guard, v)
+				},
+				finish: func() {
+					known := ctx.shared.known
+					for _, e := range guarded {
+						n, err := expr.Parse(e.Guard)
+						if err != nil {
+							ctx.add(e, "guard %q does not parse: %v", e.Guard, err)
+							continue
+						}
+						for _, v := range expr.Vars(n) {
+							if !known[v] {
+								ctx.add(e, "guard %q references undeclared variable %q", e.Guard, v)
+							}
 						}
 					}
-				}
+				},
 			}
 		},
 	},
@@ -334,51 +378,72 @@ var allRules = []rule{
 		name:            "cost-functions",
 		doc:             "cost-function expressions parse and reference defined functions",
 		defaultSeverity: Error,
-		check: func(ctx *ruleContext) {
-			known := knownVars(ctx.model)
-			checkExpr := func(e uml.Element, what, src string, extraVars map[string]bool) {
-				if src == "" {
-					return
-				}
-				n, err := expr.Parse(src)
-				if err != nil {
-					ctx.add(e, "%s %q does not parse: %v", what, src, err)
-					return
-				}
-				for _, name := range expr.Calls(n) {
-					if expr.IsBuiltin(name) {
-						continue
-					}
-					if _, ok := ctx.model.Function(name); !ok {
-						ctx.add(e, "%s %q calls undefined function %q", what, src, name)
-					}
-				}
-				for _, v := range expr.Vars(n) {
-					if !known[v] && !extraVars[v] {
-						ctx.add(e, "%s %q references undeclared variable %q", what, src, v)
-					}
-				}
-			}
-			for _, d := range ctx.model.Diagrams() {
-				for _, node := range d.Nodes() {
-					switch x := node.(type) {
+		visit: func(ctx *ruleContext) ruleVisitor {
+			// Nodes carrying expressions are buffered and checked at finish,
+			// for the same reason as guards-parse.
+			var carriers []uml.Node
+			return ruleVisitor{
+				node: func(d *uml.Diagram, n uml.Node) {
+					switch x := n.(type) {
 					case *uml.ActionNode:
-						checkExpr(node, "cost function", x.CostFunc, nil)
+						if x.CostFunc != "" {
+							carriers = append(carriers, n)
+						}
 					case *uml.ActivityNode:
-						checkExpr(node, "cost function", x.CostFunc, nil)
+						if x.CostFunc != "" {
+							carriers = append(carriers, n)
+						}
 					case *uml.LoopNode:
-						checkExpr(node, "loop count", x.Count, nil)
+						if x.Count != "" {
+							carriers = append(carriers, n)
+						}
 					}
-				}
-			}
-			for _, f := range ctx.model.Functions() {
-				params := map[string]bool{}
-				for _, p := range f.Params {
-					params[p.Name] = true
-				}
-				// Attribute function-body findings to the model root: the
-				// function is a model property, not a diagram element.
-				checkExpr(ctx.model, "body of function "+f.Name, f.Body, params)
+				},
+				finish: func() {
+					known := ctx.shared.known
+					checkExpr := func(e uml.Element, what, src string, extraVars map[string]bool) {
+						if src == "" {
+							return
+						}
+						n, err := expr.Parse(src)
+						if err != nil {
+							ctx.add(e, "%s %q does not parse: %v", what, src, err)
+							return
+						}
+						for _, name := range expr.Calls(n) {
+							if expr.IsBuiltin(name) {
+								continue
+							}
+							if _, ok := ctx.model.Function(name); !ok {
+								ctx.add(e, "%s %q calls undefined function %q", what, src, name)
+							}
+						}
+						for _, v := range expr.Vars(n) {
+							if !known[v] && !extraVars[v] {
+								ctx.add(e, "%s %q references undeclared variable %q", what, src, v)
+							}
+						}
+					}
+					for _, node := range carriers {
+						switch x := node.(type) {
+						case *uml.ActionNode:
+							checkExpr(node, "cost function", x.CostFunc, nil)
+						case *uml.ActivityNode:
+							checkExpr(node, "cost function", x.CostFunc, nil)
+						case *uml.LoopNode:
+							checkExpr(node, "loop count", x.Count, nil)
+						}
+					}
+					for _, f := range ctx.model.Functions() {
+						params := map[string]bool{}
+						for _, p := range f.Params {
+							params[p.Name] = true
+						}
+						// Attribute function-body findings to the model root: the
+						// function is a model property, not a diagram element.
+						checkExpr(ctx.model, "body of function "+f.Name, f.Body, params)
+					}
+				},
 			}
 		},
 	},
@@ -386,37 +451,45 @@ var allRules = []rule{
 		name:            "profile-conformance",
 		doc:             "stereotype applications conform to the profile (base class, tag types, constraints)",
 		defaultSeverity: Error,
-		check: func(ctx *ruleContext) {
-			_ = uml.Walk(ctx.model, func(e uml.Element) error {
+		visit: func(ctx *ruleContext) ruleVisitor {
+			// The checker's walk order (model, then per diagram: diagram,
+			// nodes, edges) matches uml.Walk, which this rule historically
+			// ran itself.
+			validate := func(e uml.Element) {
 				for _, err := range ctx.registry.Validate(e) {
 					ctx.add(e, "%v", err)
 				}
-				return nil
-			})
+			}
+			return ruleVisitor{
+				model:        func(m *uml.Model) { validate(m) },
+				enterDiagram: func(d *uml.Diagram) { validate(d) },
+				node:         func(d *uml.Diagram, n uml.Node) { validate(n) },
+				edge:         func(d *uml.Diagram, e *uml.Edge) { validate(e) },
+			}
 		},
 	},
 	{
 		name:            "perf-element-names",
 		doc:             "performance modeling elements have unique non-empty names (they become C++ identifiers)",
 		defaultSeverity: Error,
-		check: func(ctx *ruleContext) {
+		visit: func(ctx *ruleContext) ruleVisitor {
 			seen := map[string]uml.Element{}
-			for _, d := range ctx.model.Diagrams() {
-				for _, n := range d.Nodes() {
+			return ruleVisitor{
+				node: func(d *uml.Diagram, n uml.Node) {
 					if !ctx.registry.IsPerformanceElement(n) {
-						continue
+						return
 					}
 					if n.Name() == "" {
 						ctx.add(n, "performance modeling element has no name")
-						continue
+						return
 					}
 					if prev, dup := seen[n.Name()]; dup {
 						ctx.add(n, "performance element name %q already used by element %s",
 							n.Name(), prev.ID())
-						continue
+						return
 					}
 					seen[n.Name()] = n
-				}
+				},
 			}
 		},
 	},
@@ -424,10 +497,10 @@ var allRules = []rule{
 		name:            "mpi-pairing",
 		doc:             "models with receives should have sends (and vice versa), or every receive will deadlock",
 		defaultSeverity: Warning,
-		check: func(ctx *ruleContext) {
+		visit: func(ctx *ruleContext) ruleVisitor {
 			var sends, recvs []uml.Element
-			for _, d := range ctx.model.Diagrams() {
-				for _, n := range d.Nodes() {
+			return ruleVisitor{
+				node: func(d *uml.Diagram, n uml.Node) {
 					switch n.Stereotype() {
 					case "mpi_send":
 						sends = append(sends, n)
@@ -437,13 +510,15 @@ var allRules = []rule{
 						sends = append(sends, n)
 						recvs = append(recvs, n)
 					}
-				}
-			}
-			if len(recvs) > 0 && len(sends) == 0 {
-				ctx.add(recvs[0], "model contains %d mpi_recv element(s) but no mpi_send: receives can never complete", len(recvs))
-			}
-			if len(sends) > 0 && len(recvs) == 0 {
-				ctx.add(sends[0], "model contains %d mpi_send element(s) but no mpi_recv: messages are never consumed", len(sends))
+				},
+				finish: func() {
+					if len(recvs) > 0 && len(sends) == 0 {
+						ctx.add(recvs[0], "model contains %d mpi_recv element(s) but no mpi_send: receives can never complete", len(recvs))
+					}
+					if len(sends) > 0 && len(recvs) == 0 {
+						ctx.add(sends[0], "model contains %d mpi_send element(s) but no mpi_recv: messages are never consumed", len(sends))
+					}
+				},
 			}
 		},
 	},
@@ -451,35 +526,14 @@ var allRules = []rule{
 		name:            "unannotated-actions",
 		doc:             "actions without a stereotype do not contribute to the performance model",
 		defaultSeverity: Info,
-		check: func(ctx *ruleContext) {
-			for _, d := range ctx.model.Diagrams() {
-				for _, n := range d.Nodes() {
+		visit: func(ctx *ruleContext) ruleVisitor {
+			return ruleVisitor{
+				node: func(d *uml.Diagram, n uml.Node) {
 					if n.Kind() == uml.KindAction && n.Stereotype() == "" {
 						ctx.add(n, "action %q carries no stereotype and will be ignored by the transformation", n.Name())
 					}
-				}
+				},
 			}
 		},
 	},
-}
-
-// knownVars collects every variable name that may legally appear in model
-// expressions: declared variables, loop variables, and the well-known
-// execute()/system-parameter names.
-func knownVars(m *uml.Model) map[string]bool {
-	known := make(map[string]bool, len(wellKnownVars))
-	for v := range wellKnownVars {
-		known[v] = true
-	}
-	for _, v := range m.Variables() {
-		known[v.Name] = true
-	}
-	for _, d := range m.Diagrams() {
-		for _, n := range d.Nodes() {
-			if lp, ok := n.(*uml.LoopNode); ok && lp.Var != "" {
-				known[lp.Var] = true
-			}
-		}
-	}
-	return known
 }

@@ -1,0 +1,82 @@
+package checker
+
+import (
+	"testing"
+
+	"prophet/internal/builder"
+)
+
+// TestSingleWalkAllRules pins the fused-engine property demanded by the
+// scalability work: with every rule enabled, checking a model performs
+// exactly one traversal of the model tree, not one per rule.
+func TestSingleWalkAllRules(t *testing.T) {
+	mb := builder.New("walkcount")
+	mb.Global("x", "double")
+	d := mb.Diagram("main")
+	d.Initial()
+	d.Decision("branch")
+	d.Action("Fast").Cost("x")
+	d.Action("Slow").Cost("2*x")
+	d.Merge("done")
+	d.Loop("Spin", "3", "body").Var("i")
+	d.Final()
+	d.Flow("initial", "branch")
+	d.FlowIf("branch", "Fast", "x < 1")
+	d.FlowIf("branch", "Slow", "else")
+	d.Flow("Fast", "done")
+	d.Flow("Slow", "done")
+	d.Flow("done", "Spin")
+	d.Flow("Spin", "final")
+	body := mb.Diagram("body")
+	body.Initial()
+	body.Action("Work").Cost("x*i")
+	body.Final()
+	body.Chain("initial", "Work", "final")
+	m, err := mb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := New()
+	rep, walks := c.CheckCounted(m)
+	if walks != 1 {
+		t.Fatalf("CheckCounted performed %d model walks, want exactly 1", walks)
+	}
+	if rep.HasErrors() {
+		for _, diag := range rep.Diagnostics {
+			t.Log(diag)
+		}
+		t.Fatal("fixture model unexpectedly has errors")
+	}
+	// The count must be honest: the report must match the plain Check path.
+	plain := c.Check(m)
+	if len(plain.Diagnostics) != len(rep.Diagnostics) {
+		t.Fatalf("Check and CheckCounted disagree: %d vs %d diagnostics",
+			len(plain.Diagnostics), len(rep.Diagnostics))
+	}
+}
+
+// TestSingleWalkWithDisabledRules ensures disabling rules does not change
+// the traversal count (the walk is shared, not per rule).
+func TestSingleWalkWithDisabledRules(t *testing.T) {
+	mb := builder.New("walkcount-disabled")
+	d := mb.Diagram("main")
+	d.Initial()
+	d.Action("A").Cost("1")
+	d.Final()
+	d.Chain("initial", "A", "final")
+	m, err := mb.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := NewWith(nil, Config{Disabled: map[string]bool{
+		"profile-conformance": true,
+		"perf-element-names":  true,
+	}})
+	// nil registry is tolerated here because the registry-dependent rules
+	// are the ones disabled.
+	if _, walks := c.CheckCounted(m); walks != 1 {
+		t.Fatalf("walks = %d, want 1", walks)
+	}
+}

@@ -74,6 +74,12 @@ type Entry struct {
 	// walker can predict exactly: single process on one processor,
 	// guard-only decisions, no messaging or threading elements.
 	Analytic bool
+	// DigestGolden stores each golden artifact as its sha256 content
+	// address instead of the full bytes. Generated scalability entries
+	// (tens of thousands of nodes) use this: the comparison is still
+	// byte-exact, but megabytes of generated C++ and trace text stay out
+	// of the repository.
+	DigestGolden bool
 }
 
 // Artifact names, in pipeline-stage order.

@@ -10,6 +10,7 @@ import (
 
 	"prophet/internal/builder"
 	"prophet/internal/machine"
+	"prophet/internal/modelgen"
 	"prophet/internal/samples"
 	"prophet/internal/uml"
 	"prophet/internal/xmi"
@@ -155,10 +156,22 @@ func sidecarFor(cfg EvalConfig, analytic bool) fileConfig {
 	}
 }
 
+// genConfig is the JSON sidecar (<name>.gen.json) that commits a corpus
+// entry as its modelgen parameters instead of raw XMI. The generator is
+// deterministic per seed, so the few-line sidecar pins the same model a
+// multi-megabyte XML file would, which is how the scalability-regime
+// entries (≥10⁴ nodes) stay reviewable. Entries loaded this way always
+// use digest goldens (see Entry.DigestGolden).
+type genConfig struct {
+	Gen    modelgen.Params `json:"gen"`
+	Config fileConfig      `json:"config"`
+}
+
 // LoadCorpusDir reads every *.xml model under dir (XMI documents), pairing
-// each with its optional <base>.config.json sidecar. A missing directory
-// yields an empty corpus, not an error, so fresh checkouts work before
-// gen-corpus has run.
+// each with its optional <base>.config.json sidecar, plus every
+// *.gen.json generated-model sidecar. A missing directory yields an empty
+// corpus, not an error, so fresh checkouts work before gen-corpus has
+// run.
 func LoadCorpusDir(dir string) ([]Entry, error) {
 	names, err := os.ReadDir(dir)
 	if os.IsNotExist(err) {
@@ -169,7 +182,34 @@ func LoadCorpusDir(dir string) ([]Entry, error) {
 	}
 	var entries []Entry
 	for _, de := range names {
-		if de.IsDir() || !strings.HasSuffix(de.Name(), ".xml") {
+		if de.IsDir() {
+			continue
+		}
+		if strings.HasSuffix(de.Name(), ".gen.json") {
+			path := filepath.Join(dir, de.Name())
+			raw, err := os.ReadFile(path)
+			if err != nil {
+				return nil, fmt.Errorf("conformance: %s: %w", path, err)
+			}
+			var gc genConfig
+			if err := json.Unmarshal(raw, &gc); err != nil {
+				return nil, fmt.Errorf("conformance: %s: %w", path, err)
+			}
+			m, err := modelgen.Generate(gc.Gen)
+			if err != nil {
+				return nil, fmt.Errorf("conformance: %s: %w", path, err)
+			}
+			entries = append(entries, Entry{
+				Name:         strings.TrimSuffix(de.Name(), ".gen.json"),
+				Source:       path,
+				Model:        m,
+				Config:       gc.Config.eval(),
+				Analytic:     gc.Config.Analytic,
+				DigestGolden: true,
+			})
+			continue
+		}
+		if !strings.HasSuffix(de.Name(), ".xml") {
 			continue
 		}
 		path := filepath.Join(dir, de.Name())

@@ -5,6 +5,9 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strings"
+
+	"prophet/internal/xmi"
 )
 
 // Drift is one disagreement between a produced artifact and its golden
@@ -39,7 +42,19 @@ func CompareGolden(goldenDir string, e Entry, arts map[string]string) []Drift {
 			drifts = append(drifts, Drift{Entry: e.Name, Artifact: name, Kind: "missing", Detail: err.Error()})
 			continue
 		}
-		if got := arts[name]; got != normalize(string(want)) {
+		got := arts[name]
+		if e.DigestGolden {
+			// Digest goldens hold the artifact's content address, one
+			// line; the comparison is still byte-exact, since any byte
+			// change moves the sha256.
+			wantDigest := strings.TrimSpace(string(want))
+			if gotDigest := xmi.HashBytes([]byte(got)); gotDigest != wantDigest {
+				drifts = append(drifts, Drift{Entry: e.Name, Artifact: name, Kind: "changed",
+					Detail: fmt.Sprintf("content digest %s != golden %s", gotDigest, wantDigest)})
+			}
+			continue
+		}
+		if got != normalize(string(want)) {
 			drifts = append(drifts, Drift{Entry: e.Name, Artifact: name, Kind: "changed",
 				Detail: firstDiffLine(normalize(string(want)), got)})
 		}
@@ -70,7 +85,11 @@ func UpdateGolden(goldenDir string, e Entry, arts map[string]string) error {
 	known := map[string]bool{}
 	for _, name := range ArtifactNames() {
 		known[name] = true
-		if err := os.WriteFile(filepath.Join(dir, name), []byte(arts[name]), 0o644); err != nil {
+		content := arts[name]
+		if e.DigestGolden {
+			content = xmi.HashBytes([]byte(content)) + "\n"
+		}
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
 			return err
 		}
 	}

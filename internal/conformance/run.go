@@ -163,7 +163,10 @@ func Run(opts Options) (*Report, error) {
 		rep.Entries = append(rep.Entries, res)
 	}
 
-	if opts.Update {
+	if opts.Update && len(opts.Only) == 0 {
+		// Pruning is only safe against the full corpus: under -only the
+		// entry list is filtered, and every unfiltered entry's golden
+		// directory would look stale and be deleted.
 		pruned, err := PruneGoldenDirs(opts.GoldenDir, entries)
 		if err != nil {
 			return nil, err

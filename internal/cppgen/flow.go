@@ -30,6 +30,10 @@ type flowEmitter struct {
 	model *uml.Model
 	names map[string]string
 	w     *writer
+	// flowIdx caches one dense flow index per diagram so every decision
+	// and fork convergence query is integer BFS, not a string-keyed
+	// re-walk (quadratic per diagram before).
+	flowIdx map[*uml.Diagram]*uml.FlowIndex
 	// loopSeq numbers synthetic loop variables.
 	loopSeq int
 	// active guards against cyclic diagram nesting at emission time (the
@@ -355,7 +359,7 @@ func (f *flowEmitter) emitDecision(d *uml.Diagram, n *uml.ControlNode, onPath ma
 		return nil, fmt.Errorf("cppgen: diagram %q: decision %q has only an else branch", d.Name(), n.Name())
 	}
 
-	conv := convergenceOf(d, out)
+	conv := f.convergenceOf(d, out)
 	emitBranch := func(head string) error {
 		node := d.Node(head)
 		if node == nil {
@@ -408,7 +412,7 @@ func (f *flowEmitter) emitWeightedDecision(d *uml.Diagram, n *uml.ControlNode, o
 		}
 		total += e.Weight
 	}
-	conv := convergenceOf(d, out)
+	conv := f.convergenceOf(d, out)
 	emitBranch := func(head string) error {
 		node := d.Node(head)
 		if node == nil {
@@ -454,7 +458,7 @@ func (f *flowEmitter) emitFork(d *uml.Diagram, n *uml.ControlNode, onPath map[st
 	if len(out) < 2 {
 		return nil, fmt.Errorf("cppgen: diagram %q: fork %q has %d branch(es)", d.Name(), n.Name(), len(out))
 	}
-	conv := convergenceOf(d, out)
+	conv := f.convergenceOf(d, out)
 	f.w.line("PAR_BEGIN // fork")
 	for _, e := range out {
 		node := d.Node(e.To())
@@ -483,10 +487,18 @@ func (f *flowEmitter) emitFork(d *uml.Diagram, n *uml.ControlNode, onPath map[st
 
 // convergenceOf finds where the branches out of a decision or fork meet
 // again (nil when they all run to final nodes without converging).
-func convergenceOf(d *uml.Diagram, branches []*uml.Edge) uml.Node {
+func (f *flowEmitter) convergenceOf(d *uml.Diagram, branches []*uml.Edge) uml.Node {
+	if f.flowIdx == nil {
+		f.flowIdx = map[*uml.Diagram]*uml.FlowIndex{}
+	}
+	ix, ok := f.flowIdx[d]
+	if !ok {
+		ix = uml.NewFlowIndex(d)
+		f.flowIdx[d] = ix
+	}
 	heads := make([]string, len(branches))
 	for i, e := range branches {
 		heads[i] = e.To()
 	}
-	return uml.Convergence(d, heads)
+	return ix.Convergence(heads)
 }

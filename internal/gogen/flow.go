@@ -18,6 +18,22 @@ type goFlow struct {
 	loopSeq int
 	wgSeq   int
 	active  []string
+	// flowIdx caches one dense flow index per diagram for convergence
+	// queries (see uml.FlowIndex).
+	flowIdx map[*uml.Diagram]*uml.FlowIndex
+}
+
+// convergence answers a convergence query through the per-diagram index.
+func (f *goFlow) convergence(d *uml.Diagram, heads []string) uml.Node {
+	if f.flowIdx == nil {
+		f.flowIdx = map[*uml.Diagram]*uml.FlowIndex{}
+	}
+	ix, ok := f.flowIdx[d]
+	if !ok {
+		ix = uml.NewFlowIndex(d)
+		f.flowIdx[d] = ix
+	}
+	return ix.Convergence(heads)
 }
 
 func (f *goFlow) line(format string, args ...interface{}) {
@@ -270,7 +286,7 @@ func (f *goFlow) emitDecision(d *uml.Diagram, n *uml.ControlNode, onPath map[str
 	for i, e := range out {
 		heads[i] = e.To()
 	}
-	conv := uml.Convergence(d, heads)
+	conv := f.convergence(d, heads)
 
 	emitBranch := func(head string) error {
 		node := d.Node(head)
@@ -325,7 +341,7 @@ func (f *goFlow) emitWeightedDecision(d *uml.Diagram, n *uml.ControlNode, out []
 	for i, e := range out {
 		heads[i] = e.To()
 	}
-	conv := uml.Convergence(d, heads)
+	conv := f.convergence(d, heads)
 	emitBranch := func(head string) error {
 		node := d.Node(head)
 		if node == nil {
@@ -366,7 +382,7 @@ func (f *goFlow) emitFork(d *uml.Diagram, n *uml.ControlNode, onPath map[string]
 	for i, e := range out {
 		heads[i] = e.To()
 	}
-	conv := uml.Convergence(d, heads)
+	conv := f.convergence(d, heads)
 	f.wgSeq++
 	wg := fmt.Sprintf("wg%d", f.wgSeq)
 	f.line("var %s sync.WaitGroup // fork", wg)

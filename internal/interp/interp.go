@@ -87,11 +87,27 @@ func Compile(m *uml.Model, reg *profile.Registry) (*Program, error) {
 	}
 	pr.lib = lib
 
+	// Models repeat the same handful of guard/cost/count strings across
+	// thousands of elements; compile each distinct source once. Compiled
+	// expressions are immutable, so sharing one instance is safe.
+	cache := map[string]*expr.Compiled{}
+	compileSrc := func(src string) (*expr.Compiled, error) {
+		if c, ok := cache[src]; ok {
+			return c, nil
+		}
+		c, err := expr.CompileStringFolded(src)
+		if err != nil {
+			return nil, err
+		}
+		cache[src] = c
+		return c, nil
+	}
+
 	for _, v := range m.Variables() {
 		if v.Init == "" {
 			continue
 		}
-		c, err := expr.CompileStringFolded(v.Init)
+		c, err := compileSrc(v.Init)
 		if err != nil {
 			return nil, fmt.Errorf("interp: variable %s initializer: %w", v.Name, err)
 		}
@@ -106,7 +122,7 @@ func Compile(m *uml.Model, reg *profile.Registry) (*Program, error) {
 			}
 			return nil
 		}
-		c, err := expr.CompileStringFolded(raw)
+		c, err := compileSrc(raw)
 		if err != nil {
 			return fmt.Errorf("interp: element %q tag %q: %w", n.Name(), tag, err)
 		}
@@ -122,7 +138,7 @@ func Compile(m *uml.Model, reg *profile.Registry) (*Program, error) {
 			if e.Guard == "" || e.IsElse() {
 				continue
 			}
-			c, err := expr.CompileStringFolded(e.Guard)
+			c, err := compileSrc(e.Guard)
 			if err != nil {
 				return nil, fmt.Errorf("interp: guard %q: %w", e.Guard, err)
 			}
@@ -132,7 +148,7 @@ func Compile(m *uml.Model, reg *profile.Registry) (*Program, error) {
 			switch x := n.(type) {
 			case *uml.ActionNode:
 				if src := costSource(x.CostFunc, x); src != "" {
-					c, err := expr.CompileStringFolded(src)
+					c, err := compileSrc(src)
 					if err != nil {
 						return nil, fmt.Errorf("interp: element %q cost: %w", x.Name(), err)
 					}
@@ -171,7 +187,7 @@ func Compile(m *uml.Model, reg *profile.Registry) (*Program, error) {
 				}
 			case *uml.ActivityNode:
 				if src := costSource(x.CostFunc, x); src != "" {
-					c, err := expr.CompileStringFolded(src)
+					c, err := compileSrc(src)
 					if err != nil {
 						return nil, fmt.Errorf("interp: element %q cost: %w", x.Name(), err)
 					}
@@ -187,7 +203,7 @@ func Compile(m *uml.Model, reg *profile.Registry) (*Program, error) {
 					return nil, fmt.Errorf("interp: activity %q references unknown diagram %q", x.Name(), x.Body)
 				}
 			case *uml.LoopNode:
-				c, err := expr.CompileStringFolded(x.Count)
+				c, err := compileSrc(x.Count)
 				if err != nil {
 					return nil, fmt.Errorf("interp: loop %q count: %w", x.Name(), err)
 				}

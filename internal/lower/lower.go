@@ -185,6 +185,29 @@ type lowerer struct {
 	prog    *Program
 	diagSeg map[string]int // diagram name -> segment index
 	regions map[regionKey]int
+
+	// resolved memoizes Compiled→Slotted re-lowering. The layout is fixed
+	// for the whole program and both forms are immutable, so every op
+	// holding the same compiled expression can share one slotted instance
+	// (interp.Compile already dedupes identical sources).
+	resolved map[*expr.Compiled]*expr.Slotted
+
+	// flowIdx caches one dense flow index per diagram for fork
+	// convergence queries (see uml.FlowIndex).
+	flowIdx map[*uml.Diagram]*uml.FlowIndex
+}
+
+// convergence answers a convergence query through the per-diagram index.
+func (l *lowerer) convergence(d *uml.Diagram, heads []string) uml.Node {
+	if l.flowIdx == nil {
+		l.flowIdx = map[*uml.Diagram]*uml.FlowIndex{}
+	}
+	ix, ok := l.flowIdx[d]
+	if !ok {
+		ix = uml.NewFlowIndex(d)
+		l.flowIdx[d] = ix
+	}
+	return ix.Convergence(heads)
 }
 
 // regionKey memoizes fork-branch segments so cyclic flows that re-reach a
@@ -202,11 +225,12 @@ type regionKey struct {
 func Lower(pr *interp.Program) *Program {
 	parts := pr.Parts()
 	l := &lowerer{
-		parts:   parts,
-		lay:     buildLayout(parts),
-		prog:    &Program{parts: parts},
-		diagSeg: map[string]int{},
-		regions: map[regionKey]int{},
+		parts:    parts,
+		lay:      buildLayout(parts),
+		prog:     &Program{parts: parts},
+		diagSeg:  map[string]int{},
+		regions:  map[regionKey]int{},
+		resolved: map[*expr.Compiled]*expr.Slotted{},
 	}
 	l.prog.lay = l.lay
 
@@ -327,12 +351,18 @@ func buildLayout(parts interp.Parts) *layout {
 	return l
 }
 
-// resolve re-lowers a compiled expression against the layout (nil-safe).
+// resolve re-lowers a compiled expression against the layout (nil-safe,
+// memoized per compiled instance).
 func (l *lowerer) resolve(c *expr.Compiled) *expr.Slotted {
 	if c == nil {
 		return nil
 	}
-	return c.Resolve(l.lay.rule)
+	if s, ok := l.resolved[c]; ok {
+		return s
+	}
+	s := c.Resolve(l.lay.rule)
+	l.resolved[c] = s
+	return s
 }
 
 // lowerCode pre-resolves a node's code fragment.
@@ -375,7 +405,9 @@ func (l *lowerer) lowerDiagram(d *uml.Diagram) segment {
 			ops:   b.ops,
 		}
 	}
-	b := &segBuilder{l: l, d: d, pcs: map[string]int{}}
+	b := &segBuilder{l: l, d: d,
+		pcs: make(map[string]int, len(d.Nodes())),
+		ops: make([]op, 0, len(d.Nodes()))}
 	entry := b.succPC(ini)
 	return segment{entry: entry, ops: b.ops}
 }
@@ -389,6 +421,8 @@ func (l *lowerer) lowerRegion(d *uml.Diagram, head uml.Node, stop string) int {
 	idx := len(l.prog.segs)
 	l.prog.segs = append(l.prog.segs, segment{})
 	l.regions[key] = idx
+	// Branch regions are typically a handful of nodes; do not pre-size to
+	// the diagram, it would multiply across every fork branch.
 	b := &segBuilder{l: l, d: d, stop: stop, pcs: map[string]int{}}
 	entry := b.pcFor(head)
 	l.prog.segs[idx] = segment{entry: entry, ops: b.ops}
@@ -561,7 +595,7 @@ func (b *segBuilder) lowerFork(n *uml.ControlNode) int {
 	for i, e := range out {
 		heads[i] = e.To()
 	}
-	conv := uml.Convergence(b.d, heads)
+	conv := b.l.convergence(b.d, heads)
 	stop := ""
 	if conv != nil {
 		stop = conv.ID()

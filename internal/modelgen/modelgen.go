@@ -1,0 +1,369 @@
+// Package modelgen generates deterministic synthetic performance models
+// for scalability benchmarking and property testing, in the tradition of
+// the TTC transformation contests, which judge tools on generated model
+// families of increasing size.
+//
+// A generated model is a tree of bounded-size activity diagrams: a main
+// diagram whose segments are either leaf constructs (actions, guarded
+// decisions, weighted decisions, fork/join sections) or composite
+// constructs (activities and loops) whose bodies are further generated
+// diagrams. Keeping each diagram small while growing the diagram tree is
+// what lets node counts reach 10^6 without tripping the quadratic
+// per-diagram algorithms downstream (convergence search, name-resolved
+// flow building).
+//
+// Generation is a pure function of Params: the same seed and shape
+// parameters produce byte-identical models on every run and platform
+// (only slice iteration and a seeded math/rand source are used — no map
+// iteration). Generated models are checker-clean by construction: every
+// action is stereotyped, guards reference declared variables, branch
+// weights sum to one, and every performance element name is unique
+// model-wide.
+package modelgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strconv"
+
+	"prophet/internal/builder"
+	"prophet/internal/uml"
+)
+
+// Mix weighs the construct kinds used for diagram segments. Action,
+// Decision, Weighted and Fork select among leaf segments; Activity and
+// Loop select the flavor of composite segments (which spawn child
+// diagrams). Weights are relative, not probabilities.
+type Mix struct {
+	Action   float64 `json:"action"`
+	Activity float64 `json:"activity"`
+	Loop     float64 `json:"loop"`
+	Decision float64 `json:"decision"`
+	Weighted float64 `json:"weighted"`
+	Fork     float64 `json:"fork"`
+}
+
+// DefaultMix is an action-heavy blend that exercises every construct.
+func DefaultMix() Mix {
+	return Mix{Action: 0.50, Activity: 0.12, Loop: 0.10, Decision: 0.12, Weighted: 0.06, Fork: 0.10}
+}
+
+// isZero reports whether the mix was left unset.
+func (x Mix) isZero() bool {
+	return x == Mix{}
+}
+
+// Params describes one synthetic model. The zero values of the shape
+// fields select documented defaults; Nodes is required. Params marshals
+// to JSON so a generated corpus entry can be committed as a tiny sidecar
+// (seed + shape) instead of megabytes of XMI.
+type Params struct {
+	// Name is the model name; default "gen".
+	Name string `json:"name,omitempty"`
+	// Seed drives all randomness; the same seed reproduces the model.
+	Seed int64 `json:"seed"`
+	// Nodes is the target total node count across all diagrams. The
+	// generated model lands within a few percent of it.
+	Nodes int `json:"nodes"`
+	// Width is the number of leaf segments per diagram; default 8.
+	Width int `json:"width,omitempty"`
+	// Depth caps diagram nesting; default 6.
+	Depth int `json:"depth,omitempty"`
+	// Branching caps decision/fork fan-out (minimum 2); default 3.
+	Branching int `json:"branching,omitempty"`
+	// Mix weighs segment kinds; the zero value selects DefaultMix.
+	Mix Mix `json:"mix,omitempty"`
+}
+
+// withDefaults resolves zero-valued fields.
+func (p Params) withDefaults() Params {
+	if p.Name == "" {
+		p.Name = "gen"
+	}
+	if p.Width <= 0 {
+		p.Width = 8
+	}
+	if p.Depth <= 0 {
+		p.Depth = 6
+	}
+	if p.Branching < 2 {
+		p.Branching = 3
+	}
+	if p.Mix.isZero() {
+		p.Mix = DefaultMix()
+	}
+	return p
+}
+
+// job is one pending diagram, processed FIFO (breadth-first).
+type job struct {
+	name  string
+	depth int
+}
+
+// gen carries generation state.
+type gen struct {
+	p   Params
+	rng *rand.Rand
+	mb  *builder.ModelBuilder
+
+	budget   int     // nodes left to create
+	children int     // child diagrams left to create
+	maxKids  int     // spawn cap per diagram
+	avgLeaf  float64 // mix-weighted node cost of one leaf segment
+	queue    []job   // pending diagrams
+	seq      int     // performance-element name counter (model-wide)
+	subSeq   int     // child diagram name counter
+
+	mainSpawns int // forced-coverage counters for the main diagram
+	mainLeaves int
+}
+
+// Generate builds the synthetic model described by p. The result is
+// deterministic in p and passes the checker with no diagnostics of any
+// severity.
+func Generate(p Params) (*uml.Model, error) {
+	p = p.withDefaults()
+	if p.Nodes < 3 {
+		return nil, fmt.Errorf("modelgen: Nodes = %d, need at least 3 (initial, action, final)", p.Nodes)
+	}
+
+	// Plan the diagram count from the expected per-diagram node cost:
+	// initial + final, one local node per spawned child, and Width leaf
+	// segments at the mix-weighted average leaf cost (an action is 1 node,
+	// a decision/weighted/fork section is fan-out + 2).
+	avgK := (2.0 + float64(p.Branching)) / 2.0
+	leafDen := p.Mix.Action + p.Mix.Decision + p.Mix.Weighted + p.Mix.Fork
+	if leafDen <= 0 {
+		return nil, fmt.Errorf("modelgen: mix has no leaf weight (action/decision/weighted/fork all zero)")
+	}
+	avgLeaf := (p.Mix.Action + (p.Mix.Decision+p.Mix.Weighted+p.Mix.Fork)*(avgK+2)) / leafDen
+	if p.Mix.Activity+p.Mix.Loop <= 0 {
+		return nil, fmt.Errorf("modelgen: mix has no composite weight (activity/loop both zero)")
+	}
+	perDiagram := 3.0 + float64(p.Width)*avgLeaf
+	diagrams := int(math.Round(float64(p.Nodes) / perDiagram))
+	if diagrams < 1 {
+		diagrams = 1
+	}
+	if p.Nodes >= 48 && diagrams < 3 {
+		diagrams = 3 // guarantee activity and loop coverage at small sizes
+	}
+	maxKids := 0
+	if diagrams > 1 {
+		maxKids = int(math.Ceil(math.Pow(float64(diagrams-1), 1.0/float64(p.Depth))))
+		if maxKids < 1 {
+			maxKids = 1
+		}
+	}
+
+	g := &gen{
+		p:        p,
+		rng:      rand.New(rand.NewSource(p.Seed)),
+		mb:       builder.New(p.Name),
+		budget:   p.Nodes,
+		children: diagrams - 1,
+		maxKids:  maxKids,
+		avgLeaf:  avgLeaf,
+	}
+	// x feeds guards, c feeds costs; both initialized so a generated model
+	// simulates without any externally supplied globals.
+	g.mb.GlobalInit("x", "double", "0.25")
+	g.mb.GlobalInit("c", "double", "0.000001")
+
+	g.queue = append(g.queue, job{name: "main", depth: 0})
+	for len(g.queue) > 0 {
+		j := g.queue[0]
+		g.queue = g.queue[1:]
+		g.diagram(j)
+	}
+	return g.mb.Build()
+}
+
+// MustGenerate is Generate for tests and fixtures with known-good params.
+func MustGenerate(p Params) *uml.Model {
+	m, err := Generate(p)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// diagram emits one bounded diagram: initial, spawn segments (children),
+// leaf segments, final, all chained linearly.
+func (g *gen) diagram(j job) {
+	db := g.mb.Diagram(j.name)
+	db.Initial()
+	g.budget--
+	prev := "initial"
+
+	spawns := 0
+	if j.depth < g.p.Depth && g.children > 0 {
+		spawns = g.maxKids
+		if spawns > g.children {
+			spawns = g.children
+		}
+		g.children -= spawns
+	}
+	for i := 0; i < spawns; i++ {
+		name := g.spawnSegment(db, j)
+		db.Flow(prev, name)
+		prev = name
+	}
+
+	// Each diagram takes its share of the remaining node budget, so the
+	// plan self-corrects as generation proceeds and the last diagram is
+	// no bigger than any other.
+	remaining := len(g.queue) + 1 + g.children
+	share := float64(g.budget) / float64(remaining)
+	leafSegs := int(math.Round((share - 2 - float64(spawns)) / g.avgLeaf))
+	if leafSegs < 1 {
+		leafSegs = 1
+	}
+	if max := 4 * g.p.Width; leafSegs > max {
+		leafSegs = max
+	}
+	if j.depth == 0 && leafSegs < 3 {
+		leafSegs = 3 // room for the forced decision/weighted/fork coverage
+	}
+	for i := 0; i < leafSegs; i++ {
+		if i >= 1 && g.budget <= 0 {
+			break // ran dry; finish the diagram minimal but valid
+		}
+		entry, exit := g.leafSegment(db, j)
+		db.Flow(prev, entry)
+		prev = exit
+	}
+
+	db.Final()
+	g.budget--
+	db.Flow(prev, "final")
+}
+
+// spawnSegment adds a composite node (activity or loop) backed by a newly
+// enqueued child diagram, and returns its name. The main diagram's first
+// two spawns are pinned to one activity and one loop so every composite
+// kind is reachable even in small models.
+func (g *gen) spawnSegment(db *builder.DiagramBuilder, j job) string {
+	g.subSeq++
+	child := "sub" + strconv.Itoa(g.subSeq)
+	g.queue = append(g.queue, job{name: child, depth: j.depth + 1})
+
+	loop := false
+	if j.depth == 0 && g.mainSpawns < 2 {
+		loop = g.mainSpawns == 1
+		g.mainSpawns++
+	} else {
+		loop = g.rng.Float64()*(g.p.Mix.Activity+g.p.Mix.Loop) >= g.p.Mix.Activity
+	}
+	g.seq++
+	g.budget--
+	if loop {
+		name := "L" + strconv.Itoa(g.seq)
+		count := "2"
+		if g.rng.Float64() < 0.3 {
+			count = "3"
+		}
+		db.Loop(name, count, child).Var("i" + strconv.Itoa(g.seq))
+		return name
+	}
+	name := "SA" + strconv.Itoa(g.seq)
+	db.Activity(name, child)
+	return name
+}
+
+// leafKind names the leaf segment variants.
+type leafKind int
+
+const (
+	leafAction leafKind = iota
+	leafDecision
+	leafWeighted
+	leafFork
+)
+
+// leafSegment adds one leaf construct and returns its entry and exit node
+// names for chaining. The main diagram's first three leaves are pinned to
+// decision, weighted decision, and fork so every node kind is reachable.
+func (g *gen) leafSegment(db *builder.DiagramBuilder, j job) (entry, exit string) {
+	var kind leafKind
+	if j.depth == 0 && g.mainLeaves < 3 {
+		kind = []leafKind{leafDecision, leafWeighted, leafFork}[g.mainLeaves]
+		g.mainLeaves++
+	} else {
+		mix := g.p.Mix
+		r := g.rng.Float64() * (mix.Action + mix.Decision + mix.Weighted + mix.Fork)
+		switch {
+		case r < mix.Action:
+			kind = leafAction
+		case r < mix.Action+mix.Decision:
+			kind = leafDecision
+		case r < mix.Action+mix.Decision+mix.Weighted:
+			kind = leafWeighted
+		default:
+			kind = leafFork
+		}
+	}
+
+	switch kind {
+	case leafAction:
+		name := g.action(db)
+		return name, name
+	case leafFork:
+		g.seq++
+		fork := "fork" + strconv.Itoa(g.seq)
+		join := "join" + strconv.Itoa(g.seq)
+		db.Fork(fork)
+		g.budget--
+		k := g.fanout()
+		for i := 0; i < k; i++ {
+			a := g.action(db)
+			db.Flow(fork, a)
+			db.Flow(a, join)
+		}
+		db.Join(join)
+		g.budget--
+		return fork, join
+	default: // leafDecision, leafWeighted
+		g.seq++
+		dec := "dec" + strconv.Itoa(g.seq)
+		mrg := "mrg" + strconv.Itoa(g.seq)
+		db.Decision(dec)
+		g.budget--
+		k := g.fanout()
+		for i := 0; i < k; i++ {
+			a := g.action(db)
+			if kind == leafWeighted {
+				db.FlowWeighted(dec, a, 1.0/float64(k))
+			} else if i < k-1 {
+				db.FlowIf(dec, a, "x < "+strconv.Itoa(i+1))
+			} else {
+				db.FlowIf(dec, a, "else")
+			}
+			db.Flow(a, mrg)
+		}
+		db.Merge(mrg)
+		g.budget--
+		return dec, mrg
+	}
+}
+
+// action adds one costed action node with a model-wide unique name.
+func (g *gen) action(db *builder.DiagramBuilder) string {
+	g.seq++
+	g.budget--
+	name := "A" + strconv.Itoa(g.seq)
+	costs := [...]string{"c", "2*c", "3*c", "c+c"}
+	db.Action(name).Cost(costs[g.rng.Intn(len(costs))])
+	return name
+}
+
+// fanout picks a decision/fork fan-out in [2, Branching].
+func (g *gen) fanout() int {
+	return 2 + g.rng.Intn(g.p.Branching-1)
+}
+
+// Describe returns the generated model's element totals, convenient for
+// benchmark labels and sidecar validation.
+func Describe(m *uml.Model) uml.Stats { return m.Stats() }

@@ -263,11 +263,22 @@ func Summarize(tr *Trace) (*Summary, error) {
 				return nil, fmt.Errorf("trace: leave %q at t=%g on pid %d tid %d without matching enter",
 					ev.Name, ev.T, ev.PID, ev.TID)
 			}
-			top := st[len(st)-1]
-			stacks[k] = st[:len(st)-1]
-			if top.Elem != ev.Elem {
-				return nil, fmt.Errorf("trace: mismatched enter/leave: %q vs %q", top.Name, ev.Name)
+			// Pair with the innermost enter of the same element. Fork
+			// branches run concurrently on one (pid, tid) lane, so their
+			// enters/leaves may interleave; for properly nested traces
+			// the innermost match is simply the top of the stack.
+			match := -1
+			for j := len(st) - 1; j >= 0; j-- {
+				if st[j].Elem == ev.Elem {
+					match = j
+					break
+				}
 			}
+			if match < 0 {
+				return nil, fmt.Errorf("trace: mismatched enter/leave: %q vs %q", st[len(st)-1].Name, ev.Name)
+			}
+			top := st[match]
+			stacks[k] = append(st[:match], st[match+1:]...)
 			dt := ev.T - top.T
 			s := sum.Elements[ev.Name]
 			if s.Count == 0 {

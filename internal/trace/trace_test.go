@@ -198,6 +198,29 @@ func TestSummarizeMultipleExecutions(t *testing.T) {
 	}
 }
 
+// TestSummarizeInterleavedForkBranches pins the concurrent-lane pairing:
+// fork branches run on the same (pid, tid) trace lane, so two branches
+// with equal-cost actions interleave enter A, enter B, leave A, leave B.
+// Summarize must pair each leave with the matching element's enter, not
+// reject the trace as mis-nested.
+func TestSummarizeInterleavedForkBranches(t *testing.T) {
+	tr := &Trace{}
+	tr.Append(Event{T: 0, Kind: Enter, Elem: "a", Name: "A"})
+	tr.Append(Event{T: 0, Kind: Enter, Elem: "b", Name: "B"})
+	tr.Append(Event{T: 2, Kind: Leave, Elem: "a", Name: "A"})
+	tr.Append(Event{T: 3, Kind: Leave, Elem: "b", Name: "B"})
+	sum, err := Summarize(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Elements["A"].Total != 2 || sum.Elements["B"].Total != 3 {
+		t.Errorf("interleaved stats wrong: %+v", sum.Elements)
+	}
+	if sum.BusyByPID[0] != 3 {
+		t.Errorf("busy time should span the overlap once: %v", sum.BusyByPID[0])
+	}
+}
+
 func TestSummarizeErrors(t *testing.T) {
 	t.Run("leave without enter", func(t *testing.T) {
 		tr := &Trace{}

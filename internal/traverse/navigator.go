@@ -2,52 +2,118 @@ package traverse
 
 import "prophet/internal/uml"
 
-// RecursiveNavigator materializes the full event sequence up front by a
-// recursive descent over the model tree, then replays it. Simple and cache
-// friendly for small models; costs O(model) memory.
+// RecursiveNavigator streams the recursive-descent event sequence from a
+// cursor over the model tree: EnterModel, then per diagram its nodes and
+// edges bracketed by Enter/LeaveDiagram, then LeaveModel. It holds O(1)
+// state — a position, not an event buffer — so traversing a million-node
+// model allocates nothing beyond the navigator itself. (It historically
+// materialized the full event slice in Start, which made traversal memory
+// O(nodes); the streaming rewrite is locked to the same event sequence by
+// the cross-implementation and property tests.)
 type RecursiveNavigator struct {
-	events []Event
-	pos    int
+	model *uml.Model
+	state recState
+	di    int // index into model.Diagrams()
+	ci    int // index into the current diagram's nodes or edges
+	cur   Event
+	valid bool
 }
 
-// NewRecursiveNavigator returns a navigator that precomputes the walk.
+// recState names the next event the cursor will emit.
+type recState int
+
+const (
+	recEnterModel recState = iota
+	recEnterDiagram
+	recNodes
+	recEdges
+	recLeaveDiagram
+	recLeaveModel
+	recDone
+)
+
+// NewRecursiveNavigator returns a streaming recursive-descent navigator.
 func NewRecursiveNavigator() *RecursiveNavigator { return &RecursiveNavigator{} }
 
 // Start implements Navigator.
 func (n *RecursiveNavigator) Start(m *uml.Model) {
-	n.events = n.events[:0]
-	n.pos = -1
-	n.emit(Event{EnterModel, m})
-	for _, d := range m.Diagrams() {
-		n.descend(d)
-	}
-	n.emit(Event{LeaveModel, m})
+	n.model = m
+	n.state = recEnterModel
+	n.di, n.ci = 0, 0
+	n.valid = false
 }
-
-func (n *RecursiveNavigator) descend(d *uml.Diagram) {
-	n.emit(Event{EnterDiagram, d})
-	for _, node := range d.Nodes() {
-		n.emit(Event{VisitNode, node})
-	}
-	for _, e := range d.Edges() {
-		n.emit(Event{VisitEdge, e})
-	}
-	n.emit(Event{LeaveDiagram, d})
-}
-
-func (n *RecursiveNavigator) emit(ev Event) { n.events = append(n.events, ev) }
 
 // Advance implements Navigator.
 func (n *RecursiveNavigator) Advance() bool {
-	if n.pos+1 >= len(n.events) {
+	switch n.state {
+	case recEnterModel:
+		n.cur = Event{EnterModel, n.model}
+		n.di = 0
+		if len(n.model.Diagrams()) > 0 {
+			n.state = recEnterDiagram
+		} else {
+			n.state = recLeaveModel
+		}
+	case recEnterDiagram:
+		d := n.model.Diagrams()[n.di]
+		n.cur = Event{EnterDiagram, d}
+		n.ci = 0
+		n.state = nextInDiagram(d, 0, 0)
+	case recNodes:
+		d := n.model.Diagrams()[n.di]
+		n.cur = Event{VisitNode, d.Nodes()[n.ci]}
+		n.ci++
+		if n.ci >= len(d.Nodes()) {
+			n.state = nextInDiagram(d, len(d.Nodes()), 0)
+			n.ci = 0
+		}
+	case recEdges:
+		d := n.model.Diagrams()[n.di]
+		n.cur = Event{VisitEdge, d.Edges()[n.ci]}
+		n.ci++
+		if n.ci >= len(d.Edges()) {
+			n.state = recLeaveDiagram
+			n.ci = 0
+		}
+	case recLeaveDiagram:
+		n.cur = Event{LeaveDiagram, n.model.Diagrams()[n.di]}
+		n.di++
+		if n.di < len(n.model.Diagrams()) {
+			n.state = recEnterDiagram
+		} else {
+			n.state = recLeaveModel
+		}
+	case recLeaveModel:
+		n.cur = Event{LeaveModel, n.model}
+		n.state = recDone
+	default: // recDone
+		n.valid = false
 		return false
 	}
-	n.pos++
+	n.valid = true
 	return true
 }
 
+// nextInDiagram picks the state that yields diagram d's next event given
+// how many of its nodes and edges have already been emitted.
+func nextInDiagram(d *uml.Diagram, nodesDone, edgesDone int) recState {
+	switch {
+	case nodesDone < len(d.Nodes()):
+		return recNodes
+	case edgesDone < len(d.Edges()):
+		return recEdges
+	default:
+		return recLeaveDiagram
+	}
+}
+
 // Current implements Navigator.
-func (n *RecursiveNavigator) Current() Event { return n.events[n.pos] }
+func (n *RecursiveNavigator) Current() Event {
+	if !n.valid {
+		panic("traverse: Current called before Advance")
+	}
+	return n.cur
+}
 
 // StackNavigator walks the model lazily with an explicit work stack: O(1)
 // setup and O(depth) memory, at the cost of a little bookkeeping per step.

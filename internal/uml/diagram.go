@@ -1,6 +1,9 @@
 package uml
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+)
 
 // Diagram is a UML activity diagram: an ordered collection of nodes and
 // control-flow edges. The paper models a scientific program with one or
@@ -76,14 +79,18 @@ func (d *Diagram) Connect(fromID, toID, guard string) (*Edge, error) {
 	if to == nil {
 		return nil, fmt.Errorf("uml: diagram %q: edge target %q not found", d.Name(), toID)
 	}
-	id := fmt.Sprintf("%s.e%d", d.ID(), len(d.edges)+1)
-	e := &Edge{
-		base:    newBase(id, "", KindEdge),
-		from:    fromID,
-		to:      toID,
-		Guard:   guard,
-		diagram: d,
+	id := d.ID() + ".e" + strconv.Itoa(len(d.edges)+1)
+	var e *Edge
+	if d.model != nil {
+		e = d.model.arena.edge()
+	} else {
+		e = &Edge{}
 	}
+	e.base = newBase(id, "", KindEdge)
+	e.from = fromID
+	e.to = toID
+	e.Guard = guard
+	e.diagram = d
 	e.setOwner(d)
 	d.edges = append(d.edges, e)
 	if d.outgoing == nil {

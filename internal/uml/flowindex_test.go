@@ -1,0 +1,101 @@
+package uml_test
+
+import (
+	"testing"
+
+	"prophet/internal/modelgen"
+	"prophet/internal/uml"
+)
+
+// TestFlowIndexMatchesConvergence is the differential property test for
+// the dense convergence index: over generated models, every decision and
+// fork head-set must produce the identical convergence node through
+// FlowIndex.Convergence and the string-keyed uml.Convergence, including
+// repeated queries against one shared index (the cached-scratch path).
+func TestFlowIndexMatchesConvergence(t *testing.T) {
+	for seed := int64(0); seed < 8; seed++ {
+		m := modelgen.MustGenerate(modelgen.Params{Seed: seed, Nodes: 400 + int(seed)*211})
+		queries := 0
+		for _, d := range m.Diagrams() {
+			ix := uml.NewFlowIndex(d)
+			for _, n := range d.Nodes() {
+				if k := n.Kind(); k != uml.KindDecision && k != uml.KindFork {
+					continue
+				}
+				out := d.Outgoing(n.ID())
+				heads := make([]string, len(out))
+				for i, e := range out {
+					heads[i] = e.To()
+				}
+				want := uml.Convergence(d, heads)
+				got := ix.Convergence(heads)
+				if got != want {
+					t.Fatalf("seed %d diagram %s node %s: FlowIndex=%v Convergence=%v",
+						seed, d.Name(), n.ID(), id(got), id(want))
+				}
+				queries++
+			}
+		}
+		if queries == 0 {
+			t.Fatalf("seed %d: no decisions or forks generated", seed)
+		}
+	}
+}
+
+// TestFlowIndexEdgeCases pins the corner semantics the string-keyed search
+// defines: empty head sets, single heads, non-converging branches, and
+// dangling edge targets.
+func TestFlowIndexEdgeCases(t *testing.T) {
+	m := uml.NewModel("m")
+	d, err := m.AddDiagram("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := m.AddAction(d, "", "A")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := m.AddAction(d, "", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := m.AddControl(d, "", uml.KindMerge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Connect(a.ID(), j.ID(), ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Connect(b.ID(), j.ID(), ""); err != nil {
+		t.Fatal(err)
+	}
+	ix := uml.NewFlowIndex(d)
+
+	if got := ix.Convergence(nil); got != nil {
+		t.Errorf("empty heads: got %v, want nil", id(got))
+	}
+	if got := ix.Convergence([]string{a.ID()}); got != a {
+		t.Errorf("single head: got %v, want the head itself", id(got))
+	}
+	if got := ix.Convergence([]string{a.ID(), b.ID()}); got != j {
+		t.Errorf("two branches: got %v, want the merge", id(got))
+	}
+	// A head the diagram has no node for: never converges with a real one.
+	if got := ix.Convergence([]string{a.ID(), "ghost"}); got != nil {
+		t.Errorf("dangling head: got %v, want nil", id(got))
+	}
+	if want := uml.Convergence(d, []string{a.ID(), "ghost"}); want != nil {
+		t.Errorf("string-keyed search disagrees on dangling head: %v", id(want))
+	}
+	// Re-query after the dangling head grew the virtual space.
+	if got := ix.Convergence([]string{a.ID(), b.ID()}); got != j {
+		t.Errorf("re-query after virtual growth: got %v, want the merge", id(got))
+	}
+}
+
+func id(n uml.Node) string {
+	if n == nil {
+		return "<nil>"
+	}
+	return n.ID()
+}

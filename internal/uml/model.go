@@ -1,6 +1,9 @@
 package uml
 
-import "fmt"
+import (
+	"fmt"
+	"strconv"
+)
 
 // Model is the root of the element tree: it owns the diagrams, the global
 // and local variables, and the cost-function definitions of a performance
@@ -12,9 +15,11 @@ type Model struct {
 	variables []Variable
 	functions []Function
 
-	main string // name of the main diagram, defaults to the first added
-	byID map[string]Element
-	seq  int
+	main   string // name of the main diagram, defaults to the first added
+	byID   map[string]Element
+	byName map[string]*Diagram // diagram lookup; verified on hit, names can change
+	seq    int
+	arena  *arena // slab allocator primed by Preallocate; nil falls back to new
 }
 
 // NewModel creates an empty model with the given name.
@@ -29,7 +34,7 @@ func NewModel(name string) *Model {
 func (m *Model) NewID() string {
 	for {
 		m.seq++
-		id := fmt.Sprintf("e%d", m.seq)
+		id := "e" + strconv.Itoa(m.seq)
 		if _, taken := m.byID[id]; !taken {
 			return id
 		}
@@ -42,7 +47,7 @@ func (m *Model) AddDiagram(name string) (*Diagram, error) {
 	if m.DiagramByName(name) != nil {
 		return nil, fmt.Errorf("uml: duplicate diagram name %q", name)
 	}
-	id := "d" + fmt.Sprint(len(m.diagrams)+1)
+	id := "d" + strconv.Itoa(len(m.diagrams)+1)
 	if _, taken := m.byID[id]; taken {
 		id = m.NewID()
 	}
@@ -50,6 +55,10 @@ func (m *Model) AddDiagram(name string) (*Diagram, error) {
 	d.setOwner(m)
 	m.diagrams = append(m.diagrams, d)
 	m.byID[id] = d
+	if m.byName == nil {
+		m.byName = make(map[string]*Diagram)
+	}
+	m.byName[name] = d
 	if m.main == "" {
 		m.main = name
 	}
@@ -59,10 +68,20 @@ func (m *Model) AddDiagram(name string) (*Diagram, error) {
 // Diagrams returns the model's diagrams in insertion order.
 func (m *Model) Diagrams() []*Diagram { return m.diagrams }
 
-// DiagramByName returns the diagram with the given name, or nil.
+// DiagramByName returns the diagram with the given name, or nil. Lookups
+// are indexed; because SetName can change a diagram's name behind the
+// index, a hit is verified and a miss falls back to a scan that repairs
+// the index entry.
 func (m *Model) DiagramByName(name string) *Diagram {
+	if d, ok := m.byName[name]; ok && d.Name() == name {
+		return d
+	}
 	for _, d := range m.diagrams {
 		if d.Name() == name {
+			if m.byName == nil {
+				m.byName = make(map[string]*Diagram)
+			}
+			m.byName[name] = d
 			return d
 		}
 	}
@@ -168,7 +187,8 @@ func (m *Model) AddAction(d *Diagram, id, name string) (*ActionNode, error) {
 	if id == "" {
 		id = m.NewID()
 	}
-	n := &ActionNode{nodeBase: nodeBase{base: newBase(id, name, KindAction)}}
+	n := m.arena.action()
+	n.nodeBase = nodeBase{base: newBase(id, name, KindAction)}
 	if err := d.addNode(n); err != nil {
 		return nil, err
 	}
@@ -181,7 +201,9 @@ func (m *Model) AddActivity(d *Diagram, id, name, body string) (*ActivityNode, e
 	if id == "" {
 		id = m.NewID()
 	}
-	n := &ActivityNode{nodeBase: nodeBase{base: newBase(id, name, KindActivity)}, Body: body}
+	n := m.arena.activity()
+	n.nodeBase = nodeBase{base: newBase(id, name, KindActivity)}
+	n.Body = body
 	if err := d.addNode(n); err != nil {
 		return nil, err
 	}
@@ -197,7 +219,8 @@ func (m *Model) AddControl(d *Diagram, id string, kind Kind) (*ControlNode, erro
 	if id == "" {
 		id = m.NewID()
 	}
-	n := &ControlNode{nodeBase: nodeBase{base: newBase(id, kind.String(), kind)}}
+	n := m.arena.control()
+	n.nodeBase = nodeBase{base: newBase(id, kind.String(), kind)}
 	if err := d.addNode(n); err != nil {
 		return nil, err
 	}
@@ -209,7 +232,10 @@ func (m *Model) AddLoop(d *Diagram, id, name, count, body string) (*LoopNode, er
 	if id == "" {
 		id = m.NewID()
 	}
-	n := &LoopNode{nodeBase: nodeBase{base: newBase(id, name, KindLoop)}, Count: count, Body: body}
+	n := m.arena.loop()
+	n.nodeBase = nodeBase{base: newBase(id, name, KindLoop)}
+	n.Count = count
+	n.Body = body
 	if err := d.addNode(n); err != nil {
 		return nil, err
 	}

