@@ -26,7 +26,7 @@ test:
 # (worker-pool fan-out) plus the estimator entry points built on it,
 # and the HTTP serving layer (admission control, drain, model store).
 race:
-	$(GO) test -race ./internal/sim/... ./internal/obs/... ./internal/runner/... ./internal/estimator/... ./internal/lower/... ./internal/server/...
+	$(GO) test -race ./internal/sim/... ./internal/obs/... ./internal/runner/... ./internal/estimator/... ./internal/lower/... ./internal/server/... ./internal/analytic/...
 
 # Black-box smoke test of the prophetd binary: start it, register a
 # model, estimate, scrape /metrics, and check SIGTERM drains cleanly.
@@ -46,7 +46,7 @@ loadtest:
 bench:
 	$(GO) test -bench=. -benchmem .
 	$(GO) test -bench=. -benchmem ./internal/sim/ ./internal/estimator/
-	$(GO) run ./cmd/benchrunner -o BENCH_runner.json
+	$(GO) run ./cmd/benchrunner -o BENCH_runner.json -min-analytic-speedup 100
 
 # Per-stage pipeline scalability trajectory: every transformation stage
 # (parse, encode, hash, check, traverse, compile, lower, codegen,
@@ -96,6 +96,7 @@ fuzz-smoke:
 	$(GO) test -fuzz=FuzzRead -fuzztime=5s ./internal/trace/
 	$(GO) test -fuzz=FuzzPipeline -fuzztime=10s ./internal/core/
 	$(GO) test -fuzz=FuzzLoweredEquivalence -fuzztime=5s ./internal/lower/
+	$(GO) test -fuzz=FuzzAnalyticAgreement -fuzztime=5s ./internal/analytic/
 
 clean:
 	rm -f cover.out test_output.txt bench_output.txt conformance-report.json

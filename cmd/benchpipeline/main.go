@@ -69,8 +69,10 @@ type sizeResult struct {
 	// PeakRSSKb is /proc/self/status VmHWM after this size's stages.
 	// The high-water mark is cumulative over the process, so it is only
 	// meaningful as "the pipeline up to and including this size fits in
-	// this much memory".
-	PeakRSSKb int64 `json:"peak_rss_kb"`
+	// this much memory". Omitted (not 0) on systems without a readable
+	// /proc — a missing measurement must not masquerade as a measured
+	// zero in baseline documents.
+	PeakRSSKb int64 `json:"peak_rss_kb,omitempty"`
 }
 
 // doc is the BENCH_pipeline.json schema.
@@ -274,7 +276,11 @@ func measureSize(seed int64, nodes int) (sizeResult, error) {
 			sr.FrontendWallMs += res.NsPerOp / 1e6
 		}
 	}
-	sr.PeakRSSKb = peakRSSKb()
+	if kb, ok := peakRSSKb(); ok {
+		sr.PeakRSSKb = kb
+	} else {
+		warnNoProcOnce()
+	}
 	return sr, nil
 }
 
@@ -330,11 +336,14 @@ type countingHandler struct{}
 
 func (countingHandler) Visit(traverse.Event) error { return nil }
 
-// peakRSSKb reads VmHWM from /proc/self/status; 0 where unavailable.
-func peakRSSKb() int64 {
+// peakRSSKb reads VmHWM from /proc/self/status. The second return is
+// false where the measurement is unavailable (no /proc outside Linux,
+// or a masked /proc in a sandbox) so callers can omit the field rather
+// than record a fake zero.
+func peakRSSKb() (int64, bool) {
 	f, err := os.Open("/proc/self/status")
 	if err != nil {
-		return 0
+		return 0, false
 	}
 	defer f.Close()
 	sc := bufio.NewScanner(f)
@@ -345,11 +354,23 @@ func peakRSSKb() int64 {
 		}
 		fields := strings.Fields(line)
 		if len(fields) >= 2 {
-			kb, _ := strconv.ParseInt(fields[1], 10, 64)
-			return kb
+			kb, err := strconv.ParseInt(fields[1], 10, 64)
+			return kb, err == nil
 		}
 	}
-	return 0
+	return 0, false
+}
+
+// warnNoProcOnce notes the missing measurement on stderr a single time,
+// so a full multi-size run does not repeat itself.
+var warnedNoProc bool
+
+func warnNoProcOnce() {
+	if warnedNoProc {
+		return
+	}
+	warnedNoProc = true
+	fmt.Fprintln(os.Stderr, "benchpipeline: /proc/self/status unavailable; omitting peak_rss_kb")
 }
 
 // compareBaseline fails when any (size, stage) pair slowed down by more

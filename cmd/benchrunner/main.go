@@ -51,7 +51,12 @@ type doc struct {
 	// lowered ns/op: how much faster the flat lowered program evaluates
 	// the same single-process model than the tree-walking interpreter.
 	SpeedupLowered float64 `json:"speedup_lowered_vs_interp"`
-	Note           string  `json:"note"`
+	// SpeedupAnalytic is the sequential 64-run Monte Carlo batch ns/op
+	// divided by one mode=analytic solve's ns/op on the same stochastic
+	// query-mix model: what the closed-form fast path saves over the
+	// simulation batch a mean estimate of comparable confidence needs.
+	SpeedupAnalytic float64 `json:"speedup_analytic_vs_montecarlo_64"`
+	Note            string  `json:"note"`
 }
 
 func measure(name string, fn func(b *testing.B)) result {
@@ -111,7 +116,7 @@ func holdLoopModel() (*uml.Model, error) {
 	return mb.Build()
 }
 
-func run(out string) error {
+func run(out string, minAnalyticSpeedup float64) error {
 	runtime.GOMAXPROCS(runtime.NumCPU())
 	m, err := queryMixModel()
 	if err != nil {
@@ -168,7 +173,10 @@ func run(out string) error {
 			"on each backend. montecarlo speedup is sequential ns/op " +
 			"divided by 4-worker ns/op and is bounded by gomaxprocs; " +
 			"speedup_lowered_vs_interp is hold_loop interp ns/op divided " +
-			"by lowered ns/op.",
+			"by lowered ns/op; analytic_query_mix runs one mode=analytic " +
+			"closed-form solve per op on the query-mix model, and " +
+			"speedup_analytic_vs_montecarlo_64 divides the sequential " +
+			"64-run MC batch ns/op by it.",
 	}
 
 	d.Benchmarks = append(d.Benchmarks, measure("event_scheduling_1000_holds", func(b *testing.B) {
@@ -202,6 +210,25 @@ func run(out string) error {
 		d.MonteCarloSpeedup4 = seq.NsPerOp / par.NsPerOp
 	}
 
+	mProg, err := e.CompileCached(m)
+	if err != nil {
+		return err
+	}
+	analytic := measure("analytic_query_mix", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := e.EstimateCompiledFast(mProg, estimator.Request{
+				Model: m, Globals: globals, Mode: estimator.ModeAnalytic,
+			}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	d.Benchmarks = append(d.Benchmarks, analytic)
+	if analytic.NsPerOp > 0 {
+		d.SpeedupAnalytic = seq.NsPerOp / analytic.NsPerOp
+	}
+
 	f, err := os.Create(out)
 	if err != nil {
 		return err
@@ -215,15 +242,20 @@ func run(out string) error {
 	if err := f.Close(); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s (gomaxprocs=%d, num_cpu=%d, 64-run Monte Carlo speedup at 4 workers: %.2fx, lowered vs interp: %.2fx)\n",
-		out, d.GOMAXPROCS, d.NumCPU, d.MonteCarloSpeedup4, d.SpeedupLowered)
+	fmt.Printf("wrote %s (gomaxprocs=%d, num_cpu=%d, 64-run Monte Carlo speedup at 4 workers: %.2fx, lowered vs interp: %.2fx, analytic vs MC-64: %.0fx)\n",
+		out, d.GOMAXPROCS, d.NumCPU, d.MonteCarloSpeedup4, d.SpeedupLowered, d.SpeedupAnalytic)
+	if minAnalyticSpeedup > 0 && d.SpeedupAnalytic < minAnalyticSpeedup {
+		return fmt.Errorf("analytic speedup %.1fx is below the %.0fx floor", d.SpeedupAnalytic, minAnalyticSpeedup)
+	}
 	return nil
 }
 
 func main() {
 	out := flag.String("o", "BENCH_runner.json", "output JSON path")
+	minAnalytic := flag.Float64("min-analytic-speedup", 0,
+		"fail unless speedup_analytic_vs_montecarlo_64 reaches this factor (0 disables)")
 	flag.Parse()
-	if err := run(*out); err != nil {
+	if err := run(*out, *minAnalytic); err != nil {
 		fmt.Fprintln(os.Stderr, "benchrunner:", err)
 		os.Exit(1)
 	}

@@ -18,6 +18,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -115,6 +116,7 @@ func run(args []string) (err error) {
 	sweep := fs.String("sweep", "", "comma-separated process counts for a scalability sweep")
 	policy := fs.String("policy", "fcfs", "processor contention policy: fcfs or ps")
 	backend := fs.String("backend", "lowered", "simulation backend: lowered, interp or auto")
+	mode := fs.String("mode", "simulate", "evaluation mode: simulate, analytic (closed-form solver) or auto")
 	sensitivity := fs.String("sensitivity", "", "comma-separated globals for a +-5% sensitivity analysis")
 	montecarlo := fs.Int("montecarlo", 0, "run N seeds and report the makespan distribution (stochastic models)")
 	parallel := fs.Int("parallel", 0, "worker pool size for batch evaluations: sweeps, -sensitivity, -montecarlo, -versus (0 = GOMAXPROCS)")
@@ -217,6 +219,9 @@ func run(args []string) (err error) {
 		return fmt.Errorf("unknown policy %q (fcfs or ps)", *policy)
 	}
 	if req.Backend, err = estimator.ParseBackend(*backend); err != nil {
+		return err
+	}
+	if req.Mode, err = estimator.ParseMode(*mode); err != nil {
 		return err
 	}
 
@@ -325,7 +330,17 @@ func run(args []string) (err error) {
 	fmt.Printf("model:       %s\n", m.Name())
 	fmt.Printf("system:      %d node(s) x %d processor(s), %d process(es), %d thread(s)\n",
 		params.Nodes, params.ProcessorsPerNode, params.Processes, params.Threads)
-	fmt.Printf("predicted execution time: %.6g\n\n", est.Makespan)
+	fmt.Printf("predicted execution time: %.6g\n", est.Makespan)
+	if est.Analytic {
+		// The closed-form solver produced the answer: there is no trace,
+		// summary, or utilization to report, but the variance is exact.
+		fmt.Printf("mode:        analytic (closed-form solver, no simulation run)\n")
+		if est.Variance > 0 {
+			fmt.Printf("makespan std deviation: %.6g\n", math.Sqrt(est.Variance))
+		}
+		return nil
+	}
+	fmt.Println()
 	fmt.Print(est.Summary.Report())
 	bd := estimator.BreakdownOf(m, est.Summary)
 	if bd.Compute+bd.Communication > 0 {

@@ -1,0 +1,128 @@
+package analytic_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"prophet/internal/analytic"
+	"prophet/internal/builder"
+	"prophet/internal/checker"
+	"prophet/internal/interp"
+	"prophet/internal/samples"
+	"prophet/internal/sim"
+	"prophet/internal/xmi"
+)
+
+// stochasticSeed is a small model exercising every distribution family
+// plus a weighted decision, so the fuzzer starts from inputs where the
+// solver actually takes the stochastic paths.
+func stochasticSeed() string {
+	b := builder.New("stochastic-seed")
+	d := b.Diagram("main")
+	d.Initial()
+	d.Action("Fetch").Cost("exp(0.002)")
+	d.Decision("D")
+	d.Action("Fast").Cost("uniform(0.001, 0.003)")
+	d.Action("Slow").Cost("normal(0.005, 0.002)")
+	d.Merge("M")
+	d.Action("Rpc").Cost("empirical(0.001, 0.004, 0.01)")
+	d.Final()
+	d.Flow("initial", "Fetch")
+	d.Flow("Fetch", "D")
+	d.FlowWeighted("D", "Fast", 0.7)
+	d.FlowWeighted("D", "Slow", 0.3)
+	d.Flow("Fast", "M")
+	d.Flow("Slow", "M")
+	d.Flow("M", "Rpc")
+	d.Flow("Rpc", "final")
+	s, err := xmi.EncodeString(builder.MustBuild(b))
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// FuzzAnalyticAgreement is the differential oracle for the closed-form
+// solver: on any checkable model the solver accepts, its mean must agree
+// with simulation — exactly when the model is deterministic, and within
+// a CLT envelope of a small Monte Carlo batch when it is stochastic.
+func FuzzAnalyticAgreement(f *testing.F) {
+	seed := func(s string, err error) {
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(s)
+	}
+	seed(xmi.EncodeString(samples.Sample()))
+	seed(xmi.EncodeString(samples.Kernel6()))
+	seed(xmi.EncodeString(samples.Jacobi()))
+	f.Add(stochasticSeed())
+
+	chk := checker.New()
+	f.Fuzz(func(t *testing.T, doc string) {
+		m, err := xmi.DecodeString(doc)
+		if err != nil {
+			t.Skip()
+		}
+		if rep := chk.Check(m); rep.HasErrors() {
+			t.Skip()
+		}
+		res, err := analytic.Solve(m, analytic.Config{MaxSteps: 20000})
+		if err != nil {
+			t.Skip() // outside the closed-form class; nothing to compare
+		}
+		if math.IsNaN(res.Mean) || math.IsInf(res.Mean, 0) ||
+			math.IsNaN(res.Variance) || math.IsInf(res.Variance, 0) {
+			t.Skip() // degenerate arithmetic (inf/NaN costs) has no oracle
+		}
+		if res.Variance < 0 {
+			t.Fatalf("negative variance %v", res.Variance)
+		}
+		pr, err := interp.Compile(m, nil)
+		if err != nil {
+			t.Skip()
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		run := func(seed int64) (float64, bool) {
+			r, rerr := pr.Run(interp.Config{MaxSteps: 20000, Seed: seed, Context: ctx, NoTrace: true})
+			var ie *sim.InterruptError
+			if errors.As(rerr, &ie) || errors.Is(rerr, context.DeadlineExceeded) {
+				t.Skip()
+			}
+			if rerr != nil {
+				return 0, false
+			}
+			return r.Makespan, true
+		}
+		if !res.Stochastic {
+			mk, ok := run(1)
+			if !ok {
+				t.Skip() // runtime error (e.g. step budget) the walker's bound missed
+			}
+			if tol := 1e-9 * (1 + math.Abs(mk)); math.Abs(res.Mean-mk) > tol {
+				t.Fatalf("deterministic model: analytic %v, simulated %v", res.Mean, mk)
+			}
+			return
+		}
+		const runs = 48
+		var sum float64
+		for s := int64(1); s <= runs; s++ {
+			mk, ok := run(s)
+			if !ok {
+				t.Skip()
+			}
+			sum += mk
+		}
+		mcMean := sum / runs
+		// 12 standard errors plus float slack: astronomically unlikely to
+		// trip by chance, tight enough to catch a wrong mixture rule.
+		tol := 12*math.Sqrt(res.Variance/runs) + 1e-6*(1+math.Abs(res.Mean))
+		if math.Abs(res.Mean-mcMean) > tol {
+			t.Fatalf("stochastic model: analytic mean %v, MC mean %v (tol %v)", res.Mean, mcMean, tol)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package checker
 
 import (
 	"prophet/internal/expr"
+	"prophet/internal/profile"
 	"prophet/internal/uml"
 )
 
@@ -401,15 +402,8 @@ var allRules = []rule{
 				},
 				finish: func() {
 					known := ctx.shared.known
-					checkExpr := func(e uml.Element, what, src string, extraVars map[string]bool) {
-						if src == "" {
-							return
-						}
-						n, err := expr.Parse(src)
-						if err != nil {
-							ctx.add(e, "%s %q does not parse: %v", what, src, err)
-							return
-						}
+					// checkNode validates one expression AST's calls and vars.
+					checkNode := func(e uml.Element, what, src string, n expr.Node, extraVars map[string]bool) {
 						for _, name := range expr.Calls(n) {
 							if expr.IsBuiltin(name) {
 								continue
@@ -424,14 +418,39 @@ var allRules = []rule{
 							}
 						}
 					}
+					// stochastic marks the sources that may be distribution
+					// literals (costs and loop counts; see expr.ParseDist): for
+					// those, a whole-source constructor call is not an undefined
+					// function — its argument expressions are validated instead.
+					checkExpr := func(e uml.Element, what, src string, extraVars map[string]bool, stochastic bool) {
+						if src == "" {
+							return
+						}
+						n, err := expr.Parse(src)
+						if err != nil {
+							ctx.add(e, "%s %q does not parse: %v", what, src, err)
+							return
+						}
+						if stochastic {
+							if name, args, ok := expr.DistCall(n); ok {
+								if _, defined := ctx.model.Function(name); !defined {
+									for _, a := range args {
+										checkNode(e, what, src, a, extraVars)
+									}
+									return
+								}
+							}
+						}
+						checkNode(e, what, src, n, extraVars)
+					}
 					for _, node := range carriers {
 						switch x := node.(type) {
 						case *uml.ActionNode:
-							checkExpr(node, "cost function", x.CostFunc, nil)
+							checkExpr(node, "cost function", x.CostFunc, nil, true)
 						case *uml.ActivityNode:
-							checkExpr(node, "cost function", x.CostFunc, nil)
+							checkExpr(node, "cost function", x.CostFunc, nil, true)
 						case *uml.LoopNode:
-							checkExpr(node, "loop count", x.Count, nil)
+							checkExpr(node, "loop count", x.Count, nil, true)
 						}
 					}
 					for _, f := range ctx.model.Functions() {
@@ -441,7 +460,7 @@ var allRules = []rule{
 						}
 						// Attribute function-body findings to the model root: the
 						// function is a model property, not a diagram element.
-						checkExpr(ctx.model, "body of function "+f.Name, f.Body, params)
+						checkExpr(ctx.model, "body of function "+f.Name, f.Body, params, false)
 					}
 				},
 			}
@@ -465,6 +484,55 @@ var allRules = []rule{
 				enterDiagram: func(d *uml.Diagram) { validate(d) },
 				node:         func(d *uml.Diagram, n uml.Node) { validate(n) },
 				edge:         func(d *uml.Diagram, e *uml.Edge) { validate(e) },
+			}
+		},
+	},
+	{
+		name:            "stochastic-tags",
+		doc:             "distribution literals appear only in expression tags that accept them",
+		defaultSeverity: Error,
+		visit: func(ctx *ruleContext) ruleVisitor {
+			// A whole-source constructor call (normal(mu, sigma), uniform(lo,
+			// hi), empirical(...)) denotes a random draw only where the tag
+			// definition is marked Stochastic (costs, loop counts). In any
+			// other expression tag it would evaluate as an ordinary —
+			// undefined — function call at runtime; report it here with a
+			// message that names the actual problem. exp(x) stays exempt:
+			// outside stochastic tags it keeps its builtin e^x meaning.
+			check := func(e uml.Element) {
+				stName := e.Stereotype()
+				if stName == "" || ctx.registry == nil {
+					return
+				}
+				st, ok := ctx.registry.Lookup(stName)
+				if !ok {
+					return // profile-conformance reports unknown stereotypes
+				}
+				for _, td := range st.Tags {
+					if td.Type != profile.TagExpr || td.Stochastic {
+						continue
+					}
+					raw, set := e.Tag(td.Name)
+					if !set {
+						continue
+					}
+					n, err := expr.Parse(raw)
+					if err != nil {
+						continue // profile-conformance reports the parse error
+					}
+					name, _, isDist := expr.DistCall(n)
+					if !isDist || expr.IsBuiltin(name) {
+						continue
+					}
+					if _, defined := ctx.model.Function(name); defined {
+						continue // a model-defined function shadows the constructor
+					}
+					ctx.add(e, "tag %q of <<%s>> does not accept a distribution literal %q (draws are only legal in stochastic tags such as %q)",
+						td.Name, stName, raw, profile.TagTime)
+				}
+			}
+			return ruleVisitor{
+				node: func(d *uml.Diagram, n uml.Node) { check(n) },
 			}
 		},
 	},

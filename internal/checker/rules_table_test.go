@@ -288,6 +288,31 @@ func TestEveryRuleFires(t *testing.T) {
 			},
 		},
 		{
+			rule:     "stochastic-tags",
+			severity: Error,
+			message:  `tag "count" of <<omp_parallel>> does not accept a distribution literal "normal(2, 1)"`,
+			build: func() *uml.Model {
+				m := uml.NewModel("m")
+				d, _ := m.AddDiagram("main")
+				body, _ := m.AddDiagram("body")
+				bini, _ := m.AddControl(body, "", uml.KindInitial)
+				ba := mustAction(t, m, body, "BA")
+				bfin, _ := m.AddControl(body, "", uml.KindFinal)
+				body.Connect(bini.ID(), ba.ID(), "")
+				body.Connect(ba.ID(), bfin.ID(), "")
+				ini, _ := m.AddControl(d, "", uml.KindInitial)
+				par, _ := m.AddActivity(d, "", "Par", "body")
+				par.SetStereotype(profile.OMPParallel)
+				// A draw is not a thread count: omp_parallel's count tag is a
+				// plain (non-stochastic) expression tag.
+				par.SetTag(profile.TagCount, "normal(2, 1)")
+				fin, _ := m.AddControl(d, "", uml.KindFinal)
+				d.Connect(ini.ID(), par.ID(), "")
+				d.Connect(par.ID(), fin.ID(), "")
+				return m
+			},
+		},
+		{
 			rule:     "unannotated-actions",
 			severity: Info,
 			message:  `action "Bare" carries no stereotype`,

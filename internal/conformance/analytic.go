@@ -2,438 +2,34 @@ package conformance
 
 import (
 	"fmt"
-	"strings"
 
-	"prophet/internal/expr"
-	"prophet/internal/machine"
-	"prophet/internal/profile"
-	"prophet/internal/uml"
+	"prophet/internal/analytic"
 )
 
-// AnalyticMakespan predicts an entry's makespan by walking the flow graph
-// the way the generated C++ program does — guard chains in edge order,
-// loop bodies repeated count times, fork branches summed (a single
-// processor serializes them), code fragments applied before each
-// element's execute() — but without the simulation engine. It is the
-// independent half of the interp/sim agreement oracle, deliberately
-// sharing no code with internal/interp.
+// AnalyticMakespan predicts an entry's makespan with the closed-form
+// solver in internal/analytic — the flow walker that started life here
+// as the independent half of the interp/sim agreement oracle and was
+// promoted to a first-class backend. It deliberately shares no code with
+// internal/interp.
 //
-// It only covers entries marked Analytic: a single process on one
-// processor, guard-only decisions, and no messaging or threading
-// stereotypes. Anything outside that subset returns an error.
+// This wrapper keeps the exact-agreement oracle's contract: it only
+// answers for deterministic entries, where the solved mean IS the
+// makespan every simulation run produces. A model with stochastic
+// constructs (distribution costs, weighted decisions) solves to
+// distribution moments, not a per-run value, so it returns an error
+// here; the stochastic corpus is covered by the CLT-tolerance
+// analytic-agreement-stochastic oracle instead.
 func AnalyticMakespan(e Entry) (float64, error) {
-	m := e.Model
-	defs := make([]expr.Def, 0, len(m.Functions()))
-	for _, f := range m.Functions() {
-		d := expr.Def{Name: f.Name, Body: f.Body}
-		for _, p := range f.Params {
-			d.Params = append(d.Params, p.Name)
-		}
-		defs = append(defs, d)
-	}
-	lib, err := expr.NewLibrary(defs)
-	if err != nil {
-		return 0, fmt.Errorf("analytic: %w", err)
-	}
-
-	sp := e.Config.Params
-	if sp == (machine.SystemParams{}) {
-		sp = machine.DefaultParams()
-	}
-	if sp.Processes != 1 || sp.Nodes != 1 || sp.ProcessorsPerNode != 1 {
-		return 0, fmt.Errorf("analytic: entry %s: system %+v is not single-process single-processor", e.Name, sp)
-	}
-
-	w := &walker{
-		model:   m,
-		lib:     lib,
-		sp:      sp.Env(),
-		globals: map[string]float64{},
-		locals:  map[string]float64{"pid": 0, "tid": 0, "uid": 0},
-		// The same runaway guard the interpreter uses, so a cyclic model
-		// that diverges fails identically on both sides of the oracle.
-		maxSteps: e.Config.MaxSteps,
-	}
-	if w.maxSteps <= 0 {
-		w.maxSteps = 50_000_000
-	}
-	for _, v := range m.VariablesIn(uml.ScopeGlobal) {
-		w.globals[v.Name] = 0
-		if v.Init != "" {
-			val, err := w.evalSrc(v.Init)
-			if err != nil {
-				return 0, fmt.Errorf("analytic: initialize %s: %w", v.Name, err)
-			}
-			w.globals[v.Name] = val
-		}
-	}
-	for k, v := range e.Config.Globals {
-		w.globals[k] = v
-	}
-	for _, v := range m.VariablesIn(uml.ScopeLocal) {
-		w.locals[v.Name] = 0
-		if v.Init != "" {
-			val, err := w.evalSrc(v.Init)
-			if err == nil {
-				w.locals[v.Name] = val
-			}
-		}
-	}
-
-	main := m.Main()
-	if main == nil {
-		return 0, fmt.Errorf("analytic: model %q has no main diagram", m.Name())
-	}
-	return w.walkDiagram(main)
-}
-
-// walker is the analytic evaluation state: variable frames plus the
-// elapsed-time accumulator threading through walk calls.
-type walker struct {
-	model    *uml.Model
-	lib      *expr.Library
-	sp       map[string]float64
-	globals  map[string]float64
-	locals   map[string]float64
-	steps    int
-	maxSteps int
-}
-
-// Var implements expr.Env variable lookup: locals shadow globals shadow
-// system parameters, mirroring the generated program's scoping.
-func (w *walker) Var(name string) (float64, bool) {
-	if v, ok := w.locals[name]; ok {
-		return v, true
-	}
-	if v, ok := w.globals[name]; ok {
-		return v, true
-	}
-	v, ok := w.sp[name]
-	return v, ok
-}
-
-func (w *walker) Func(string) (expr.Func, bool) { return nil, false }
-
-func (w *walker) evalSrc(src string) (float64, error) {
-	c, err := expr.CompileStringFolded(src)
+	res, err := analytic.Solve(e.Model, analytic.Config{
+		Params:   e.Config.Params,
+		Globals:  e.Config.Globals,
+		MaxSteps: e.Config.MaxSteps,
+	})
 	if err != nil {
 		return 0, err
 	}
-	return c.Eval(w.lib.Bind(w))
-}
-
-func (w *walker) assign(name string, val float64) {
-	if _, ok := w.globals[name]; ok {
-		w.globals[name] = val
-		return
+	if res.Stochastic {
+		return 0, fmt.Errorf("analytic: entry %s is stochastic; the exact-agreement oracle does not apply", e.Name)
 	}
-	w.locals[name] = val
-}
-
-func (w *walker) step(n uml.Node) error {
-	w.steps++
-	if w.steps > w.maxSteps {
-		return fmt.Errorf("analytic: exceeded %d element executions at %q (unbounded loop?)", w.maxSteps, n.Name())
-	}
-	return nil
-}
-
-// walkDiagram evaluates a diagram from its initial node and returns the
-// time it consumes. Empty diagrams take no time.
-func (w *walker) walkDiagram(d *uml.Diagram) (float64, error) {
-	ini := d.Initial()
-	if ini == nil {
-		if len(d.Nodes()) == 0 {
-			return 0, nil
-		}
-		return 0, fmt.Errorf("analytic: diagram %q has no initial node", d.Name())
-	}
-	next, err := w.successor(d, ini)
-	if err != nil {
-		return 0, err
-	}
-	return w.walkSeq(d, next, nil)
-}
-
-// walkSeq accumulates time from cur until a final node or stop (exclusive).
-func (w *walker) walkSeq(d *uml.Diagram, cur uml.Node, stop uml.Node) (float64, error) {
-	total := 0.0
-	for cur != nil {
-		if stop != nil && cur.ID() == stop.ID() {
-			return total, nil
-		}
-		var err error
-		switch n := cur.(type) {
-		case *uml.ControlNode:
-			switch n.Kind() {
-			case uml.KindFinal:
-				return total, nil
-			case uml.KindMerge, uml.KindJoin:
-				cur, err = w.successor(d, n)
-			case uml.KindDecision:
-				cur, err = w.branch(d, n)
-			case uml.KindFork:
-				var dt float64
-				dt, cur, err = w.fork(d, n)
-				total += dt
-			default:
-				return 0, fmt.Errorf("analytic: diagram %q: unexpected %v mid-flow", d.Name(), n.Kind())
-			}
-		case *uml.ActionNode:
-			if err := w.step(n); err != nil {
-				return 0, err
-			}
-			dt, aerr := w.action(n)
-			if aerr != nil {
-				return 0, aerr
-			}
-			total += dt
-			cur, err = w.successor(d, n)
-		case *uml.ActivityNode:
-			if err := w.step(n); err != nil {
-				return 0, err
-			}
-			dt, err := w.activity(n)
-			if err != nil {
-				return 0, err
-			}
-			total += dt
-			cur, err = w.successor(d, n)
-		case *uml.LoopNode:
-			if err := w.step(n); err != nil {
-				return 0, err
-			}
-			dt, err := w.loop(n)
-			if err != nil {
-				return 0, err
-			}
-			total += dt
-			cur, err = w.successor(d, n)
-		default:
-			return 0, fmt.Errorf("analytic: unknown node type %T", cur)
-		}
-		if err != nil {
-			return 0, err
-		}
-	}
-	return total, nil
-}
-
-func (w *walker) successor(d *uml.Diagram, n uml.Node) (uml.Node, error) {
-	out := d.Outgoing(n.ID())
-	switch len(out) {
-	case 0:
-		return nil, nil
-	case 1:
-		next := d.Node(out[0].To())
-		if next == nil {
-			return nil, fmt.Errorf("analytic: diagram %q: dangling edge from %q", d.Name(), n.Name())
-		}
-		return next, nil
-	}
-	return nil, fmt.Errorf("analytic: diagram %q: %v %q has %d successors", d.Name(), n.Kind(), n.Name(), len(out))
-}
-
-// branch follows the first true guard in edge order, falling back to the
-// else edge — the generated if/else-if chain. Weighted decisions are
-// outside the analytic subset.
-func (w *walker) branch(d *uml.Diagram, n *uml.ControlNode) (uml.Node, error) {
-	out := d.Outgoing(n.ID())
-	var elseEdge *uml.Edge
-	for _, e := range out {
-		if e.IsElse() {
-			elseEdge = e
-			continue
-		}
-		if e.Guard == "" {
-			return nil, fmt.Errorf("analytic: diagram %q: decision %q has a weighted branch; not analytic", d.Name(), n.Name())
-		}
-		v, err := w.evalSrc(e.Guard)
-		if err != nil {
-			return nil, fmt.Errorf("analytic: guard %q: %w", e.Guard, err)
-		}
-		if expr.Truthy(v) {
-			return d.Node(e.To()), nil
-		}
-	}
-	if elseEdge != nil {
-		return d.Node(elseEdge.To()), nil
-	}
-	return nil, fmt.Errorf("analytic: diagram %q: no guard of decision %q is true and there is no else branch", d.Name(), n.Name())
-}
-
-// fork walks each branch to the common convergence node and sums the
-// branch times: on a single processor the parallel branches serialize, so
-// elapsed time at the join equals the total compute regardless of
-// interleaving. Returns the node to continue from after the convergence.
-func (w *walker) fork(d *uml.Diagram, n *uml.ControlNode) (float64, uml.Node, error) {
-	out := d.Outgoing(n.ID())
-	if len(out) < 2 {
-		return 0, nil, fmt.Errorf("analytic: diagram %q: fork %q has %d branch(es)", d.Name(), n.Name(), len(out))
-	}
-	heads := make([]string, len(out))
-	for i, e := range out {
-		heads[i] = e.To()
-	}
-	conv := uml.Convergence(d, heads)
-	total := 0.0
-	for _, e := range out {
-		head := d.Node(e.To())
-		if head == nil {
-			return 0, nil, fmt.Errorf("analytic: diagram %q: dangling fork edge", d.Name())
-		}
-		dt, err := w.walkSeq(d, head, conv)
-		if err != nil {
-			return 0, nil, err
-		}
-		total += dt
-	}
-	if conv != nil && conv.Kind() == uml.KindJoin {
-		next, err := w.successor(d, conv)
-		return total, next, err
-	}
-	return total, conv, nil
-}
-
-// action applies the element's code fragment, then charges its cost. Only
-// plain <<action+>> elements are analytic; communication and threading
-// stereotypes need the simulator.
-func (w *walker) action(n *uml.ActionNode) (float64, error) {
-	switch n.Stereotype() {
-	case "":
-		return 0, nil // not a performance modeling element
-	case profile.ActionPlus:
-	default:
-		return 0, fmt.Errorf("analytic: element %q: stereotype <<%s>> is not analytic", n.Name(), n.Stereotype())
-	}
-	if err := w.applyCode(n.Code, n.Name()); err != nil {
-		return 0, err
-	}
-	return w.cost(n.CostFunc, n)
-}
-
-func (w *walker) activity(n *uml.ActivityNode) (float64, error) {
-	if st := n.Stereotype(); st != profile.ActivityPlus {
-		return 0, fmt.Errorf("analytic: activity %q: stereotype <<%s>> is not analytic", n.Name(), st)
-	}
-	if err := w.applyCode(n.Code, n.Name()); err != nil {
-		return 0, err
-	}
-	total, err := w.cost(n.CostFunc, n)
-	if err != nil {
-		return 0, err
-	}
-	body := w.model.DiagramByName(n.Body)
-	if body == nil {
-		return 0, fmt.Errorf("analytic: activity %q references unknown diagram %q", n.Name(), n.Body)
-	}
-	dt, err := w.walkDiagram(body)
-	if err != nil {
-		return 0, err
-	}
-	return total + dt, nil
-}
-
-func (w *walker) loop(n *uml.LoopNode) (float64, error) {
-	v, err := w.evalSrc(n.Count)
-	if err != nil {
-		return 0, fmt.Errorf("analytic: loop %q count: %w", n.Name(), err)
-	}
-	count := int(v)
-	body := w.model.DiagramByName(n.Body)
-	if body == nil {
-		return 0, fmt.Errorf("analytic: loop %q references unknown diagram %q", n.Name(), n.Body)
-	}
-	saved, hadSaved := 0.0, false
-	if n.Var != "" {
-		saved, hadSaved = w.locals[n.Var]
-	}
-	total := 0.0
-	for i := 0; i < count; i++ {
-		if err := w.step(n); err != nil {
-			return 0, err
-		}
-		if n.Var != "" {
-			w.locals[n.Var] = float64(i)
-		}
-		dt, err := w.walkDiagram(body)
-		if err != nil {
-			return 0, err
-		}
-		total += dt
-	}
-	if n.Var != "" {
-		if hadSaved {
-			w.locals[n.Var] = saved
-		} else {
-			delete(w.locals, n.Var)
-		}
-	}
-	return total, nil
-}
-
-// applyCode runs the assignment subset of a code fragment — `name =
-// expression` statements separated by ';' or newlines, anything else
-// being opaque documentation — exactly as the inlined fragment of the
-// generated C++ executes before execute(). The parser is intentionally a
-// fresh implementation, not a call into internal/interp.
-func (w *walker) applyCode(code, name string) error {
-	for _, stmt := range strings.FieldsFunc(code, func(r rune) bool { return r == ';' || r == '\n' }) {
-		stmt = strings.TrimSpace(stmt)
-		if stmt == "" || strings.HasPrefix(stmt, "//") {
-			continue
-		}
-		eq := strings.IndexByte(stmt, '=')
-		if eq <= 0 || eq+1 < len(stmt) && stmt[eq+1] == '=' ||
-			stmt[eq-1] == '!' || stmt[eq-1] == '<' || stmt[eq-1] == '>' {
-			continue
-		}
-		target := strings.TrimSpace(stmt[:eq])
-		if !isIdentifier(target) {
-			continue
-		}
-		c, err := expr.CompileStringFolded(strings.TrimSpace(stmt[eq+1:]))
-		if err != nil {
-			continue // non-expression right-hand sides are documentation
-		}
-		v, err := c.Eval(w.lib.Bind(w))
-		if err != nil {
-			return fmt.Errorf("analytic: code of %q: %w", name, err)
-		}
-		w.assign(target, v)
-	}
-	return nil
-}
-
-func isIdentifier(s string) bool {
-	if s == "" {
-		return false
-	}
-	for i, r := range s {
-		ok := r == '_' || r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' ||
-			(i > 0 && r >= '0' && r <= '9')
-		if !ok {
-			return false
-		}
-	}
-	return true
-}
-
-// cost evaluates the element's execution-time expression: the attached
-// cost function, else the `time` tagged value, else zero.
-func (w *walker) cost(costFunc string, e uml.Element) (float64, error) {
-	src := costFunc
-	if src == "" {
-		if raw, ok := e.Tag(profile.TagTime); ok {
-			src = raw
-		}
-	}
-	if src == "" {
-		return 0, nil
-	}
-	v, err := w.evalSrc(src)
-	if err != nil {
-		return 0, fmt.Errorf("analytic: cost of %q: %w", e.Name(), err)
-	}
-	return v, nil
+	return res.Mean, nil
 }

@@ -51,7 +51,9 @@ type EvalConfig struct {
 	Params machine.SystemParams
 	// Globals assigns the model's global variables.
 	Globals map[string]float64
-	// Seed drives weighted-branch selection (0 = default seed).
+	// Seed drives weighted-branch selection and distribution draws.
+	// Seed 0 means seed 1 — the one normalization shared by the sim
+	// engine, runner.Seeds, and prophetd's request key.
 	Seed int64
 	// MaxSteps bounds element executions per process (0 = default);
 	// corpus models with flow cycles set it as a runaway guard.

@@ -77,6 +77,16 @@ func Builtins() []Entry {
 			Model:  QueryMix(50),
 			Config: EvalConfig{Globals: map[string]float64{"hitCost": 100e-6, "missCost": 10e-3}, Seed: 7},
 		},
+		{
+			Name:   "stochastic-service",
+			Model:  StochasticService(20),
+			Config: EvalConfig{Globals: map[string]float64{"scale": 1}, Seed: 11},
+		},
+		{
+			Name:   "stochastic-batch",
+			Model:  StochasticBatch(),
+			Config: EvalConfig{Seed: 13},
+		},
 	}
 	for i := range entries {
 		entries[i].Source = "builtin"
@@ -112,6 +122,60 @@ func QueryMix(queries int) *uml.Model {
 		Flow("Hit", "done").
 		Flow("Miss", "done").
 		Flow("done", "final")
+
+	return builder.MustBuild(b)
+}
+
+// StochasticService builds the distribution-literal model of the
+// stochastic tagged-value extension: a job loop where each job draws its
+// stage costs from all four distribution families — exponential fetch,
+// zero-truncated normal processing, uniform write-back, and an empirical
+// RPC latency mix. Every draw consumes the engine's seed stream, so the
+// corpus pins the seed; the analytic solver predicts the exact makespan
+// mean and variance, which the analytic-agreement-stochastic oracle
+// checks against the Monte Carlo mean.
+func StochasticService(jobs int) *uml.Model {
+	b := builder.New("stochastic-service")
+	b.Global("scale", "double")
+
+	d := b.Diagram("main")
+	d.Initial()
+	d.Loop("Jobs", fmt.Sprint(jobs), "job").Var("j").Tag("id", "1")
+	d.Final()
+	d.Chain("initial", "Jobs", "final")
+
+	job := b.Diagram("job")
+	job.Initial()
+	job.Action("Fetch").Cost("exp(0.002*scale)").Tag("id", "2")
+	// mu/sigma = 2.5: the truncation at zero carries real probability
+	// mass, so the censored-moment formulas are actually exercised.
+	job.Action("Process").Cost("normal(0.005, 0.002)").Tag("id", "3")
+	job.Action("Write").Cost("uniform(0.001, 0.003)").Tag("id", "4")
+	job.Action("Rpc").Cost("empirical(0.001, 0.004, 0.01)").Tag("id", "5")
+	job.Final()
+	job.Chain("initial", "Fetch", "Process", "Write", "Rpc", "final")
+
+	return builder.MustBuild(b)
+}
+
+// StochasticBatch builds a model whose loop count itself is a draw
+// (empirical batch sizes): outside the closed-form analytic class — a
+// random sum — but exactly reproducible on both simulation backends,
+// which is what the lowered-equivalence oracle pins.
+func StochasticBatch() *uml.Model {
+	b := builder.New("stochastic-batch")
+
+	d := b.Diagram("main")
+	d.Initial()
+	d.Loop("Batch", "empirical(3, 5, 8)", "item").Var("i").Tag("id", "1")
+	d.Final()
+	d.Chain("initial", "Batch", "final")
+
+	item := b.Diagram("item")
+	item.Initial()
+	item.Action("Work").Cost("exp(0.01)").Tag("id", "2")
+	item.Final()
+	item.Chain("initial", "Work", "final")
 
 	return builder.MustBuild(b)
 }

@@ -6,6 +6,7 @@ import (
 	"reflect"
 	"strings"
 
+	"prophet/internal/analytic"
 	"prophet/internal/core"
 	"prophet/internal/diff"
 	"prophet/internal/estimator"
@@ -37,6 +38,7 @@ func OracleNames() []string {
 	return []string{
 		"trace-makespan",
 		"analytic-agreement",
+		"analytic-agreement-stochastic",
 		"parallel-identity",
 		"run-vs-rununtil",
 		"round-trip",
@@ -52,6 +54,7 @@ func RunOracles(e Entry) []OracleResult {
 	return []OracleResult{
 		traceMakespanOracle(e),
 		analyticOracle(e),
+		analyticStochasticOracle(e),
 		parallelIdentityOracle(e),
 		runUntilOracle(e),
 		roundTripOracle(e),
@@ -108,6 +111,47 @@ func analyticOracle(e Entry) OracleResult {
 		return fail(e, name, "analytic %g vs simulated %g (rel tol %g)", want, est.Makespan, AgreementTolerance)
 	}
 	return pass(e, name, "analytic %g ≈ simulated %g", want, est.Makespan)
+}
+
+// analyticStochasticOracle compares the closed-form solver's makespan
+// expectation against a Monte Carlo mean for entries in the analytic
+// class with stochastic constructs (distribution costs, weighted
+// decisions). The solver also gives the exact makespan variance, so the
+// tolerance is CLT-derived: the MC sample mean over N seeds is
+// approximately normal with std sqrt(Var/N), and five of those cover the
+// fixed-seed estimate with margin to spare (the seeds never change, so a
+// pass is deterministic).
+func analyticStochasticOracle(e Entry) OracleResult {
+	const name = "analytic-agreement-stochastic"
+	res, err := analytic.Solve(e.Model, analytic.Config{
+		Params:   e.Config.Params,
+		Globals:  e.Config.Globals,
+		MaxSteps: e.Config.MaxSteps,
+	})
+	if err != nil {
+		return pass(e, name, "not in the closed-form class (skipped): %v", err)
+	}
+	if !res.Stochastic {
+		return pass(e, name, "deterministic; covered by analytic-agreement (skipped)")
+	}
+	const runs = 400
+	ms, err := estimator.New().MonteCarloMakespans(e.Request(), runs)
+	if err != nil {
+		return fail(e, name, "monte carlo: %v", err)
+	}
+	var sum float64
+	for _, m := range ms {
+		sum += m
+	}
+	mcMean := sum / float64(len(ms))
+	tol := 5*math.Sqrt(res.Variance/float64(runs)) +
+		AgreementTolerance*math.Max(math.Abs(mcMean), math.Abs(res.Mean))
+	if math.Abs(mcMean-res.Mean) > tol {
+		return fail(e, name, "analytic mean %g vs MC mean %g over %d runs (CLT tol %g, analytic var %g)",
+			res.Mean, mcMean, runs, tol, res.Variance)
+	}
+	return pass(e, name, "analytic mean %g ≈ MC mean %g over %d runs (CLT tol %g)",
+		res.Mean, mcMean, runs, tol)
 }
 
 // withinTolerance reports |a-b| <= tol * max(|a|,|b|), with exact equality

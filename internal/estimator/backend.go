@@ -5,6 +5,7 @@ import (
 
 	"prophet/internal/interp"
 	"prophet/internal/lower"
+	"prophet/internal/xmi"
 )
 
 // Backend selects the execution engine a simulation runs on.
@@ -51,21 +52,44 @@ func ParseBackend(s string) (Backend, error) {
 }
 
 // loweredFor returns the lowered form of pr, lowering it on first use.
-// The cache is keyed by program identity: programs come out of the
-// content-hashed compile cache, so identity tracks content, and a
-// program compiled fresh (outside the cache) simply lowers again.
+// The cache is keyed by the model's canonical-XMI content hash
+// (xmi.Hash) — the same key the compile cache uses — NOT by program
+// identity: two programs compiled from identical content (Compile next
+// to CompileCached, or a recompile after cache eviction) share one
+// lowered program instead of lowering twice and holding two entries. A
+// per-pointer memo skips re-hashing a program seen before; content that
+// cannot be canonicalized lowers fresh, uncached, rather than risking
+// an identity-aliased stale hit.
 func (e *Estimator) loweredFor(pr *interp.Program) (lp *lower.Program, cached bool) {
 	e.lowMu.Lock()
 	defer e.lowMu.Unlock()
-	if lp, ok := e.lowered[pr]; ok {
+	key, ok := e.lowKeys[pr]
+	if !ok {
+		var err error
+		key, err = xmi.Hash(pr.Model())
+		if err != nil {
+			return lower.Lower(pr), false
+		}
+		if e.lowKeys == nil {
+			e.lowKeys = map[*interp.Program]string{}
+		}
+		// The memo tracks live program pointers; reset it wholesale if it
+		// ever outgrows the lowered cache it fronts (a mutate-recompile
+		// loop leaves dead pointers behind).
+		if len(e.lowKeys) >= 2*maxCachedPrograms {
+			e.lowKeys = map[*interp.Program]string{}
+		}
+		e.lowKeys[pr] = key
+	}
+	if lp, ok := e.lowered[key]; ok {
 		return lp, true
 	}
 	lp = lower.Lower(pr)
 	if e.lowered == nil {
-		e.lowered = map[*interp.Program]*lower.Program{}
+		e.lowered = map[string]*lower.Program{}
 	}
-	e.lowered[pr] = lp
-	e.lowOrder = append(e.lowOrder, pr)
+	e.lowered[key] = lp
+	e.lowOrder = append(e.lowOrder, key)
 	for len(e.lowOrder) > maxCachedPrograms {
 		delete(e.lowered, e.lowOrder[0])
 		e.lowOrder = e.lowOrder[1:]

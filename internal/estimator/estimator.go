@@ -55,6 +55,12 @@ type Request struct {
 	// (default) or the tree-walking interpreter. Both produce
 	// bit-identical results; interp remains the differential oracle.
 	Backend Backend
+	// Mode selects between the simulation engine (default) and the
+	// closed-form analytic solver; ModeAuto tries analytic first and
+	// falls back to simulation when the model is outside the analytic
+	// class. An analytic estimate has Analytic set and carries no trace,
+	// summary, or telemetry.
+	Mode Mode
 
 	// Telemetry enables simulated-time sampling during the run: the
 	// resulting Estimate carries facility utilization, queue length,
@@ -90,8 +96,17 @@ type Request struct {
 
 // Estimate is the outcome of one evaluation.
 type Estimate struct {
-	// Makespan is the predicted program execution time.
+	// Makespan is the predicted program execution time: the simulated
+	// makespan, or the solved expectation when Analytic is set.
 	Makespan float64
+	// Variance is the closed-form variance of the makespan under the
+	// model's distributions and branch weights. Only the analytic solver
+	// fills it (a single simulation run observes one sample, not a
+	// variance); it is 0 for deterministic models.
+	Variance float64
+	// Analytic reports that this estimate came from the closed-form
+	// solver rather than a simulation run.
+	Analytic bool
 	// Trace is the full trace (TF).
 	Trace *trace.Trace
 	// Summary aggregates the trace per element and per process.
@@ -159,11 +174,13 @@ type Estimator struct {
 	progOrder []string // insertion order, for oldest-first eviction
 
 	// lowMu guards the lowered-program cache (see loweredFor), keyed by
-	// compiled-program identity: each cached interp.Program is lowered
-	// at most once, however many runs share it.
+	// the model's content hash with a per-pointer memo: each distinct
+	// model content is lowered at most once, however many compiled
+	// program instances share it.
 	lowMu    sync.Mutex
-	lowered  map[*interp.Program]*lower.Program
-	lowOrder []*interp.Program
+	lowKeys  map[*interp.Program]string
+	lowered  map[string]*lower.Program
+	lowOrder []string
 
 	// cacheHits/cacheMisses count CompileCached outcomes; metrics, when
 	// set, mirrors them into estimator_cache_{hits,misses}_total.
@@ -405,6 +422,11 @@ func (e *Estimator) run(pr *interp.Program, req Request) (*Estimate, error) {
 // sweep and Monte Carlo loops want. rec accumulates the per-stage spans
 // reported as Estimate.Stages.
 func (e *Estimator) runMode(pr *interp.Program, req Request, fast bool, rec *obs.SpanRecorder) (*Estimate, error) {
+	if req.Mode != ModeSimulate {
+		if est, err, handled := e.runAnalytic(pr, req, rec); handled {
+			return est, err
+		}
+	}
 	cfg := interp.Config{
 		Params:   req.Params,
 		Net:      req.Net,

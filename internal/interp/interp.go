@@ -44,15 +44,17 @@ type assignment struct {
 
 // Program is a compiled, executable performance model.
 type Program struct {
-	model    *uml.Model
-	registry *profile.Registry
-	lib      *expr.Library
-	guards   map[string]*expr.Compiled            // edge ID -> guard
-	costs    map[string]*expr.Compiled            // node ID -> cost expression
-	counts   map[string]*expr.Compiled            // loop node ID -> count
-	tags     map[string]map[string]*expr.Compiled // node ID -> tag -> expr
-	code     map[string][]assignment              // node ID -> effective statements
-	inits    map[string]*expr.Compiled            // variable name -> initializer
+	model      *uml.Model
+	registry   *profile.Registry
+	lib        *expr.Library
+	guards     map[string]*expr.Compiled            // edge ID -> guard
+	costs      map[string]*expr.Compiled            // node ID -> cost expression
+	counts     map[string]*expr.Compiled            // loop node ID -> count
+	distCosts  map[string]*expr.Dist                // node ID -> stochastic cost
+	distCounts map[string]*expr.Dist                // loop node ID -> stochastic count
+	tags       map[string]map[string]*expr.Compiled // node ID -> tag -> expr
+	code       map[string][]assignment              // node ID -> effective statements
+	inits      map[string]*expr.Compiled            // variable name -> initializer
 }
 
 // Compile prepares a model for simulation. The model should already have
@@ -63,14 +65,16 @@ func Compile(m *uml.Model, reg *profile.Registry) (*Program, error) {
 		reg = profile.NewRegistry()
 	}
 	pr := &Program{
-		model:    m,
-		registry: reg,
-		guards:   map[string]*expr.Compiled{},
-		costs:    map[string]*expr.Compiled{},
-		counts:   map[string]*expr.Compiled{},
-		tags:     map[string]map[string]*expr.Compiled{},
-		code:     map[string][]assignment{},
-		inits:    map[string]*expr.Compiled{},
+		model:      m,
+		registry:   reg,
+		guards:     map[string]*expr.Compiled{},
+		costs:      map[string]*expr.Compiled{},
+		counts:     map[string]*expr.Compiled{},
+		distCosts:  map[string]*expr.Dist{},
+		distCounts: map[string]*expr.Dist{},
+		tags:       map[string]map[string]*expr.Compiled{},
+		code:       map[string][]assignment{},
+		inits:      map[string]*expr.Compiled{},
 	}
 
 	defs := make([]expr.Def, 0, len(m.Functions()))
@@ -101,6 +105,26 @@ func Compile(m *uml.Model, reg *profile.Registry) (*Program, error) {
 		}
 		cache[src] = c
 		return c, nil
+	}
+
+	// parseDist recognizes a cost/count source as a distribution literal
+	// (whole-source exp/normal/uniform/empirical call). A model-defined
+	// function of the same name shadows the distribution reading, so
+	// existing models keep their deterministic semantics (NewLibrary above
+	// already rejected any model function named after a builtin like exp).
+	distCache := map[string]*expr.Dist{}
+	parseDist := func(src string) (*expr.Dist, bool) {
+		if d, ok := distCache[src]; ok {
+			return d, d != nil
+		}
+		d, ok := expr.ParseDist(src)
+		if ok {
+			if _, defined := m.Function(d.Kind.String()); defined {
+				d, ok = nil, false
+			}
+		}
+		distCache[src] = d
+		return d, ok
 	}
 
 	for _, v := range m.Variables() {
@@ -148,11 +172,15 @@ func Compile(m *uml.Model, reg *profile.Registry) (*Program, error) {
 			switch x := n.(type) {
 			case *uml.ActionNode:
 				if src := costSource(x.CostFunc, x); src != "" {
-					c, err := compileSrc(src)
-					if err != nil {
-						return nil, fmt.Errorf("interp: element %q cost: %w", x.Name(), err)
+					if d, ok := parseDist(src); ok {
+						pr.distCosts[x.ID()] = d
+					} else {
+						c, err := compileSrc(src)
+						if err != nil {
+							return nil, fmt.Errorf("interp: element %q cost: %w", x.Name(), err)
+						}
+						pr.costs[x.ID()] = c
 					}
-					pr.costs[x.ID()] = c
 				}
 				pr.code[x.ID()] = parseAssignments(x.Code)
 				switch x.Stereotype() {
@@ -187,11 +215,15 @@ func Compile(m *uml.Model, reg *profile.Registry) (*Program, error) {
 				}
 			case *uml.ActivityNode:
 				if src := costSource(x.CostFunc, x); src != "" {
-					c, err := compileSrc(src)
-					if err != nil {
-						return nil, fmt.Errorf("interp: element %q cost: %w", x.Name(), err)
+					if d, ok := parseDist(src); ok {
+						pr.distCosts[x.ID()] = d
+					} else {
+						c, err := compileSrc(src)
+						if err != nil {
+							return nil, fmt.Errorf("interp: element %q cost: %w", x.Name(), err)
+						}
+						pr.costs[x.ID()] = c
 					}
-					pr.costs[x.ID()] = c
 				}
 				pr.code[x.ID()] = parseAssignments(x.Code)
 				if x.Stereotype() == profile.OMPParallel {
@@ -203,11 +235,15 @@ func Compile(m *uml.Model, reg *profile.Registry) (*Program, error) {
 					return nil, fmt.Errorf("interp: activity %q references unknown diagram %q", x.Name(), x.Body)
 				}
 			case *uml.LoopNode:
-				c, err := compileSrc(x.Count)
-				if err != nil {
-					return nil, fmt.Errorf("interp: loop %q count: %w", x.Name(), err)
+				if d, ok := parseDist(x.Count); ok {
+					pr.distCounts[x.ID()] = d
+				} else {
+					c, err := compileSrc(x.Count)
+					if err != nil {
+						return nil, fmt.Errorf("interp: loop %q count: %w", x.Name(), err)
+					}
+					pr.counts[x.ID()] = c
 				}
-				pr.counts[x.ID()] = c
 				if m.DiagramByName(x.Body) == nil {
 					return nil, fmt.Errorf("interp: loop %q references unknown diagram %q", x.Name(), x.Body)
 				}
@@ -232,14 +268,16 @@ type Assignment struct {
 // without re-parsing the model. The maps are shared, not copied: treat
 // them as read-only.
 type Parts struct {
-	Model  *uml.Model
-	Lib    *expr.Library
-	Guards map[string]*expr.Compiled            // edge ID -> guard
-	Costs  map[string]*expr.Compiled            // node ID -> cost expression
-	Counts map[string]*expr.Compiled            // loop node ID -> count
-	Tags   map[string]map[string]*expr.Compiled // node ID -> tag -> expr
-	Code   map[string][]Assignment              // node ID -> effective statements
-	Inits  map[string]*expr.Compiled            // variable name -> initializer
+	Model      *uml.Model
+	Lib        *expr.Library
+	Guards     map[string]*expr.Compiled            // edge ID -> guard
+	Costs      map[string]*expr.Compiled            // node ID -> cost expression
+	Counts     map[string]*expr.Compiled            // loop node ID -> count
+	DistCosts  map[string]*expr.Dist                // node ID -> stochastic cost
+	DistCounts map[string]*expr.Dist                // loop node ID -> stochastic count
+	Tags       map[string]map[string]*expr.Compiled // node ID -> tag -> expr
+	Code       map[string][]Assignment              // node ID -> effective statements
+	Inits      map[string]*expr.Compiled            // variable name -> initializer
 }
 
 // Parts returns the program's compiled constituents.
@@ -253,15 +291,23 @@ func (pr *Program) Parts() Parts {
 		code[id] = out
 	}
 	return Parts{
-		Model:  pr.model,
-		Lib:    pr.lib,
-		Guards: pr.guards,
-		Costs:  pr.costs,
-		Counts: pr.counts,
-		Tags:   pr.tags,
-		Code:   code,
-		Inits:  pr.inits,
+		Model:      pr.model,
+		Lib:        pr.lib,
+		Guards:     pr.guards,
+		Costs:      pr.costs,
+		Counts:     pr.counts,
+		DistCosts:  pr.distCosts,
+		DistCounts: pr.distCounts,
+		Tags:       pr.tags,
+		Code:       code,
+		Inits:      pr.inits,
 	}
+}
+
+// Stochastic reports whether the program draws any cost or count from a
+// distribution literal (beyond weighted-branch selection).
+func (pr *Program) Stochastic() bool {
+	return len(pr.distCosts) > 0 || len(pr.distCounts) > 0
 }
 
 // costSource picks the expression that models an element's execution

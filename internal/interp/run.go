@@ -275,6 +275,21 @@ func (fc *flowCtx) eval(c *expr.Compiled) (float64, error) {
 	return c.Eval(fc.env)
 }
 
+// costValue resolves an element's cost: a deterministic expression
+// evaluation, or — for a distribution-literal cost — one draw from the
+// run's seed stream. ok is false when the element carries no cost.
+func (fc *flowCtx) costValue(id string) (v float64, ok bool, err error) {
+	if d, has := fc.rs.pr.distCosts[id]; has {
+		v, err = d.Sample(fc.env, fc.rs.rng)
+		return v, true, err
+	}
+	if c, has := fc.rs.pr.costs[id]; has {
+		v, err = fc.eval(c)
+		return v, true, err
+	}
+	return 0, false, nil
+}
+
 // nextUID allocates the unique execution id passed as the uid parameter of
 // execute().
 func (fc *flowCtx) nextUID() int {
@@ -510,26 +525,18 @@ func (fc *flowCtx) execAction(n *uml.ActionNode) error {
 
 	switch n.Stereotype() {
 	case profile.ActionPlus:
-		cost := 0.0
-		if c, ok := fc.rs.pr.costs[n.ID()]; ok {
-			v, err := fc.eval(c)
-			if err != nil {
-				return fmt.Errorf("interp: cost of %q: %w", n.Name(), err)
-			}
-			cost = v
+		cost, _, err := fc.costValue(n.ID())
+		if err != nil {
+			return fmt.Errorf("interp: cost of %q: %w", n.Name(), err)
 		}
 		fc.rs.mach.Compute(fc.p, fc.pid, cost)
 	case profile.OMPCritical:
 		// Mutually exclusive region: the threads of this process
 		// serialize on the element's facility (queue time is visible in
 		// the trace as part of the element's inclusive time).
-		cost := 0.0
-		if c, ok := fc.rs.pr.costs[n.ID()]; ok {
-			v, err := fc.eval(c)
-			if err != nil {
-				return fmt.Errorf("interp: cost of %q: %w", n.Name(), err)
-			}
-			cost = v
+		cost, _, err := fc.costValue(n.ID())
+		if err != nil {
+			return fmt.Errorf("interp: cost of %q: %w", n.Name(), err)
 		}
 		fc.rs.critical(fc.pid, n.ID()).Use(fc.p, cost)
 	case profile.MPISend:
@@ -609,11 +616,9 @@ func (fc *flowCtx) execActivity(n *uml.ActivityNode) error {
 		}
 		fc.assign(a.name, v)
 	}
-	if c, ok := fc.rs.pr.costs[n.ID()]; ok {
-		v, err := fc.eval(c)
-		if err != nil {
-			return fmt.Errorf("interp: cost of %q: %w", n.Name(), err)
-		}
+	if v, ok, err := fc.costValue(n.ID()); err != nil {
+		return fmt.Errorf("interp: cost of %q: %w", n.Name(), err)
+	} else if ok {
 		fc.rs.mach.Compute(fc.p, fc.pid, v)
 	}
 	if n.Stereotype() == profile.OMPParallel {
@@ -664,8 +669,15 @@ func (fc *flowCtx) parallelRegion(n *uml.ActivityNode) error {
 // execLoop repeats the body diagram count times, exposing the iteration
 // index through the loop variable.
 func (fc *flowCtx) execLoop(n *uml.LoopNode) error {
-	c := fc.rs.pr.counts[n.ID()]
-	v, err := fc.eval(c)
+	var v float64
+	var err error
+	if d, ok := fc.rs.pr.distCounts[n.ID()]; ok {
+		// Stochastic repetition count: one draw per loop entry, rounded
+		// down to an integer.
+		v, err = d.Sample(fc.env, fc.rs.rng)
+	} else {
+		v, err = fc.eval(fc.rs.pr.counts[n.ID()])
+	}
 	if err != nil {
 		return fmt.Errorf("interp: loop %q count: %w", n.Name(), err)
 	}

@@ -479,27 +479,35 @@ func (fr *frame) execBranch(o *op) (int, error) {
 	return 0, o.noMatch
 }
 
+// costOf resolves an op's cost: a slot-resolved evaluation, or — for a
+// distribution-literal cost — one draw from the run's seed stream, at the
+// same logical point the interpreter draws so traces stay bit-identical.
+// ok is false when the op carries no cost.
+func (fr *frame) costOf(o *op) (v float64, ok bool, err error) {
+	if o.costDist != nil {
+		v, err = o.costDist.Sample(&fr.env, fr.rt.rng)
+		return v, true, err
+	}
+	if o.cost != nil {
+		v, err = o.cost.Eval(&fr.env)
+		return v, true, err
+	}
+	return 0, false, nil
+}
+
 func (fr *frame) execAct(o *op) error {
 	rt := fr.rt
 	switch o.act {
 	case actCompute:
-		cost := 0.0
-		if o.cost != nil {
-			v, err := o.cost.Eval(&fr.env)
-			if err != nil {
-				return fmt.Errorf("lower: cost of %q: %w", o.name, err)
-			}
-			cost = v
+		cost, _, err := fr.costOf(o)
+		if err != nil {
+			return fmt.Errorf("lower: cost of %q: %w", o.name, err)
 		}
 		fr.compute(cost)
 	case actCritical:
-		cost := 0.0
-		if o.cost != nil {
-			v, err := o.cost.Eval(&fr.env)
-			if err != nil {
-				return fmt.Errorf("lower: cost of %q: %w", o.name, err)
-			}
-			cost = v
+		cost, _, err := fr.costOf(o)
+		if err != nil {
+			return fmt.Errorf("lower: cost of %q: %w", o.name, err)
 		}
 		if rt.direct {
 			// One process, one thread: the facility is always free, so
@@ -582,11 +590,9 @@ func (fr *frame) execActivity(o *op) error {
 	if err := fr.runCode(o); err != nil {
 		return err
 	}
-	if o.cost != nil {
-		v, err := o.cost.Eval(&fr.env)
-		if err != nil {
-			return fmt.Errorf("lower: cost of %q: %w", o.name, err)
-		}
+	if v, ok, err := fr.costOf(o); err != nil {
+		return fmt.Errorf("lower: cost of %q: %w", o.name, err)
+	} else if ok {
 		fr.compute(v)
 	}
 	if o.kind == opParallel {
@@ -659,12 +665,19 @@ func (fr *frame) execFork(o *op) (int, error) {
 }
 
 func (fr *frame) execLoop(o *op) error {
-	count := 0
-	v, err := o.count.Eval(&fr.env)
+	var v float64
+	var err error
+	if o.countDist != nil {
+		// Stochastic repetition count: one draw per loop entry, rounded
+		// down to an integer (matching the interpreter).
+		v, err = o.countDist.Sample(&fr.env, fr.rt.rng)
+	} else {
+		v, err = o.count.Eval(&fr.env)
+	}
 	if err != nil {
 		return fmt.Errorf("lower: loop %q count: %w", o.name, err)
 	}
-	count = int(v)
+	count := int(v)
 	if o.body < 0 {
 		return o.bodyErr
 	}

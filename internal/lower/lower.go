@@ -102,6 +102,11 @@ type op struct {
 	code []assign
 	cost *expr.Slotted // <<action+>>/<<omp_critical>>/activity cost (nil = none)
 
+	// Stochastic forms: a distribution-literal cost/count samples one
+	// draw from the run's seed stream instead of evaluating cost/count.
+	costDist  *expr.SlotDist
+	countDist *expr.SlotDist
+
 	dest, src, size, count *expr.Slotted // stereotype tag expressions
 
 	// opBranch
@@ -192,6 +197,9 @@ type lowerer struct {
 	// (interp.Compile already dedupes identical sources).
 	resolved map[*expr.Compiled]*expr.Slotted
 
+	// resolvedDist is the same memo for distribution literals.
+	resolvedDist map[*expr.Dist]*expr.SlotDist
+
 	// flowIdx caches one dense flow index per diagram for fork
 	// convergence queries (see uml.FlowIndex).
 	flowIdx map[*uml.Diagram]*uml.FlowIndex
@@ -228,9 +236,10 @@ func Lower(pr *interp.Program) *Program {
 		parts:    parts,
 		lay:      buildLayout(parts),
 		prog:     &Program{parts: parts},
-		diagSeg:  map[string]int{},
-		regions:  map[regionKey]int{},
-		resolved: map[*expr.Compiled]*expr.Slotted{},
+		diagSeg:      map[string]int{},
+		regions:      map[regionKey]int{},
+		resolved:     map[*expr.Compiled]*expr.Slotted{},
+		resolvedDist: map[*expr.Dist]*expr.SlotDist{},
 	}
 	l.prog.lay = l.lay
 
@@ -362,6 +371,20 @@ func (l *lowerer) resolve(c *expr.Compiled) *expr.Slotted {
 	}
 	s := c.Resolve(l.lay.rule)
 	l.resolved[c] = s
+	return s
+}
+
+// resolveDist re-lowers a distribution literal's argument expressions
+// against the layout (nil-safe, memoized per instance).
+func (l *lowerer) resolveDist(d *expr.Dist) *expr.SlotDist {
+	if d == nil {
+		return nil
+	}
+	if s, ok := l.resolvedDist[d]; ok {
+		return s
+	}
+	s := d.Resolve(l.lay.rule)
+	l.resolvedDist[d] = s
 	return s
 }
 
@@ -657,6 +680,7 @@ func (b *segBuilder) lowerAction(n *uml.ActionNode) int {
 	}
 	o.code = b.l.lowerCode(n.ID())
 	o.cost = b.l.resolve(b.l.parts.Costs[n.ID()])
+	o.costDist = b.l.resolveDist(b.l.parts.DistCosts[n.ID()])
 	tags := b.l.parts.Tags[n.ID()]
 	o.dest = b.l.resolve(tags[profile.TagDest])
 	o.src = b.l.resolve(tags[profile.TagSrc])
@@ -671,6 +695,7 @@ func (b *segBuilder) lowerActivity(n *uml.ActivityNode) int {
 	o := op{kind: opActivity, id: n.ID(), name: n.Name(), next: -1, body: -1}
 	o.code = b.l.lowerCode(n.ID())
 	o.cost = b.l.resolve(b.l.parts.Costs[n.ID()])
+	o.costDist = b.l.resolveDist(b.l.parts.DistCosts[n.ID()])
 	if n.Stereotype() == profile.OMPParallel {
 		o.kind = opParallel
 		o.count = b.l.resolve(b.l.parts.Tags[n.ID()][profile.TagCount])
@@ -693,6 +718,7 @@ func (b *segBuilder) lowerLoop(n *uml.LoopNode) int {
 	pc := b.reserve(n.ID())
 	o := op{kind: opLoop, id: n.ID(), name: n.Name(), next: -1, body: -1}
 	o.count = b.l.resolve(b.l.parts.Counts[n.ID()])
+	o.countDist = b.l.resolveDist(b.l.parts.DistCounts[n.ID()])
 	if idx, ok := b.l.diagSeg[n.Body]; ok {
 		o.body = idx
 	} else {

@@ -58,6 +58,11 @@ type TagDef struct {
 	// Default, when non-empty, is applied to the element when the
 	// stereotype is applied and the tag is unset.
 	Default string
+	// Stochastic marks an expression tag whose value may be a
+	// distribution literal (exp/normal/uniform/empirical; see
+	// expr.ParseDist). Distribution literals anywhere else are a
+	// checker error.
+	Stochastic bool
 }
 
 // Stereotype is a stereotype definition: a named specialization of a UML

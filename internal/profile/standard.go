@@ -42,7 +42,9 @@ const (
 func standardProfile() []*Stereotype {
 	idTag := TagDef{Name: TagID, Type: TagInteger}
 	typeTag := TagDef{Name: TagKind, Type: TagString}
-	timeTag := TagDef{Name: TagTime, Type: TagExpr}
+	// time is stochastic: a service time may be a distribution literal
+	// (the stochastic model class; see expr.ParseDist).
+	timeTag := TagDef{Name: TagTime, Type: TagExpr, Stochastic: true}
 
 	return []*Stereotype{
 		{
@@ -65,7 +67,9 @@ func standardProfile() []*Stereotype {
 		{
 			Name: LoopPlus,
 			Base: uml.KindLoop,
-			Tags: []TagDef{idTag, typeTag, {Name: TagCount, Type: TagExpr}},
+			// count is stochastic: a repetition count may be drawn from a
+			// distribution (rounded down to an integer at run time).
+			Tags: []TagDef{idTag, typeTag, {Name: TagCount, Type: TagExpr, Stochastic: true}},
 			Doc:  "counted repetition of a body diagram",
 		},
 		{

@@ -55,7 +55,10 @@ type EstimateRequest struct {
 	ModelRef
 	Params  *Params            `json:"params,omitempty"`
 	Globals map[string]float64 `json:"globals,omitempty"`
-	// Seed drives probabilistic branch selection (0 = default seed).
+	// Seed drives probabilistic branch selection and distribution
+	// sampling. Seed 0 means seed 1 — the one normalization shared by
+	// the sim engine, runner.Seeds, and the request key, so seed 0 and
+	// seed 1 are the same request.
 	Seed int64 `json:"seed,omitempty"`
 	// Policy is "fcfs" (default) or "ps" (processor sharing).
 	Policy string `json:"policy,omitempty"`
@@ -64,6 +67,12 @@ type EstimateRequest struct {
 	// Backend is "auto" (default), "lowered" (flat lowered program) or
 	// "interp" (tree-walking interpreter). Results are bit-identical.
 	Backend string `json:"backend,omitempty"`
+	// Mode is "simulate" (default), "analytic" (closed-form solver: mean
+	// and variance in microseconds, no trace or telemetry) or "auto"
+	// (analytic when the model is eligible, simulation otherwise). The
+	// mode is part of the request key, so analytic and simulated results
+	// never share a cache entry.
+	Mode string `json:"mode,omitempty"`
 	// TimeoutMS is the per-request deadline in milliseconds. 0 means the
 	// server's default; values above the server's maximum are clamped.
 	// The deadline covers the whole evaluation and is enforced
@@ -88,8 +97,13 @@ type StageSpan struct {
 // fetchable from GET /v1/traces/{id}; Trace inlines a snapshot of it when
 // the request was made with ?trace=1.
 type EstimateResponse struct {
-	ModelID        string             `json:"model_id"`
-	Makespan       float64            `json:"makespan"`
+	ModelID  string  `json:"model_id"`
+	Makespan float64 `json:"makespan"`
+	// Analytic marks a closed-form answer (mode "analytic", or "auto"
+	// resolved analytically); Variance is its exact makespan variance
+	// (0 for deterministic models, omitted for simulated answers).
+	Analytic       bool               `json:"analytic,omitempty"`
+	Variance       float64            `json:"variance,omitempty"`
 	CPUUtilization []float64          `json:"cpu_utilization,omitempty"`
 	Globals        map[string]float64 `json:"globals,omitempty"`
 	Stages         []StageSpan        `json:"stages,omitempty"`
@@ -147,7 +161,9 @@ type MonteCarloRequest struct {
 	Runs    int                `json:"runs"`
 	Params  *Params            `json:"params,omitempty"`
 	Globals map[string]float64 `json:"globals,omitempty"`
-	// Seed is the base of the per-run seed sequence (0 = 1).
+	// Seed is the base of the per-run seed sequence. Seed 0 means seed 1
+	// — the one normalization shared by the sim engine, runner.Seeds,
+	// and the request key.
 	Seed int64 `json:"seed,omitempty"`
 	// Policy is "fcfs" (default) or "ps" (processor sharing).
 	Policy string `json:"policy,omitempty"`

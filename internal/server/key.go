@@ -67,8 +67,9 @@ func (k *keyWriter) boolField(name string, v bool) {
 	}
 }
 
-// normalizeSeed applies the seed convention shared by the sim engine and
-// runner.Seeds: seed 0 selects the default stream, which is seed 1.
+// normalizeSeed applies the one seed convention shared by the sim
+// engine, runner.Seeds, and the wire API docs: seed 0 means seed 1.
+// TestSeedZeroMeansSeedOne pins the convention end to end.
 func normalizeSeed(seed int64) int64 {
 	if seed == 0 {
 		return 1
@@ -117,6 +118,20 @@ func (k *keyWriter) backendField(backend string) {
 	k.field("backend", b.String())
 }
 
+// modeField writes the normalized evaluation mode: "" and "simulate"
+// share a key (they run the same engine), while "analytic" and "auto"
+// key distinctly — auto may resolve to either answer shape, so it can
+// never share a cache entry with a forced mode.
+func (k *keyWriter) modeField(mode string) {
+	m, err := estimator.ParseMode(mode)
+	if err != nil {
+		// Handlers validate before keying; key the raw string defensively.
+		k.field("mode", mode)
+		return
+	}
+	k.field("mode", m.String())
+}
+
 // estimateKey is the canonical key of a POST /v1/estimate request
 // evaluating the model stored under modelID.
 func estimateKey(modelID string, er *EstimateRequest) string {
@@ -125,6 +140,7 @@ func estimateKey(modelID string, er *EstimateRequest) string {
 	k.commonFields(er.Params, er.Globals, er.Seed, er.Policy)
 	k.intField("max_steps", int64(er.MaxSteps))
 	k.backendField(er.Backend)
+	k.modeField(er.Mode)
 	k.boolField("summary", er.Summary)
 	k.boolField("telemetry", er.Telemetry)
 	return sum()

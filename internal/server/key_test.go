@@ -2,6 +2,7 @@ package server
 
 import (
 	"encoding/json"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -69,6 +70,7 @@ func TestCanonicalRequestKeys(t *testing.T) {
 		{"backend auto resolves", "estimate", `{}`, `{"backend": "auto"}`},
 		{"backend default named", "estimate", `{"backend": "auto"}`, `{"backend": "lowered"}`},
 		{"timeout is not semantic", "estimate", `{}`, `{"timeout_ms": 5000}`},
+		{"mode default named", "estimate", `{}`, `{"mode": "simulate"}`},
 		{"empty globals map", "estimate", `{}`, `{"globals": {}}`},
 		{"sweep field order", "sweep",
 			`{"processes": [1, 2, 4], "seed": 3}`,
@@ -110,6 +112,9 @@ func TestCanonicalRequestKeys(t *testing.T) {
 		{"different backend", "estimate", `{}`, `{"backend": "interp"}`},
 		{"different max_steps", "estimate", `{}`, `{"max_steps": 100}`},
 		{"summary shapes the body", "estimate", `{}`, `{"summary": true}`},
+		{"mode analytic differs", "estimate", `{}`, `{"mode": "analytic"}`},
+		{"mode auto differs", "estimate", `{}`, `{"mode": "auto"}`},
+		{"mode analytic vs auto", "estimate", `{"mode": "analytic"}`, `{"mode": "auto"}`},
 		{"telemetry shapes the body", "estimate", `{}`, `{"telemetry": true}`},
 		{"sweep range differs", "sweep",
 			`{"processes": [1, 2, 4]}`, `{"processes": [1, 2, 8]}`},
@@ -134,6 +139,28 @@ func TestCanonicalRequestKeys(t *testing.T) {
 				t.Errorf("%s keys collide for %s vs %s: %s", tc.kind, tc.a, tc.b, ka)
 			}
 		})
+	}
+}
+
+// TestSeedZeroMeansSeedOne pins the seed convention the whole system
+// shares — the sim engine, runner.Seeds, the wire API docs, and the
+// request-key normalizer: seed 0 and seed 1 are the same evaluation;
+// every other seed is its own. Property-style over a seed range and all
+// request kinds, so a drive-by edit to normalizeSeed cannot survive.
+func TestSeedZeroMeansSeedOne(t *testing.T) {
+	for _, kind := range []string{"estimate", "sweep", "montecarlo", "compare"} {
+		base := keyOf(t, kind, `{"seed": 1}`)
+		for seed := int64(-2); seed <= 3; seed++ {
+			body := `{"seed": ` + strconv.FormatInt(seed, 10) + `}`
+			k := keyOf(t, kind, body)
+			if wantEqual := seed == 0 || seed == 1; (k == base) != wantEqual {
+				t.Errorf("%s seed %d: key equality with seed 1 = %v, want %v",
+					kind, seed, k == base, wantEqual)
+			}
+		}
+		if keyOf(t, kind, `{}`) != keyOf(t, kind, `{"seed": 0}`) {
+			t.Errorf("%s: omitted seed and seed 0 differ", kind)
+		}
 	}
 }
 

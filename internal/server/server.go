@@ -459,12 +459,14 @@ func (s *Server) evalContext(r *http.Request, timeoutMS int64) (context.Context,
 
 // evalStatus maps an evaluation failure to its HTTP status: model errors
 // are the client's (422 — the model failed checking, a flow error
-// surfaced at runtime, or the simulated program deadlocked), deadline
+// surfaced at runtime, the simulated program deadlocked, or a
+// mode=analytic model fell outside the closed-form class), deadline
 // expiry is 504, client cancellation 499, shard sub-job failures
 // reproduce the worker's client errors and turn worker/transport
 // failures into 502, and anything else is 500.
 func evalStatus(err error) int {
 	var ce *estimator.CheckError
+	var ae *estimator.AnalyticError
 	var pe *sim.ProcessError
 	var de *sim.DeadlockError
 	var ue *upstreamError
@@ -473,7 +475,7 @@ func evalStatus(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		return 499
-	case errors.As(err, &ce), errors.As(err, &pe), errors.As(err, &de):
+	case errors.As(err, &ce), errors.As(err, &ae), errors.As(err, &pe), errors.As(err, &de):
 		return http.StatusUnprocessableEntity
 	case errors.As(err, &ue):
 		if ue.Status >= 400 && ue.Status < 500 {
@@ -500,6 +502,10 @@ func (s *Server) buildRequest(ctx context.Context, m *uml.Model, er *EstimateReq
 	if err != nil {
 		return estimator.Request{}, err
 	}
+	mode, err := estimator.ParseMode(er.Mode)
+	if err != nil {
+		return estimator.Request{}, err
+	}
 	sp := er.Params.toMachine()
 	if err := sp.Validate(); err != nil {
 		return estimator.Request{}, err
@@ -512,6 +518,7 @@ func (s *Server) buildRequest(ctx context.Context, m *uml.Model, er *EstimateReq
 		Policy:    pol,
 		MaxSteps:  er.MaxSteps,
 		Backend:   backend,
+		Mode:      mode,
 		Telemetry: er.Telemetry,
 		Context:   ctx,
 		Metrics:   s.reg,
@@ -557,6 +564,13 @@ func validateEval(policy, backend string, params *Params) error {
 	return params.toMachine().Validate()
 }
 
+// validateMode rejects an unknown evaluation mode with the same 400
+// treatment; only /v1/estimate carries a mode.
+func validateMode(mode string) error {
+	_, err := estimator.ParseMode(mode)
+	return err
+}
+
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		s.unavailable(w, "server is draining")
@@ -573,6 +587,10 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err := validateEval(er.Policy, er.Backend, er.Params); err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if err := validateMode(er.Mode); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -597,6 +615,8 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		resp := &EstimateResponse{
 			ModelID:        id,
 			Makespan:       est.Makespan,
+			Analytic:       est.Analytic,
+			Variance:       est.Variance,
 			CPUUtilization: est.CPUUtilization,
 			Globals:        est.Globals,
 			Stages:         stagesOf(est),

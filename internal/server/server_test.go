@@ -156,6 +156,51 @@ func TestModelStoreFlow(t *testing.T) {
 	}
 }
 
+// mode=analytic over the wire: the response carries the analytic flag
+// and the same makespan a simulate request computes for a deterministic
+// model, and the two modes occupy distinct cache keys.
+func TestEstimateModeAnalytic(t *testing.T) {
+	ts := httptest.NewServer(New(Config{}).Handler())
+	defer ts.Close()
+	xml := sampleXMI(t)
+	code, _, body := postJSON(t, ts.URL+"/v1/estimate", EstimateRequest{
+		ModelRef: ModelRef{ModelXMI: xml},
+		Mode:     "analytic",
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var ar EstimateResponse
+	decodeInto(t, body, &ar)
+	if !ar.Analytic {
+		t.Error("analytic flag absent from response")
+	}
+	code, _, body = postJSON(t, ts.URL+"/v1/estimate", EstimateRequest{
+		ModelRef: ModelRef{ModelXMI: xml},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var sr EstimateResponse
+	decodeInto(t, body, &sr)
+	if sr.Analytic {
+		t.Error("simulate response wrongly flagged analytic")
+	}
+	if ar.Makespan != sr.Makespan {
+		t.Errorf("analytic %g != simulated %g on a deterministic model", ar.Makespan, sr.Makespan)
+	}
+	// Out of the closed-form class (multi-process) under strict analytic
+	// mode: the model/mode combination is the client's problem, 422.
+	code, _, body = postJSON(t, ts.URL+"/v1/estimate", EstimateRequest{
+		ModelRef: ModelRef{ModelXMI: xml},
+		Mode:     "analytic",
+		Params:   &Params{Processes: 4},
+	})
+	if code != http.StatusUnprocessableEntity {
+		t.Errorf("out-of-class analytic request: status %d, want 422: %s", code, body)
+	}
+}
+
 func TestBadRequests(t *testing.T) {
 	ts := httptest.NewServer(New(Config{}).Handler())
 	defer ts.Close()
@@ -171,6 +216,7 @@ func TestBadRequests(t *testing.T) {
 		{"both refs", `{"model_id": "sha256:x", "model_xmi": "<xml/>"}`, 400},
 		{"bad xmi", `{"model_xmi": "not xml"}`, 400},
 		{"bad policy", `{"model_xmi": ` + strconv.Quote(xml) + `, "policy": "lifo"}`, 400},
+		{"bad mode", `{"model_xmi": ` + strconv.Quote(xml) + `, "mode": "quantum"}`, 400},
 		{"trailing garbage", `{"model_xmi": ` + strconv.Quote(xml) + `} {}`, 400},
 	}
 	for _, tc := range cases {
